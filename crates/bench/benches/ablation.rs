@@ -1,0 +1,47 @@
+//! Ablation bench (not in the paper): how the clustering similarity measure
+//! and the branch cut h affect clustering cost and the resulting cluster
+//! structure — the k-versus-m trade-off discussed at the end of Sec. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pm_bench::setup::{cluster_dataset, generate_dataset};
+use pm_bench::Scale;
+use pm_cluster::{cluster_users, ApproxMeasure, ClusteringConfig, ExactMeasure};
+use pm_datagen::DatasetProfile;
+
+fn bench_clustering(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let dataset = generate_dataset(&DatasetProfile::movie(), &scale);
+    let mut group = c.benchmark_group("ablation_clustering");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for measure in ExactMeasure::ALL {
+        group.bench_function(BenchmarkId::new("exact", measure.name()), |b| {
+            b.iter(|| cluster_dataset(&dataset, measure, 0.55).1.clusters)
+        });
+    }
+    for measure in [ApproxMeasure::Jaccard, ApproxMeasure::WeightedJaccard] {
+        group.bench_function(BenchmarkId::new("approx", measure.name()), |b| {
+            b.iter(|| {
+                cluster_users(
+                    &dataset.preferences,
+                    ClusteringConfig::Approx {
+                        measure,
+                        branch_cut: 0.55,
+                    },
+                )
+                .len()
+            })
+        });
+    }
+    for h in [0.4_f64, 0.55, 0.7] {
+        group.bench_with_input(BenchmarkId::new("branch_cut", format!("{h}")), &h, |b, &h| {
+            b.iter(|| cluster_dataset(&dataset, ExactMeasure::Jaccard, h).1.clusters)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

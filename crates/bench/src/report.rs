@@ -1,0 +1,171 @@
+//! Minimal aligned-table formatting for experiment reports.
+
+use std::fmt::Write as _;
+
+/// One table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// A text cell.
+    Text(String),
+    /// An integer cell.
+    Int(u64),
+    /// A floating-point cell rendered with two decimals.
+    Float(f64),
+    /// A percentage cell rendered with two decimals and a `%` suffix.
+    Percent(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.2}"),
+            Cell::Percent(v) => format!("{:.2}%", v * 100.0),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(value: &str) -> Self {
+        Cell::Text(value.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(value: String) -> Self {
+        Cell::Text(value)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(value: u64) -> Self {
+        Cell::Int(value)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(value: usize) -> Self {
+        Cell::Int(value as u64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(value: f64) -> Self {
+        Cell::Float(value)
+    }
+}
+
+/// A simple table: a title, a header row and data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned monospace text (also valid Markdown).
+    pub fn render(&self) -> String {
+        format_table(&self.title, &self.header, &self.rows)
+    }
+}
+
+/// Formats a header plus rows as an aligned Markdown-style table.
+pub fn format_table(title: &str, header: &[String], rows: &[Vec<Cell>]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(Cell::render).collect())
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    if !title.is_empty() {
+        let _ = writeln!(out, "## {title}");
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let _ = writeln!(out, "{}", fmt_row(header, &widths));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+    for row in &rendered {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_render_by_kind() {
+        assert_eq!(Cell::from("x").render(), "x");
+        assert_eq!(Cell::from(3usize).render(), "3");
+        assert_eq!(Cell::Float(1.234).render(), "1.23");
+        assert_eq!(Cell::Percent(0.9543).render(), "95.43%");
+    }
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["algo", "time"]);
+        t.push_row(vec!["Baseline".into(), Cell::Float(12.5)]);
+        t.push_row(vec!["FilterThenVerify".into(), Cell::Float(3.25)]);
+        let text = t.render();
+        assert!(text.starts_with("## Demo"));
+        assert!(text.contains("Baseline"));
+        assert!(text.contains("FilterThenVerify"));
+        assert!(text.contains("3.25"));
+        // Header separator present.
+        assert!(text.contains("| ----"));
+    }
+
+    #[test]
+    fn empty_table_still_renders_header() {
+        let t = Table::new("", &["a"]);
+        let text = t.render();
+        assert!(text.contains("| a |"));
+        assert!(!text.contains("##"));
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let text = format_table(
+            "t",
+            &["a".into(), "b".into()],
+            &[vec![Cell::Int(1)], vec![Cell::Int(1), Cell::Int(2), Cell::Int(3)]],
+        );
+        assert!(text.contains("| 1 |"));
+    }
+}

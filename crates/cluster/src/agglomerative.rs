@@ -1,0 +1,429 @@
+//! Hierarchical agglomerative clustering of users with a branch cut.
+//!
+//! The paper (Sec. 5 and 8.2) clusters users with the conventional
+//! agglomerative algorithm: every user starts as a singleton cluster, the
+//! two most similar clusters are merged repeatedly, and the dendrogram is
+//! cut at branch cut `h` — i.e. merging stops once no pair of clusters has
+//! similarity ≥ `h`.
+//!
+//! Two families of similarity are supported:
+//!
+//! * **Exact** ([`ExactMeasure`]) — cluster similarity is computed on the
+//!   clusters' *common preference relations*; the merged cluster's common
+//!   relation is the per-attribute intersection of its parents'.
+//! * **Approximate** ([`ApproxMeasure`]) — cluster similarity is computed on
+//!   per-cluster frequency vectors (Sec. 6.3); merging adds the vectors.
+//!   The merged cluster's exact common relation is still materialised for
+//!   the output, while the *approximate* common relation (Alg. 3) is built
+//!   later by [`crate::approx::approx_common_preference`].
+
+use pm_model::UserId;
+use pm_porder::Preference;
+
+use crate::approx_similarity::{ApproxMeasure, FrequencyVectors};
+use crate::similarity::{ExactMeasure, SimilarityMeasure};
+
+/// Configuration of the clustering pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusteringConfig {
+    /// Cluster on exact common preference relations (Sec. 5).
+    Exact {
+        /// Which of the four exact similarity measures to use.
+        measure: ExactMeasure,
+        /// Branch cut `h`: minimum similarity required to merge.
+        branch_cut: f64,
+    },
+    /// Cluster on frequency vectors (Sec. 6.3).
+    Approx {
+        /// Which approximate similarity measure to use.
+        measure: ApproxMeasure,
+        /// Branch cut `h`: minimum similarity required to merge.
+        branch_cut: f64,
+    },
+}
+
+impl ClusteringConfig {
+    /// The branch cut `h` of this configuration.
+    pub fn branch_cut(&self) -> f64 {
+        match *self {
+            ClusteringConfig::Exact { branch_cut, .. } => branch_cut,
+            ClusteringConfig::Approx { branch_cut, .. } => branch_cut,
+        }
+    }
+}
+
+/// A cluster of users together with its virtual-user preference.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The member users of the cluster.
+    pub members: Vec<UserId>,
+    /// The exact common preference relation of the members (Def. 4.1),
+    /// i.e. the preferences of the virtual user `U`.
+    pub common: Preference,
+}
+
+impl Cluster {
+    /// Number of member users.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster has no members (never produced by clustering).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// One merge performed by the agglomerative loop, for dendrogram inspection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeStep {
+    /// Index (into the evolving cluster list) of the surviving cluster.
+    pub kept: usize,
+    /// Index of the cluster merged into `kept` and removed.
+    pub absorbed: usize,
+    /// The similarity at which the merge happened.
+    pub similarity: f64,
+}
+
+/// The result of a clustering pass.
+#[derive(Debug, Clone)]
+pub struct ClusteringOutcome {
+    /// The final clusters (dendrogram cut at `h`).
+    pub clusters: Vec<Cluster>,
+    /// The sequence of merges performed, in order.
+    pub merges: Vec<MergeStep>,
+}
+
+impl ClusteringOutcome {
+    /// Number of clusters produced (`k` in the paper's cost model).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether no clusters were produced (only for empty input).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The size of the largest cluster.
+    pub fn largest_cluster(&self) -> usize {
+        self.clusters.iter().map(Cluster::len).max().unwrap_or(0)
+    }
+}
+
+/// Internal per-cluster state during the agglomerative loop.
+enum State {
+    Exact(Preference),
+    Approx(FrequencyVectors),
+}
+
+struct Working {
+    members: Vec<UserId>,
+    /// Member indices into the original preference slice.
+    member_idx: Vec<usize>,
+    state: State,
+}
+
+/// Clusters `preferences` (indexed by user id) under `config`.
+///
+/// The returned clusters partition the users; singleton clusters are kept
+/// as-is. The algorithm is the textbook O(n³) agglomerative procedure,
+/// which is ample for the user populations used in the paper's experiments
+/// (the cost is dominated by Pareto maintenance, not clustering).
+pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> ClusteringOutcome {
+    let mut working: Vec<Working> = preferences
+        .iter()
+        .enumerate()
+        .map(|(idx, pref)| Working {
+            members: vec![UserId::from(idx)],
+            member_idx: vec![idx],
+            state: match config {
+                ClusteringConfig::Exact { .. } => State::Exact(pref.clone()),
+                ClusteringConfig::Approx { measure, .. } => {
+                    State::Approx(FrequencyVectors::of_user(pref, measure))
+                }
+            },
+        })
+        .collect();
+    let mut merges = Vec::new();
+    let h = config.branch_cut();
+
+    // Pairwise similarity matrix, kept in sync with `working` so that each
+    // merge only recomputes one row/column instead of the full matrix
+    // (the textbook O(n²)-space agglomerative optimisation).
+    let n = working.len();
+    let mut sims: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = pair_similarity(&working[i], &working[j], &config);
+            sims[i][j] = s;
+            sims[j][i] = s;
+        }
+    }
+
+    while working.len() > 1 {
+        // Find the most similar pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..working.len() {
+            for j in (i + 1)..working.len() {
+                let sim = sims[i][j];
+                if best.map(|(_, _, b)| sim > b).unwrap_or(true) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        let Some((i, j, sim)) = best else { break };
+        if sim < h {
+            break;
+        }
+        let absorbed = working.swap_remove(j);
+        // Mirror the swap_remove in the similarity matrix.
+        sims.swap_remove(j);
+        for row in &mut sims {
+            row.swap_remove(j);
+        }
+        let keeper = &mut working[i];
+        keeper.members.extend(absorbed.members);
+        keeper.member_idx.extend(absorbed.member_idx);
+        keeper.state = match (&keeper.state, &absorbed.state) {
+            (State::Exact(a), State::Exact(b)) => State::Exact(Preference::common_of([a, b])),
+            (State::Approx(a), State::Approx(b)) => State::Approx(a.merge(b)),
+            _ => unreachable!("cluster states never mix within one run"),
+        };
+        // Refresh the merged cluster's similarities.
+        for other in 0..working.len() {
+            if other == i {
+                continue;
+            }
+            let s = pair_similarity(&working[i], &working[other], &config);
+            sims[i][other] = s;
+            sims[other][i] = s;
+        }
+        merges.push(MergeStep {
+            kept: i,
+            absorbed: j,
+            similarity: sim,
+        });
+    }
+
+    let clusters = working
+        .into_iter()
+        .map(|w| {
+            let common = match w.state {
+                State::Exact(pref) => pref,
+                // For the approximate path the exact common relation is still
+                // the natural "virtual user" summary; the approximate relation
+                // is derived separately with Alg. 3.
+                State::Approx(_) => {
+                    Preference::common_of(w.member_idx.iter().map(|&i| &preferences[i]))
+                }
+            };
+            Cluster {
+                members: w.members,
+                common,
+            }
+        })
+        .collect();
+    ClusteringOutcome { clusters, merges }
+}
+
+fn pair_similarity(a: &Working, b: &Working, config: &ClusteringConfig) -> f64 {
+    match (config, &a.state, &b.state) {
+        (ClusteringConfig::Exact { measure, .. }, State::Exact(pa), State::Exact(pb)) => {
+            measure.similarity(pa, pb)
+        }
+        (ClusteringConfig::Approx { .. }, State::Approx(va), State::Approx(vb)) => {
+            va.similarity(vb)
+        }
+        _ => unreachable!("cluster states never mix within one run"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_model::ValueId;
+    use pm_porder::Relation;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn pref(pairs: &[(u32, u32)]) -> Preference {
+        let rel = Relation::from_pairs(pairs.iter().map(|&(x, y)| (v(x), v(y)))).unwrap();
+        Preference::from_relations(vec![rel])
+    }
+
+    /// The six users of Table 3 (brand attribute only).
+    /// Apple=0, Lenovo=1, Samsung=2, Toshiba=3.
+    fn table3_users() -> Vec<Preference> {
+        vec![
+            pref(&[(0, 1), (1, 2), (3, 1)]),         // c1
+            pref(&[(0, 1), (1, 2), (3, 2)]),         // c2
+            pref(&[(2, 1), (1, 0), (1, 3)]),         // c3: Samsung ≻ Lenovo ≻ {Apple, Toshiba}
+            pref(&[(2, 1), (1, 0), (1, 3), (0, 3)]), // c4: like c3 plus Apple ≻ Toshiba
+            pref(&[(1, 0), (1, 3), (0, 2), (3, 2)]), // c5
+            pref(&[(1, 0), (0, 3), (0, 2)]),         // c6
+        ]
+    }
+
+    #[test]
+    fn high_branch_cut_keeps_singletons() {
+        let users = table3_users();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::WeightedJaccard,
+                branch_cut: 100.0,
+            },
+        );
+        assert_eq!(out.len(), users.len());
+        assert!(out.merges.is_empty());
+        assert_eq!(out.largest_cluster(), 1);
+    }
+
+    #[test]
+    fn zero_branch_cut_merges_everything() {
+        let users = table3_users();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::IntersectionSize,
+                branch_cut: 0.0,
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.clusters[0].len(), 6);
+        assert_eq!(out.merges.len(), 5);
+    }
+
+    #[test]
+    fn clusters_partition_all_users() {
+        let users = table3_users();
+        for cfg in [
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::Jaccard,
+                branch_cut: 0.3,
+            },
+            ClusteringConfig::Approx {
+                measure: ApproxMeasure::Jaccard,
+                branch_cut: 0.3,
+            },
+        ] {
+            let out = cluster_users(&users, cfg);
+            let mut seen: Vec<u32> = out
+                .clusters
+                .iter()
+                .flat_map(|c| c.members.iter().map(|u| u.raw()))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn example_5_5_weighted_jaccard_clusters() {
+        // With weighted Jaccard and h ∈ (0, 3/11], the paper obtains
+        // {{c1, c2, c5, c6}, {c3, c4}}.
+        let users = table3_users();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::WeightedJaccard,
+                branch_cut: 0.2,
+            },
+        );
+        assert_eq!(out.len(), 2, "expected two clusters, got {:?}", out.clusters);
+        let mut sizes: Vec<usize> = out.clusters.iter().map(Cluster::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4]);
+        let big = out.clusters.iter().find(|c| c.len() == 4).unwrap();
+        let mut members: Vec<u32> = big.members.iter().map(|u| u.raw()).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn common_preference_is_intersection_of_members() {
+        let users = table3_users();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::IntersectionSize,
+                branch_cut: 0.0,
+            },
+        );
+        let all = &out.clusters[0];
+        let expected = Preference::common_of(users.iter());
+        let attr = pm_model::AttrId::new(0);
+        let got: std::collections::HashSet<_> = all.common.relation(attr).pairs().collect();
+        let want: std::collections::HashSet<_> = expected.relation(attr).pairs().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn approx_path_reports_exact_common_relation() {
+        let users = table3_users();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Approx {
+                measure: ApproxMeasure::WeightedJaccard,
+                branch_cut: 0.0,
+            },
+        );
+        assert_eq!(out.len(), 1);
+        let attr = pm_model::AttrId::new(0);
+        let expected = Preference::common_of(users.iter());
+        assert_eq!(
+            out.clusters[0].common.relation(attr).len(),
+            expected.relation(attr).len()
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        let out = cluster_users(
+            &[],
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::Jaccard,
+                branch_cut: 0.5,
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(out.largest_cluster(), 0);
+    }
+
+    #[test]
+    fn single_user_is_its_own_cluster() {
+        let users = vec![pref(&[(0, 1)])];
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Approx {
+                measure: ApproxMeasure::Jaccard,
+                branch_cut: 0.5,
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.clusters[0].members, vec![UserId::new(0)]);
+    }
+
+    #[test]
+    fn branch_cut_accessor_matches_config() {
+        assert_eq!(
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::Jaccard,
+                branch_cut: 0.7
+            }
+            .branch_cut(),
+            0.7
+        );
+        assert_eq!(
+            ClusteringConfig::Approx {
+                measure: ApproxMeasure::Jaccard,
+                branch_cut: 0.4
+            }
+            .branch_cut(),
+            0.4
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Algorithm 1 — `Baseline`: independent Pareto-frontier maintenance per
+//! user.
+//!
+//! Upon the arrival of a new object `o`, the baseline compares `o` with the
+//! current Pareto-optimal objects of every user, one user at a time. It is
+//! correct and simple, but repeats the same comparisons for users with
+//! similar preferences — the inefficiency the FilterThenVerify family
+//! removes.
+
+use std::collections::HashMap;
+
+use pm_model::{Object, ObjectId, UserId};
+use pm_porder::{Dominance, Preference};
+
+use crate::monitor::{Arrival, ContinuousMonitor};
+use crate::stats::MonitorStats;
+
+/// Per-user Pareto frontier: frontier objects are stored by value so no
+/// shared catalog is needed and expired/dominated objects are dropped
+/// eagerly.
+pub(crate) type Frontier = HashMap<ObjectId, Object>;
+
+/// The outcome of updating one user's frontier with a new object
+/// (Procedure `updateParetoFrontier` of Alg. 1).
+pub(crate) fn update_pareto_frontier(
+    preference: &Preference,
+    frontier: &mut Frontier,
+    object: &Object,
+    stats: &mut MonitorStats,
+) -> bool {
+    let mut is_pareto = true;
+    let mut dominated: Vec<ObjectId> = Vec::new();
+    for existing in frontier.values() {
+        stats.record_comparison();
+        match preference.compare(object, existing) {
+            Dominance::Dominates => dominated.push(existing.id()),
+            Dominance::DominatedBy => {
+                is_pareto = false;
+                dominated.clear();
+                break;
+            }
+            Dominance::Identical => {
+                // An identical object is Pareto-optimal as well (Alg. 1,
+                // line 6); no existing object needs to be removed.
+                break;
+            }
+            Dominance::Incomparable => {}
+        }
+    }
+    for id in dominated {
+        frontier.remove(&id);
+    }
+    if is_pareto {
+        frontier.insert(object.id(), object.clone());
+    }
+    is_pareto
+}
+
+/// Algorithm 1: the per-user baseline monitor.
+#[derive(Debug, Clone)]
+pub struct BaselineMonitor {
+    preferences: Vec<Preference>,
+    frontiers: Vec<Frontier>,
+    stats: MonitorStats,
+}
+
+impl BaselineMonitor {
+    /// Creates a monitor for the given users (indexed by [`UserId`]).
+    pub fn new(preferences: Vec<Preference>) -> Self {
+        let frontiers = vec![Frontier::new(); preferences.len()];
+        Self {
+            preferences,
+            frontiers,
+            stats: MonitorStats::new(),
+        }
+    }
+
+    /// The preference of `user`.
+    pub fn preference(&self, user: UserId) -> &Preference {
+        &self.preferences[user.index()]
+    }
+}
+
+impl ContinuousMonitor for BaselineMonitor {
+    fn process(&mut self, object: Object) -> Arrival {
+        let mut targets = Vec::new();
+        for (idx, pref) in self.preferences.iter().enumerate() {
+            if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
+                targets.push(UserId::from(idx));
+            }
+        }
+        self.stats.record_arrival(targets.len());
+        Arrival {
+            object: object.id(),
+            target_users: targets,
+        }
+    }
+
+    fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.frontiers[user.index()].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn num_users(&self) -> usize {
+        self.preferences.len()
+    }
+
+    fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ContinuousMonitor;
+    use pm_model::{AttrId, ValueId};
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(ObjectId::new(id), vals.iter().map(|&x| v(x)).collect())
+    }
+
+    /// The laptop example of Tables 1 & 2 (users c1 and c2).
+    ///
+    /// display: 9.9-under=0, 10-12.9=1, 13-15.9=2, 16-18.9=3, 19-up=4
+    /// brand:   Apple=0, Lenovo=1, Samsung=2, Sony=3, Toshiba=4
+    /// cpu:     single=0, dual=1, triple=2, quad=3
+    fn laptop_users() -> Vec<Preference> {
+        let mut c1 = Preference::new(3);
+        c1.prefer(a(0), v(2), v(1));
+        c1.prefer(a(0), v(1), v(3));
+        c1.prefer(a(0), v(1), v(4));
+        c1.prefer(a(0), v(1), v(0));
+        c1.prefer(a(1), v(0), v(1));
+        c1.prefer(a(1), v(1), v(4));
+        c1.prefer(a(1), v(1), v(2));
+        c1.prefer(a(1), v(0), v(3));
+        c1.prefer(a(2), v(1), v(2));
+        c1.prefer(a(2), v(1), v(3));
+        c1.prefer(a(2), v(2), v(0));
+        c1.prefer(a(2), v(3), v(0));
+
+        let mut c2 = Preference::new(3);
+        // display: 13-15.9 ≻ {10-12.9, 16-18.9}, 16-18.9 ≻ 19-up ≻ 9.9-under,
+        //          10-12.9 ≻ 9.9-under
+        c2.prefer(a(0), v(2), v(1));
+        c2.prefer(a(0), v(2), v(3));
+        c2.prefer(a(0), v(3), v(4));
+        c2.prefer(a(0), v(4), v(0));
+        c2.prefer(a(0), v(1), v(0));
+        // brand: Apple ≻ Toshiba, Lenovo ≻ Toshiba, Toshiba ≻ Sony,
+        //        Lenovo ≻ Samsung
+        c2.prefer(a(1), v(0), v(4));
+        c2.prefer(a(1), v(1), v(4));
+        c2.prefer(a(1), v(4), v(3));
+        c2.prefer(a(1), v(1), v(2));
+        // cpu: quad ≻ triple ≻ dual ≻ single
+        c2.prefer(a(2), v(3), v(2));
+        c2.prefer(a(2), v(2), v(1));
+        c2.prefer(a(2), v(1), v(0));
+        vec![c1, c2]
+    }
+
+    /// Objects o1–o14 of Table 1 (see `laptop_users` for the encoding).
+    fn laptop_objects() -> Vec<Object> {
+        vec![
+            obj(1, &[1, 0, 0]),  // o1: 12, Apple, single
+            obj(2, &[2, 0, 1]),  // o2: 14, Apple, dual
+            obj(3, &[2, 2, 1]),  // o3: 15, Samsung, dual
+            obj(4, &[4, 4, 1]),  // o4: 19, Toshiba, dual
+            obj(5, &[0, 2, 3]),  // o5: 9, Samsung, quad
+            obj(6, &[1, 3, 0]),  // o6: 11.5, Sony, single
+            obj(7, &[0, 1, 3]),  // o7: 9.5, Lenovo, quad
+            obj(8, &[1, 0, 1]),  // o8: 12.5, Apple, dual
+            obj(9, &[4, 3, 0]),  // o9: 19.5, Sony, single
+            obj(10, &[0, 1, 2]), // o10: 9.5, Lenovo, triple
+            obj(11, &[0, 4, 2]), // o11: 9, Toshiba, triple
+            obj(12, &[0, 2, 2]), // o12: 8.5, Samsung, triple
+            obj(13, &[2, 3, 1]), // o13: 14.5, Sony, dual
+            obj(14, &[3, 3, 0]), // o14: 17, Sony, single
+        ]
+    }
+
+    #[test]
+    fn example_3_5_frontiers_after_o1_to_o14() {
+        let mut m = BaselineMonitor::new(laptop_users());
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        assert_eq!(m.frontier(UserId::new(0)), vec![ObjectId::new(2)]);
+        // Example 3.5 lists Pc2 after o15; before o15, c2's frontier also
+        // contains o7 (9.5", Lenovo, quad) per Example 4.8.
+        assert_eq!(
+            m.frontier(UserId::new(1)),
+            vec![ObjectId::new(2), ObjectId::new(3), ObjectId::new(7)]
+        );
+    }
+
+    #[test]
+    fn example_1_1_o15_targets_only_c2() {
+        let mut m = BaselineMonitor::new(laptop_users());
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        let arrival = m.process(obj(15, &[3, 1, 3])); // 16.5, Lenovo, quad
+        assert_eq!(arrival.target_users, vec![UserId::new(1)]);
+        assert_eq!(
+            m.frontier(UserId::new(1)),
+            vec![ObjectId::new(2), ObjectId::new(3), ObjectId::new(15)]
+        );
+        // o16 (16, Toshiba, single) is Pareto-optimal for nobody.
+        let arrival16 = m.process(obj(16, &[3, 4, 0]));
+        assert!(arrival16.target_users.is_empty());
+    }
+
+    #[test]
+    fn frontiers_match_naive_oracle() {
+        let users = laptop_users();
+        let objects = laptop_objects();
+        let mut m = BaselineMonitor::new(users.clone());
+        for o in objects.clone() {
+            m.process(o);
+        }
+        for (idx, pref) in users.iter().enumerate() {
+            let mut oracle = pm_porder::naive_pareto_frontier(pref, &objects);
+            oracle.sort_unstable();
+            assert_eq!(m.frontier(UserId::from(idx)), oracle, "user {idx}");
+        }
+    }
+
+    #[test]
+    fn identical_objects_share_the_frontier() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::new(users);
+        m.process(obj(1, &[2, 0, 1]));
+        let arrival = m.process(obj(2, &[2, 0, 1]));
+        assert_eq!(arrival.target_users.len(), 2);
+        assert_eq!(
+            m.frontier(UserId::new(0)),
+            vec![ObjectId::new(1), ObjectId::new(2)]
+        );
+    }
+
+    #[test]
+    fn dominated_object_is_removed_later() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::new(users);
+        // o1 is initially Pareto-optimal for everyone, o2 later replaces it
+        // for c1 and c2 (scenario (ii) of Sec. 1).
+        let a1 = m.process(obj(1, &[1, 0, 0]));
+        assert_eq!(a1.target_users.len(), 2);
+        m.process(obj(2, &[2, 0, 1]));
+        assert_eq!(m.frontier(UserId::new(0)), vec![ObjectId::new(2)]);
+        assert_eq!(m.frontier(UserId::new(1)), vec![ObjectId::new(2)]);
+    }
+
+    #[test]
+    fn stats_count_arrivals_and_comparisons() {
+        let mut m = BaselineMonitor::new(laptop_users());
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        let stats = m.stats();
+        assert_eq!(stats.arrivals, 14);
+        assert!(stats.comparisons > 0);
+        assert_eq!(stats.expirations, 0);
+        assert!(stats.comparisons_per_arrival() > 0.0);
+    }
+
+    #[test]
+    fn empty_user_set_accepts_objects() {
+        let mut m = BaselineMonitor::new(vec![]);
+        let arrival = m.process(obj(1, &[0, 0, 0]));
+        assert!(arrival.target_users.is_empty());
+        assert_eq!(m.num_users(), 0);
+    }
+
+    #[test]
+    fn user_with_empty_preference_keeps_everything() {
+        let mut m = BaselineMonitor::new(vec![Preference::new(3)]);
+        for o in laptop_objects() {
+            let arrival = m.process(o);
+            assert_eq!(arrival.target_users, vec![UserId::new(0)]);
+        }
+        assert_eq!(m.frontier(UserId::new(0)).len(), 14);
+    }
+}

@@ -1,0 +1,498 @@
+//! Algorithm 2 — `FilterThenVerify` (and its approximate variant,
+//! `FilterThenVerifyApprox`, Sec. 6).
+//!
+//! Users are grouped into clusters of similar preferences. Each cluster `U`
+//! is represented by a *virtual user* whose preference relation is the
+//! common (or approximate common) preference relation of the members. The
+//! cluster maintains a shared Pareto frontier `P_U` which, by Theorem 4.5,
+//! is a superset of every member's frontier: an arriving object dominated
+//! within `P_U` can be discarded for all members at once (filter step); an
+//! object that survives is verified against each member's own frontier
+//! (verify step).
+
+
+use pm_model::{Object, ObjectId, UserId};
+use pm_porder::{Dominance, Preference};
+
+use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
+
+use crate::baseline::{update_pareto_frontier, Frontier};
+use crate::monitor::{Arrival, ContinuousMonitor};
+use crate::stats::MonitorStats;
+
+/// One cluster's shared state: the virtual user's preference and frontier.
+#[derive(Debug, Clone)]
+struct ClusterState {
+    members: Vec<UserId>,
+    virtual_preference: Preference,
+    frontier: Frontier,
+}
+
+/// Algorithm 2: shared-computation monitoring via user clusters.
+///
+/// The same type implements both `FilterThenVerify` (exact common
+/// preference relations) and `FilterThenVerifyApprox` (approximate common
+/// preference relations built by Alg. 3) — the algorithm is identical, only
+/// the virtual users' preferences differ.
+#[derive(Debug, Clone)]
+pub struct FilterThenVerifyMonitor {
+    preferences: Vec<Preference>,
+    user_frontiers: Vec<Frontier>,
+    clusters: Vec<ClusterState>,
+    stats: MonitorStats,
+}
+
+impl FilterThenVerifyMonitor {
+    /// Creates a monitor from per-user preferences and clusters whose
+    /// virtual users carry the *exact* common preference relations
+    /// (FilterThenVerify).
+    pub fn new(preferences: Vec<Preference>, clusters: &[Cluster]) -> Self {
+        let states = clusters
+            .iter()
+            .map(|c| ClusterState {
+                members: c.members.clone(),
+                virtual_preference: c.common.clone(),
+                frontier: Frontier::new(),
+            })
+            .collect();
+        Self::from_states(preferences, states)
+    }
+
+    /// Creates a monitor whose virtual users carry *approximate* common
+    /// preference relations built with Alg. 3 under `config`
+    /// (FilterThenVerifyApprox).
+    pub fn with_approx_clusters(
+        preferences: Vec<Preference>,
+        clusters: &[Cluster],
+        config: ApproxConfig,
+    ) -> Self {
+        let states = clusters
+            .iter()
+            .map(|c| {
+                let members = c.members.clone();
+                let virtual_preference = approx_common_preference(
+                    members.iter().map(|u| &preferences[u.index()]),
+                    config,
+                );
+                ClusterState {
+                    members,
+                    virtual_preference,
+                    frontier: Frontier::new(),
+                }
+            })
+            .collect();
+        Self::from_states(preferences, states)
+    }
+
+    /// Creates a monitor with explicitly provided virtual-user preferences,
+    /// one per cluster. Useful for tests and ablations.
+    pub fn with_virtual_preferences(
+        preferences: Vec<Preference>,
+        clusters: Vec<(Vec<UserId>, Preference)>,
+    ) -> Self {
+        let states = clusters
+            .into_iter()
+            .map(|(members, virtual_preference)| ClusterState {
+                members,
+                virtual_preference,
+                frontier: Frontier::new(),
+            })
+            .collect();
+        Self::from_states(preferences, states)
+    }
+
+    fn from_states(preferences: Vec<Preference>, clusters: Vec<ClusterState>) -> Self {
+        let user_frontiers = vec![Frontier::new(); preferences.len()];
+        Self {
+            preferences,
+            user_frontiers,
+            clusters,
+            stats: MonitorStats::new(),
+        }
+    }
+
+    /// Number of clusters (`k` in the paper's cost model).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster-level ("virtual user") frontier `P_U`, sorted by id.
+    pub fn cluster_frontier(&self, cluster: usize) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.clusters[cluster].frontier.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The virtual preference used by a cluster (common or approximate).
+    pub fn virtual_preference(&self, cluster: usize) -> &Preference {
+        &self.clusters[cluster].virtual_preference
+    }
+
+    /// The member users of a cluster.
+    pub fn cluster_members(&self, cluster: usize) -> &[UserId] {
+        &self.clusters[cluster].members
+    }
+
+    /// Procedure `updateParetoFrontierU` of Alg. 2: filters `object` through
+    /// the cluster frontier. Returns `true` when the object survives (and
+    /// has been added to `P_U`).
+    fn update_cluster_frontier(
+        cluster: &mut ClusterState,
+        user_frontiers: &mut [Frontier],
+        object: &Object,
+        stats: &mut MonitorStats,
+    ) -> bool {
+        let mut is_pareto = true;
+        let mut dominated: Vec<ObjectId> = Vec::new();
+        for existing in cluster.frontier.values() {
+            stats.record_comparison();
+            match cluster.virtual_preference.compare(object, existing) {
+                Dominance::Dominates => dominated.push(existing.id()),
+                Dominance::DominatedBy => {
+                    is_pareto = false;
+                    dominated.clear();
+                    break;
+                }
+                // Identical or incomparable objects stay; identical objects
+                // are resolved per user during verification.
+                Dominance::Identical | Dominance::Incomparable => {}
+            }
+        }
+        for id in &dominated {
+            cluster.frontier.remove(id);
+            // o ≻_U o' implies o ≻_c o' for every member (Def. 4.1), so o'
+            // leaves every member's frontier too (Alg. 2, lines 4–6).
+            for member in &cluster.members {
+                user_frontiers[member.index()].remove(id);
+            }
+        }
+        if is_pareto {
+            cluster.frontier.insert(object.id(), object.clone());
+        }
+        is_pareto
+    }
+}
+
+impl ContinuousMonitor for FilterThenVerifyMonitor {
+    fn process(&mut self, object: Object) -> Arrival {
+        let mut targets = Vec::new();
+        for cluster in &mut self.clusters {
+            let survives = Self::update_cluster_frontier(
+                cluster,
+                &mut self.user_frontiers,
+                &object,
+                &mut self.stats,
+            );
+            if !survives {
+                continue;
+            }
+            // Verify against each member's own preference (Alg. 2, line 6).
+            for member in &cluster.members {
+                let pref = &self.preferences[member.index()];
+                if update_pareto_frontier(
+                    pref,
+                    &mut self.user_frontiers[member.index()],
+                    &object,
+                    &mut self.stats,
+                ) {
+                    targets.push(*member);
+                }
+            }
+        }
+        targets.sort_unstable();
+        self.stats.record_arrival(targets.len());
+        Arrival {
+            object: object.id(),
+            target_users: targets,
+        }
+    }
+
+    fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.user_frontiers[user.index()].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn num_users(&self) -> usize {
+        self.preferences.len()
+    }
+
+    fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineMonitor;
+    use pm_cluster::{cluster_users, ClusteringConfig, ExactMeasure};
+    use pm_model::{AttrId, ValueId};
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(ObjectId::new(id), vals.iter().map(|&x| v(x)).collect())
+    }
+
+    /// Same laptop users as the baseline tests (Tables 1 & 2, c1 and c2).
+    fn laptop_users() -> Vec<Preference> {
+        let mut c1 = Preference::new(3);
+        c1.prefer(a(0), v(2), v(1));
+        c1.prefer(a(0), v(1), v(3));
+        c1.prefer(a(0), v(1), v(4));
+        c1.prefer(a(0), v(1), v(0));
+        c1.prefer(a(1), v(0), v(1));
+        c1.prefer(a(1), v(1), v(4));
+        c1.prefer(a(1), v(1), v(2));
+        c1.prefer(a(1), v(0), v(3));
+        c1.prefer(a(2), v(1), v(2));
+        c1.prefer(a(2), v(1), v(3));
+        c1.prefer(a(2), v(2), v(0));
+        c1.prefer(a(2), v(3), v(0));
+
+        let mut c2 = Preference::new(3);
+        c2.prefer(a(0), v(2), v(1));
+        c2.prefer(a(0), v(2), v(3));
+        c2.prefer(a(0), v(3), v(4));
+        c2.prefer(a(0), v(4), v(0));
+        c2.prefer(a(0), v(1), v(0));
+        c2.prefer(a(1), v(0), v(4));
+        c2.prefer(a(1), v(1), v(4));
+        c2.prefer(a(1), v(4), v(3));
+        c2.prefer(a(1), v(1), v(2));
+        c2.prefer(a(2), v(3), v(2));
+        c2.prefer(a(2), v(2), v(1));
+        c2.prefer(a(2), v(1), v(0));
+        vec![c1, c2]
+    }
+
+    fn laptop_objects() -> Vec<Object> {
+        vec![
+            obj(1, &[1, 0, 0]),
+            obj(2, &[2, 0, 1]),
+            obj(3, &[2, 2, 1]),
+            obj(4, &[4, 4, 1]),
+            obj(5, &[0, 2, 3]),
+            obj(6, &[1, 3, 0]),
+            obj(7, &[0, 1, 3]),
+            obj(8, &[1, 0, 1]),
+            obj(9, &[4, 3, 0]),
+            obj(10, &[0, 1, 2]),
+            obj(11, &[0, 4, 2]),
+            obj(12, &[0, 2, 2]),
+            obj(13, &[2, 3, 1]),
+            obj(14, &[3, 3, 0]),
+        ]
+    }
+
+    fn one_cluster(users: &[Preference]) -> Vec<(Vec<UserId>, Preference)> {
+        vec![(
+            (0..users.len()).map(UserId::from).collect(),
+            Preference::common_of(users.iter()),
+        )]
+    }
+
+    #[test]
+    fn matches_baseline_on_laptop_example() {
+        let users = laptop_users();
+        let mut baseline = BaselineMonitor::new(users.clone());
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users));
+        for o in laptop_objects() {
+            let a = baseline.process(o.clone());
+            let b = ftv.process(o);
+            assert_eq!(a.target_users, b.target_users, "object {}", a.object);
+        }
+        for u in 0..users.len() {
+            assert_eq!(
+                baseline.frontier(UserId::from(u)),
+                ftv.frontier(UserId::from(u))
+            );
+        }
+    }
+
+    #[test]
+    fn example_4_8_cluster_frontier_and_o15() {
+        let users = laptop_users();
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users));
+        for o in laptop_objects() {
+            ftv.process(o);
+        }
+        // Before o15, P_U ⊇ P_c1 ∪ P_c2 (Theorem 4.5).
+        let pu = ftv.cluster_frontier(0);
+        for u in 0..users.len() {
+            for o in ftv.frontier(UserId::from(u)) {
+                assert!(pu.contains(&o), "P_U must contain {o} of user {u}");
+            }
+        }
+        // o15 is filtered through the cluster and targets only c2.
+        let arrival = ftv.process(obj(15, &[3, 1, 3]));
+        assert_eq!(arrival.target_users, vec![UserId::new(1)]);
+        // o16 is dominated at the cluster level: no verification reaches users.
+        let comparisons_before = ftv.stats().comparisons;
+        let arrival16 = ftv.process(obj(16, &[3, 4, 0]));
+        assert!(arrival16.target_users.is_empty());
+        // The filter rejected o16, so at most |P_U| comparisons were spent on
+        // it and none per user.
+        let spent = ftv.stats().comparisons - comparisons_before;
+        assert!(spent <= ftv.cluster_frontier(0).len() as u64 + 1);
+    }
+
+    #[test]
+    fn theorem_4_5_cluster_frontier_superset_invariant() {
+        let users = laptop_users();
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users));
+        for o in laptop_objects() {
+            ftv.process(o);
+            let pu = ftv.cluster_frontier(0);
+            for u in 0..users.len() {
+                for id in ftv.frontier(UserId::from(u)) {
+                    assert!(pu.contains(&id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_pipeline_matches_baseline() {
+        let users = laptop_users();
+        let outcome = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::WeightedJaccard,
+                branch_cut: 0.0,
+            },
+        );
+        let mut baseline = BaselineMonitor::new(users.clone());
+        let mut ftv = FilterThenVerifyMonitor::new(users.clone(), &outcome.clusters);
+        for o in laptop_objects() {
+            let a = baseline.process(o.clone());
+            let b = ftv.process(o);
+            assert_eq!(a.target_users, b.target_users);
+        }
+        for u in 0..users.len() {
+            assert_eq!(
+                baseline.frontier(UserId::from(u)),
+                ftv.frontier(UserId::from(u))
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_clusters_degenerate_to_baseline() {
+        let users = laptop_users();
+        let clusters: Vec<(Vec<UserId>, Preference)> = users
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (vec![UserId::from(i)], p.clone()))
+            .collect();
+        let mut baseline = BaselineMonitor::new(users.clone());
+        let mut ftv = FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), clusters);
+        for o in laptop_objects() {
+            let a = baseline.process(o.clone());
+            let b = ftv.process(o);
+            assert_eq!(a.target_users, b.target_users);
+        }
+    }
+
+    #[test]
+    fn approx_clusters_give_subset_frontiers() {
+        // Theorem 6.5 / Lemma 6.6: with approximate common preferences the
+        // per-user frontiers can only lose objects, never gain ones outside
+        // the exact frontier union... more precisely P̂_c ⊆ P̂_U ⊆ P_U.
+        let users = laptop_users();
+        let outcome = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::WeightedJaccard,
+                branch_cut: 0.0,
+            },
+        );
+        let mut exact = FilterThenVerifyMonitor::new(users.clone(), &outcome.clusters);
+        let mut approx = FilterThenVerifyMonitor::with_approx_clusters(
+            users.clone(),
+            &outcome.clusters,
+            ApproxConfig::new(64, 0.4),
+        );
+        for o in laptop_objects() {
+            exact.process(o.clone());
+            approx.process(o);
+        }
+        let exact_pu = exact.cluster_frontier(0);
+        let approx_pu = approx.cluster_frontier(0);
+        for id in &approx_pu {
+            assert!(exact_pu.contains(id), "P̂_U ⊆ P_U violated at {id}");
+        }
+        for u in 0..users.len() {
+            let approx_pc = approx.frontier(UserId::from(u));
+            for id in &approx_pc {
+                assert!(approx_pu.contains(id), "P̂_c ⊆ P̂_U violated at {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_with_total_support_matches_exact() {
+        // θ2 = 1.0 keeps only true common preference tuples, so the
+        // approximate monitor degenerates to the exact one.
+        let users = laptop_users();
+        let outcome = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::Jaccard,
+                branch_cut: 0.0,
+            },
+        );
+        let mut exact = FilterThenVerifyMonitor::new(users.clone(), &outcome.clusters);
+        let mut approx = FilterThenVerifyMonitor::with_approx_clusters(
+            users.clone(),
+            &outcome.clusters,
+            ApproxConfig::new(1024, 1.0),
+        );
+        for o in laptop_objects() {
+            let a = exact.process(o.clone());
+            let b = approx.process(o);
+            assert_eq!(a.target_users, b.target_users);
+        }
+    }
+
+    #[test]
+    fn filter_saves_comparisons_compared_to_baseline() {
+        let users = laptop_users();
+        let mut baseline = BaselineMonitor::new(users.clone());
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users));
+        let mut objects = laptop_objects();
+        objects.push(obj(15, &[3, 1, 3]));
+        objects.push(obj(16, &[3, 4, 0]));
+        for o in objects {
+            baseline.process(o.clone());
+            ftv.process(o);
+        }
+        // The point of the filter is fewer per-user comparisons for objects
+        // rejected at the cluster level; with only two users the totals are
+        // close, so just require the filter not to blow up the cost.
+        assert!(ftv.stats().comparisons <= 2 * baseline.stats().comparisons);
+        assert_eq!(ftv.num_clusters(), 1);
+        assert_eq!(ftv.cluster_members(0).len(), 2);
+        assert!(ftv.virtual_preference(0).total_pairs() > 0);
+    }
+
+    #[test]
+    fn empty_cluster_list_yields_no_targets() {
+        let users = laptop_users();
+        let mut ftv = FilterThenVerifyMonitor::with_virtual_preferences(users, vec![]);
+        let arrival = ftv.process(obj(1, &[1, 0, 0]));
+        assert!(arrival.target_users.is_empty());
+        assert_eq!(ftv.num_clusters(), 0);
+    }
+}

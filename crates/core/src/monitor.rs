@@ -1,0 +1,81 @@
+//! The common interface implemented by every monitoring algorithm.
+
+use pm_model::{Object, ObjectId, UserId};
+
+use crate::stats::MonitorStats;
+
+/// The result of processing one arriving object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// The id of the processed object.
+    pub object: ObjectId,
+    /// The target users `C_o`: every user for whom the object is
+    /// Pareto-optimal at arrival time, in ascending user-id order.
+    pub target_users: Vec<UserId>,
+}
+
+impl Arrival {
+    /// Whether the object was Pareto-optimal for at least one user.
+    pub fn has_targets(&self) -> bool {
+        !self.target_users.is_empty()
+    }
+}
+
+/// A continuous Pareto-frontier monitor.
+///
+/// Implementations differ in how much computation they share across users
+/// (none for the baseline, cluster-level filtering for FilterThenVerify) and
+/// in whether objects expire (sliding-window variants), but they expose the
+/// same interface so that experiments can swap them freely.
+pub trait ContinuousMonitor {
+    /// Processes one arriving object and returns its target users.
+    fn process(&mut self, object: Object) -> Arrival;
+
+    /// The current Pareto frontier of `user`, in ascending object-id order.
+    fn frontier(&self, user: UserId) -> Vec<ObjectId>;
+
+    /// Number of users served by this monitor.
+    fn num_users(&self) -> usize;
+
+    /// Work counters accumulated so far.
+    fn stats(&self) -> MonitorStats;
+
+    /// Convenience: processes a whole sequence of arrivals, returning one
+    /// [`Arrival`] per object.
+    fn process_all<I>(&mut self, objects: I) -> Vec<Arrival>
+    where
+        I: IntoIterator<Item = Object>,
+        Self: Sized,
+    {
+        objects.into_iter().map(|o| self.process(o)).collect()
+    }
+
+    /// Convenience: the frontiers of all users, indexed by user id.
+    fn all_frontiers(&self) -> Vec<Vec<ObjectId>>
+    where
+        Self: Sized,
+    {
+        (0..self.num_users())
+            .map(|u| self.frontier(UserId::from(u)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_has_targets() {
+        let a = Arrival {
+            object: ObjectId::new(1),
+            target_users: vec![UserId::new(0)],
+        };
+        assert!(a.has_targets());
+        let b = Arrival {
+            object: ObjectId::new(2),
+            target_users: vec![],
+        };
+        assert!(!b.has_targets());
+    }
+}

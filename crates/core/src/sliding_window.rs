@@ -1,0 +1,720 @@
+//! Sliding-window monitoring (Section 7): `BaselineSW` (Alg. 4) and
+//! `FilterThenVerifySW` / `FilterThenVerifyApproxSW` (Alg. 5).
+//!
+//! Only the `W` most recent objects are *alive*; an arriving object competes
+//! with alive objects only, and the expiry of an old object can promote
+//! previously dominated objects back into a frontier. To mend frontiers
+//! efficiently, monitors keep a *Pareto frontier buffer* (Def. 7.4): the
+//! alive objects not dominated by any **succeeding** object. By Theorem 7.2
+//! an object dominated by a successor can never re-enter the frontier, so
+//! the buffer is exactly the set of objects that may ever need promotion.
+//!
+//! Fidelity note: `FilterThenVerifySW` follows Alg. 5 literally — on expiry
+//! it only re-examines buffered objects that the expiring object dominated
+//! *with respect to the cluster's (virtual user's) preferences*. An object
+//! that a member user's own (stronger) preferences had excluded is therefore
+//! not always promoted back, which is the source of the small accuracy loss
+//! the paper accepts for this algorithm family; the baseline `BaselineSW`
+//! has no such loss and serves as ground truth.
+
+
+use pm_model::{Object, ObjectId, SlidingWindow, UserId};
+use pm_porder::{Dominance, Preference};
+
+use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
+
+use crate::baseline::{update_pareto_frontier, Frontier};
+use crate::monitor::{Arrival, ContinuousMonitor};
+use crate::stats::MonitorStats;
+
+/// Adds `object` to `buffer` and evicts every buffered object it dominates
+/// (`refreshParetoBufferSW`, Alg. 4). By Theorem 7.2 the evicted objects can
+/// never become Pareto-optimal again.
+fn refresh_buffer(
+    preference: &Preference,
+    buffer: &mut Frontier,
+    object: &Object,
+    stats: &mut MonitorStats,
+) {
+    let mut dominated = Vec::new();
+    for existing in buffer.values() {
+        stats.record_comparison();
+        if preference.compare(object, existing) == Dominance::Dominates {
+            dominated.push(existing.id());
+        }
+    }
+    for id in dominated {
+        buffer.remove(&id);
+    }
+    buffer.insert(object.id(), object.clone());
+}
+
+/// `mendParetoFrontierSW` (Alg. 4): promotes `candidate` into `frontier` if
+/// no current frontier member dominates it. Returns whether it was promoted.
+fn mend_frontier(
+    preference: &Preference,
+    frontier: &mut Frontier,
+    candidate: &Object,
+    stats: &mut MonitorStats,
+) -> bool {
+    for existing in frontier.values() {
+        stats.record_comparison();
+        if preference.compare(existing, candidate) == Dominance::Dominates {
+            return false;
+        }
+    }
+    frontier.insert(candidate.id(), candidate.clone());
+    true
+}
+
+/// Buffered objects in arrival order. Promotions must be attempted oldest
+/// first so that a promoted object is visible when its (younger) dominated
+/// peers are checked.
+fn buffer_in_arrival_order(buffer: &Frontier) -> Vec<Object> {
+    let mut objects: Vec<Object> = buffer.values().cloned().collect();
+    objects.sort_by_key(Object::id);
+    objects
+}
+
+/// Algorithm 4: per-user sliding-window baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineSwMonitor {
+    preferences: Vec<Preference>,
+    frontiers: Vec<Frontier>,
+    buffers: Vec<Frontier>,
+    window: SlidingWindow,
+    stats: MonitorStats,
+}
+
+impl BaselineSwMonitor {
+    /// Creates a monitor over a window of `window_size` objects.
+    pub fn new(preferences: Vec<Preference>, window_size: usize) -> Self {
+        let n = preferences.len();
+        Self {
+            preferences,
+            frontiers: vec![Frontier::new(); n],
+            buffers: vec![Frontier::new(); n],
+            window: SlidingWindow::new(window_size),
+            stats: MonitorStats::new(),
+        }
+    }
+
+    /// The window capacity `W`.
+    pub fn window_size(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// The current Pareto frontier buffer `PB_c` of a user, sorted by id.
+    pub fn buffer(&self, user: UserId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.buffers[user.index()].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn expire(&mut self, expired: &Object) {
+        self.stats.record_expiration();
+        for (idx, pref) in self.preferences.iter().enumerate() {
+            let frontier = &mut self.frontiers[idx];
+            let buffer = &mut self.buffers[idx];
+            let was_pareto = frontier.remove(&expired.id()).is_some();
+            if was_pareto {
+                // Objects the expired frontier member dominated may now be
+                // Pareto-optimal (Alg. 4, lines 2–5).
+                for candidate in buffer_in_arrival_order(buffer) {
+                    if candidate.id() == expired.id() {
+                        continue;
+                    }
+                    self.stats.record_comparison();
+                    if pref.compare(expired, &candidate) == Dominance::Dominates {
+                        mend_frontier(pref, frontier, &candidate, &mut self.stats);
+                    }
+                }
+            }
+            buffer.remove(&expired.id());
+        }
+    }
+}
+
+impl ContinuousMonitor for BaselineSwMonitor {
+    fn process(&mut self, object: Object) -> Arrival {
+        let event = self.window.push(object.clone());
+        if let Some(expired) = &event.expired {
+            self.expire(expired);
+        }
+        let mut targets = Vec::new();
+        for (idx, pref) in self.preferences.iter().enumerate() {
+            if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
+                targets.push(UserId::from(idx));
+            }
+            refresh_buffer(pref, &mut self.buffers[idx], &object, &mut self.stats);
+        }
+        self.stats.record_arrival(targets.len());
+        Arrival {
+            object: object.id(),
+            target_users: targets,
+        }
+    }
+
+    fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.frontiers[user.index()].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn num_users(&self) -> usize {
+        self.preferences.len()
+    }
+
+    fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+}
+
+/// One cluster's sliding-window state.
+#[derive(Debug, Clone)]
+struct SwClusterState {
+    members: Vec<UserId>,
+    virtual_preference: Preference,
+    /// `P_U`: the cluster-level frontier.
+    frontier: Frontier,
+    /// `PB_U`: the cluster-level Pareto frontier buffer (Def. 7.4 for the
+    /// virtual user). One buffer per cluster replaces one buffer per user.
+    buffer: Frontier,
+}
+
+/// Algorithm 5: sliding-window FilterThenVerify (and its approximate
+/// variant, depending on how the virtual preferences are built).
+#[derive(Debug, Clone)]
+pub struct FilterThenVerifySwMonitor {
+    preferences: Vec<Preference>,
+    user_frontiers: Vec<Frontier>,
+    clusters: Vec<SwClusterState>,
+    window: SlidingWindow,
+    stats: MonitorStats,
+}
+
+impl FilterThenVerifySwMonitor {
+    /// Creates a monitor whose clusters carry exact common preference
+    /// relations (FilterThenVerifySW).
+    pub fn new(preferences: Vec<Preference>, clusters: &[Cluster], window_size: usize) -> Self {
+        let states = clusters
+            .iter()
+            .map(|c| SwClusterState {
+                members: c.members.clone(),
+                virtual_preference: c.common.clone(),
+                frontier: Frontier::new(),
+                buffer: Frontier::new(),
+            })
+            .collect();
+        Self::from_states(preferences, states, window_size)
+    }
+
+    /// Creates a monitor whose clusters carry approximate common preference
+    /// relations built with Alg. 3 (FilterThenVerifyApproxSW).
+    pub fn with_approx_clusters(
+        preferences: Vec<Preference>,
+        clusters: &[Cluster],
+        config: ApproxConfig,
+        window_size: usize,
+    ) -> Self {
+        let states = clusters
+            .iter()
+            .map(|c| {
+                let virtual_preference = approx_common_preference(
+                    c.members.iter().map(|u| &preferences[u.index()]),
+                    config,
+                );
+                SwClusterState {
+                    members: c.members.clone(),
+                    virtual_preference,
+                    frontier: Frontier::new(),
+                    buffer: Frontier::new(),
+                }
+            })
+            .collect();
+        Self::from_states(preferences, states, window_size)
+    }
+
+    /// Creates a monitor with explicitly provided virtual preferences.
+    pub fn with_virtual_preferences(
+        preferences: Vec<Preference>,
+        clusters: Vec<(Vec<UserId>, Preference)>,
+        window_size: usize,
+    ) -> Self {
+        let states = clusters
+            .into_iter()
+            .map(|(members, virtual_preference)| SwClusterState {
+                members,
+                virtual_preference,
+                frontier: Frontier::new(),
+                buffer: Frontier::new(),
+            })
+            .collect();
+        Self::from_states(preferences, states, window_size)
+    }
+
+    fn from_states(
+        preferences: Vec<Preference>,
+        clusters: Vec<SwClusterState>,
+        window_size: usize,
+    ) -> Self {
+        let user_frontiers = vec![Frontier::new(); preferences.len()];
+        Self {
+            preferences,
+            user_frontiers,
+            clusters,
+            window: SlidingWindow::new(window_size),
+            stats: MonitorStats::new(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The window capacity `W`.
+    pub fn window_size(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// The cluster-level frontier `P_U`, sorted by id.
+    pub fn cluster_frontier(&self, cluster: usize) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.clusters[cluster].frontier.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The cluster-level buffer `PB_U`, sorted by id.
+    pub fn cluster_buffer(&self, cluster: usize) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.clusters[cluster].buffer.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn expire(&mut self, expired: &Object) {
+        self.stats.record_expiration();
+        for cluster in &mut self.clusters {
+            let was_cluster_pareto = cluster.frontier.remove(&expired.id()).is_some();
+            for member in &cluster.members {
+                self.user_frontiers[member.index()].remove(&expired.id());
+            }
+            if was_cluster_pareto {
+                // Alg. 5, lines 2–8: promote buffered objects the expired
+                // object dominated (w.r.t. the virtual user), first into P_U,
+                // then — if successful — into each member's frontier.
+                for candidate in buffer_in_arrival_order(&cluster.buffer) {
+                    if candidate.id() == expired.id() {
+                        continue;
+                    }
+                    self.stats.record_comparison();
+                    if cluster.virtual_preference.compare(expired, &candidate)
+                        != Dominance::Dominates
+                    {
+                        continue;
+                    }
+                    let promoted = mend_frontier(
+                        &cluster.virtual_preference,
+                        &mut cluster.frontier,
+                        &candidate,
+                        &mut self.stats,
+                    );
+                    if promoted {
+                        for member in &cluster.members {
+                            mend_frontier(
+                                &self.preferences[member.index()],
+                                &mut self.user_frontiers[member.index()],
+                                &candidate,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                }
+            }
+            cluster.buffer.remove(&expired.id());
+        }
+    }
+
+    /// `updateParetoFrontierUSW` plus the per-member verification of Alg. 5
+    /// (lines 10–14). Returns the members for whom the object is reported
+    /// Pareto-optimal.
+    fn arrive_cluster(
+        preferences: &[Preference],
+        user_frontiers: &mut [Frontier],
+        cluster: &mut SwClusterState,
+        object: &Object,
+        stats: &mut MonitorStats,
+    ) -> Vec<UserId> {
+        let mut targets = Vec::new();
+        let mut is_pareto = true;
+        let mut dominated: Vec<ObjectId> = Vec::new();
+        for existing in cluster.frontier.values() {
+            stats.record_comparison();
+            match cluster.virtual_preference.compare(object, existing) {
+                Dominance::Dominates => dominated.push(existing.id()),
+                Dominance::DominatedBy => {
+                    is_pareto = false;
+                    dominated.clear();
+                    break;
+                }
+                Dominance::Identical | Dominance::Incomparable => {}
+            }
+        }
+        for id in &dominated {
+            cluster.frontier.remove(id);
+            for member in &cluster.members {
+                user_frontiers[member.index()].remove(id);
+            }
+        }
+        if is_pareto {
+            cluster.frontier.insert(object.id(), object.clone());
+            for member in &cluster.members {
+                let pref = &preferences[member.index()];
+                if update_pareto_frontier(
+                    pref,
+                    &mut user_frontiers[member.index()],
+                    object,
+                    stats,
+                ) {
+                    targets.push(*member);
+                }
+            }
+        }
+        // Alg. 5, line 15: the cluster buffer is refreshed regardless of
+        // whether the object is currently Pareto-optimal.
+        refresh_buffer(&cluster.virtual_preference, &mut cluster.buffer, object, stats);
+        targets
+    }
+}
+
+impl ContinuousMonitor for FilterThenVerifySwMonitor {
+    fn process(&mut self, object: Object) -> Arrival {
+        let event = self.window.push(object.clone());
+        if let Some(expired) = &event.expired {
+            self.expire(expired);
+        }
+        let mut targets = Vec::new();
+        for cluster in &mut self.clusters {
+            targets.extend(Self::arrive_cluster(
+                &self.preferences,
+                &mut self.user_frontiers,
+                cluster,
+                &object,
+                &mut self.stats,
+            ));
+        }
+        targets.sort_unstable();
+        self.stats.record_arrival(targets.len());
+        Arrival {
+            object: object.id(),
+            target_users: targets,
+        }
+    }
+
+    fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.user_frontiers[user.index()].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn num_users(&self) -> usize {
+        self.preferences.len()
+    }
+
+    fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_model::AttrId;
+    use pm_model::ValueId;
+    use pm_porder::naive_pareto_frontier;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(ObjectId::new(id), vals.iter().map(|&x| v(x)).collect())
+    }
+
+    /// Laptop users c1, c2 (same encoding as the baseline tests).
+    fn laptop_users() -> Vec<Preference> {
+        let mut c1 = Preference::new(3);
+        c1.prefer(a(0), v(2), v(1));
+        c1.prefer(a(0), v(1), v(3));
+        c1.prefer(a(0), v(1), v(4));
+        c1.prefer(a(0), v(1), v(0));
+        c1.prefer(a(1), v(0), v(1));
+        c1.prefer(a(1), v(1), v(4));
+        c1.prefer(a(1), v(1), v(2));
+        c1.prefer(a(1), v(0), v(3));
+        c1.prefer(a(2), v(1), v(2));
+        c1.prefer(a(2), v(1), v(3));
+        c1.prefer(a(2), v(2), v(0));
+        c1.prefer(a(2), v(3), v(0));
+        let mut c2 = Preference::new(3);
+        c2.prefer(a(0), v(2), v(1));
+        c2.prefer(a(0), v(2), v(3));
+        c2.prefer(a(0), v(3), v(4));
+        c2.prefer(a(0), v(4), v(0));
+        c2.prefer(a(0), v(1), v(0));
+        c2.prefer(a(1), v(0), v(4));
+        c2.prefer(a(1), v(1), v(4));
+        c2.prefer(a(1), v(4), v(3));
+        c2.prefer(a(1), v(1), v(2));
+        c2.prefer(a(2), v(3), v(2));
+        c2.prefer(a(2), v(2), v(1));
+        c2.prefer(a(2), v(1), v(0));
+        vec![c1, c2]
+    }
+
+    /// The Table 8 product stream of Example 7.7.
+    ///
+    /// display: 9.9-under=0, 10-12.9=1, 13-15.9=2, 16-18.9=3, 19-up=4
+    /// brand:   Apple=0, Lenovo=1, Samsung=2, Sony=3, Toshiba=4
+    /// cpu:     single=0, dual=1, triple=2, quad=3
+    fn table8_objects() -> Vec<Object> {
+        vec![
+            obj(1, &[3, 1, 1]), // o1: 17, Lenovo, dual
+            obj(2, &[0, 3, 0]), // o2: 9.5, Sony, single
+            obj(3, &[1, 0, 1]), // o3: 12, Apple, dual
+            obj(4, &[3, 1, 3]), // o4: 16, Lenovo, quad
+            obj(5, &[4, 4, 0]), // o5: 19, Toshiba, single
+            obj(6, &[1, 2, 3]), // o6: 12.5, Samsung, quad
+            obj(7, &[2, 0, 1]), // o7: 14, Apple, dual
+        ]
+    }
+
+    fn one_cluster(users: &[Preference]) -> Vec<(Vec<UserId>, Preference)> {
+        vec![(
+            (0..users.len()).map(UserId::from).collect(),
+            Preference::common_of(users.iter()),
+        )]
+    }
+
+    /// Recomputes the ground-truth frontier of the alive objects.
+    fn oracle_frontier(pref: &Preference, alive: &[Object]) -> Vec<ObjectId> {
+        let mut ids = naive_pareto_frontier(pref, alive);
+        ids.sort_unstable();
+        ids
+    }
+
+    // Note: the paper's running Example 7.7 (Tables 9 and 10) is not
+    // internally consistent with the preferences of Table 2 (e.g. o4 is
+    // listed outside Pc1 for window (1,6] yet nothing alive dominates it
+    // under Table 2's c1 once o1 has expired), so the sliding-window tests
+    // validate against a ground-truth oracle recomputed from the alive
+    // objects instead of hard-coding the example tables.
+
+    #[test]
+    fn table8_stream_baseline_sw_tracks_oracle() {
+        let users = laptop_users();
+        let window = 6;
+        let mut m = BaselineSwMonitor::new(users.clone(), window);
+        let objects = table8_objects();
+        for (i, o) in objects.iter().enumerate() {
+            let arrival = m.process(o.clone());
+            let alive_start = (i + 1).saturating_sub(window);
+            let alive = &objects[alive_start..=i];
+            for (u, pref) in users.iter().enumerate() {
+                let oracle = oracle_frontier(pref, alive);
+                assert_eq!(m.frontier(UserId::from(u)), oracle, "user {u} step {i}");
+                // The arriving object's target set agrees with the oracle.
+                let is_target = arrival.target_users.contains(&UserId::from(u));
+                assert_eq!(is_target, oracle.contains(&o.id()), "user {u} step {i}");
+            }
+        }
+        // o7 replaces o3 for both users once the window has slid past o1.
+        let arrival_ids = m.frontier(UserId::new(0));
+        assert!(arrival_ids.contains(&ObjectId::new(7)));
+    }
+
+    #[test]
+    fn table8_stream_filter_then_verify_sw_invariants() {
+        let users = laptop_users();
+        let mut m =
+            FilterThenVerifySwMonitor::with_virtual_preferences(users.clone(), one_cluster(&users), 6);
+        for o in table8_objects() {
+            m.process(o);
+            let pu = m.cluster_frontier(0);
+            let pbu = m.cluster_buffer(0);
+            // Thm. 7.5: PB_U ⊇ P_U and P_U ⊇ P_c for every member.
+            for id in &pu {
+                assert!(pbu.contains(id), "PB_U must contain {id}");
+            }
+            for u in 0..users.len() {
+                for id in m.frontier(UserId::from(u)) {
+                    assert!(pu.contains(&id), "P_U must contain {id} of user {u}");
+                }
+            }
+        }
+        // After the full stream the newest strong object (o7: 14", Apple,
+        // dual) is on both users' frontiers.
+        for u in 0..users.len() {
+            assert!(m.frontier(UserId::from(u)).contains(&ObjectId::new(7)));
+        }
+    }
+
+    #[test]
+    fn baseline_sw_matches_oracle_on_every_step() {
+        let users = laptop_users();
+        let window = 4;
+        let mut m = BaselineSwMonitor::new(users.clone(), window);
+        let objects: Vec<Object> = table8_objects()
+            .into_iter()
+            .chain(vec![
+                obj(8, &[2, 2, 1]),
+                obj(9, &[0, 1, 3]),
+                obj(10, &[1, 0, 0]),
+                obj(11, &[2, 0, 3]),
+            ])
+            .collect();
+        for (i, o) in objects.iter().enumerate() {
+            m.process(o.clone());
+            let alive_start = (i + 1).saturating_sub(window);
+            let alive = &objects[alive_start..=i];
+            for (u, pref) in users.iter().enumerate() {
+                assert_eq!(
+                    m.frontier(UserId::from(u)),
+                    oracle_frontier(pref, alive),
+                    "user {u} after object {}",
+                    o.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_clusters_sw_match_baseline_sw() {
+        let users = laptop_users();
+        let clusters: Vec<(Vec<UserId>, Preference)> = users
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (vec![UserId::from(i)], p.clone()))
+            .collect();
+        let mut baseline = BaselineSwMonitor::new(users.clone(), 3);
+        let mut ftv = FilterThenVerifySwMonitor::with_virtual_preferences(users.clone(), clusters, 3);
+        let objects: Vec<Object> = table8_objects()
+            .into_iter()
+            .chain(vec![obj(8, &[2, 2, 1]), obj(9, &[0, 1, 3]), obj(10, &[1, 0, 0])])
+            .collect();
+        for o in objects {
+            let a = baseline.process(o.clone());
+            let b = ftv.process(o);
+            assert_eq!(a.target_users, b.target_users, "object {}", a.object);
+            for u in 0..baseline.num_users() {
+                assert_eq!(
+                    baseline.frontier(UserId::from(u)),
+                    ftv.frontier(UserId::from(u))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_contains_frontier() {
+        // Def. 7.4: PB_c ⊇ P_c, and Thm. 7.5: PB_U ⊇ P_U.
+        let users = laptop_users();
+        let mut baseline = BaselineSwMonitor::new(users.clone(), 4);
+        let mut ftv = FilterThenVerifySwMonitor::with_virtual_preferences(
+            users.clone(),
+            one_cluster(&users),
+            4,
+        );
+        for o in table8_objects() {
+            baseline.process(o.clone());
+            ftv.process(o);
+            for u in 0..users.len() {
+                let frontier = baseline.frontier(UserId::from(u));
+                let buffer = baseline.buffer(UserId::from(u));
+                for id in &frontier {
+                    assert!(buffer.contains(id), "PB_c must contain {id}");
+                }
+            }
+            let pu = ftv.cluster_frontier(0);
+            let pbu = ftv.cluster_buffer(0);
+            for id in &pu {
+                assert!(pbu.contains(id), "PB_U must contain {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_frontier_contains_member_frontiers_sw() {
+        let users = laptop_users();
+        let mut ftv = FilterThenVerifySwMonitor::with_virtual_preferences(
+            users.clone(),
+            one_cluster(&users),
+            5,
+        );
+        for o in table8_objects() {
+            ftv.process(o);
+            let pu = ftv.cluster_frontier(0);
+            for u in 0..users.len() {
+                for id in ftv.frontier(UserId::from(u)) {
+                    assert!(pu.contains(&id), "P_U must contain {id} of user {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_objects_leave_all_state() {
+        let users = laptop_users();
+        let mut m = BaselineSwMonitor::new(users, 2);
+        m.process(obj(1, &[3, 1, 1]));
+        m.process(obj(2, &[0, 3, 0]));
+        m.process(obj(3, &[1, 0, 1]));
+        // o1 has expired: it may appear in no frontier or buffer.
+        for u in 0..m.num_users() {
+            assert!(!m.frontier(UserId::from(u)).contains(&ObjectId::new(1)));
+            assert!(!m.buffer(UserId::from(u)).contains(&ObjectId::new(1)));
+        }
+        assert_eq!(m.stats().expirations, 1);
+        assert_eq!(m.window_size(), 2);
+    }
+
+    #[test]
+    fn approx_sw_constructor_produces_working_monitor() {
+        let users = laptop_users();
+        let cluster = Cluster {
+            members: vec![UserId::new(0), UserId::new(1)],
+            common: Preference::common_of(users.iter()),
+        };
+        let mut m = FilterThenVerifySwMonitor::with_approx_clusters(
+            users,
+            std::slice::from_ref(&cluster),
+            ApproxConfig::new(64, 0.4),
+            4,
+        );
+        for o in table8_objects() {
+            m.process(o);
+        }
+        assert_eq!(m.num_clusters(), 1);
+        assert_eq!(m.window_size(), 4);
+        assert!(m.stats().arrivals == 7);
+        assert!(m.stats().expirations == 3);
+    }
+
+    #[test]
+    fn window_of_one_keeps_only_newest() {
+        let users = laptop_users();
+        let mut m = BaselineSwMonitor::new(users, 1);
+        for o in table8_objects() {
+            let arrival = m.process(o);
+            // With a window of one, every arriving object is trivially
+            // Pareto-optimal for every user.
+            assert_eq!(arrival.target_users.len(), 2);
+        }
+        assert_eq!(m.frontier(UserId::new(0)), vec![ObjectId::new(7)]);
+        assert_eq!(m.buffer(UserId::new(1)), vec![ObjectId::new(7)]);
+    }
+}

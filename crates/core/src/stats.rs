@@ -1,0 +1,112 @@
+//! Work counters shared by all monitors.
+//!
+//! The paper's figures report, besides wall-clock time, the *number of
+//! pairwise object comparisons* performed while maintaining the frontiers
+//! (Figs. 4b–11b). Every monitor in this crate counts each invocation of the
+//! dominance comparator as one comparison so those plots can be regenerated
+//! exactly, independent of machine speed.
+
+use std::fmt;
+
+/// Running counters of the work performed by a monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Number of objects processed (arrivals).
+    pub arrivals: u64,
+    /// Number of objects that expired from the sliding window (always zero
+    /// for append-only monitors).
+    pub expirations: u64,
+    /// Number of pairwise object dominance comparisons.
+    pub comparisons: u64,
+    /// Number of (object, user) pairs for which the object was reported as
+    /// Pareto-optimal at arrival time (i.e. the summed sizes of the returned
+    /// target-user sets).
+    pub notifications: u64,
+}
+
+impl MonitorStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one pairwise object comparison.
+    #[inline]
+    pub fn record_comparison(&mut self) {
+        self.comparisons += 1;
+    }
+
+    /// Records `n` pairwise object comparisons.
+    #[inline]
+    pub fn record_comparisons(&mut self, n: u64) {
+        self.comparisons += n;
+    }
+
+    /// Records the processing of one arriving object with `targets` target
+    /// users.
+    #[inline]
+    pub fn record_arrival(&mut self, targets: usize) {
+        self.arrivals += 1;
+        self.notifications += targets as u64;
+    }
+
+    /// Records the expiration of one object from the sliding window.
+    #[inline]
+    pub fn record_expiration(&mut self) {
+        self.expirations += 1;
+    }
+
+    /// Average number of comparisons per arrival (0 if nothing arrived).
+    pub fn comparisons_per_arrival(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.arrivals as f64
+        }
+    }
+}
+
+impl fmt::Display for MonitorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arrivals={} expirations={} comparisons={} notifications={}",
+            self.arrivals, self.expirations, self.comparisons, self.notifications
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = MonitorStats::new();
+        s.record_arrival(3);
+        s.record_arrival(0);
+        s.record_comparison();
+        s.record_comparisons(4);
+        s.record_expiration();
+        assert_eq!(s.arrivals, 2);
+        assert_eq!(s.notifications, 3);
+        assert_eq!(s.comparisons, 5);
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.comparisons_per_arrival(), 2.5);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rate() {
+        assert_eq!(MonitorStats::new().comparisons_per_arrival(), 0.0);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut s = MonitorStats::new();
+        s.record_arrival(1);
+        assert_eq!(
+            s.to_string(),
+            "arrivals=1 expirations=0 comparisons=0 notifications=1"
+        );
+    }
+}

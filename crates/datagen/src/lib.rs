@@ -1,0 +1,25 @@
+//! # pm-datagen
+//!
+//! Synthetic dataset simulators standing in for the two real datasets of the
+//! paper's evaluation (Sec. 8.1): a *movie* dataset (Netflix ratings joined
+//! with IMDB attributes) and a *publication* dataset (ACM DL metadata).
+//! Neither raw dataset is redistributable, so this crate generates synthetic
+//! data with the same structure and — crucially — derives each user's
+//! per-attribute strict partial orders with exactly the rule the paper uses:
+//! value `a` is preferred to value `b` iff the user's (average-rating, count)
+//! statistics for `a` Pareto-dominate those for `b`.
+//!
+//! Users are grouped into latent *taste archetypes* so that subsets of users
+//! share many preference tuples, which is the property the paper's
+//! FilterThenVerify family exploits (and which real rating data exhibits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod profile;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use profile::{AttributeSpec, DatasetProfile};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,198 @@
+//! Dataset profiles: the shape parameters of the simulated datasets.
+
+/// One simulated attribute (e.g. *actor* or *conference*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct values in the attribute's domain.
+    pub domain_size: usize,
+    /// Zipf skew of value popularity (0 = uniform).
+    pub popularity_skew: f64,
+}
+
+impl AttributeSpec {
+    /// Creates an attribute spec.
+    pub fn new(name: impl Into<String>, domain_size: usize, popularity_skew: f64) -> Self {
+        Self {
+            name: name.into(),
+            domain_size,
+            popularity_skew,
+        }
+    }
+}
+
+/// Shape parameters of a simulated dataset.
+///
+/// The two presets mirror the paper's datasets:
+///
+/// * [`DatasetProfile::movie`] — 12,749 objects, 1,000 users, attributes
+///   actor / director / genre / writer (Netflix ⋈ IMDB).
+/// * [`DatasetProfile::publication`] — 17,598 objects, 1,000 users,
+///   attributes affiliation / author / conference / keyword (ACM DL).
+///
+/// Both are far larger than a unit test wants, so [`DatasetProfile::scaled`]
+/// shrinks every size-like parameter while keeping the shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Human-readable dataset name (used in experiment reports).
+    pub name: String,
+    /// The simulated attributes, in schema order.
+    pub attributes: Vec<AttributeSpec>,
+    /// Number of objects in the base dataset (`|O|`).
+    pub num_objects: usize,
+    /// Number of users (`|C|`).
+    pub num_users: usize,
+    /// Number of latent taste archetypes users are drawn from.
+    pub num_archetypes: usize,
+    /// How many objects each user has interacted with (rated / cited).
+    pub interactions_per_user: usize,
+    /// Probability that a user's rating deviates from their archetype's
+    /// affinity (introduces per-user idiosyncrasies).
+    pub rating_noise: f64,
+    /// How strongly value affinities follow global value popularity
+    /// (0 = purely archetype-specific tastes, 1 = everybody likes the
+    /// popular values). Popular values are also the frequently seen ones,
+    /// so a higher bias yields denser derived partial orders and more
+    /// shared preference tuples across users — mirroring real rating data.
+    pub popularity_bias: f64,
+}
+
+impl DatasetProfile {
+    /// The movie-dataset profile (Netflix ⋈ IMDB shape, Sec. 8.1).
+    pub fn movie() -> Self {
+        Self {
+            name: "movie".to_owned(),
+            attributes: vec![
+                AttributeSpec::new("actor", 80, 1.3),
+                AttributeSpec::new("director", 50, 1.3),
+                AttributeSpec::new("genre", 15, 0.9),
+                AttributeSpec::new("writer", 60, 1.3),
+            ],
+            num_objects: 12_749,
+            num_users: 1_000,
+            num_archetypes: 12,
+            interactions_per_user: 150,
+            rating_noise: 0.05,
+            popularity_bias: 0.9,
+        }
+    }
+
+    /// The publication-dataset profile (ACM DL shape, Sec. 8.1).
+    pub fn publication() -> Self {
+        Self {
+            name: "publication".to_owned(),
+            attributes: vec![
+                AttributeSpec::new("affiliation", 60, 1.3),
+                AttributeSpec::new("author", 80, 1.3),
+                AttributeSpec::new("conference", 30, 1.0),
+                AttributeSpec::new("keyword", 50, 1.3),
+            ],
+            num_objects: 17_598,
+            num_users: 1_000,
+            num_archetypes: 16,
+            interactions_per_user: 120,
+            rating_noise: 0.05,
+            popularity_bias: 0.85,
+        }
+    }
+
+    /// Returns a copy with every size-like parameter multiplied by `factor`
+    /// (minimum 1), keeping the dataset's shape while making it small enough
+    /// for tests and 1-core benchmark runs.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        Self {
+            name: self.name.clone(),
+            attributes: self
+                .attributes
+                .iter()
+                .map(|a| AttributeSpec::new(&a.name, scale(a.domain_size), a.popularity_skew))
+                .collect(),
+            num_objects: scale(self.num_objects),
+            num_users: scale(self.num_users),
+            num_archetypes: scale(self.num_archetypes),
+            interactions_per_user: scale(self.interactions_per_user),
+            rating_noise: self.rating_noise,
+            popularity_bias: self.popularity_bias,
+        }
+    }
+
+    /// Returns a copy restricted to the first `d` attributes, for the
+    /// dimensionality-sweep experiments (Figs. 6, 7, 10, 11).
+    pub fn with_dimensions(&self, d: usize) -> Self {
+        let mut copy = self.clone();
+        copy.attributes.truncate(d.max(1));
+        copy
+    }
+
+    /// Returns a copy with a different user count.
+    pub fn with_users(&self, users: usize) -> Self {
+        let mut copy = self.clone();
+        copy.num_users = users.max(1);
+        copy
+    }
+
+    /// Returns a copy with a different object count.
+    pub fn with_objects(&self, objects: usize) -> Self {
+        let mut copy = self.clone();
+        copy.num_objects = objects.max(1);
+        copy
+    }
+
+    /// Returns a copy with a different per-user interaction count.
+    pub fn with_interactions(&self, interactions: usize) -> Self {
+        let mut copy = self.clone();
+        copy.interactions_per_user = interactions.max(1);
+        copy
+    }
+
+    /// Dimensionality `d = |D|`.
+    pub fn dimensions(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_sizes() {
+        let movie = DatasetProfile::movie();
+        assert_eq!(movie.num_objects, 12_749);
+        assert_eq!(movie.num_users, 1_000);
+        assert_eq!(movie.dimensions(), 4);
+        let publication = DatasetProfile::publication();
+        assert_eq!(publication.num_objects, 17_598);
+        assert_eq!(publication.dimensions(), 4);
+        assert_ne!(movie.name, publication.name);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_never_hits_zero() {
+        let tiny = DatasetProfile::movie().scaled(0.0001);
+        assert!(tiny.num_objects >= 1);
+        assert!(tiny.num_users >= 1);
+        assert!(tiny.attributes.iter().all(|a| a.domain_size >= 1));
+        let small = DatasetProfile::movie().scaled(0.01);
+        assert_eq!(small.num_objects, 127);
+        assert_eq!(small.num_users, 10);
+    }
+
+    #[test]
+    fn dimension_projection_truncates_attributes() {
+        let p = DatasetProfile::publication().with_dimensions(2);
+        assert_eq!(p.dimensions(), 2);
+        assert_eq!(p.attributes[0].name, "affiliation");
+        // Asking for at least one dimension.
+        assert_eq!(DatasetProfile::movie().with_dimensions(0).dimensions(), 1);
+    }
+
+    #[test]
+    fn with_users_and_objects_override_counts() {
+        let p = DatasetProfile::movie().with_users(42).with_objects(99);
+        assert_eq!(p.num_users, 42);
+        assert_eq!(p.num_objects, 99);
+    }
+}

@@ -1,0 +1,114 @@
+//! A small Zipf(α) sampler over a finite domain.
+//!
+//! Real attribute-value popularity (actors, venues, keywords) is heavily
+//! skewed; a Zipf distribution reproduces that skew so that different users
+//! interact with overlapping value sets, which in turn makes their derived
+//! preference relations overlap — the property the clustering step exploits.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to `1 / (i+1)^alpha`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with skew `alpha` (0 = uniform).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `alpha` is negative / not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "domain must not be empty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the domain is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let sampler = ZipfSampler::new(10, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skewed_sampler_prefers_small_indices() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0;
+        let draws = 5000;
+        for _ in 0..draws {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With α = 1.2 the first 10 of 100 items carry well over half the mass.
+        assert!(head as f64 > 0.5 * draws as f64, "head draws = {head}");
+    }
+
+    #[test]
+    fn uniform_sampler_spreads_mass() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "uniform draw too skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_domain_always_returns_zero() {
+        let sampler = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.len(), 1);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must not be empty")]
+    fn empty_domain_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Object catalogs: append-only storage of the objects seen so far.
+
+use std::collections::HashMap;
+
+use crate::ids::ObjectId;
+use crate::object::Object;
+
+/// An append-only store of objects keyed by [`ObjectId`].
+///
+/// Monitors keep frontiers as sets of object ids; the catalog resolves ids
+/// back to full objects when a pairwise dominance test is required.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectCatalog {
+    objects: HashMap<ObjectId, Object>,
+}
+
+impl ObjectCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an object. Returns the previous object with the same id, if any.
+    pub fn insert(&mut self, object: Object) -> Option<Object> {
+        self.objects.insert(object.id(), object)
+    }
+
+    /// Looks up an object by id.
+    pub fn get(&self, id: ObjectId) -> Option<&Object> {
+        self.objects.get(&id)
+    }
+
+    /// Removes an object (e.g. once it has expired from every window).
+    pub fn remove(&mut self, id: ObjectId) -> Option<Object> {
+        self.objects.remove(&id)
+    }
+
+    /// Whether the catalog contains `id`.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over all stored objects in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Object> + '_ {
+        self.objects.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ValueId;
+
+    fn obj(id: u64) -> Object {
+        Object::new(ObjectId::new(id), vec![ValueId::new(id as u32)])
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut cat = ObjectCatalog::new();
+        assert!(cat.is_empty());
+        assert!(cat.insert(obj(1)).is_none());
+        assert!(cat.insert(obj(2)).is_none());
+        assert_eq!(cat.len(), 2);
+        assert!(cat.contains(ObjectId::new(1)));
+        assert_eq!(cat.get(ObjectId::new(2)).unwrap().id(), ObjectId::new(2));
+        assert_eq!(cat.remove(ObjectId::new(1)).unwrap().id(), ObjectId::new(1));
+        assert!(!cat.contains(ObjectId::new(1)));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_previous() {
+        let mut cat = ObjectCatalog::new();
+        cat.insert(obj(1));
+        let replaced = cat.insert(Object::new(ObjectId::new(1), vec![ValueId::new(9)]));
+        assert!(replaced.is_some());
+        assert_eq!(cat.get(ObjectId::new(1)).unwrap().values(), &[ValueId::new(9)]);
+    }
+
+    #[test]
+    fn iter_visits_all_objects() {
+        let mut cat = ObjectCatalog::new();
+        for i in 0..5 {
+            cat.insert(obj(i));
+        }
+        let mut ids: Vec<u64> = cat.iter().map(|o| o.id().raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

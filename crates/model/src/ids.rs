@@ -1,0 +1,172 @@
+//! Strongly typed identifiers.
+//!
+//! All identifiers are thin wrappers around small integers so that they can
+//! be used as indices into dense vectors, yet cannot be confused with one
+//! another at compile time.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this identifier.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize`, suitable for indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                Self(raw as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user (`c ∈ C` in the paper).
+    UserId,
+    "c"
+);
+
+define_id!(
+    /// Identifier of an attribute (`d ∈ D` in the paper).
+    AttrId,
+    "d"
+);
+
+define_id!(
+    /// Identifier of an interned categorical attribute value.
+    ///
+    /// Value identifiers are scoped to the attribute's [`crate::Domain`]:
+    /// `ValueId(3)` of attribute *brand* and `ValueId(3)` of attribute *CPU*
+    /// denote different values.
+    ValueId,
+    "v"
+);
+
+/// Identifier of an object (`o ∈ O` in the paper).
+///
+/// Object identifiers double as arrival timestamps: the object with id `i`
+/// is the `i`-th object appended to the stream, matching the subscript
+/// convention of Section 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Creates an identifier from a raw sequence number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw sequence number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize`, suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for ObjectId {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<usize> for ObjectId {
+    #[inline]
+    fn from(raw: usize) -> Self {
+        Self(raw as u64)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_roundtrip() {
+        let id = UserId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(UserId::from(7u32), id);
+        assert_eq!(UserId::from(7usize), id);
+        assert_eq!(id.to_string(), "c7");
+    }
+
+    #[test]
+    fn attr_and_value_ids_are_distinct_types() {
+        let a = AttrId::new(1);
+        let v = ValueId::new(1);
+        assert_eq!(a.raw(), v.raw());
+        assert_eq!(a.to_string(), "d1");
+        assert_eq!(v.to_string(), "v1");
+    }
+
+    #[test]
+    fn object_id_orders_by_arrival() {
+        let early = ObjectId::new(3);
+        let late = ObjectId::new(10);
+        assert!(early < late);
+        assert_eq!(late.to_string(), "o10");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(UserId::new(1), "a");
+        m.insert(UserId::new(2), "b");
+        assert_eq!(m[&UserId::new(2)], "b");
+    }
+
+    #[test]
+    fn default_ids_are_zero() {
+        assert_eq!(UserId::default().raw(), 0);
+        assert_eq!(ObjectId::default().raw(), 0);
+    }
+}

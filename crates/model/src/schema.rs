@@ -1,0 +1,307 @@
+//! Attribute schemas and interned categorical value domains.
+//!
+//! Each attribute `d ∈ D` owns a [`Domain`]: a bidirectional mapping between
+//! human-readable value labels and dense [`ValueId`]s. Interning keeps the
+//! hot dominance-checking path free of string comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{AttrId, ValueId};
+
+/// An interned categorical value domain (`dom(d)` in the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Domain {
+    labels: Vec<String>,
+    by_label: HashMap<String, ValueId>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a domain pre-populated with the given labels.
+    ///
+    /// Duplicate labels are interned once.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut domain = Self::new();
+        for label in labels {
+            domain.intern(label.as_ref());
+        }
+        domain
+    }
+
+    /// Creates an anonymous domain of `size` values labelled `"0"`, `"1"`, …
+    ///
+    /// Useful for simulations where value identity is all that matters.
+    pub fn anonymous(size: usize) -> Self {
+        Self::from_labels((0..size).map(|i| i.to_string()))
+    }
+
+    /// Interns `label`, returning its [`ValueId`] (existing or fresh).
+    pub fn intern(&mut self, label: &str) -> ValueId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = ValueId::from(self.labels.len());
+        self.labels.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn id_of(&self, label: &str) -> Option<ValueId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Returns the label of an interned value, if the id is in range.
+    pub fn label_of(&self, id: ValueId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned values (`|dom(d)|`).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the domain has no values.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over all value ids in the domain.
+    pub fn values(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.labels.len()).map(ValueId::from)
+    }
+
+    /// Iterates over `(ValueId, label)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (ValueId, &str)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ValueId::from(i), l.as_str()))
+    }
+}
+
+/// One attribute of the object table: a name plus its value domain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribute {
+    /// Human-readable attribute name (e.g. `"brand"`).
+    pub name: String,
+    /// The attribute's categorical value domain.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute with an empty domain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            domain: Domain::new(),
+        }
+    }
+
+    /// Creates an attribute with a pre-populated domain.
+    pub fn with_domain(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+        }
+    }
+}
+
+/// The set of attributes `D` describing objects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from a list of attributes.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name.
+    pub fn from_attributes<I>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = Attribute>,
+    {
+        let mut schema = Self::new();
+        for attr in attrs {
+            schema.add_attribute(attr);
+        }
+        schema
+    }
+
+    /// Adds an attribute, returning its [`AttrId`].
+    ///
+    /// # Panics
+    /// Panics if an attribute with the same name already exists.
+    pub fn add_attribute(&mut self, attr: Attribute) -> AttrId {
+        assert!(
+            !self.by_name.contains_key(&attr.name),
+            "duplicate attribute name: {}",
+            attr.name
+        );
+        let id = AttrId::from(self.attributes.len());
+        self.by_name.insert(attr.name.clone(), id);
+        self.attributes.push(attr);
+        id
+    }
+
+    /// Number of attributes (`|D|`, i.e. the dimensionality `d`).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the attribute for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// Mutable access to an attribute (e.g. for interning new values).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn attribute_mut(&mut self, id: AttrId) -> &mut Attribute {
+        &mut self.attributes[id.index()]
+    }
+
+    /// Iterates over `(AttrId, &Attribute)` pairs.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttrId, &Attribute)> + '_ {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId::from(i), a))
+    }
+
+    /// Iterates over all attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(AttrId::from)
+    }
+
+    /// Returns a copy of this schema restricted to its first `k` attributes.
+    ///
+    /// Used by the dimensionality-sweep experiments (Fig. 6/7/10/11 of the
+    /// paper) which vary `d` over a fixed dataset.
+    pub fn project(&self, k: usize) -> Schema {
+        Schema::from_attributes(self.attributes.iter().take(k).cloned())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.attributes.iter().map(|a| a.name.as_str()).collect();
+        write!(f, "Schema({})", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_interning_is_idempotent() {
+        let mut d = Domain::new();
+        let a = d.intern("Apple");
+        let b = d.intern("Lenovo");
+        let a2 = d.intern("Apple");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.label_of(a), Some("Apple"));
+        assert_eq!(d.id_of("Lenovo"), Some(b));
+        assert_eq!(d.id_of("Sony"), None);
+    }
+
+    #[test]
+    fn anonymous_domain_has_requested_size() {
+        let d = Domain::anonymous(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.id_of("3"), Some(ValueId::new(3)));
+        assert_eq!(d.values().count(), 5);
+    }
+
+    #[test]
+    fn from_labels_dedups() {
+        let d = Domain::from_labels(["x", "y", "x"]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn schema_lookup_by_name_and_id() {
+        let mut schema = Schema::new();
+        let brand = schema.add_attribute(Attribute::with_domain(
+            "brand",
+            Domain::from_labels(["Apple", "Lenovo"]),
+        ));
+        let cpu = schema.add_attribute(Attribute::new("cpu"));
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.attr_id("brand"), Some(brand));
+        assert_eq!(schema.attr_id("cpu"), Some(cpu));
+        assert_eq!(schema.attr_id("display"), None);
+        assert_eq!(schema.attribute(brand).name, "brand");
+        assert_eq!(schema.attribute(brand).domain.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn schema_rejects_duplicate_names() {
+        let mut schema = Schema::new();
+        schema.add_attribute(Attribute::new("brand"));
+        schema.add_attribute(Attribute::new("brand"));
+    }
+
+    #[test]
+    fn projection_keeps_prefix() {
+        let schema = Schema::from_attributes([
+            Attribute::new("a"),
+            Attribute::new("b"),
+            Attribute::new("c"),
+        ]);
+        let p = schema.project(2);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.attribute(AttrId::new(0)).name, "a");
+        assert_eq!(p.attribute(AttrId::new(1)).name, "b");
+        assert!(p.attr_id("c").is_none());
+    }
+
+    #[test]
+    fn display_lists_attribute_names() {
+        let schema =
+            Schema::from_attributes([Attribute::new("brand"), Attribute::new("cpu")]);
+        assert_eq!(schema.to_string(), "Schema(brand, cpu)");
+    }
+
+    #[test]
+    fn attribute_mut_allows_interning() {
+        let mut schema = Schema::from_attributes([Attribute::new("brand")]);
+        let id = schema.attr_id("brand").unwrap();
+        let v = schema.attribute_mut(id).domain.intern("Toshiba");
+        assert_eq!(schema.attribute(id).domain.label_of(v), Some("Toshiba"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Object streams and sliding-window bookkeeping.
+//!
+//! Section 7 of the paper extends the append-only model to a sliding window
+//! of the `W` most recent objects: when object `o_in` arrives, object
+//! `o_out` with `in - out = W` expires. [`SlidingWindow`] performs exactly
+//! that bookkeeping; [`ObjectStream`] turns a finite dataset into an
+//! (optionally repeated) arrival sequence, as the paper does to build its
+//! 1M-object streams from the movie and publication datasets.
+
+use std::collections::VecDeque;
+
+use crate::ids::ObjectId;
+use crate::object::Object;
+
+/// The effect of appending one object to a [`SlidingWindow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// The newly arrived object.
+    pub arrived: Object,
+    /// The object that fell out of the window, if the window was full.
+    pub expired: Option<Object>,
+}
+
+/// A sliding window over a stream of objects.
+///
+/// The window holds at most `capacity` objects; appending an object when the
+/// window is full evicts the oldest one.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    buffer: VecDeque<Object>,
+}
+
+impl SlidingWindow {
+    /// Creates a window of the given capacity (`W`).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            capacity,
+            buffer: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The window capacity `W`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently alive objects.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the window currently holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Appends `object`, returning the expired object if the window was full.
+    pub fn push(&mut self, object: Object) -> StreamEvent {
+        let expired = if self.buffer.len() == self.capacity {
+            self.buffer.pop_front()
+        } else {
+            None
+        };
+        self.buffer.push_back(object.clone());
+        StreamEvent {
+            arrived: object,
+            expired,
+        }
+    }
+
+    /// Whether the object with the given id is currently alive.
+    pub fn is_alive(&self, id: ObjectId) -> bool {
+        self.buffer
+            .front()
+            .map(|front| id >= front.id())
+            .unwrap_or(false)
+            && self
+                .buffer
+                .back()
+                .map(|back| id <= back.id())
+                .unwrap_or(false)
+    }
+
+    /// Iterates over the alive objects from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Object> + '_ {
+        self.buffer.iter()
+    }
+
+    /// The oldest alive object, if any.
+    pub fn oldest(&self) -> Option<&Object> {
+        self.buffer.front()
+    }
+
+    /// The newest alive object, if any.
+    pub fn newest(&self) -> Option<&Object> {
+        self.buffer.back()
+    }
+}
+
+/// A finite dataset replayed as an arrival sequence.
+///
+/// `repeat` controls how many times the base dataset is cycled; object ids
+/// are re-assigned sequentially so that ids keep doubling as timestamps.
+#[derive(Debug, Clone)]
+pub struct ObjectStream {
+    base: Vec<Object>,
+    repeat: usize,
+}
+
+impl ObjectStream {
+    /// Creates a stream that plays the dataset exactly once.
+    pub fn once(base: Vec<Object>) -> Self {
+        Self { base, repeat: 1 }
+    }
+
+    /// Creates a stream that cycles the dataset `repeat` times.
+    pub fn repeated(base: Vec<Object>, repeat: usize) -> Self {
+        Self { base, repeat }
+    }
+
+    /// Creates a stream that cycles the dataset until at least `target_len`
+    /// objects have been produced (the paper repeats its datasets to reach
+    /// |O| = 1M).
+    pub fn with_target_len(base: Vec<Object>, target_len: usize) -> Self {
+        let repeat = if base.is_empty() {
+            0
+        } else {
+            target_len.div_ceil(base.len())
+        };
+        Self { base, repeat }
+    }
+
+    /// Total number of arrivals this stream will produce.
+    pub fn len(&self) -> usize {
+        self.base.len() * self.repeat
+    }
+
+    /// Whether the stream produces no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct base objects.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Iterates over the arrivals with sequentially re-assigned ids.
+    pub fn iter(&self) -> impl Iterator<Item = Object> + '_ {
+        (0..self.len()).map(move |i| self.base[i % self.base.len()].with_id(ObjectId::from(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ValueId;
+
+    fn obj(id: u64) -> Object {
+        Object::new(ObjectId::new(id), vec![ValueId::new(id as u32 % 7)])
+    }
+
+    #[test]
+    fn window_evicts_oldest_when_full() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.push(obj(0)).expired.is_none());
+        assert!(w.push(obj(1)).expired.is_none());
+        assert!(w.push(obj(2)).expired.is_none());
+        let ev = w.push(obj(3));
+        assert_eq!(ev.expired.unwrap().id(), ObjectId::new(0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.oldest().unwrap().id(), ObjectId::new(1));
+        assert_eq!(w.newest().unwrap().id(), ObjectId::new(3));
+    }
+
+    #[test]
+    fn window_alive_range() {
+        let mut w = SlidingWindow::new(2);
+        w.push(obj(10));
+        w.push(obj(11));
+        w.push(obj(12));
+        assert!(!w.is_alive(ObjectId::new(10)));
+        assert!(w.is_alive(ObjectId::new(11)));
+        assert!(w.is_alive(ObjectId::new(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_window_panics() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn empty_window_reports_empty() {
+        let w = SlidingWindow::new(4);
+        assert!(w.is_empty());
+        assert!(w.oldest().is_none());
+        assert!(!w.is_alive(ObjectId::new(0)));
+    }
+
+    #[test]
+    fn stream_once_preserves_order_and_reassigns_ids() {
+        let base = vec![obj(100), obj(200), obj(300)];
+        let s = ObjectStream::once(base);
+        let ids: Vec<u64> = s.iter().map(|o| o.id().raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn repeated_stream_cycles_values() {
+        let base = vec![obj(0), obj(1)];
+        let s = ObjectStream::repeated(base.clone(), 3);
+        assert_eq!(s.len(), 6);
+        let arrivals: Vec<Object> = s.iter().collect();
+        assert_eq!(arrivals[0].values(), base[0].values());
+        assert_eq!(arrivals[2].values(), base[0].values());
+        assert_eq!(arrivals[5].values(), base[1].values());
+        assert_eq!(arrivals[5].id(), ObjectId::new(5));
+    }
+
+    #[test]
+    fn with_target_len_rounds_up() {
+        let base = vec![obj(0), obj(1), obj(2)];
+        let s = ObjectStream::with_target_len(base, 7);
+        assert_eq!(s.len(), 9);
+        let empty = ObjectStream::with_target_len(vec![], 7);
+        assert!(empty.is_empty());
+    }
+}

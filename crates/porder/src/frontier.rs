@@ -1,0 +1,81 @@
+//! Naive Pareto-frontier computation used as a test oracle.
+//!
+//! The incremental monitors in `pm-core` are validated against this
+//! quadratic "compare everything with everything" implementation of
+//! Def. 3.3 / Def. 7.1.
+
+use pm_model::{Object, ObjectId};
+
+use crate::preference::{Dominance, Preference};
+
+/// Computes the Pareto frontier of `objects` under `preference` from
+/// scratch: the ids of all objects not dominated by any other object.
+///
+/// Identical duplicates are all kept, matching Alg. 1 of the paper where an
+/// object identical to a frontier member is inserted into the frontier.
+pub fn naive_pareto_frontier(preference: &Preference, objects: &[Object]) -> Vec<ObjectId> {
+    let mut frontier = Vec::new();
+    'outer: for candidate in objects {
+        for other in objects {
+            if other.id() == candidate.id() {
+                continue;
+            }
+            if preference.compare(other, candidate) == Dominance::Dominates {
+                continue 'outer;
+            }
+        }
+        frontier.push(candidate.id());
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_model::{AttrId, ValueId};
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(ObjectId::new(id), vals.iter().map(|&x| v(x)).collect())
+    }
+
+    fn chain_pref() -> Preference {
+        // One attribute with total order 0 ≻ 1 ≻ 2 ≻ 3.
+        let mut p = Preference::new(1);
+        p.prefer(AttrId::new(0), v(0), v(1));
+        p.prefer(AttrId::new(0), v(1), v(2));
+        p.prefer(AttrId::new(0), v(2), v(3));
+        p
+    }
+
+    #[test]
+    fn single_best_object_wins() {
+        let p = chain_pref();
+        let objects = vec![obj(0, &[3]), obj(1, &[1]), obj(2, &[0]), obj(3, &[2])];
+        assert_eq!(naive_pareto_frontier(&p, &objects), vec![ObjectId::new(2)]);
+    }
+
+    #[test]
+    fn identical_best_objects_are_all_kept() {
+        let p = chain_pref();
+        let objects = vec![obj(0, &[0]), obj(1, &[0]), obj(2, &[2])];
+        let f = naive_pareto_frontier(&p, &objects);
+        assert_eq!(f, vec![ObjectId::new(0), ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn empty_preference_keeps_everything() {
+        let p = Preference::new(1);
+        let objects = vec![obj(0, &[0]), obj(1, &[1]), obj(2, &[2])];
+        assert_eq!(naive_pareto_frontier(&p, &objects).len(), 3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        let p = chain_pref();
+        assert!(naive_pareto_frontier(&p, &[]).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Hasse diagrams (transitive reductions), maximal values and value weights.
+//!
+//! The weighted similarity measures of Section 5 assign each value `v` the
+//! weight `1 / (min_{s ∈ Sᵈ_U} D(s, v) + 1)` where `Sᵈ_U` is the set of
+//! maximal values of the partial order (Def. 5.3) and `D(s, v)` is the
+//! shortest-path distance from `s` to `v` in the Hasse diagram. Example 5.4
+//! of the paper measures these distances on the Hasse diagram rather than on
+//! the transitive closure, which is why the reduction is materialised here.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use pm_model::ValueId;
+
+use crate::relation::Relation;
+
+/// The transitive reduction of a [`Relation`], with the derived quantities
+/// used by the weighted similarity measures.
+#[derive(Debug, Clone, Default)]
+pub struct HasseDiagram {
+    /// Direct-cover edges: `edges[x]` = values covered by `x`.
+    edges: HashMap<ValueId, HashSet<ValueId>>,
+    /// Maximal values `Sᵈ_U` (no value preferred over them).
+    maximal: HashSet<ValueId>,
+    /// Minimum distance from any maximal value, per value.
+    distance: HashMap<ValueId, u32>,
+}
+
+impl HasseDiagram {
+    /// Builds the Hasse diagram of `relation`.
+    pub fn of(relation: &Relation) -> Self {
+        let values = relation.values();
+        let mut edges: HashMap<ValueId, HashSet<ValueId>> = HashMap::new();
+        for (x, y) in relation.pairs() {
+            // (x, y) is a cover edge iff there is no z with x ≻ z ≻ y.
+            let is_cover = !relation
+                .successors(x)
+                .any(|z| z != y && relation.prefers(z, y));
+            if is_cover {
+                edges.entry(x).or_default().insert(y);
+            }
+        }
+        let maximal: HashSet<ValueId> = values
+            .iter()
+            .copied()
+            .filter(|&x| relation.predecessors(x).next().is_none())
+            .collect();
+        let distance = Self::multi_source_bfs(&edges, &maximal);
+        Self {
+            edges,
+            maximal,
+            distance,
+        }
+    }
+
+    fn multi_source_bfs(
+        edges: &HashMap<ValueId, HashSet<ValueId>>,
+        sources: &HashSet<ValueId>,
+    ) -> HashMap<ValueId, u32> {
+        let mut dist: HashMap<ValueId, u32> = HashMap::new();
+        let mut queue: VecDeque<ValueId> = VecDeque::new();
+        for &s in sources {
+            dist.insert(s, 0);
+            queue.push_back(s);
+        }
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            if let Some(succ) = edges.get(&x) {
+                for &y in succ {
+                    if !dist.contains_key(&y) {
+                        dist.insert(y, dx + 1);
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The maximal values `Sᵈ_U` of the underlying relation (Def. 5.3).
+    pub fn maximal_values(&self) -> &HashSet<ValueId> {
+        &self.maximal
+    }
+
+    /// The cover ("Hasse") edges of the reduction.
+    pub fn cover_edges(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(&x, ys)| ys.iter().map(move |&y| (x, y)))
+    }
+
+    /// Number of cover edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Minimum shortest-path distance from any maximal value to `v`
+    /// (`min_{s ∈ Sᵈ_U} D(s, v)`).
+    ///
+    /// Maximal values have distance 0. Values not mentioned by the relation
+    /// (or unreachable, which cannot happen in a finite strict partial
+    /// order) return `None`.
+    pub fn distance_from_maximal(&self, v: ValueId) -> Option<u32> {
+        self.distance.get(&v).copied()
+    }
+
+    /// The weight of value `v`: `1 / (distance + 1)` (Eq. 4).
+    ///
+    /// Values unknown to the relation get weight 1, matching the convention
+    /// that an unconstrained value is trivially maximal.
+    pub fn weight(&self, v: ValueId) -> f64 {
+        match self.distance_from_maximal(v) {
+            Some(d) => 1.0 / (f64::from(d) + 1.0),
+            None => 1.0,
+        }
+    }
+}
+
+/// Convenience: build the Hasse diagram and return it together with the
+/// relation's value weights, keyed by value.
+pub fn value_weights(relation: &Relation) -> HashMap<ValueId, f64> {
+    let hasse = HasseDiagram::of(relation);
+    relation
+        .values()
+        .into_iter()
+        .map(|v| (v, hasse.weight(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    #[test]
+    fn chain_reduction_drops_transitive_edges() {
+        let r = Relation::from_pairs([(v(0), v(1)), (v(1), v(2))]).unwrap();
+        let h = HasseDiagram::of(&r);
+        let edges: HashSet<_> = h.cover_edges().collect();
+        assert_eq!(edges, [(v(0), v(1)), (v(1), v(2))].into_iter().collect());
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(h.maximal_values(), &[v(0)].into_iter().collect());
+        assert_eq!(h.distance_from_maximal(v(0)), Some(0));
+        assert_eq!(h.distance_from_maximal(v(1)), Some(1));
+        assert_eq!(h.distance_from_maximal(v(2)), Some(2));
+    }
+
+    #[test]
+    fn diamond_has_two_paths_but_no_shortcut_edge() {
+        let r = Relation::from_pairs([
+            (v(0), v(1)),
+            (v(0), v(2)),
+            (v(1), v(3)),
+            (v(2), v(3)),
+        ])
+        .unwrap();
+        let h = HasseDiagram::of(&r);
+        assert_eq!(h.edge_count(), 4, "the closure edge (0,3) must be reduced away");
+        assert_eq!(h.distance_from_maximal(v(3)), Some(2));
+    }
+
+    #[test]
+    fn paper_example_5_4_u1_brand_weights() {
+        // U1 on brand: Apple ≻ Lenovo ≻ Samsung, Apple ≻ Samsung,
+        // Toshiba ≻ Samsung. Maximal = {Apple, Toshiba}.
+        // Weights: Apple 1, Lenovo 1/2, Samsung 1/2, Toshiba 1.
+        let (apple, lenovo, samsung, toshiba) = (v(0), v(1), v(2), v(3));
+        let r = Relation::from_pairs([
+            (apple, lenovo),
+            (lenovo, samsung),
+            (toshiba, samsung),
+        ])
+        .unwrap();
+        assert!(r.prefers(apple, samsung), "closure");
+        let h = HasseDiagram::of(&r);
+        assert_eq!(
+            h.maximal_values(),
+            &[apple, toshiba].into_iter().collect::<HashSet<_>>()
+        );
+        assert_eq!(h.weight(apple), 1.0);
+        assert_eq!(h.weight(toshiba), 1.0);
+        assert_eq!(h.weight(lenovo), 0.5);
+        assert_eq!(h.weight(samsung), 0.5);
+    }
+
+    #[test]
+    fn paper_example_5_4_u2_brand_weights() {
+        // U2 on brand: Samsung ≻ Lenovo ≻ {Apple, Toshiba}.
+        // Weights: Samsung 1, Lenovo 1/2, Apple 1/3, Toshiba 1/3.
+        let (apple, lenovo, samsung, toshiba) = (v(0), v(1), v(2), v(3));
+        let r = Relation::from_pairs([
+            (samsung, lenovo),
+            (lenovo, apple),
+            (lenovo, toshiba),
+        ])
+        .unwrap();
+        let h = HasseDiagram::of(&r);
+        assert_eq!(h.maximal_values(), &[samsung].into_iter().collect::<HashSet<_>>());
+        assert!((h.weight(apple) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.weight(toshiba) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.weight(lenovo), 0.5);
+        assert_eq!(h.weight(samsung), 1.0);
+    }
+
+    #[test]
+    fn empty_relation_has_no_structure() {
+        let r = Relation::new();
+        let h = HasseDiagram::of(&r);
+        assert_eq!(h.edge_count(), 0);
+        assert!(h.maximal_values().is_empty());
+        assert_eq!(h.distance_from_maximal(v(0)), None);
+        assert_eq!(h.weight(v(0)), 1.0);
+    }
+
+    #[test]
+    fn value_weights_covers_all_mentioned_values() {
+        let r = Relation::from_pairs([(v(0), v(1)), (v(0), v(2))]).unwrap();
+        let w = value_weights(&r);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[&v(0)], 1.0);
+        assert_eq!(w[&v(1)], 0.5);
+        assert_eq!(w[&v(2)], 0.5);
+    }
+
+    #[test]
+    fn incomparable_values_are_all_maximal() {
+        let mut r = Relation::new();
+        r.insert(v(0), v(1)).unwrap();
+        r.insert(v(2), v(3)).unwrap();
+        let h = HasseDiagram::of(&r);
+        assert_eq!(
+            h.maximal_values(),
+            &[v(0), v(2)].into_iter().collect::<HashSet<_>>()
+        );
+    }
+}

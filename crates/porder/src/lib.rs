@@ -1,0 +1,29 @@
+//! # pm-porder
+//!
+//! Strict partial orders over categorical attribute values, per-user
+//! preferences, and object dominance — the data structures of Sections 3–5
+//! of Sultana & Li (EDBT 2018).
+//!
+//! * [`Relation`] — a strict partial order `≻ᵈ_c` over one attribute's value
+//!   domain, stored as its transitive closure with incremental-closure
+//!   insertion and validation of irreflexivity / asymmetry / transitivity.
+//! * [`HasseDiagram`] — the transitive reduction of a relation, plus maximal
+//!   values (Def. 5.3) and minimum distances from maximal values used by the
+//!   weighted similarity measures (Eq. 4–5).
+//! * [`Preference`] — a user's (or virtual user's) preferences on all
+//!   attributes, with the object-dominance test of Def. 3.2.
+//! * [`ParetoFrontier`] helpers — naive frontier computation used as a test
+//!   oracle by the monitoring algorithms in `pm-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frontier;
+pub mod hasse;
+pub mod preference;
+pub mod relation;
+
+pub use frontier::naive_pareto_frontier;
+pub use hasse::HasseDiagram;
+pub use preference::{Dominance, Preference};
+pub use relation::{Relation, RelationError};

@@ -1,0 +1,506 @@
+//! Strict partial orders over one attribute's value domain.
+//!
+//! A [`Relation`] materialises the *transitive closure* of a preference
+//! relation `≻ᵈ_c` (Def. 3.1): the set of preference tuples `(x, y)`
+//! meaning "x is preferred to y". Storing the closure makes the hot
+//! `prefers(x, y)` test O(1) and makes intersection of relations (common
+//! preference relations, Def. 4.1) a straightforward set intersection.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use pm_model::ValueId;
+
+/// Errors raised when a pair cannot be added to a strict partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationError {
+    /// `(x, x)` pairs are forbidden (irreflexivity).
+    Reflexive(ValueId),
+    /// Adding the pair would make the relation cyclic / symmetric: the
+    /// reverse preference is already implied.
+    AsymmetryViolation(ValueId, ValueId),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::Reflexive(v) => {
+                write!(f, "reflexive preference tuple ({v}, {v}) is not allowed")
+            }
+            RelationError::AsymmetryViolation(x, y) => write!(
+                f,
+                "adding ({x}, {y}) would violate asymmetry: ({y}, {x}) already holds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// A strict partial order over [`ValueId`]s, stored as its transitive closure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// All preference tuples of the transitive closure.
+    pairs: HashSet<(ValueId, ValueId)>,
+    /// `successors[x]` = all `y` with `x ≻ y`.
+    successors: HashMap<ValueId, HashSet<ValueId>>,
+    /// `predecessors[y]` = all `x` with `x ≻ y`.
+    predecessors: HashMap<ValueId, HashSet<ValueId>>,
+}
+
+impl Relation {
+    /// Creates an empty relation (every pair of values incomparable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a relation from explicit preference tuples, computing the
+    /// transitive closure as it goes.
+    ///
+    /// Returns an error if the tuples are reflexive or jointly cyclic.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, RelationError>
+    where
+        I: IntoIterator<Item = (ValueId, ValueId)>,
+    {
+        let mut rel = Self::new();
+        for (x, y) in pairs {
+            rel.insert(x, y)?;
+        }
+        Ok(rel)
+    }
+
+    /// Builds a relation from pairs that are already known to form a
+    /// transitively closed strict partial order (e.g. the intersection of
+    /// two closed relations). No closure computation is performed.
+    ///
+    /// This is an internal fast path; debug builds verify the input.
+    pub(crate) fn from_closed_pairs(pairs: HashSet<(ValueId, ValueId)>) -> Self {
+        let mut successors: HashMap<ValueId, HashSet<ValueId>> = HashMap::new();
+        let mut predecessors: HashMap<ValueId, HashSet<ValueId>> = HashMap::new();
+        for &(x, y) in &pairs {
+            successors.entry(x).or_default().insert(y);
+            predecessors.entry(y).or_default().insert(x);
+        }
+        let rel = Self {
+            pairs,
+            successors,
+            predecessors,
+        };
+        debug_assert!(rel.validate().is_ok());
+        rel
+    }
+
+    /// Builds a relation by 2-D dominance over per-value statistics.
+    ///
+    /// This is the derivation rule the paper uses to simulate user
+    /// preferences from rating data (Sec. 8.1): value `a` is preferred to
+    /// value `b` iff `(Ra > Rb ∧ Ma ≥ Mb) ∨ (Ra ≥ Rb ∧ Ma > Mb)`, i.e. the
+    /// statistics vector of `a` Pareto-dominates that of `b`. Such a
+    /// dominance relation is automatically a strict partial order.
+    pub fn from_dominance_stats(stats: &HashMap<ValueId, (f64, f64)>) -> Self {
+        let mut pairs = HashSet::new();
+        let entries: Vec<(ValueId, (f64, f64))> = stats.iter().map(|(&v, &s)| (v, s)).collect();
+        for (i, &(a, (ra, ma))) in entries.iter().enumerate() {
+            for &(b, (rb, mb)) in entries.iter().skip(i + 1) {
+                if (ra > rb && ma >= mb) || (ra >= rb && ma > mb) {
+                    pairs.insert((a, b));
+                } else if (rb > ra && mb >= ma) || (rb >= ra && mb > ma) {
+                    pairs.insert((b, a));
+                }
+            }
+        }
+        // 2-D dominance is transitive, so the pair set is already closed.
+        Self::from_closed_pairs(pairs)
+    }
+
+    /// Whether `x ≻ y` holds.
+    #[inline]
+    pub fn prefers(&self, x: ValueId, y: ValueId) -> bool {
+        self.pairs.contains(&(x, y))
+    }
+
+    /// Whether the preference tuple `(x, y)` or its reverse is present.
+    #[inline]
+    pub fn comparable(&self, x: ValueId, y: ValueId) -> bool {
+        self.prefers(x, y) || self.prefers(y, x)
+    }
+
+    /// Number of preference tuples in the transitive closure (`|≻ᵈ|`).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation holds no preference tuples.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over all preference tuples of the closure.
+    pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The set of values mentioned by at least one preference tuple.
+    pub fn values(&self) -> HashSet<ValueId> {
+        let mut vals = HashSet::new();
+        for &(x, y) in &self.pairs {
+            vals.insert(x);
+            vals.insert(y);
+        }
+        vals
+    }
+
+    /// All values preferred *by* `x` (its successors in the closure).
+    pub fn successors(&self, x: ValueId) -> impl Iterator<Item = ValueId> + '_ {
+        self.successors.get(&x).into_iter().flatten().copied()
+    }
+
+    /// All values preferred *over* `y` (its predecessors in the closure).
+    pub fn predecessors(&self, y: ValueId) -> impl Iterator<Item = ValueId> + '_ {
+        self.predecessors.get(&y).into_iter().flatten().copied()
+    }
+
+    /// Inserts the preference tuple `x ≻ y`, maintaining the transitive
+    /// closure. Returns `Ok(true)` if any new tuple was added, `Ok(false)`
+    /// if the tuple was already implied.
+    pub fn insert(&mut self, x: ValueId, y: ValueId) -> Result<bool, RelationError> {
+        if x == y {
+            return Err(RelationError::Reflexive(x));
+        }
+        if self.prefers(y, x) {
+            return Err(RelationError::AsymmetryViolation(x, y));
+        }
+        if self.prefers(x, y) {
+            return Ok(false);
+        }
+        // Everything at or above x must now prefer everything at or below y.
+        let mut lefts: Vec<ValueId> = vec![x];
+        lefts.extend(self.predecessors(x));
+        let mut rights: Vec<ValueId> = vec![y];
+        rights.extend(self.successors(y));
+        for &a in &lefts {
+            for &b in &rights {
+                self.add_closed_pair(a, b);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Checks whether inserting `x ≻ y` would keep the relation a strict
+    /// partial order, without modifying it.
+    pub fn can_insert(&self, x: ValueId, y: ValueId) -> bool {
+        x != y && !self.prefers(y, x)
+    }
+
+    #[inline]
+    fn add_closed_pair(&mut self, x: ValueId, y: ValueId) {
+        if self.pairs.insert((x, y)) {
+            self.successors.entry(x).or_default().insert(y);
+            self.predecessors.entry(y).or_default().insert(x);
+        }
+    }
+
+    /// The common preference relation `≻ᵈ_U = ⋂ ≻ᵈ_c` (Def. 4.1).
+    ///
+    /// The intersection of strict partial orders is a strict partial order
+    /// (Theorem 4.2), so no closure recomputation is needed.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let pairs: HashSet<(ValueId, ValueId)> = small
+            .pairs
+            .iter()
+            .filter(|p| large.pairs.contains(*p))
+            .copied()
+            .collect();
+        Relation::from_closed_pairs(pairs)
+    }
+
+    /// Intersects many relations at once. Returns the empty relation if the
+    /// iterator is empty.
+    pub fn intersection_of<'a, I>(relations: I) -> Relation
+    where
+        I: IntoIterator<Item = &'a Relation>,
+    {
+        let mut iter = relations.into_iter();
+        let Some(first) = iter.next() else {
+            return Relation::new();
+        };
+        let mut acc = first.clone();
+        for rel in iter {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.intersection(rel);
+        }
+        acc
+    }
+
+    /// Size of the intersection with `other` (`simᵈ_i`, Eq. 2) without
+    /// materialising it.
+    pub fn intersection_size(&self, other: &Relation) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .pairs
+            .iter()
+            .filter(|p| large.pairs.contains(*p))
+            .count()
+    }
+
+    /// Size of the union with `other` (denominator of the Jaccard measure,
+    /// Eq. 3).
+    pub fn union_size(&self, other: &Relation) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Iterates over the tuples present in `self` but not in `other`
+    /// (`≻ᵈ_U1 − ≻ᵈ_U2` in Eq. 5).
+    pub fn difference<'a>(
+        &'a self,
+        other: &'a Relation,
+    ) -> impl Iterator<Item = (ValueId, ValueId)> + 'a {
+        self.pairs
+            .iter()
+            .filter(move |p| !other.pairs.contains(*p))
+            .copied()
+    }
+
+    /// Number of tuples the closure would gain if `x ≻ y` were inserted.
+    /// Returns `None` when the insertion is invalid.
+    pub fn closure_gain(&self, x: ValueId, y: ValueId) -> Option<usize> {
+        if !self.can_insert(x, y) {
+            return None;
+        }
+        if self.prefers(x, y) {
+            return Some(0);
+        }
+        let mut lefts: Vec<ValueId> = vec![x];
+        lefts.extend(self.predecessors(x));
+        let mut rights: Vec<ValueId> = vec![y];
+        rights.extend(self.successors(y));
+        let mut gain = 0;
+        for &a in &lefts {
+            for &b in &rights {
+                if !self.prefers(a, b) {
+                    gain += 1;
+                }
+            }
+        }
+        Some(gain)
+    }
+
+    /// Verifies irreflexivity, asymmetry and transitivity of the stored pair
+    /// set. Intended for tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for &(x, y) in &self.pairs {
+            if x == y {
+                return Err(format!("reflexive pair ({x}, {y})"));
+            }
+            if self.pairs.contains(&(y, x)) {
+                return Err(format!("asymmetry violated for ({x}, {y})"));
+            }
+        }
+        for &(x, y) in &self.pairs {
+            if let Some(succ) = self.successors.get(&y) {
+                for &z in succ {
+                    if !self.pairs.contains(&(x, z)) {
+                        return Err(format!("transitivity violated: ({x},{y}),({y},{z})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(ValueId, ValueId)> for Relation {
+    /// Builds a relation from pairs, panicking on invalid input.
+    ///
+    /// Prefer [`Relation::from_pairs`] when the input is untrusted.
+    fn from_iter<T: IntoIterator<Item = (ValueId, ValueId)>>(iter: T) -> Self {
+        Relation::from_pairs(iter).expect("pairs must form a strict partial order")
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pairs: Vec<(ValueId, ValueId)> = self.pairs.iter().copied().collect();
+        pairs.sort();
+        let rendered: Vec<String> = pairs
+            .iter()
+            .map(|(x, y)| format!("({x}≻{y})"))
+            .collect();
+        write!(f, "{{{}}}", rendered.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    #[test]
+    fn insert_maintains_transitive_closure() {
+        let mut r = Relation::new();
+        assert!(r.insert(v(0), v(1)).unwrap());
+        assert!(r.insert(v(1), v(2)).unwrap());
+        assert!(r.prefers(v(0), v(2)), "closure must contain (0,2)");
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_rejects_reflexive_and_cyclic() {
+        let mut r = Relation::new();
+        assert_eq!(r.insert(v(3), v(3)), Err(RelationError::Reflexive(v(3))));
+        r.insert(v(0), v(1)).unwrap();
+        r.insert(v(1), v(2)).unwrap();
+        assert_eq!(
+            r.insert(v(2), v(0)),
+            Err(RelationError::AsymmetryViolation(v(2), v(0)))
+        );
+        assert!(r.can_insert(v(0), v(5)));
+        assert!(!r.can_insert(v(2), v(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_reports_no_change() {
+        let mut r = Relation::new();
+        assert!(r.insert(v(0), v(1)).unwrap());
+        assert!(!r.insert(v(0), v(1)).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn diamond_closure_is_complete() {
+        // 0 ≻ 1, 0 ≻ 2, 1 ≻ 3, 2 ≻ 3  ⇒ closure adds 0 ≻ 3.
+        let r = Relation::from_pairs([
+            (v(0), v(1)),
+            (v(0), v(2)),
+            (v(1), v(3)),
+            (v(2), v(3)),
+        ])
+        .unwrap();
+        assert!(r.prefers(v(0), v(3)));
+        assert_eq!(r.len(), 5);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_insertion_in_any_order_gives_same_closure() {
+        let forward = Relation::from_pairs([(v(0), v(1)), (v(1), v(2)), (v(2), v(3))]).unwrap();
+        let backward = Relation::from_pairs([(v(2), v(3)), (v(1), v(2)), (v(0), v(1))]).unwrap();
+        let f: HashSet<_> = forward.pairs().collect();
+        let b: HashSet<_> = backward.pairs().collect();
+        assert_eq!(f, b);
+        assert_eq!(forward.len(), 6);
+    }
+
+    #[test]
+    fn intersection_matches_paper_cpu_example() {
+        // Example 4.4: ≻CPU_c1 and ≻CPU_c2 intersect to
+        // {(dual,single),(triple,single),(quad,single)}.
+        // Encode: single=0, dual=1, triple=2, quad=3.
+        let c1 = Relation::from_pairs([
+            (v(1), v(0)),
+            (v(1), v(3)),
+            (v(1), v(2)),
+            (v(2), v(0)),
+            (v(3), v(0)),
+        ])
+        .unwrap();
+        let c2 = Relation::from_pairs([
+            (v(1), v(0)),
+            (v(2), v(0)),
+            (v(3), v(0)),
+            (v(2), v(1)),
+            (v(3), v(1)),
+            (v(3), v(2)),
+        ])
+        .unwrap();
+        let common = c1.intersection(&c2);
+        let expected: HashSet<(ValueId, ValueId)> =
+            [(v(1), v(0)), (v(2), v(0)), (v(3), v(0))].into_iter().collect();
+        assert_eq!(common.pairs().collect::<HashSet<_>>(), expected);
+        assert_eq!(c1.intersection_size(&c2), 3);
+        assert_eq!(c1.union_size(&c2), 8);
+        common.validate().unwrap();
+    }
+
+    #[test]
+    fn intersection_of_many_relations() {
+        let a = Relation::from_pairs([(v(0), v(1)), (v(1), v(2))]).unwrap();
+        let b = Relation::from_pairs([(v(0), v(1)), (v(0), v(2))]).unwrap();
+        let c = Relation::from_pairs([(v(0), v(1))]).unwrap();
+        let common = Relation::intersection_of([&a, &b, &c]);
+        assert_eq!(common.len(), 1);
+        assert!(common.prefers(v(0), v(1)));
+        assert!(Relation::intersection_of(std::iter::empty::<&Relation>()).is_empty());
+    }
+
+    #[test]
+    fn difference_lists_unshared_pairs() {
+        let a = Relation::from_pairs([(v(0), v(1)), (v(2), v(3))]).unwrap();
+        let b = Relation::from_pairs([(v(0), v(1))]).unwrap();
+        let diff: HashSet<_> = a.difference(&b).collect();
+        assert_eq!(diff, [(v(2), v(3))].into_iter().collect());
+        assert_eq!(b.difference(&a).count(), 0);
+    }
+
+    #[test]
+    fn from_dominance_stats_builds_partial_order() {
+        // value 0: (4.5, 10), value 1: (4.0, 5), value 2: (4.0, 10), value 3: (5.0, 2)
+        let stats: HashMap<ValueId, (f64, f64)> = [
+            (v(0), (4.5, 10.0)),
+            (v(1), (4.0, 5.0)),
+            (v(2), (4.0, 10.0)),
+            (v(3), (5.0, 2.0)),
+        ]
+        .into_iter()
+        .collect();
+        let r = Relation::from_dominance_stats(&stats);
+        assert!(r.prefers(v(0), v(1)));
+        assert!(r.prefers(v(0), v(2)));
+        assert!(r.prefers(v(2), v(1)));
+        // 3 has higher rating but lower count than 0 ⇒ incomparable.
+        assert!(!r.comparable(v(0), v(3)));
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn closure_gain_counts_new_pairs() {
+        let r = Relation::from_pairs([(v(0), v(1)), (v(2), v(3))]).unwrap();
+        // Inserting 1 ≻ 2 links the two chains: adds (1,2),(1,3),(0,2),(0,3).
+        assert_eq!(r.closure_gain(v(1), v(2)), Some(4));
+        assert_eq!(r.closure_gain(v(0), v(1)), Some(0));
+        assert_eq!(r.closure_gain(v(1), v(0)), None);
+    }
+
+    #[test]
+    fn values_and_adjacency_accessors() {
+        let r = Relation::from_pairs([(v(0), v(1)), (v(1), v(2))]).unwrap();
+        assert_eq!(r.values().len(), 3);
+        let succ: HashSet<_> = r.successors(v(0)).collect();
+        assert_eq!(succ, [v(1), v(2)].into_iter().collect());
+        let pred: HashSet<_> = r.predecessors(v(2)).collect();
+        assert_eq!(pred, [v(0), v(1)].into_iter().collect());
+        assert!(r.comparable(v(0), v(2)));
+        assert!(!r.comparable(v(0), v(9)));
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let r = Relation::from_pairs([(v(1), v(2)), (v(0), v(1))]).unwrap();
+        assert_eq!(r.to_string(), "{(v0≻v1), (v0≻v2), (v1≻v2)}");
+    }
+}

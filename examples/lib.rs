@@ -1,0 +1,14 @@
+//! Shared crate root for the runnable examples.
+//!
+//! The examples live in this package as separate binaries:
+//!
+//! * `quickstart` — build a schema, express preferences, monitor arrivals.
+//! * `laptop_recommendation` — the paper's running example (Tables 1 & 2).
+//! * `movie_alerts` — movie-like dataset, clustering, Baseline vs
+//!   FilterThenVerify vs FilterThenVerifyApprox.
+//! * `publication_alerts` — publication-like dataset with approximate
+//!   common preference relations.
+//! * `sliding_window_news` — sliding-window monitoring with frontier
+//!   mending and Pareto-frontier buffers.
+//!
+//! Run any of them with `cargo run --release -p pm-examples --bin <name>`.

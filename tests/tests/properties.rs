@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) of the core invariants:
+//! strict-partial-order laws, the paper's theorems relating cluster and user
+//! frontiers, and agreement between the incremental monitors and a naive
+//! recompute-from-scratch oracle.
+
+use proptest::prelude::*;
+
+use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
+use pm_integration_tests::one_cluster;
+use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
+use pm_porder::{naive_pareto_frontier, Dominance, HasseDiagram, Preference, Relation};
+
+const DOMAIN: u32 = 6;
+const ATTRS: usize = 3;
+
+/// Strategy: an arbitrary edge list over a small domain. Edges that would
+/// break the strict-partial-order laws are skipped at construction time,
+/// which mirrors how relations are built from real data.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..DOMAIN, 0..DOMAIN), 0..20).prop_map(|edges| {
+        let mut rel = Relation::new();
+        for (x, y) in edges {
+            let _ = rel.insert(ValueId::new(x), ValueId::new(y));
+        }
+        rel
+    })
+}
+
+fn preference_strategy() -> impl Strategy<Value = Preference> {
+    proptest::collection::vec(relation_strategy(), ATTRS).prop_map(Preference::from_relations)
+}
+
+fn objects_strategy(max: usize) -> impl Strategy<Value = Vec<Object>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..DOMAIN, ATTRS),
+        1..max,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, vals)| {
+                Object::new(
+                    ObjectId::from(i),
+                    vals.into_iter().map(ValueId::new).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every constructed relation is a valid strict partial order.
+    #[test]
+    fn relations_are_strict_partial_orders(rel in relation_strategy()) {
+        prop_assert!(rel.validate().is_ok());
+        for (x, y) in rel.pairs() {
+            prop_assert!(x != y);
+            prop_assert!(!rel.prefers(y, x));
+        }
+    }
+
+    /// Intersection of two relations is contained in both and is itself a
+    /// strict partial order (Theorem 4.2).
+    #[test]
+    fn intersection_is_common_subrelation(a in relation_strategy(), b in relation_strategy()) {
+        let common = a.intersection(&b);
+        prop_assert!(common.validate().is_ok());
+        for (x, y) in common.pairs() {
+            prop_assert!(a.prefers(x, y) && b.prefers(x, y));
+        }
+        prop_assert_eq!(common.len(), a.intersection_size(&b));
+        prop_assert_eq!(a.union_size(&b), a.len() + b.len() - common.len());
+    }
+
+    /// The Hasse diagram is a subgraph of the relation whose reachability
+    /// (from the maximal values) covers every mentioned value.
+    #[test]
+    fn hasse_diagram_is_consistent(rel in relation_strategy()) {
+        let hasse = HasseDiagram::of(&rel);
+        for (x, y) in hasse.cover_edges() {
+            prop_assert!(rel.prefers(x, y));
+        }
+        prop_assert!(hasse.edge_count() <= rel.len());
+        for v in rel.values() {
+            prop_assert!(hasse.distance_from_maximal(v).is_some());
+            let w = hasse.weight(v);
+            prop_assert!(w > 0.0 && w <= 1.0);
+        }
+        for &m in hasse.maximal_values() {
+            prop_assert_eq!(hasse.distance_from_maximal(m), Some(0));
+            prop_assert_eq!(hasse.weight(m), 1.0);
+        }
+    }
+
+    /// Object dominance is antisymmetric and irreflexive.
+    #[test]
+    fn dominance_is_antisymmetric(pref in preference_strategy(), objects in objects_strategy(8)) {
+        for a in &objects {
+            prop_assert_eq!(pref.compare(a, a), Dominance::Identical);
+            for b in &objects {
+                let ab = pref.compare(a, b);
+                let ba = pref.compare(b, a);
+                prop_assert_eq!(ab, ba.flip());
+            }
+        }
+    }
+
+    /// The incremental baseline monitor agrees with the naive oracle.
+    #[test]
+    fn baseline_matches_naive_frontier(
+        prefs in proptest::collection::vec(preference_strategy(), 1..4),
+        objects in objects_strategy(24),
+    ) {
+        let mut monitor = BaselineMonitor::new(prefs.clone());
+        for object in objects.clone() {
+            monitor.process(object);
+        }
+        for (user, pref) in prefs.iter().enumerate() {
+            let mut oracle = naive_pareto_frontier(pref, &objects);
+            oracle.sort_unstable();
+            prop_assert_eq!(monitor.frontier(UserId::from(user)), oracle);
+        }
+    }
+
+    /// FilterThenVerify with one all-users cluster produces exactly the
+    /// baseline's frontiers and target users (Lemma 4.6).
+    #[test]
+    fn filter_then_verify_equals_baseline(
+        prefs in proptest::collection::vec(preference_strategy(), 1..4),
+        objects in objects_strategy(20),
+    ) {
+        let mut baseline = BaselineMonitor::new(prefs.clone());
+        let mut ftv = FilterThenVerifyMonitor::with_virtual_preferences(prefs.clone(), one_cluster(&prefs));
+        for object in objects {
+            let a = baseline.process(object.clone());
+            let b = ftv.process(object);
+            prop_assert_eq!(a.target_users, b.target_users);
+        }
+        for user in 0..prefs.len() {
+            prop_assert_eq!(
+                baseline.frontier(UserId::from(user)),
+                ftv.frontier(UserId::from(user))
+            );
+        }
+    }
+
+    /// Theorem 4.5: the cluster frontier always contains every member's
+    /// frontier.
+    #[test]
+    fn cluster_frontier_contains_member_frontiers(
+        prefs in proptest::collection::vec(preference_strategy(), 2..4),
+        objects in objects_strategy(20),
+    ) {
+        let mut ftv = FilterThenVerifyMonitor::with_virtual_preferences(prefs.clone(), one_cluster(&prefs));
+        for object in objects {
+            ftv.process(object);
+            let pu = ftv.cluster_frontier(0);
+            for user in 0..prefs.len() {
+                for id in ftv.frontier(UserId::from(user)) {
+                    prop_assert!(pu.contains(&id));
+                }
+            }
+        }
+    }
+
+    /// The sliding-window baseline matches the oracle recomputed over the
+    /// currently alive objects, at every step.
+    #[test]
+    fn sliding_baseline_matches_windowed_oracle(
+        prefs in proptest::collection::vec(preference_strategy(), 1..3),
+        objects in objects_strategy(24),
+        window in 1usize..10,
+    ) {
+        let mut monitor = BaselineSwMonitor::new(prefs.clone(), window);
+        for (i, object) in objects.iter().enumerate() {
+            monitor.process(object.clone());
+            let start = (i + 1).saturating_sub(window);
+            let alive = &objects[start..=i];
+            for (user, pref) in prefs.iter().enumerate() {
+                let mut oracle = naive_pareto_frontier(pref, alive);
+                oracle.sort_unstable();
+                prop_assert_eq!(monitor.frontier(UserId::from(user)), oracle);
+            }
+        }
+    }
+
+    /// The per-user buffer always contains the per-user frontier
+    /// (Def. 7.4) and only alive objects.
+    #[test]
+    fn sliding_buffer_contains_frontier(
+        prefs in proptest::collection::vec(preference_strategy(), 1..3),
+        objects in objects_strategy(20),
+        window in 2usize..8,
+    ) {
+        let mut monitor = BaselineSwMonitor::new(prefs.clone(), window);
+        for (i, object) in objects.iter().enumerate() {
+            monitor.process(object.clone());
+            let oldest_alive = (i + 1).saturating_sub(window) as u64;
+            for user in 0..prefs.len() {
+                let frontier = monitor.frontier(UserId::from(user));
+                let buffer = monitor.buffer(UserId::from(user));
+                for id in &frontier {
+                    prop_assert!(buffer.contains(id));
+                }
+                for id in &buffer {
+                    prop_assert!(id.raw() >= oldest_alive, "expired object in buffer");
+                }
+            }
+        }
+    }
+
+    /// Common preference relations: Preference::common_of is contained in
+    /// every member preference on every attribute (Def. 4.1).
+    #[test]
+    fn common_preference_is_shared_by_all(prefs in proptest::collection::vec(preference_strategy(), 1..5)) {
+        let common = Preference::common_of(prefs.iter());
+        for attr in 0..common.arity() {
+            let attr = AttrId::from(attr);
+            for (x, y) in common.relation(attr).pairs() {
+                for pref in &prefs {
+                    prop_assert!(pref.prefers(attr, x, y));
+                }
+            }
+            prop_assert!(common.relation(attr).validate().is_ok());
+        }
+    }
+}
