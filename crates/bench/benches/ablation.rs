@@ -36,9 +36,17 @@ fn bench_clustering(c: &mut Criterion) {
         });
     }
     for h in [0.4_f64, 0.55, 0.7] {
-        group.bench_with_input(BenchmarkId::new("branch_cut", format!("{h}")), &h, |b, &h| {
-            b.iter(|| cluster_dataset(&dataset, ExactMeasure::Jaccard, h).1.clusters)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("branch_cut", format!("{h}")),
+            &h,
+            |b, &h| {
+                b.iter(|| {
+                    cluster_dataset(&dataset, ExactMeasure::Jaccard, h)
+                        .1
+                        .clusters
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -58,7 +58,9 @@ fn bench_similarity_and_dominance(c: &mut Criterion) {
             .take(8)
             .map(|p| p.relation(AttrId::new(0)))
             .collect();
-        bench.iter(|| approx_common_relation(relations.iter().copied(), ApproxConfig::new(256, 0.5)).len())
+        bench.iter(|| {
+            approx_common_relation(relations.iter().copied(), ApproxConfig::new(256, 0.5)).len()
+        })
     });
     group.finish();
 }

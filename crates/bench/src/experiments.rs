@@ -84,20 +84,44 @@ pub fn arrival_experiment(profile: &DatasetProfile, scale: &Scale, h: f64) -> Ve
     let mut rows = Vec::new();
 
     let mut baseline = BaselineMonitor::new(dataset.preferences.clone());
-    rows.extend(run_checkpointed(&mut baseline, &dataset, &scale.checkpoints, BASELINE));
+    rows.extend(run_checkpointed(
+        &mut baseline,
+        &dataset,
+        &scale.checkpoints,
+        BASELINE,
+    ));
 
     let (mut ftv, _) = build_exact_monitor(&dataset, h);
-    rows.extend(run_checkpointed(&mut ftv, &dataset, &scale.checkpoints, FTV));
+    rows.extend(run_checkpointed(
+        &mut ftv,
+        &dataset,
+        &scale.checkpoints,
+        FTV,
+    ));
 
     let (mut ftva, _) = build_approx_monitor(&dataset, h, default_approx_config());
-    rows.extend(run_checkpointed(&mut ftva, &dataset, &scale.checkpoints, FTVA));
+    rows.extend(run_checkpointed(
+        &mut ftva,
+        &dataset,
+        &scale.checkpoints,
+        FTVA,
+    ));
 
     rows
 }
 
 /// Renders arrival rows as a table.
 pub fn arrival_table(title: &str, rows: &[ArrivalRow]) -> Table {
-    let mut t = Table::new(title, &["dataset", "algorithm", "|O|", "cumulative ms", "comparisons"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "dataset",
+            "algorithm",
+            "|O|",
+            "cumulative ms",
+            "comparisons",
+        ],
+    );
     for r in rows {
         t.push_row(vec![
             r.dataset.as_str().into(),
@@ -132,12 +156,18 @@ pub struct DimensionRow {
     pub comparisons: u64,
 }
 
-fn run_to_completion<M: ContinuousMonitor>(monitor: &mut M, objects: impl Iterator<Item = pm_model::Object>) -> (f64, u64) {
+fn run_to_completion<M: ContinuousMonitor>(
+    monitor: &mut M,
+    objects: impl Iterator<Item = pm_model::Object>,
+) -> (f64, u64) {
     let start = Instant::now();
     for object in objects {
         monitor.process(object);
     }
-    (start.elapsed().as_secs_f64() * 1e3, monitor.stats().comparisons)
+    (
+        start.elapsed().as_secs_f64() * 1e3,
+        monitor.stats().comparisons,
+    )
 }
 
 /// Figures 6 (movie) and 7 (publication): total cost at d ∈ `dims`.
@@ -247,7 +277,10 @@ pub fn dimension_table(title: &str, rows: &[DimensionRow]) -> Table {
             r.dataset.as_str().into(),
             r.algorithm.into(),
             r.dimensions.into(),
-            r.window.map(|w| w.to_string()).unwrap_or_else(|| "-".into()).into(),
+            r.window
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "-".into())
+                .into(),
             Cell::Float(r.total_ms),
             r.comparisons.into(),
         ]);
@@ -315,7 +348,14 @@ pub fn accuracy_experiment(
 pub fn accuracy_table(title: &str, rows: &[AccuracyRow]) -> Table {
     let mut t = Table::new(
         title,
-        &["dataset", "h", "clusters", "precision", "recall", "F-measure"],
+        &[
+            "dataset",
+            "h",
+            "clusters",
+            "precision",
+            "recall",
+            "F-measure",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -391,7 +431,10 @@ pub fn sliding_experiment(profile: &DatasetProfile, scale: &Scale, h: f64) -> Ve
 
 /// Renders sliding-window rows as a table.
 pub fn sliding_table(title: &str, rows: &[SlidingRow]) -> Table {
-    let mut t = Table::new(title, &["dataset", "algorithm", "W", "total ms", "comparisons"]);
+    let mut t = Table::new(
+        title,
+        &["dataset", "algorithm", "W", "total ms", "comparisons"],
+    );
     for r in rows {
         t.push_row(vec![
             r.dataset.as_str().into(),
@@ -519,7 +562,8 @@ pub fn ablation_experiment(profile: &DatasetProfile, scale: &Scale, h: f64) -> V
     // Ablation A: exact measures.
     for measure in ExactMeasure::ALL {
         let (clusters, summary) = cluster_dataset(&dataset, measure, h);
-        let mut monitor = pm_core::FilterThenVerifyMonitor::new(dataset.preferences.clone(), &clusters);
+        let mut monitor =
+            pm_core::FilterThenVerifyMonitor::new(dataset.preferences.clone(), &clusters);
         let (ms, cmp) = run_to_completion(&mut monitor, dataset.objects.iter().cloned());
         rows.push(AblationRow {
             dataset: dataset.profile_name.clone(),
@@ -555,7 +599,15 @@ pub fn ablation_experiment(profile: &DatasetProfile, scale: &Scale, h: f64) -> V
 pub fn ablation_table(title: &str, rows: &[AblationRow]) -> Table {
     let mut t = Table::new(
         title,
-        &["dataset", "variant", "clusters", "largest", "total ms", "comparisons", "recall"],
+        &[
+            "dataset",
+            "variant",
+            "clusters",
+            "largest",
+            "total ms",
+            "comparisons",
+            "recall",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -610,7 +662,12 @@ mod tests {
         // The headline claim of the paper: the filter-then-verify family does
         // not exceed the baseline's comparison count (it typically does far
         // fewer once clusters are non-trivial).
-        assert!(last(FTVA) <= last(BASELINE), "FTVA {} vs Baseline {}", last(FTVA), last(BASELINE));
+        assert!(
+            last(FTVA) <= last(BASELINE),
+            "FTVA {} vs Baseline {}",
+            last(FTVA),
+            last(BASELINE)
+        );
     }
 
     #[test]

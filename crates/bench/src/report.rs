@@ -112,7 +112,12 @@ pub fn format_table(title: &str, header: &[String], rows: &[Vec<Cell>]) -> Strin
         let padded: Vec<String> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:>width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         format!("| {} |", padded.join(" | "))
     };
@@ -164,7 +169,10 @@ mod tests {
         let text = format_table(
             "t",
             &["a".into(), "b".into()],
-            &[vec![Cell::Int(1)], vec![Cell::Int(1), Cell::Int(2), Cell::Int(3)]],
+            &[
+                vec![Cell::Int(1)],
+                vec![Cell::Int(1), Cell::Int(2), Cell::Int(3)],
+            ],
         );
         assert!(text.contains("| 1 |"));
     }

@@ -1,7 +1,9 @@
 //! Experiment setup: dataset generation at a [`Scale`] and monitor
 //! construction (clustering + virtual preferences).
 
-use pm_cluster::{cluster_users, ApproxConfig, ApproxMeasure, Cluster, ClusteringConfig, ExactMeasure};
+use pm_cluster::{
+    cluster_users, ApproxConfig, ApproxMeasure, Cluster, ClusteringConfig, ExactMeasure,
+};
 use pm_core::{FilterThenVerifyMonitor, FilterThenVerifySwMonitor};
 use pm_datagen::{Dataset, DatasetProfile};
 
@@ -94,7 +96,11 @@ pub fn build_approx_monitor(
 ) -> (FilterThenVerifyMonitor, ClusterSummary) {
     let (clusters, summary) = cluster_dataset_approx(dataset, ApproxMeasure::Jaccard, h);
     (
-        FilterThenVerifyMonitor::with_approx_clusters(dataset.preferences.clone(), &clusters, config),
+        FilterThenVerifyMonitor::with_approx_clusters(
+            dataset.preferences.clone(),
+            &clusters,
+            config,
+        ),
         summary,
     )
 }
@@ -183,8 +189,7 @@ mod tests {
         use pm_core::ContinuousMonitor;
         let (dataset, _) = tiny();
         let (mut exact, _) = build_exact_sw_monitor(&dataset, 0.4, 50);
-        let (mut approx, _) =
-            build_approx_sw_monitor(&dataset, 0.4, default_approx_config(), 50);
+        let (mut approx, _) = build_approx_sw_monitor(&dataset, 0.4, default_approx_config(), 50);
         for o in dataset.stream(120).iter() {
             exact.process(o.clone());
             approx.process(o);

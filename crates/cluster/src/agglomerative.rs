@@ -164,6 +164,7 @@ pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> Cl
     while working.len() > 1 {
         // Find the most similar pair.
         let mut best: Option<(usize, usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..working.len() {
             for j in (i + 1)..working.len() {
                 let sim = sims[i][j];
@@ -333,7 +334,12 @@ mod tests {
                 branch_cut: 0.2,
             },
         );
-        assert_eq!(out.len(), 2, "expected two clusters, got {:?}", out.clusters);
+        assert_eq!(
+            out.len(),
+            2,
+            "expected two clusters, got {:?}",
+            out.clusters
+        );
         let mut sizes: Vec<usize> = out.clusters.iter().map(Cluster::len).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 4]);

@@ -137,12 +137,7 @@ mod tests {
     #[test]
     fn figure1_frequencies_match_table5() {
         let users = figure1_users();
-        let count = |x: u32, y: u32| {
-            users
-                .iter()
-                .filter(|r| r.prefers(v(x), v(y)))
-                .count()
-        };
+        let count = |x: u32, y: u32| users.iter().filter(|r| r.prefers(v(x), v(y))).count();
         assert_eq!(count(0, 2), 3); // (A,T)
         assert_eq!(count(0, 3), 2); // (A,S)
         assert_eq!(count(1, 2), 2); // (L,T)
@@ -173,7 +168,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(approx.pairs().collect::<std::collections::HashSet<_>>(), expected);
+        assert_eq!(
+            approx.pairs().collect::<std::collections::HashSet<_>>(),
+            expected
+        );
         approx.validate().unwrap();
     }
 

@@ -136,7 +136,10 @@ impl FrequencyVectors {
         let empty = HashMap::new();
         let a = self.attrs.get(attr.index()).unwrap_or(&empty);
         let b = other.attrs.get(attr.index()).unwrap_or(&empty);
-        let (na, nb) = (self.member_count.max(1) as f64, other.member_count.max(1) as f64);
+        let (na, nb) = (
+            self.member_count.max(1) as f64,
+            other.member_count.max(1) as f64,
+        );
         let mut min_sum = 0.0;
         let mut max_sum = 0.0;
         for (&pair, &sa) in a {

@@ -10,7 +10,6 @@
 //! object that survives is verified against each member's own frontier
 //! (verify step).
 
-
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{Dominance, Preference};
 

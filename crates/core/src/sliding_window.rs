@@ -17,7 +17,6 @@
 //! the paper accepts for this algorithm family; the baseline `BaselineSW`
 //! has no such loss and serves as ground truth.
 
-
 use pm_model::{Object, ObjectId, SlidingWindow, UserId};
 use pm_porder::{Dominance, Preference};
 
@@ -370,19 +369,20 @@ impl FilterThenVerifySwMonitor {
             cluster.frontier.insert(object.id(), object.clone());
             for member in &cluster.members {
                 let pref = &preferences[member.index()];
-                if update_pareto_frontier(
-                    pref,
-                    &mut user_frontiers[member.index()],
-                    object,
-                    stats,
-                ) {
+                if update_pareto_frontier(pref, &mut user_frontiers[member.index()], object, stats)
+                {
                     targets.push(*member);
                 }
             }
         }
         // Alg. 5, line 15: the cluster buffer is refreshed regardless of
         // whether the object is currently Pareto-optimal.
-        refresh_buffer(&cluster.virtual_preference, &mut cluster.buffer, object, stats);
+        refresh_buffer(
+            &cluster.virtual_preference,
+            &mut cluster.buffer,
+            object,
+            stats,
+        );
         targets
     }
 }
@@ -540,8 +540,11 @@ mod tests {
     #[test]
     fn table8_stream_filter_then_verify_sw_invariants() {
         let users = laptop_users();
-        let mut m =
-            FilterThenVerifySwMonitor::with_virtual_preferences(users.clone(), one_cluster(&users), 6);
+        let mut m = FilterThenVerifySwMonitor::with_virtual_preferences(
+            users.clone(),
+            one_cluster(&users),
+            6,
+        );
         for o in table8_objects() {
             m.process(o);
             let pu = m.cluster_frontier(0);
@@ -601,10 +604,15 @@ mod tests {
             .map(|(i, p)| (vec![UserId::from(i)], p.clone()))
             .collect();
         let mut baseline = BaselineSwMonitor::new(users.clone(), 3);
-        let mut ftv = FilterThenVerifySwMonitor::with_virtual_preferences(users.clone(), clusters, 3);
+        let mut ftv =
+            FilterThenVerifySwMonitor::with_virtual_preferences(users.clone(), clusters, 3);
         let objects: Vec<Object> = table8_objects()
             .into_iter()
-            .chain(vec![obj(8, &[2, 2, 1]), obj(9, &[0, 1, 3]), obj(10, &[1, 0, 0])])
+            .chain(vec![
+                obj(8, &[2, 2, 1]),
+                obj(9, &[0, 1, 3]),
+                obj(10, &[1, 0, 0]),
+            ])
             .collect();
         for o in objects {
             let a = baseline.process(o.clone());

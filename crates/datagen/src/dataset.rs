@@ -245,9 +245,9 @@ impl DatasetBuilder {
                 rating += if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             }
             let rating = rating.clamp(0.0, 5.0);
-            for attr in 0..arity {
+            for (attr, per_value) in stats.iter_mut().enumerate() {
                 let value = object.value(AttrId::from(attr));
-                let entry = stats[attr].entry(value).or_insert((0.0, 0.0));
+                let entry = per_value.entry(value).or_insert((0.0, 0.0));
                 entry.0 += rating;
                 entry.1 += 1.0;
             }
@@ -313,7 +313,8 @@ mod tests {
         let d = Dataset::generate(&tiny_profile(), 11);
         for pref in &d.preferences {
             for (_, rel) in pref.relations() {
-                rel.validate().expect("generated relation must be a strict partial order");
+                rel.validate()
+                    .expect("generated relation must be a strict partial order");
             }
         }
         assert!(d.mean_preference_size() > 0.0);

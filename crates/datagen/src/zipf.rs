@@ -20,7 +20,10 @@ impl ZipfSampler {
     /// Panics if `n` is zero or `alpha` is negative / not finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "domain must not be empty");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {

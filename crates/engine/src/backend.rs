@@ -1,0 +1,288 @@
+//! Backend selection: which `pm-core` monitor each shard runs.
+
+use std::fmt;
+
+use pm_cluster::{cluster_users, ApproxConfig, Cluster, ClusteringConfig, ExactMeasure};
+use pm_core::{
+    BaselineMonitor, BaselineSwMonitor, FilterThenVerifyMonitor, FilterThenVerifySwMonitor,
+};
+use pm_porder::Preference;
+
+use crate::shard::BoxedMonitor;
+
+/// Which monitoring algorithm a shard runs over its slice of the user
+/// population.
+///
+/// The FilterThenVerify variants cluster each shard's users independently
+/// (Jaccard similarity on exact common preference relations, Sec. 5 of the
+/// paper); clustering quality degrades gracefully as shards get smaller.
+/// Append-only [`BackendSpec::FilterThenVerify`] stays exact under any
+/// clustering (Lemma 4.6); the approximate and sliding-window variants
+/// carry the paper's approximation error, whose exact magnitude therefore
+/// depends on the per-shard clusterings (see [`crate::ShardedEngine`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSpec {
+    /// Alg. 1: per-user baseline, append-only.
+    Baseline,
+    /// Alg. 2: FilterThenVerify with exact common preferences, append-only.
+    FilterThenVerify {
+        /// Branch cut `h` for the agglomerative clustering.
+        branch_cut: f64,
+    },
+    /// Sec. 6: FilterThenVerify with approximate common preferences.
+    FilterThenVerifyApprox {
+        /// Branch cut `h` for the agglomerative clustering.
+        branch_cut: f64,
+        /// θ1/θ2 thresholds of Alg. 3.
+        config: ApproxConfig,
+    },
+    /// Alg. 4: per-user baseline over a sliding window of `window` objects.
+    BaselineSw {
+        /// Window size `W`.
+        window: usize,
+    },
+    /// Alg. 5: sliding-window FilterThenVerify.
+    FilterThenVerifySw {
+        /// Branch cut `h` for the agglomerative clustering.
+        branch_cut: f64,
+        /// Window size `W`.
+        window: usize,
+    },
+    /// Sec. 7+6: sliding-window FilterThenVerify with approximate common
+    /// preferences.
+    FilterThenVerifyApproxSw {
+        /// Branch cut `h` for the agglomerative clustering.
+        branch_cut: f64,
+        /// θ1/θ2 thresholds of Alg. 3.
+        config: ApproxConfig,
+        /// Window size `W`.
+        window: usize,
+    },
+}
+
+fn exact_clusters(preferences: &[Preference], branch_cut: f64) -> Vec<Cluster> {
+    if preferences.is_empty() {
+        return Vec::new();
+    }
+    cluster_users(
+        preferences,
+        ClusteringConfig::Exact {
+            measure: ExactMeasure::Jaccard,
+            branch_cut,
+        },
+    )
+    .clusters
+}
+
+impl BackendSpec {
+    /// Builds one shard's monitor over the given (shard-local) preferences.
+    pub fn build(&self, preferences: &[Preference]) -> BoxedMonitor {
+        let prefs = preferences.to_vec();
+        match *self {
+            BackendSpec::Baseline => Box::new(BaselineMonitor::new(prefs)),
+            BackendSpec::FilterThenVerify { branch_cut } => {
+                let clusters = exact_clusters(preferences, branch_cut);
+                Box::new(FilterThenVerifyMonitor::new(prefs, &clusters))
+            }
+            BackendSpec::FilterThenVerifyApprox { branch_cut, config } => {
+                let clusters = exact_clusters(preferences, branch_cut);
+                Box::new(FilterThenVerifyMonitor::with_approx_clusters(
+                    prefs, &clusters, config,
+                ))
+            }
+            BackendSpec::BaselineSw { window } => Box::new(BaselineSwMonitor::new(prefs, window)),
+            BackendSpec::FilterThenVerifySw { branch_cut, window } => {
+                let clusters = exact_clusters(preferences, branch_cut);
+                Box::new(FilterThenVerifySwMonitor::new(prefs, &clusters, window))
+            }
+            BackendSpec::FilterThenVerifyApproxSw {
+                branch_cut,
+                config,
+                window,
+            } => {
+                let clusters = exact_clusters(preferences, branch_cut);
+                Box::new(FilterThenVerifySwMonitor::with_approx_clusters(
+                    prefs, &clusters, config, window,
+                ))
+            }
+        }
+    }
+
+    /// Whether the backend expires objects from a sliding window.
+    pub fn is_sliding(&self) -> bool {
+        matches!(
+            self,
+            BackendSpec::BaselineSw { .. }
+                | BackendSpec::FilterThenVerifySw { .. }
+                | BackendSpec::FilterThenVerifyApproxSw { .. }
+        )
+    }
+
+    /// Parses a backend description, as accepted by `pm-server --backend`:
+    ///
+    /// * `baseline`
+    /// * `ftv:<h>` — e.g. `ftv:0.55`
+    /// * `ftv-approx:<h>:<theta1>:<theta2>` — e.g. `ftv-approx:0.55:256:0.5`
+    /// * `baseline-sw:<W>` — e.g. `baseline-sw:400`
+    /// * `ftv-sw:<h>:<W>`
+    /// * `ftv-approx-sw:<h>:<theta1>:<theta2>:<W>`
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parts = text.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let arg = |i: usize| -> Result<&str, String> {
+            rest.get(i)
+                .copied()
+                .ok_or_else(|| format!("backend `{kind}` is missing argument {}", i + 1))
+        };
+        let float = |i: usize| -> Result<f64, String> {
+            arg(i)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad float in backend spec: {e}"))
+        };
+        let uint = |i: usize| -> Result<usize, String> {
+            arg(i)?
+                .parse::<usize>()
+                .map_err(|e| format!("bad integer in backend spec: {e}"))
+        };
+        let expect_args = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "backend `{kind}` takes {n} argument(s), got {}",
+                    rest.len()
+                ))
+            }
+        };
+        match kind {
+            "baseline" => {
+                expect_args(0)?;
+                Ok(BackendSpec::Baseline)
+            }
+            "ftv" => {
+                expect_args(1)?;
+                Ok(BackendSpec::FilterThenVerify { branch_cut: float(0)? })
+            }
+            "ftv-approx" => {
+                expect_args(3)?;
+                Ok(BackendSpec::FilterThenVerifyApprox {
+                    branch_cut: float(0)?,
+                    config: ApproxConfig::new(uint(1)?, float(2)?),
+                })
+            }
+            "baseline-sw" => {
+                expect_args(1)?;
+                Ok(BackendSpec::BaselineSw { window: uint(0)? })
+            }
+            "ftv-sw" => {
+                expect_args(2)?;
+                Ok(BackendSpec::FilterThenVerifySw {
+                    branch_cut: float(0)?,
+                    window: uint(1)?,
+                })
+            }
+            "ftv-approx-sw" => {
+                expect_args(4)?;
+                Ok(BackendSpec::FilterThenVerifyApproxSw {
+                    branch_cut: float(0)?,
+                    config: ApproxConfig::new(uint(1)?, float(2)?),
+                    window: uint(3)?,
+                })
+            }
+            other => Err(format!(
+                "unknown backend `{other}` (expected baseline, ftv, ftv-approx, baseline-sw, ftv-sw or ftv-approx-sw)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSpec::Baseline => write!(f, "baseline"),
+            BackendSpec::FilterThenVerify { branch_cut } => write!(f, "ftv:{branch_cut}"),
+            BackendSpec::FilterThenVerifyApprox { branch_cut, config } => write!(
+                f,
+                "ftv-approx:{branch_cut}:{}:{}",
+                config.theta1, config.theta2
+            ),
+            BackendSpec::BaselineSw { window } => write!(f, "baseline-sw:{window}"),
+            BackendSpec::FilterThenVerifySw { branch_cut, window } => {
+                write!(f, "ftv-sw:{branch_cut}:{window}")
+            }
+            BackendSpec::FilterThenVerifyApproxSw {
+                branch_cut,
+                config,
+                window,
+            } => write!(
+                f,
+                "ftv-approx-sw:{branch_cut}:{}:{}:{window}",
+                config.theta1, config.theta2
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        for text in [
+            "baseline",
+            "ftv:0.55",
+            "ftv-approx:0.55:256:0.5",
+            "baseline-sw:400",
+            "ftv-sw:0.55:400",
+            "ftv-approx-sw:0.55:256:0.5:400",
+        ] {
+            let spec = BackendSpec::parse(text).expect(text);
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(BackendSpec::parse(&spec.to_string()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for text in [
+            "",
+            "nope",
+            "ftv",
+            "ftv:x",
+            "baseline:1",
+            "baseline-sw",
+            "ftv-sw:0.5",
+        ] {
+            assert!(BackendSpec::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn sliding_flag_matches_variants() {
+        assert!(!BackendSpec::parse("baseline").unwrap().is_sliding());
+        assert!(!BackendSpec::parse("ftv:0.5").unwrap().is_sliding());
+        assert!(BackendSpec::parse("baseline-sw:10").unwrap().is_sliding());
+        assert!(BackendSpec::parse("ftv-sw:0.5:10").unwrap().is_sliding());
+    }
+
+    #[test]
+    fn every_backend_builds_a_monitor_over_empty_and_small_populations() {
+        let prefs = vec![Preference::new(2), Preference::new(2)];
+        for text in [
+            "baseline",
+            "ftv:0.5",
+            "ftv-approx:0.5:64:0.5",
+            "baseline-sw:8",
+            "ftv-sw:0.5:8",
+            "ftv-approx-sw:0.5:64:0.5:8",
+        ] {
+            let spec = BackendSpec::parse(text).unwrap();
+            let monitor = spec.build(&prefs);
+            assert_eq!(monitor.num_users(), 2, "{text}");
+            let empty = spec.build(&[]);
+            assert_eq!(empty.num_users(), 0, "{text}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! `pm-server` — serve a sharded Pareto-frontier monitoring engine over TCP.
+//!
+//! ```text
+//! pm-server [--addr HOST:PORT] [--shards N] [--queue BATCHES]
+//!           [--backend SPEC] [--profile movie|publication]
+//!           [--users N] [--interactions N] [--seed N] [--history N]
+//! ```
+//!
+//! The user population (preferences) is simulated with `pm-datagen`; objects
+//! arrive from clients via the `INGEST` command. Try it:
+//!
+//! ```text
+//! $ cargo run --release --bin pm-server -- --users 100 --shards 4 &
+//! $ printf 'INGEST 1,2,3,4\nSTATS\nQUIT\n' | nc 127.0.0.1 7878
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pm_datagen::{Dataset, DatasetProfile};
+use pm_engine::{BackendSpec, EngineConfig, EngineService, ServerConfig, ShardedEngine};
+
+struct Options {
+    server: ServerConfig,
+    engine: EngineConfig,
+    backend: BackendSpec,
+    profile: DatasetProfile,
+    users: usize,
+    objects: usize,
+    interactions: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            server: ServerConfig::default(),
+            engine: EngineConfig::default(),
+            backend: BackendSpec::Baseline,
+            profile: DatasetProfile::movie(),
+            users: 200,
+            objects: 2_000,
+            interactions: 60,
+            seed: 42,
+        }
+    }
+}
+
+const USAGE: &str = "pm-server — sharded Pareto-frontier monitoring over TCP
+
+USAGE:
+    pm-server [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     bind address           [default: 127.0.0.1:7878]
+    --shards N           shard worker threads   [default: available cores]
+    --queue BATCHES      per-shard inbox bound  [default: 16]
+    --backend SPEC       baseline | ftv:<h> | ftv-approx:<h>:<t1>:<t2> |
+                         baseline-sw:<W> | ftv-sw:<h>:<W> |
+                         ftv-approx-sw:<h>:<t1>:<t2>:<W>   [default: baseline]
+    --profile NAME       movie | publication    [default: movie]
+    --users N            simulated users        [default: 200]
+    --objects N          base objects used to derive preferences [default: 2000]
+    --interactions N     interactions per user  [default: 60]
+    --seed N             dataset RNG seed       [default: 42]
+    --history N          QUERY-able arrivals    [default: 4096]
+    --help               print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value (see --help)"))?;
+        match flag.as_str() {
+            "--addr" => opts.server.addr = value,
+            "--shards" => {
+                let shards: usize = value.parse().map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                opts.engine.shards = shards;
+            }
+            "--queue" => {
+                opts.engine.queue_capacity = value.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--backend" => opts.backend = BackendSpec::parse(&value)?,
+            "--profile" => {
+                opts.profile = match value.as_str() {
+                    "movie" => DatasetProfile::movie(),
+                    "publication" => DatasetProfile::publication(),
+                    other => return Err(format!("unknown profile `{other}`")),
+                }
+            }
+            "--users" => opts.users = value.parse().map_err(|e| format!("--users: {e}"))?,
+            "--objects" => opts.objects = value.parse().map_err(|e| format!("--objects: {e}"))?,
+            "--interactions" => {
+                opts.interactions = value.parse().map_err(|e| format!("--interactions: {e}"))?
+            }
+            "--seed" => opts.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--history" => {
+                opts.server.history = value.parse().map_err(|e| format!("--history: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("pm-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "pm-server: simulating {} users ({} profile, seed {})...",
+        opts.users, opts.profile.name, opts.seed
+    );
+    let profile = opts
+        .profile
+        .clone()
+        .with_users(opts.users)
+        .with_objects(opts.objects)
+        .with_interactions(opts.interactions);
+    let dataset = Dataset::generate(&profile, opts.seed);
+    let arity = dataset.dimensions();
+
+    eprintln!(
+        "pm-server: starting {} shard(s), backend {}, queue {} batch(es)/shard",
+        opts.engine.shards, opts.backend, opts.engine.queue_capacity
+    );
+    let engine = ShardedEngine::new(dataset.preferences, &opts.engine, &opts.backend);
+    let service = Arc::new(EngineService::new(
+        engine,
+        opts.backend.clone(),
+        arity,
+        opts.server.history,
+    ));
+
+    let listener = match TcpListener::bind(&opts.server.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pm-server: cannot bind {}: {e}", opts.server.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pm-server: listening on {} ({} attributes per object; INGEST/EXPIRE/QUERY/FRONTIER/STATS/HEALTH/QUIT)",
+        opts.server.addr, arity
+    );
+    if let Err(e) = pm_engine::server::serve(listener, service) {
+        eprintln!("pm-server: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

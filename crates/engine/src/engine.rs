@@ -1,0 +1,575 @@
+//! The sharded engine: user partitioning, worker lifecycle, batch
+//! ingestion with backpressure, and fan-in of per-shard results.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pm_core::{Arrival, MonitorStats};
+use pm_model::{Object, ObjectId, UserId};
+use pm_porder::Preference;
+
+use crate::backend::BackendSpec;
+use crate::metrics::{EngineSnapshot, ShardSnapshot};
+use crate::shard::{BoxedMonitor, ShardBatchReply, ShardCmd, ShardWorker};
+
+/// Sizing knobs of a [`ShardedEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shard worker threads (`N ≥ 1`).
+    pub shards: usize,
+    /// Capacity of each shard's inbox, in batches. Ingestion blocks once a
+    /// shard is this many batches behind (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl EngineConfig {
+    /// A config with `shards` workers and the default queue capacity.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            queue_capacity: 16,
+        }
+    }
+
+    /// Overrides the per-shard inbox capacity (in batches).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(shards)
+    }
+}
+
+/// The shard that owns `user` when the population is split `shards` ways.
+///
+/// A multiplicative (Fibonacci) hash spreads structured id spaces — e.g.
+/// tenants allocated in contiguous ranges — evenly across shards while
+/// staying fully deterministic: the same user lands on the same shard for
+/// every engine with the same shard count.
+pub fn shard_of(user: UserId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (u64::from(user.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// A concurrent monitoring engine that partitions users across shard
+/// threads.
+///
+/// Every arriving object is broadcast to all shards; each shard updates the
+/// frontiers of its own users and replies with the target users it owns; the
+/// engine merges the disjoint per-shard sets into one [`Arrival`] identical
+/// to what the backing single-threaded monitor would have produced.
+///
+/// That exactness guarantee is unconditional for the backends whose
+/// per-user results do not depend on how users are grouped: `Baseline`,
+/// `BaselineSw` and append-only `FilterThenVerify` (Lemma 4.6 makes the
+/// cluster filter exact regardless of the clustering). The approximate and
+/// sliding-window FilterThenVerify backends cluster each shard's users
+/// independently, so their paper-sanctioned approximation error varies
+/// with the shard count — results then match a single-threaded monitor
+/// built over the same per-shard clusterings, not one global clustering.
+///
+/// All methods take `&self`: the engine can be shared behind an [`Arc`] by
+/// any number of client threads. Commands are enqueued to every shard in one
+/// consistent global order (a short critical section around the send), so
+/// concurrent ingestion from several threads interleaves at batch
+/// granularity and every shard observes the same object order.
+pub struct ShardedEngine {
+    /// Locked while *enqueueing* so all shards see commands in one order;
+    /// replies are awaited without holding the lock, which lets the next
+    /// batch be enqueued while shards still chew on the previous one.
+    senders: Mutex<Vec<SyncSender<ShardCmd>>>,
+    handles: Vec<JoinHandle<()>>,
+    queue_depths: Vec<Arc<AtomicUsize>>,
+    shard_users: Vec<Vec<UserId>>,
+    num_users: usize,
+    ingested: AtomicU64,
+    started: Instant,
+}
+
+impl ShardedEngine {
+    /// Builds an engine whose shards run the backend described by `spec`.
+    ///
+    /// `preferences[i]` is the preference of global user `i`, exactly as for
+    /// the single-threaded monitors.
+    pub fn new(preferences: Vec<Preference>, config: &EngineConfig, spec: &BackendSpec) -> Self {
+        Self::with_factory(preferences, config, |prefs| spec.build(prefs))
+    }
+
+    /// Builds an engine with a custom monitor factory.
+    ///
+    /// The factory is invoked once per shard with the shard's users'
+    /// preferences (densely re-indexed: local user `j` is the `j`-th
+    /// preference of the slice) and returns the monitor that shard owns.
+    pub fn with_factory<F>(
+        preferences: Vec<Preference>,
+        config: &EngineConfig,
+        mut factory: F,
+    ) -> Self
+    where
+        F: FnMut(&[Preference]) -> BoxedMonitor,
+    {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let num_users = preferences.len();
+        let mut shard_users: Vec<Vec<UserId>> = vec![Vec::new(); config.shards];
+        let mut shard_prefs: Vec<Vec<Preference>> = vec![Vec::new(); config.shards];
+        for (idx, pref) in preferences.into_iter().enumerate() {
+            let user = UserId::from(idx);
+            let shard = shard_of(user, config.shards);
+            shard_users[shard].push(user);
+            shard_prefs[shard].push(pref);
+        }
+
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        let mut queue_depths = Vec::with_capacity(config.shards);
+        for (shard, prefs) in shard_prefs.into_iter().enumerate() {
+            let monitor = factory(&prefs);
+            assert_eq!(
+                monitor.num_users(),
+                prefs.len(),
+                "factory must build a monitor over exactly the shard's users"
+            );
+            let depth = Arc::new(AtomicUsize::new(0));
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+            let worker = ShardWorker {
+                shard,
+                monitor,
+                global_users: shard_users[shard].clone(),
+                queue_depth: Arc::clone(&depth),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("pm-shard-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("failed to spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+            queue_depths.push(depth);
+        }
+
+        Self {
+            senders: Mutex::new(senders),
+            handles,
+            queue_depths,
+            shard_users,
+            num_users,
+            ingested: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.queue_depths.len()
+    }
+
+    /// Number of users across all shards.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// The global user ids owned by `shard`, ascending.
+    pub fn shard_users(&self, shard: usize) -> &[UserId] {
+        &self.shard_users[shard]
+    }
+
+    /// Enqueues one batch on every shard and returns a [`BatchTicket`] to
+    /// await the fanned-in results.
+    ///
+    /// The enqueue is the ordering point: batches submitted later (by this
+    /// or any other thread) are processed after this one on every shard.
+    /// If a shard's inbox is full, this call blocks until it drains
+    /// (backpressure). Splitting submission from [`BatchTicket::wait`]
+    /// lets a caller release its own locks — or prepare the next batch —
+    /// while the shards chew on this one.
+    pub fn submit_batch(&self, objects: Vec<Object>) -> BatchTicket<'_> {
+        let batch = Arc::new(objects);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if !batch.is_empty() {
+            let senders = self.senders.lock().expect("engine poisoned");
+            for (shard, sender) in senders.iter().enumerate() {
+                self.queue_depths[shard].fetch_add(1, Ordering::AcqRel);
+                sender
+                    .send(ShardCmd::Batch {
+                        objects: Arc::clone(&batch),
+                        reply: reply_tx.clone(),
+                    })
+                    .expect("shard worker terminated");
+            }
+        }
+        BatchTicket {
+            engine: self,
+            batch,
+            reply_rx,
+        }
+    }
+
+    /// Processes one batch of objects and returns one [`Arrival`] per
+    /// object — [`Self::submit_batch`] + [`BatchTicket::wait`] in one
+    /// call. For the exact backends the arrivals are byte-identical to
+    /// what the backing single-threaded monitor would produce for the
+    /// same stream (see the type-level docs for the approximate backends).
+    pub fn process_batch(&self, objects: Vec<Object>) -> Vec<Arrival> {
+        self.submit_batch(objects).wait()
+    }
+
+    /// Processes a single object (a batch of one).
+    pub fn process(&self, object: Object) -> Arrival {
+        self.process_batch(vec![object])
+            .pop()
+            .expect("batch of one yields one arrival")
+    }
+
+    /// The current Pareto frontier of `user`, ascending — routed to the
+    /// owning shard and consistent with every batch ingested before this
+    /// call.
+    pub fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        let shard = shard_of(user, self.num_shards());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let senders = self.senders.lock().expect("engine poisoned");
+            senders[shard]
+                .send(ShardCmd::Frontier {
+                    user,
+                    reply: reply_tx,
+                })
+                .expect("shard worker terminated");
+        }
+        reply_rx.recv().expect("shard worker dropped its reply")
+    }
+
+    /// The frontiers of all users, indexed by global user id.
+    pub fn all_frontiers(&self) -> Vec<Vec<ObjectId>> {
+        (0..self.num_users)
+            .map(|u| self.frontier(UserId::from(u)))
+            .collect()
+    }
+
+    /// Raw per-shard work counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<MonitorStats> {
+        // One reply channel per shard keeps the result indexed by shard no
+        // matter which worker answers first.
+        let mut receivers = Vec::with_capacity(self.num_shards());
+        {
+            let senders = self.senders.lock().expect("engine poisoned");
+            for sender in senders.iter() {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                sender
+                    .send(ShardCmd::Stats { reply: reply_tx })
+                    .expect("shard worker terminated");
+                receivers.push(reply_rx);
+            }
+        }
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker dropped its reply"))
+            .collect()
+    }
+
+    /// Engine-level work counters.
+    ///
+    /// `arrivals` counts objects ingested by the engine (each object once,
+    /// not once per shard) and `expirations` window expiries (identical on
+    /// every shard, so the maximum is reported); `comparisons` and
+    /// `notifications` are summed across shards.
+    pub fn stats(&self) -> MonitorStats {
+        let per_shard = self.shard_stats();
+        let mut stats = MonitorStats::new();
+        stats.arrivals = self.ingested.load(Ordering::Relaxed);
+        stats.expirations = per_shard.iter().map(|s| s.expirations).max().unwrap_or(0);
+        stats.comparisons = per_shard.iter().map(|s| s.comparisons).sum();
+        stats.notifications = per_shard.iter().map(|s| s.notifications).sum();
+        stats
+    }
+
+    /// A point-in-time snapshot of engine metrics: per-shard stats, queue
+    /// depths, user counts, throughput.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let per_shard = self.shard_stats();
+        let shards = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(shard, stats)| ShardSnapshot {
+                shard,
+                users: self.shard_users[shard].len(),
+                queue_depth: self.queue_depths[shard].load(Ordering::Acquire),
+                stats,
+            })
+            .collect();
+        let uptime = self.started.elapsed();
+        let ingested = self.ingested.load(Ordering::Relaxed);
+        EngineSnapshot {
+            shards,
+            users: self.num_users,
+            ingested,
+            uptime,
+        }
+    }
+}
+
+/// A batch that has been enqueued on every shard but whose results have
+/// not been collected yet. Obtained from [`ShardedEngine::submit_batch`];
+/// consumed by [`BatchTicket::wait`].
+#[must_use = "a submitted batch's results must be awaited"]
+pub struct BatchTicket<'a> {
+    engine: &'a ShardedEngine,
+    batch: Arc<Vec<Object>>,
+    reply_rx: mpsc::Receiver<ShardBatchReply>,
+}
+
+impl BatchTicket<'_> {
+    /// Blocks until every shard has processed the batch and fans the
+    /// disjoint per-shard target-user sets into one [`Arrival`] per object.
+    pub fn wait(self) -> Vec<Arrival> {
+        if self.batch.is_empty() {
+            return Vec::new();
+        }
+        let shards = self.engine.num_shards();
+        let mut per_shard: Vec<Option<Vec<Vec<UserId>>>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            let reply = self
+                .reply_rx
+                .recv()
+                .expect("shard worker dropped its reply");
+            per_shard[reply.shard] = Some(reply.targets);
+        }
+
+        let arrivals = self
+            .batch
+            .iter()
+            .enumerate()
+            .map(|(i, object)| {
+                let mut target_users: Vec<UserId> = Vec::new();
+                for targets in per_shard.iter().flatten() {
+                    target_users.extend_from_slice(&targets[i]);
+                }
+                // Per-shard sets are sorted and pairwise disjoint; one sort
+                // merges them into the monitors' canonical ascending order.
+                target_users.sort_unstable();
+                Arrival {
+                    object: object.id(),
+                    target_users,
+                }
+            })
+            .collect();
+        self.engine
+            .ingested
+            .fetch_add(self.batch.len() as u64, Ordering::Relaxed);
+        arrivals
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        if let Ok(senders) = self.senders.lock() {
+            for sender in senders.iter() {
+                let _ = sender.send(ShardCmd::Shutdown);
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::{BaselineMonitor, ContinuousMonitor};
+    use pm_model::ValueId;
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(
+            ObjectId::new(id),
+            vals.iter().map(|&x| ValueId::new(x)).collect(),
+        )
+    }
+
+    /// A small deterministic preference population over 3 attributes.
+    fn population(n: usize) -> Vec<Preference> {
+        (0..n)
+            .map(|u| {
+                let mut p = Preference::new(3);
+                let u = u as u32;
+                for attr in 0..3u32 {
+                    let better = (u + attr) % 5;
+                    let worse = (u + attr + 1) % 5;
+                    if better != worse {
+                        p.prefer(
+                            pm_model::AttrId::new(attr),
+                            ValueId::new(better),
+                            ValueId::new(worse),
+                        );
+                    }
+                }
+                p
+            })
+            .collect()
+    }
+
+    fn stream(n: u64) -> Vec<Object> {
+        (0..n)
+            .map(|i| {
+                obj(
+                    i,
+                    &[(i % 5) as u32, ((i / 5) % 5) as u32, ((i / 7) % 5) as u32],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_total() {
+        for shards in 1..=8 {
+            for user in 0..100u32 {
+                let s = shard_of(UserId::new(user), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(UserId::new(user), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_users() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for user in 0..800u32 {
+            counts[shard_of(UserId::new(user), shards)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min < 60, "partition too skewed: {counts:?}");
+    }
+
+    #[test]
+    fn engine_matches_single_threaded_baseline_at_every_shard_count() {
+        let prefs = population(17);
+        let objects = stream(120);
+        let mut oracle = BaselineMonitor::new(prefs.clone());
+        let expected: Vec<Arrival> = objects.iter().cloned().map(|o| oracle.process(o)).collect();
+        for shards in 1..=8 {
+            let engine = ShardedEngine::new(
+                prefs.clone(),
+                &EngineConfig::new(shards),
+                &BackendSpec::Baseline,
+            );
+            let got = engine.process_batch(objects.clone());
+            assert_eq!(got, expected, "shards={shards}");
+            for u in 0..prefs.len() {
+                assert_eq!(
+                    engine.frontier(UserId::from(u)),
+                    oracle.frontier(UserId::from(u)),
+                    "shards={shards} user={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_unbatched_ingestion_agree() {
+        let prefs = population(9);
+        let objects = stream(60);
+        let engine_batched = ShardedEngine::new(
+            prefs.clone(),
+            &EngineConfig::new(3).with_queue_capacity(2),
+            &BackendSpec::Baseline,
+        );
+        let engine_single =
+            ShardedEngine::new(prefs, &EngineConfig::new(3), &BackendSpec::Baseline);
+        let mut batched = Vec::new();
+        for chunk in objects.chunks(7) {
+            batched.extend(engine_batched.process_batch(chunk.to_vec()));
+        }
+        let singles: Vec<Arrival> = objects
+            .into_iter()
+            .map(|o| engine_single.process(o))
+            .collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn overlapping_submitted_batches_keep_global_order() {
+        let prefs = population(9);
+        let engine =
+            ShardedEngine::new(prefs.clone(), &EngineConfig::new(3), &BackendSpec::Baseline);
+        let objects = stream(40);
+        // Both batches are in flight before either is awaited; the enqueue
+        // order fixes the processing order.
+        let first = engine.submit_batch(objects[..20].to_vec());
+        let second = engine.submit_batch(objects[20..].to_vec());
+        let mut got = first.wait();
+        got.extend(second.wait());
+        let mut oracle = BaselineMonitor::new(prefs);
+        let expected: Vec<Arrival> = objects.into_iter().map(|o| oracle.process(o)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(engine.stats().arrivals, 40);
+    }
+
+    #[test]
+    fn engine_stats_roll_up() {
+        let prefs = population(10);
+        let engine = ShardedEngine::new(prefs, &EngineConfig::new(4), &BackendSpec::Baseline);
+        let n = 50;
+        engine.process_batch(stream(n));
+        let stats = engine.stats();
+        assert_eq!(stats.arrivals, n);
+        assert!(stats.comparisons > 0);
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.users, 10);
+        assert_eq!(snapshot.ingested, n);
+        assert_eq!(snapshot.shards.len(), 4);
+        let shard_arrivals: Vec<u64> = snapshot.shards.iter().map(|s| s.stats.arrivals).collect();
+        // Every shard sees every object.
+        assert!(shard_arrivals.iter().all(|&a| a == n));
+        assert_eq!(snapshot.shards.iter().map(|s| s.users).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn sliding_window_backend_expires_on_every_shard() {
+        let prefs = population(8);
+        let engine = ShardedEngine::new(
+            prefs.clone(),
+            &EngineConfig::new(4),
+            &BackendSpec::BaselineSw { window: 10 },
+        );
+        engine.process_batch(stream(35));
+        let stats = engine.stats();
+        assert_eq!(stats.arrivals, 35);
+        assert_eq!(stats.expirations, 25);
+        let mut oracle = pm_core::BaselineSwMonitor::new(prefs.clone(), 10);
+        for o in stream(35) {
+            oracle.process(o);
+        }
+        for u in 0..prefs.len() {
+            assert_eq!(
+                engine.frontier(UserId::from(u)),
+                oracle.frontier(UserId::from(u))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_population_and_empty_batches_are_fine() {
+        let engine = ShardedEngine::new(Vec::new(), &EngineConfig::new(2), &BackendSpec::Baseline);
+        assert!(engine.process_batch(Vec::new()).is_empty());
+        let arrival = engine.process(obj(0, &[1, 2, 3]));
+        assert!(arrival.target_users.is_empty());
+        assert_eq!(engine.num_users(), 0);
+        assert_eq!(engine.num_shards(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedEngine::new(Vec::new(), &EngineConfig::new(0), &BackendSpec::Baseline);
+    }
+}

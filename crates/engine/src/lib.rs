@@ -1,0 +1,51 @@
+//! # pm-engine
+//!
+//! A production-shaped serving layer on top of the single-threaded monitors
+//! of `pm-core`.
+//!
+//! The paper's headline claim (Sultana & Li, EDBT 2018) is scalability to
+//! *many users*: the per-arrival work of every monitor is a sum of
+//! independent per-user (or per-cluster) frontier updates. This crate
+//! exploits exactly that independence:
+//!
+//! * [`ShardedEngine`] hash-partitions the user population across `N` worker
+//!   threads. Every shard owns a complete [`pm_core::ContinuousMonitor`] of
+//!   any backend ([`BackendSpec`]) restricted to its own users, receives
+//!   every arriving object (objects are broadcast, users are partitioned),
+//!   and reports the target users it is responsible for. The engine fans the
+//!   per-shard target-user sets back into one [`pm_core::Arrival`] per
+//!   object, in exactly the order and encoding the single-threaded monitors
+//!   produce. For the exact backends (`Baseline`, `BaselineSw`, append-only
+//!   `FilterThenVerify`) sharding is an implementation detail, never a
+//!   semantic one; the approximate / sliding-window FilterThenVerify
+//!   backends cluster per shard, so their approximation (but not their
+//!   per-user exact-backend envelope) depends on the partition — see
+//!   [`ShardedEngine`].
+//! * Ingestion is batched and backpressured: shard inboxes are bounded
+//!   [`std::sync::mpsc::sync_channel`]s, so a producer that outruns the
+//!   shards blocks instead of exhausting memory.
+//! * [`EngineSnapshot`] rolls the per-shard [`pm_core::MonitorStats`] up
+//!   into engine-level metrics: arrivals/sec, per-shard queue depths and
+//!   user-partition skew.
+//! * [`server`] exposes the engine over TCP with a newline-delimited text
+//!   protocol (`INGEST`, `EXPIRE`, `QUERY`, `FRONTIER`, `STATS`, `HEALTH`),
+//!   served by the `pm-server` binary.
+//!
+//! Everything is `std`-only: threads and channels, no async runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+mod shard;
+
+pub use backend::BackendSpec;
+pub use engine::{shard_of, BatchTicket, EngineConfig, ShardedEngine};
+pub use metrics::{EngineSnapshot, ShardSnapshot};
+pub use protocol::{parse_request, Request};
+pub use server::{EngineService, ServerConfig};
+pub use shard::BoxedMonitor;

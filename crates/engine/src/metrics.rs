@@ -1,0 +1,161 @@
+//! Engine-level observability: per-shard and rolled-up metrics.
+
+use std::fmt;
+use std::time::Duration;
+
+use pm_core::MonitorStats;
+
+/// A point-in-time view of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Number of users this shard owns.
+    pub users: usize,
+    /// Batches enqueued but not yet processed by this shard.
+    pub queue_depth: usize,
+    /// The shard monitor's work counters. Note that `arrivals` counts every
+    /// object (objects are broadcast to all shards).
+    pub stats: MonitorStats,
+}
+
+/// A point-in-time view of the whole engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Per-shard views, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+    /// Total number of users.
+    pub users: usize,
+    /// Objects ingested by the engine (each object counted once).
+    pub ingested: u64,
+    /// Time since the engine was built.
+    pub uptime: Duration,
+}
+
+impl EngineSnapshot {
+    /// Ingestion throughput since the engine was built, in arrivals per
+    /// second.
+    pub fn arrivals_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ingested as f64 / secs
+        }
+    }
+
+    /// Per-shard queue depths, indexed by shard.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue_depth).collect()
+    }
+
+    /// User-partition skew: largest shard population divided by the ideal
+    /// (uniform) population. 1.0 is a perfect split; 0.0 when there are no
+    /// users.
+    pub fn shard_skew(&self) -> f64 {
+        if self.users == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let largest = self.shards.iter().map(|s| s.users).max().unwrap_or(0);
+        let ideal = self.users as f64 / self.shards.len() as f64;
+        largest as f64 / ideal
+    }
+
+    /// Total pairwise comparisons across all shards.
+    pub fn total_comparisons(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.comparisons).sum()
+    }
+
+    /// Total (object, user) notifications across all shards.
+    pub fn total_notifications(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.notifications).sum()
+    }
+
+    /// Window expirations (identical on every shard; the maximum is
+    /// reported so partially drained shards cannot under-report).
+    pub fn expirations(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stats.expirations)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for EngineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let depths: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| s.queue_depth.to_string())
+            .collect();
+        write!(
+            f,
+            "ingested={} arrivals_per_sec={:.1} users={} shards={} skew={:.2} \
+             comparisons={} notifications={} expirations={} queue_depths={}",
+            self.ingested,
+            self.arrivals_per_sec(),
+            self.users,
+            self.shards.len(),
+            self.shard_skew(),
+            self.total_comparisons(),
+            self.total_notifications(),
+            self.expirations(),
+            depths.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(shard: usize, users: usize, comparisons: u64) -> ShardSnapshot {
+        let mut stats = MonitorStats::new();
+        stats.comparisons = comparisons;
+        ShardSnapshot {
+            shard,
+            users,
+            queue_depth: 0,
+            stats,
+        }
+    }
+
+    #[test]
+    fn skew_of_perfect_split_is_one() {
+        let snap = EngineSnapshot {
+            shards: vec![shard(0, 5, 10), shard(1, 5, 20)],
+            users: 10,
+            ingested: 7,
+            uptime: Duration::from_secs(1),
+        };
+        assert!((snap.shard_skew() - 1.0).abs() < 1e-9);
+        assert_eq!(snap.total_comparisons(), 30);
+        assert!((snap.arrivals_per_sec() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_grows_with_imbalance() {
+        let snap = EngineSnapshot {
+            shards: vec![shard(0, 9, 0), shard(1, 1, 0)],
+            users: 10,
+            ingested: 0,
+            uptime: Duration::ZERO,
+        };
+        assert!((snap.shard_skew() - 1.8).abs() < 1e-9);
+        assert_eq!(snap.arrivals_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn empty_engine_snapshot_is_well_defined() {
+        let snap = EngineSnapshot {
+            shards: vec![],
+            users: 0,
+            ingested: 0,
+            uptime: Duration::ZERO,
+        };
+        assert_eq!(snap.shard_skew(), 0.0);
+        assert_eq!(snap.expirations(), 0);
+        assert!(snap.to_string().contains("ingested=0"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The newline-delimited text protocol spoken by `pm-server`.
+//!
+//! Requests are single lines, case-insensitive verbs, space-separated:
+//!
+//! ```text
+//! INGEST v,v,...[;v,v,...]*   ingest one or more objects (one per ';' group)
+//! EXPIRE                      report cumulative window expirations
+//! QUERY <object>              target users of a recently ingested object
+//! FRONTIER <user>             current Pareto frontier of a user
+//! STATS                       engine metrics snapshot
+//! HEALTH                      liveness + engine identity
+//! QUIT                        close the connection
+//! ```
+//!
+//! Ids may be written bare (`QUERY 17`) or with the display prefix of the
+//! id type (`QUERY o17`, `FRONTIER c3`). Responses are single lines starting
+//! with `OK` or `ERR`.
+
+use pm_model::{ObjectId, UserId, ValueId};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ingest a batch of objects, given as their attribute-value rows.
+    Ingest(Vec<Vec<ValueId>>),
+    /// Report cumulative window expirations.
+    Expire,
+    /// Look up the target users of a recently ingested object.
+    Query(ObjectId),
+    /// Report the current Pareto frontier of a user.
+    Frontier(UserId),
+    /// Report an engine metrics snapshot.
+    Stats,
+    /// Liveness check.
+    Health,
+    /// Close the connection.
+    Quit,
+}
+
+fn parse_values(group: &str) -> Result<Vec<ValueId>, String> {
+    group
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<u32>()
+                .map(ValueId::new)
+                .map_err(|_| format!("bad value `{v}` (expected unsigned integer)"))
+        })
+        .collect()
+}
+
+/// Parses one request line. Returns `Err` with a human-readable message on
+/// malformed input; the server relays it as an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "INGEST" => {
+            if rest.is_empty() {
+                return Err("INGEST needs at least one value row".to_owned());
+            }
+            rest.split(';')
+                .map(parse_values)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Ingest)
+        }
+        "EXPIRE" => {
+            if rest.is_empty() {
+                Ok(Request::Expire)
+            } else {
+                Err("EXPIRE takes no arguments (expiry is window-driven)".to_owned())
+            }
+        }
+        "QUERY" => {
+            let raw = rest.strip_prefix('o').unwrap_or(rest);
+            raw.parse::<u64>()
+                .map(|id| Request::Query(ObjectId::new(id)))
+                .map_err(|_| format!("bad object id `{rest}`"))
+        }
+        "FRONTIER" => {
+            let raw = rest.strip_prefix('c').unwrap_or(rest);
+            raw.parse::<u32>()
+                .map(|id| Request::Frontier(UserId::new(id)))
+                .map_err(|_| format!("bad user id `{rest}`"))
+        }
+        "STATS" => Ok(Request::Stats),
+        "HEALTH" => Ok(Request::Health),
+        "QUIT" => Ok(Request::Quit),
+        "" => Err("empty request".to_owned()),
+        other => Err(format!(
+            "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, STATS, HEALTH or QUIT)"
+        )),
+    }
+}
+
+/// Formats a `u32`-raw id list (users) as a comma-separated string.
+pub(crate) fn format_users(users: &[UserId]) -> String {
+    users
+        .iter()
+        .map(|u| u.raw().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats an object id list as a comma-separated string.
+pub(crate) fn format_objects(objects: &[ObjectId]) -> String {
+    objects
+        .iter()
+        .map(|o| o.raw().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ingest_batches() {
+        assert_eq!(
+            parse_request("INGEST 1,2,3"),
+            Ok(Request::Ingest(vec![vec![
+                ValueId::new(1),
+                ValueId::new(2),
+                ValueId::new(3)
+            ]]))
+        );
+        assert_eq!(
+            parse_request("ingest 1,2;3,4"),
+            Ok(Request::Ingest(vec![
+                vec![ValueId::new(1), ValueId::new(2)],
+                vec![ValueId::new(3), ValueId::new(4)],
+            ]))
+        );
+        assert!(parse_request("INGEST").is_err());
+        assert!(parse_request("INGEST a,b").is_err());
+    }
+
+    #[test]
+    fn parses_queries_with_and_without_prefixes() {
+        assert_eq!(
+            parse_request("QUERY 17"),
+            Ok(Request::Query(ObjectId::new(17)))
+        );
+        assert_eq!(
+            parse_request("query o17"),
+            Ok(Request::Query(ObjectId::new(17)))
+        );
+        assert_eq!(
+            parse_request("FRONTIER c3"),
+            Ok(Request::Frontier(UserId::new(3)))
+        );
+        assert_eq!(
+            parse_request("frontier 3"),
+            Ok(Request::Frontier(UserId::new(3)))
+        );
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("FRONTIER x").is_err());
+    }
+
+    #[test]
+    fn parses_nullary_verbs() {
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("health"), Ok(Request::Health));
+        assert_eq!(parse_request("  QUIT  "), Ok(Request::Quit));
+        assert_eq!(parse_request("EXPIRE"), Ok(Request::Expire));
+        assert!(parse_request("EXPIRE now").is_err());
+        assert!(parse_request("").is_err());
+        assert!(parse_request("BOGUS 1").is_err());
+    }
+
+    #[test]
+    fn formats_id_lists() {
+        assert_eq!(format_users(&[UserId::new(1), UserId::new(9)]), "1,9");
+        assert_eq!(format_users(&[]), "");
+        assert_eq!(format_objects(&[ObjectId::new(4)]), "4");
+    }
+}

@@ -1,0 +1,339 @@
+//! TCP serving layer: an [`EngineService`] wraps a [`ShardedEngine`] with
+//! object-id assignment and a bounded arrival history, and [`serve`] exposes
+//! it over a [`TcpListener`] with one thread per connection.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use pm_core::Arrival;
+use pm_model::{Object, ObjectId, UserId, ValueId};
+
+use crate::backend::BackendSpec;
+use crate::engine::ShardedEngine;
+use crate::protocol::{format_objects, format_users, parse_request, Request};
+
+/// Configuration of the serving layer (see `pm-server --help`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// How many recently ingested objects `QUERY` can look up.
+    pub history: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            history: 4096,
+        }
+    }
+}
+
+/// Object-id assignment and recent-arrival history, serialized so that ids
+/// are assigned in exactly the order batches reach the engine.
+struct IngestState {
+    next_id: u64,
+    order: VecDeque<ObjectId>,
+    targets: HashMap<ObjectId, Vec<UserId>>,
+}
+
+/// A sharded engine plus the session state the wire protocol needs. Shared
+/// across connection threads behind an [`Arc`].
+pub struct EngineService {
+    engine: ShardedEngine,
+    backend: BackendSpec,
+    arity: usize,
+    history: usize,
+    ingest: Mutex<IngestState>,
+}
+
+impl EngineService {
+    /// Wraps `engine`. `arity` is the number of attributes every ingested
+    /// object must carry; `history` bounds how many recent arrivals `QUERY`
+    /// can see.
+    pub fn new(engine: ShardedEngine, backend: BackendSpec, arity: usize, history: usize) -> Self {
+        Self {
+            engine,
+            backend,
+            arity,
+            history: history.max(1),
+            ingest: Mutex::new(IngestState {
+                next_id: 0,
+                order: VecDeque::new(),
+                targets: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Ingests value rows: assigns consecutive object ids (arrival
+    /// timestamps), processes the batch, records the target sets in the
+    /// history, and returns the arrivals.
+    ///
+    /// The ingest lock spans id assignment *and* engine submission so that
+    /// concurrent connections cannot ingest ids out of arrival order — but
+    /// it is released before the results are awaited, so one connection's
+    /// batch is processed by the shards while another connection already
+    /// assigns and enqueues the next one.
+    pub fn ingest(&self, rows: Vec<Vec<ValueId>>) -> Result<Vec<Arrival>, String> {
+        for row in &rows {
+            if row.len() != self.arity {
+                return Err(format!(
+                    "object has {} values, schema has {} attributes",
+                    row.len(),
+                    self.arity
+                ));
+            }
+        }
+        let ticket = {
+            let mut state = self.ingest.lock().expect("ingest state poisoned");
+            let objects: Vec<Object> = rows
+                .into_iter()
+                .map(|values| {
+                    let id = ObjectId::new(state.next_id);
+                    state.next_id += 1;
+                    Object::new(id, values)
+                })
+                .collect();
+            self.engine.submit_batch(objects)
+        };
+        let arrivals = ticket.wait();
+        // Concurrent batches may record their history slightly out of id
+        // order; the eviction bound still holds and each object is recorded
+        // exactly once.
+        let mut state = self.ingest.lock().expect("ingest state poisoned");
+        for arrival in &arrivals {
+            state.order.push_back(arrival.object);
+            state
+                .targets
+                .insert(arrival.object, arrival.target_users.clone());
+            while state.order.len() > self.history {
+                if let Some(evicted) = state.order.pop_front() {
+                    state.targets.remove(&evicted);
+                }
+            }
+        }
+        Ok(arrivals)
+    }
+
+    /// The recorded target users of a recently ingested object.
+    pub fn lookup(&self, object: ObjectId) -> Option<Vec<UserId>> {
+        let state = self.ingest.lock().expect("ingest state poisoned");
+        state.targets.get(&object).cloned()
+    }
+
+    /// Handles one parsed request, returning the response line (without the
+    /// trailing newline).
+    pub fn respond(&self, request: Request) -> String {
+        match request {
+            Request::Ingest(rows) => match self.ingest(rows) {
+                Ok(arrivals) => {
+                    let body = arrivals
+                        .iter()
+                        .map(|a| format!("{}:{}", a.object.raw(), format_users(&a.target_users)))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    format!("OK INGESTED {} {body}", arrivals.len())
+                }
+                Err(e) => format!("ERR {e}"),
+            },
+            Request::Expire => {
+                let expirations = self.engine.stats().expirations;
+                if self.backend.is_sliding() {
+                    format!("OK EXPIRED {expirations}")
+                } else {
+                    format!("OK EXPIRED {expirations} (append-only backend, nothing expires)")
+                }
+            }
+            Request::Query(object) => match self.lookup(object) {
+                Some(targets) => format!("OK QUERY {} {}", object.raw(), format_users(&targets)),
+                None => format!(
+                    "ERR object {} not in the last {} arrivals",
+                    object.raw(),
+                    self.history
+                ),
+            },
+            Request::Frontier(user) => {
+                if user.index() >= self.engine.num_users() {
+                    format!("ERR unknown user {}", user.raw())
+                } else {
+                    let frontier = self.engine.frontier(user);
+                    format!("OK FRONTIER {} {}", user.raw(), format_objects(&frontier))
+                }
+            }
+            Request::Stats => {
+                let snapshot = self.engine.snapshot();
+                format!("OK STATS {snapshot}")
+            }
+            Request::Health => format!(
+                "OK HEALTH pm-server backend={} shards={} users={} uptime_ms={}",
+                self.backend,
+                self.engine.num_shards(),
+                self.engine.num_users(),
+                self.engine.snapshot().uptime.as_millis()
+            ),
+            Request::Quit => "OK BYE".to_owned(),
+        }
+    }
+
+    /// Parses and handles one request line.
+    pub fn respond_line(&self, line: &str) -> String {
+        match parse_request(line) {
+            Ok(request) => self.respond(request),
+            Err(e) => format!("ERR {e}"),
+        }
+    }
+}
+
+/// Serves one established connection until `QUIT`, EOF or an I/O error.
+pub fn handle_connection(stream: TcpStream, service: &EngineService) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_request(&line);
+        let quit = matches!(parsed, Ok(Request::Quit));
+        let response = match parsed {
+            Ok(request) => service.respond(request),
+            Err(e) => format!("ERR {e}"),
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop: one thread per connection, until the listener errors out.
+pub fn serve(listener: TcpListener, service: Arc<EngineService>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &service);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use pm_porder::Preference;
+    use std::io::BufRead;
+
+    fn service(shards: usize, backend: &str) -> EngineService {
+        // Three users with simple chain preferences over 2 attributes.
+        let prefs: Vec<Preference> = (0..3)
+            .map(|u| {
+                let mut p = Preference::new(2);
+                for attr in 0..2u32 {
+                    p.prefer(
+                        pm_model::AttrId::new(attr),
+                        ValueId::new(u as u32 % 3),
+                        ValueId::new((u as u32 + 1) % 3),
+                    );
+                }
+                p
+            })
+            .collect();
+        let spec = BackendSpec::parse(backend).unwrap();
+        let engine = ShardedEngine::new(prefs, &EngineConfig::new(shards), &spec);
+        EngineService::new(engine, spec, 2, 8)
+    }
+
+    #[test]
+    fn ingest_query_frontier_stats_health_round_trip() {
+        let svc = service(2, "baseline");
+        let r = svc.respond_line("INGEST 0,1;1,2");
+        assert!(r.starts_with("OK INGESTED 2 0:"), "{r}");
+        assert!(r.contains(";1:"), "{r}");
+        let q = svc.respond_line("QUERY 0");
+        assert!(q.starts_with("OK QUERY 0 "), "{q}");
+        let f = svc.respond_line("FRONTIER 1");
+        assert!(f.starts_with("OK FRONTIER 1 "), "{f}");
+        let s = svc.respond_line("STATS");
+        assert!(s.contains("ingested=2"), "{s}");
+        assert!(s.contains("shards=2"), "{s}");
+        let h = svc.respond_line("HEALTH");
+        assert!(h.contains("backend=baseline"), "{h}");
+        assert!(h.contains("users=3"), "{h}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let svc = service(1, "baseline");
+        assert!(svc
+            .respond_line("INGEST 1,2,3")
+            .starts_with("ERR object has 3 values"));
+        assert!(svc.respond_line("QUERY 99").starts_with("ERR object 99"));
+        assert!(svc
+            .respond_line("FRONTIER 99")
+            .starts_with("ERR unknown user"));
+        assert!(svc.respond_line("GARBAGE").starts_with("ERR unknown verb"));
+        // The service still works afterwards.
+        assert!(svc.respond_line("INGEST 0,0").starts_with("OK INGESTED 1"));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let svc = service(1, "baseline");
+        for i in 0..12 {
+            let r = svc.respond_line(&format!("INGEST {},{}", i % 3, (i + 1) % 3));
+            assert!(r.starts_with("OK"), "{r}");
+        }
+        // History capacity is 8: object 0 has been evicted, recent ones kept.
+        assert!(svc.respond_line("QUERY 0").starts_with("ERR"));
+        assert!(svc.respond_line("QUERY 11").starts_with("OK"));
+    }
+
+    #[test]
+    fn expire_reports_window_expirations() {
+        let svc = service(2, "baseline-sw:4");
+        for i in 0..10 {
+            svc.respond_line(&format!("INGEST {},{}", i % 3, i % 2));
+        }
+        assert_eq!(svc.respond_line("EXPIRE"), "OK EXPIRED 6");
+        let append_only = service(2, "baseline");
+        assert!(append_only.respond_line("EXPIRE").contains("append-only"));
+    }
+
+    #[test]
+    fn tcp_round_trip_over_localhost() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::new(service(2, "baseline"));
+        let server_svc = Arc::clone(&svc);
+        std::thread::spawn(move || serve(listener, server_svc));
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut ask = |req: &str| -> String {
+            writer.write_all(req.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_owned()
+        };
+        assert!(ask("HEALTH").starts_with("OK HEALTH pm-server"));
+        assert!(ask("INGEST 0,1").starts_with("OK INGESTED 1"));
+        assert!(ask("STATS").contains("ingested=1"));
+        assert_eq!(ask("QUIT"), "OK BYE");
+    }
+}

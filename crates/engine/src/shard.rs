@@ -1,0 +1,101 @@
+//! Shard worker threads.
+//!
+//! A shard owns one [`ContinuousMonitor`] over a subset of the user
+//! population and processes commands from its bounded inbox in order.
+//! Because the monitor only knows its local, densely re-indexed users, the
+//! worker translates between local indices and global [`UserId`]s at the
+//! boundary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use pm_core::{ContinuousMonitor, MonitorStats};
+use pm_model::{Object, ObjectId, UserId};
+
+/// A monitor that can be moved onto a shard worker thread.
+///
+/// All monitors in `pm-core` are plain owned data (vectors and hash maps),
+/// so every one of them satisfies this bound.
+pub type BoxedMonitor = Box<dyn ContinuousMonitor + Send>;
+
+/// Commands accepted by a shard worker.
+pub(crate) enum ShardCmd {
+    /// Process a batch of objects and reply with the per-object target
+    /// users (global ids).
+    Batch {
+        /// The batch, shared by all shards.
+        objects: Arc<Vec<Object>>,
+        /// Where to send the per-shard reply.
+        reply: Sender<ShardBatchReply>,
+    },
+    /// Report the frontier of a (globally identified) user.
+    Frontier {
+        user: UserId,
+        reply: Sender<Vec<ObjectId>>,
+    },
+    /// Report the monitor's work counters.
+    Stats { reply: Sender<MonitorStats> },
+    /// Terminate the worker.
+    Shutdown,
+}
+
+/// One shard's answer for one batch.
+pub(crate) struct ShardBatchReply {
+    /// Which shard this reply came from.
+    pub shard: usize,
+    /// For each object of the batch, the target users owned by this shard,
+    /// as global ids in ascending order.
+    pub targets: Vec<Vec<UserId>>,
+}
+
+/// The state moved onto a shard's worker thread.
+pub(crate) struct ShardWorker {
+    pub shard: usize,
+    pub monitor: BoxedMonitor,
+    /// Local user index → global user id, ascending.
+    pub global_users: Vec<UserId>,
+    /// Number of batches enqueued but not yet fully processed.
+    pub queue_depth: Arc<AtomicUsize>,
+}
+
+impl ShardWorker {
+    /// Processes commands until the channel closes or `Shutdown` arrives.
+    pub fn run(mut self, inbox: Receiver<ShardCmd>) {
+        while let Ok(cmd) = inbox.recv() {
+            match cmd {
+                ShardCmd::Batch { objects, reply } => {
+                    let targets = objects
+                        .iter()
+                        .map(|object| {
+                            let arrival = self.monitor.process(object.clone());
+                            // Local indices are ascending, and the local→global
+                            // map is monotone, so the mapped list stays sorted.
+                            arrival
+                                .target_users
+                                .iter()
+                                .map(|local| self.global_users[local.index()])
+                                .collect()
+                        })
+                        .collect();
+                    self.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    let _ = reply.send(ShardBatchReply {
+                        shard: self.shard,
+                        targets,
+                    });
+                }
+                ShardCmd::Frontier { user, reply } => {
+                    let frontier = match self.global_users.binary_search(&user) {
+                        Ok(local) => self.monitor.frontier(UserId::from(local)),
+                        Err(_) => Vec::new(),
+                    };
+                    let _ = reply.send(frontier);
+                }
+                ShardCmd::Stats { reply } => {
+                    let _ = reply.send(self.monitor.stats());
+                }
+                ShardCmd::Shutdown => break,
+            }
+        }
+    }
+}

@@ -85,7 +85,10 @@ mod tests {
         cat.insert(obj(1));
         let replaced = cat.insert(Object::new(ObjectId::new(1), vec![ValueId::new(9)]));
         assert!(replaced.is_some());
-        assert_eq!(cat.get(ObjectId::new(1)).unwrap().values(), &[ValueId::new(9)]);
+        assert_eq!(
+            cat.get(ObjectId::new(1)).unwrap().values(),
+            &[ValueId::new(9)]
+        );
     }
 
     #[test]

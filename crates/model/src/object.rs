@@ -134,8 +134,9 @@ mod tests {
     #[test]
     fn from_labels_rejects_unknown_label() {
         let schema = laptop_schema();
-        assert!(Object::from_labels(ObjectId::new(0), &schema, &["13-15.9", "Dell", "dual"])
-            .is_none());
+        assert!(
+            Object::from_labels(ObjectId::new(0), &schema, &["13-15.9", "Dell", "dual"]).is_none()
+        );
     }
 
     #[test]

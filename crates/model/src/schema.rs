@@ -292,8 +292,7 @@ mod tests {
 
     #[test]
     fn display_lists_attribute_names() {
-        let schema =
-            Schema::from_attributes([Attribute::new("brand"), Attribute::new("cpu")]);
+        let schema = Schema::from_attributes([Attribute::new("brand"), Attribute::new("cpu")]);
         assert_eq!(schema.to_string(), "Schema(brand, cpu)");
     }
 

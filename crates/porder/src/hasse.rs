@@ -66,8 +66,8 @@ impl HasseDiagram {
             let dx = dist[&x];
             if let Some(succ) = edges.get(&x) {
                 for &y in succ {
-                    if !dist.contains_key(&y) {
-                        dist.insert(y, dx + 1);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(y) {
+                        slot.insert(dx + 1);
                         queue.push_back(y);
                     }
                 }
@@ -149,15 +149,14 @@ mod tests {
 
     #[test]
     fn diamond_has_two_paths_but_no_shortcut_edge() {
-        let r = Relation::from_pairs([
-            (v(0), v(1)),
-            (v(0), v(2)),
-            (v(1), v(3)),
-            (v(2), v(3)),
-        ])
-        .unwrap();
+        let r =
+            Relation::from_pairs([(v(0), v(1)), (v(0), v(2)), (v(1), v(3)), (v(2), v(3))]).unwrap();
         let h = HasseDiagram::of(&r);
-        assert_eq!(h.edge_count(), 4, "the closure edge (0,3) must be reduced away");
+        assert_eq!(
+            h.edge_count(),
+            4,
+            "the closure edge (0,3) must be reduced away"
+        );
         assert_eq!(h.distance_from_maximal(v(3)), Some(2));
     }
 
@@ -167,12 +166,8 @@ mod tests {
         // Toshiba ≻ Samsung. Maximal = {Apple, Toshiba}.
         // Weights: Apple 1, Lenovo 1/2, Samsung 1/2, Toshiba 1.
         let (apple, lenovo, samsung, toshiba) = (v(0), v(1), v(2), v(3));
-        let r = Relation::from_pairs([
-            (apple, lenovo),
-            (lenovo, samsung),
-            (toshiba, samsung),
-        ])
-        .unwrap();
+        let r =
+            Relation::from_pairs([(apple, lenovo), (lenovo, samsung), (toshiba, samsung)]).unwrap();
         assert!(r.prefers(apple, samsung), "closure");
         let h = HasseDiagram::of(&r);
         assert_eq!(
@@ -190,14 +185,13 @@ mod tests {
         // U2 on brand: Samsung ≻ Lenovo ≻ {Apple, Toshiba}.
         // Weights: Samsung 1, Lenovo 1/2, Apple 1/3, Toshiba 1/3.
         let (apple, lenovo, samsung, toshiba) = (v(0), v(1), v(2), v(3));
-        let r = Relation::from_pairs([
-            (samsung, lenovo),
-            (lenovo, apple),
-            (lenovo, toshiba),
-        ])
-        .unwrap();
+        let r =
+            Relation::from_pairs([(samsung, lenovo), (lenovo, apple), (lenovo, toshiba)]).unwrap();
         let h = HasseDiagram::of(&r);
-        assert_eq!(h.maximal_values(), &[samsung].into_iter().collect::<HashSet<_>>());
+        assert_eq!(
+            h.maximal_values(),
+            &[samsung].into_iter().collect::<HashSet<_>>()
+        );
         assert!((h.weight(apple) - 1.0 / 3.0).abs() < 1e-12);
         assert!((h.weight(toshiba) - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(h.weight(lenovo), 0.5);

@@ -333,10 +333,7 @@ impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut pairs: Vec<(ValueId, ValueId)> = self.pairs.iter().copied().collect();
         pairs.sort();
-        let rendered: Vec<String> = pairs
-            .iter()
-            .map(|(x, y)| format!("({x}≻{y})"))
-            .collect();
+        let rendered: Vec<String> = pairs.iter().map(|(x, y)| format!("({x}≻{y})")).collect();
         write!(f, "{{{}}}", rendered.join(", "))
     }
 }
@@ -384,13 +381,8 @@ mod tests {
     #[test]
     fn diamond_closure_is_complete() {
         // 0 ≻ 1, 0 ≻ 2, 1 ≻ 3, 2 ≻ 3  ⇒ closure adds 0 ≻ 3.
-        let r = Relation::from_pairs([
-            (v(0), v(1)),
-            (v(0), v(2)),
-            (v(1), v(3)),
-            (v(2), v(3)),
-        ])
-        .unwrap();
+        let r =
+            Relation::from_pairs([(v(0), v(1)), (v(0), v(2)), (v(1), v(3)), (v(2), v(3))]).unwrap();
         assert!(r.prefers(v(0), v(3)));
         assert_eq!(r.len(), 5);
         r.validate().unwrap();
@@ -429,8 +421,9 @@ mod tests {
         ])
         .unwrap();
         let common = c1.intersection(&c2);
-        let expected: HashSet<(ValueId, ValueId)> =
-            [(v(1), v(0)), (v(2), v(0)), (v(3), v(0))].into_iter().collect();
+        let expected: HashSet<(ValueId, ValueId)> = [(v(1), v(0)), (v(2), v(0)), (v(3), v(0))]
+            .into_iter()
+            .collect();
         assert_eq!(common.pairs().collect::<HashSet<_>>(), expected);
         assert_eq!(c1.intersection_size(&c2), 3);
         assert_eq!(c1.union_size(&c2), 8);

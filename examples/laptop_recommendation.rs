@@ -96,12 +96,22 @@ fn main() {
             .iter()
             .map(|u| format!("c{}", u.raw() + 1))
             .collect();
-        println!("o{:<2} is Pareto-optimal for {:?}", arrival.object.raw(), names);
+        println!(
+            "o{:<2} is Pareto-optimal for {:?}",
+            arrival.object.raw(),
+            names
+        );
     }
 
     println!();
     println!("cluster frontier P_U  = {:?}", monitor.cluster_frontier(0));
-    println!("c1 frontier P_c1      = {:?}", monitor.frontier(UserId::new(0)));
-    println!("c2 frontier P_c2      = {:?}", monitor.frontier(UserId::new(1)));
+    println!(
+        "c1 frontier P_c1      = {:?}",
+        monitor.frontier(UserId::new(0))
+    );
+    println!(
+        "c2 frontier P_c2      = {:?}",
+        monitor.frontier(UserId::new(1))
+    );
     println!("comparisons performed = {}", monitor.stats().comparisons);
 }

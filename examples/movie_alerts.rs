@@ -6,8 +6,8 @@
 //! Run with `cargo run --release -p pm-examples --bin movie_alerts`.
 
 use pm_cluster::ApproxConfig;
-use pm_core::{AccuracyReport, BaselineMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
 use pm_cluster::{cluster_users, ClusteringConfig, ExactMeasure};
+use pm_core::{AccuracyReport, BaselineMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
 use pm_datagen::{Dataset, DatasetProfile};
 
 fn main() {
@@ -55,7 +55,10 @@ fn main() {
     }
 
     println!("\ncomparisons per algorithm:");
-    println!("  Baseline               {:>12}", baseline.stats().comparisons);
+    println!(
+        "  Baseline               {:>12}",
+        baseline.stats().comparisons
+    );
     println!("  FilterThenVerify       {:>12}", ftv.stats().comparisons);
     println!("  FilterThenVerifyApprox {:>12}", ftva.stats().comparisons);
 

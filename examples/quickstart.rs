@@ -19,7 +19,10 @@ fn main() {
             "brand",
             Domain::from_labels(["Apple", "Lenovo", "Samsung", "Sony", "Toshiba"]),
         ),
-        Attribute::with_domain("cpu", Domain::from_labels(["single", "dual", "triple", "quad"])),
+        Attribute::with_domain(
+            "cpu",
+            Domain::from_labels(["single", "dual", "triple", "quad"]),
+        ),
     ]);
 
     // 2. Express user preferences as strict partial orders, one per attribute.

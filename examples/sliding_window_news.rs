@@ -34,7 +34,10 @@ fn main() {
     let (mut ftv, _) = build_exact_sw_monitor(&dataset, 0.55, window);
     let (mut ftva, summary) =
         build_approx_sw_monitor(&dataset, 0.55, default_approx_config(), window);
-    println!("clusters: {} (largest {})", summary.clusters, summary.largest);
+    println!(
+        "clusters: {} (largest {})",
+        summary.clusters, summary.largest
+    );
 
     let mut notified = [0u64; 3];
     for story in stream.iter() {
@@ -43,7 +46,10 @@ fn main() {
         notified[2] += ftva.process(story).target_users.len() as u64;
     }
 
-    println!("\n{:<26} {:>14} {:>14} {:>12}", "algorithm", "comparisons", "expirations", "alerts");
+    println!(
+        "\n{:<26} {:>14} {:>14} {:>12}",
+        "algorithm", "comparisons", "expirations", "alerts"
+    );
     for (name, stats, alerts) in [
         ("BaselineSW", baseline.stats(), notified[0]),
         ("FilterThenVerifySW", ftv.stats(), notified[1]),

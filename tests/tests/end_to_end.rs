@@ -6,7 +6,9 @@ use pm_core::{
     AccuracyReport, BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor,
     FilterThenVerifySwMonitor,
 };
-use pm_integration_tests::{one_cluster, singleton_clusters, small_movie_dataset, small_publication_dataset};
+use pm_integration_tests::{
+    one_cluster, singleton_clusters, small_movie_dataset, small_publication_dataset,
+};
 use pm_model::UserId;
 use pm_porder::naive_pareto_frontier;
 

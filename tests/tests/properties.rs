@@ -31,21 +31,19 @@ fn preference_strategy() -> impl Strategy<Value = Preference> {
 }
 
 fn objects_strategy(max: usize) -> impl Strategy<Value = Vec<Object>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..DOMAIN, ATTRS),
-        1..max,
+    proptest::collection::vec(proptest::collection::vec(0..DOMAIN, ATTRS), 1..max).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, vals)| {
+                    Object::new(
+                        ObjectId::from(i),
+                        vals.into_iter().map(ValueId::new).collect(),
+                    )
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, vals)| {
-                Object::new(
-                    ObjectId::from(i),
-                    vals.into_iter().map(ValueId::new).collect(),
-                )
-            })
-            .collect()
-    })
 }
 
 proptest! {

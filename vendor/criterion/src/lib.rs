@@ -1,0 +1,366 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in containers without access to a crates.io mirror,
+//! so the subset of the Criterion API our benches use is re-implemented here
+//! as a plain timing harness: warm-up, `sample_size` timed samples per
+//! benchmark, and a one-line report (mean / min / max, plus throughput when
+//! configured) on stdout. There is no statistical analysis, no HTML report
+//! and no baseline comparison — swap the real `criterion` back in via
+//! `[workspace.dependencies]` when the build has network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self::from_name(name)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self::from_name(name)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Accepted for API compatibility with `criterion::BatchSize`; this harness
+/// always runs setup once per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up for the configured duration, then one timed call
+    /// per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.iter_batched(|| (), |()| f(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// inside the timed region — setup cost and the drop of the routine's
+    /// output are excluded (so a routine can return its expensive state to
+    /// keep teardown out of the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let output = std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+            drop(output);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness times a fixed number of
+    /// samples rather than a target duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up duration before the timed samples.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        if self.criterion.test_mode {
+            Bencher {
+                sample_size: 1,
+                warm_up_time: Duration::ZERO,
+                samples: Vec::new(),
+            }
+        } else {
+            Bencher {
+                sample_size: self.sample_size,
+                warm_up_time: self.warm_up_time,
+                samples: Vec::new(),
+            }
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = self.bencher();
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, V, F>(&mut self, id: I, input: &V, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        V: ?Sized,
+        F: FnMut(&mut Bencher, &V),
+    {
+        let id = id.into();
+        let mut bencher = self.bencher();
+        f(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
+        self.criterion.benchmarks_run += 1;
+        if samples.is_empty() {
+            println!(
+                "{}/{id}: no samples (Bencher::iter never called)",
+                self.name
+            );
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("   thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("   thrpt: {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: time: [{} {} {}]{throughput}",
+            self.name,
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is bookkeeping
+    /// only).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    benchmarks_run: usize,
+    /// `cargo test` / `cargo bench -- --test` smoke mode: run every
+    /// benchmark routine exactly once, without warm-up, so panics and
+    /// deadlocks in bench paths are still caught.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            benchmarks_run: 0,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declares a group function running the given benchmark functions, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, like
+/// `criterion::criterion_main!`. Ignores harness CLI arguments (`--bench`,
+/// filters) that `cargo bench`/`cargo test` pass to the binary; `--test`
+/// switches [`Criterion`] into its one-pass smoke mode.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            benchmarks_run: 0,
+            test_mode: true,
+        };
+        let calls = std::cell::Cell::new(0u32);
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(50)
+            .warm_up_time(Duration::from_millis(100));
+        group.bench_function("counted", |b| b.iter(|| calls.set(calls.get() + 1)));
+        group.finish();
+        assert_eq!(calls.get(), 1, "test mode must run one pass, no warm-up");
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_name("g").to_string(), "g");
+        assert_eq!(BenchmarkId::from("h").to_string(), "h");
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

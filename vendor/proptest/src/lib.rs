@@ -1,0 +1,121 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in containers without access to a crates.io mirror,
+//! so the subset of the proptest API our property tests use is
+//! re-implemented here: the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`), range / tuple / [`collection::vec`]
+//! strategies, [`Strategy::prop_map`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a fixed deterministic seed per case (reproducible CI, no
+//! persistence files), and there is **no shrinking** — a failing case panics
+//! with the generated values left to the assertion message. Swap the real
+//! `proptest` back in via `[workspace.dependencies]` when the build has
+//! network access.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that evaluates `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_funcs!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_funcs!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_funcs {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_funcs!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// stand-in performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range and tuple strategies stay in bounds.
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..7, 1usize..4), c in 0u64..9) {
+            prop_assert!(a < 7);
+            prop_assert!((1..4).contains(&b));
+            prop_assert!(c < 9, "c = {c}");
+        }
+
+        /// Vec strategies honour exact and ranged sizes; prop_map applies.
+        #[test]
+        fn vecs_and_maps(
+            exact in crate::collection::vec(0u32..5, 3),
+            ranged in crate::collection::vec(0u32..5, 1..6),
+            doubled in (0u32..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!((1..6).contains(&ranged.len()));
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_ne!(doubled, 19);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(5));
+            runner.run(|rng| out.push(rng.next_u64()));
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic case runner.
+
+/// Configuration of a property test (mirrors `proptest::test_runner::Config`
+//  for the fields this workspace uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The per-case random source handed to strategies (`xoshiro256++`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot draw below zero");
+        self.next_u64() % bound
+    }
+}
+
+/// Runs a property body over `config.cases` deterministically seeded cases.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Creates a runner.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// Invokes `body` once per case with a case-specific [`TestRng`]. Any
+    /// panic in the body fails the surrounding `#[test]` immediately.
+    pub fn run<F: FnMut(&mut TestRng)>(&mut self, mut body: F) {
+        for case in 0..self.config.cases {
+            let seed =
+                0xA076_1D64_78BD_642Fu64 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::from_seed(seed);
+            body(&mut rng);
+        }
+    }
+}
