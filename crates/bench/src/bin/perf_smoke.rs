@@ -1,0 +1,278 @@
+//! Fixed-seed performance smoke harness and regression gate.
+//!
+//! Measures, on the movie-profile workload with a hard-coded seed:
+//!
+//! 1. the dominance hot path — `compare`/`dominates` throughput of the
+//!    hash-map [`Preference`] form vs the bitset-compiled
+//!    [`CompiledPreference`] form, and
+//! 2. end-to-end engine throughput — objects/sec through a
+//!    [`ShardedEngine`] running the FilterThenVerify backend.
+//!
+//! Results are printed as one line per metric and written to a JSON report
+//! (`BENCH_2.json` by default). With `--check <baseline.json>` the run
+//! fails (exit 1) when a throughput metric regresses more than 30% against
+//! the checked-in baseline, or when the compiled dominance path is less
+//! than 2x the hash-map path — this is the `perf-smoke` CI gate.
+//!
+//! ```text
+//! perf_smoke [--out BENCH_2.json] [--check bench-baseline.json]
+//! ```
+
+use std::time::Instant;
+
+use pm_bench::setup::generate_dataset;
+use pm_bench::workload::{object_pair_indices, value_pair, WORKLOAD_PREFS};
+use pm_bench::Scale;
+use pm_datagen::DatasetProfile;
+use pm_engine::{BackendSpec, EngineConfig, ShardedEngine};
+use pm_model::Object;
+use pm_porder::{CompiledPreference, Preference};
+
+/// Comparisons per dominance measurement.
+const DOMINANCE_OPS: usize = 2_000_000;
+/// Stream length for the end-to-end engine measurement.
+const ENGINE_OBJECTS: usize = 6_000;
+/// Ingestion batch size.
+const ENGINE_BATCH: usize = 256;
+/// The engine backend under test.
+const ENGINE_BACKEND: &str = "ftv:0.4";
+/// Regression tolerance of the `--check` gate.
+const MAX_REGRESSION: f64 = 0.30;
+/// Required compiled-vs-hash dominance speedup.
+const MIN_SPEEDUP: f64 = 2.0;
+
+struct Report {
+    prefers_hash: f64,
+    prefers_compiled: f64,
+    dominance_hash: f64,
+    dominance_compiled: f64,
+    engine_objects_per_sec: f64,
+}
+
+impl Report {
+    fn speedup(&self) -> f64 {
+        self.dominance_compiled / self.dominance_hash
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"pm-perf-smoke/v1\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+             \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
+             \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
+             \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
+             \"engine_objects\": {},\n  \"engine_objects_per_sec\": {:.0}\n}}\n",
+            self.prefers_hash,
+            self.prefers_compiled,
+            self.dominance_hash,
+            self.dominance_compiled,
+            self.speedup(),
+            ENGINE_BACKEND,
+            ENGINE_OBJECTS,
+            self.engine_objects_per_sec,
+        )
+    }
+}
+
+/// Times `ops` invocations of `f` (called with a running index), returning
+/// ops/sec. A black-boxed accumulator keeps the loop from being optimised
+/// away.
+fn ops_per_sec<F: FnMut(usize) -> usize>(ops: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..ops {
+        acc = acc.wrapping_add(f(i));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    ops as f64 / elapsed
+}
+
+fn measure_dominance(preferences: &[Preference], objects: &[Object]) -> (f64, f64, f64, f64) {
+    let hash: Vec<&Preference> = preferences.iter().take(WORKLOAD_PREFS).collect();
+    let compiled: Vec<CompiledPreference> = hash.iter().map(|p| p.compile()).collect();
+    let pair = |i: usize| {
+        let (a, b) = object_pair_indices(i, objects.len());
+        (&objects[a], &objects[b])
+    };
+
+    // Warm-up passes keep first-touch cache misses out of the timings.
+    for i in 0..DOMINANCE_OPS / 10 {
+        let (a, b) = pair(i);
+        std::hint::black_box(hash[i % hash.len()].compare(a, b));
+        std::hint::black_box(compiled[i % compiled.len()].compare(a, b));
+    }
+
+    let attr = pm_model::AttrId::new(0);
+    let prefers_hash = ops_per_sec(DOMINANCE_OPS, |i| {
+        let rel = hash[i % hash.len()].relation(attr);
+        let (x, y) = value_pair(objects, i);
+        rel.prefers(x, y) as usize
+    });
+    let prefers_compiled = ops_per_sec(DOMINANCE_OPS, |i| {
+        let rel = compiled[i % compiled.len()].relation(attr);
+        let (x, y) = value_pair(objects, i);
+        rel.prefers(x, y) as usize
+    });
+    let dominance_hash = ops_per_sec(DOMINANCE_OPS, |i| {
+        let (a, b) = pair(i);
+        hash[i % hash.len()].compare(a, b) as usize
+    });
+    let dominance_compiled = ops_per_sec(DOMINANCE_OPS, |i| {
+        let (a, b) = pair(i);
+        compiled[i % compiled.len()].compare(a, b) as usize
+    });
+    (
+        prefers_hash,
+        prefers_compiled,
+        dominance_hash,
+        dominance_compiled,
+    )
+}
+
+fn measure_engine(preferences: Vec<Preference>, objects: &[Object]) -> f64 {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(preferences, &EngineConfig::new(1), &spec);
+    let stream: Vec<Object> = (0..ENGINE_OBJECTS)
+        .map(|i| {
+            let base = &objects[i % objects.len()];
+            Object::new(pm_model::ObjectId::from(i), base.values().to_vec())
+        })
+        .collect();
+    let start = Instant::now();
+    let mut processed = 0usize;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        let arrivals = engine.process_batch(chunk.to_vec());
+        processed += arrivals.len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(processed, ENGINE_OBJECTS, "every object must be processed");
+    processed as f64 / elapsed
+}
+
+/// Minimal parser for the flat JSON this harness itself writes: returns the
+/// numeric fields as (key, value) pairs.
+fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
+    let mut fields = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(number) = value.trim().parse::<f64>() {
+            fields.push((key.to_owned(), number));
+        }
+    }
+    fields
+}
+
+fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Vec<String>> {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => return Err(vec![format!("cannot read baseline {baseline_path}: {e}")]),
+    };
+    let baseline = parse_flat_json_numbers(&text);
+    let lookup = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let mut failures = Vec::new();
+
+    let gates = [
+        ("dominance_compiled_ops_per_sec", report.dominance_compiled),
+        ("engine_objects_per_sec", report.engine_objects_per_sec),
+    ];
+    for (key, current) in gates {
+        let Some(expected) = lookup(key) else {
+            failures.push(format!("baseline is missing `{key}`"));
+            continue;
+        };
+        let floor = expected * (1.0 - MAX_REGRESSION);
+        if current < floor {
+            failures.push(format!(
+                "{key} regressed: {current:.0} < {floor:.0} \
+                 (baseline {expected:.0}, tolerance {:.0}%)",
+                MAX_REGRESSION * 100.0
+            ));
+        } else {
+            println!("gate ok: {key} = {current:.0} (>= {floor:.0})");
+        }
+    }
+
+    let min_speedup = lookup("min_dominance_speedup").unwrap_or(MIN_SPEEDUP);
+    if report.speedup() < min_speedup {
+        failures.push(format!(
+            "dominance speedup {:.2}x below required {min_speedup:.2}x",
+            report.speedup()
+        ));
+    } else {
+        println!(
+            "gate ok: dominance_speedup = {:.2}x (>= {min_speedup:.2}x)",
+            report.speedup()
+        );
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_2.json".to_owned();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out/--check)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("perf-smoke: movie profile, seed 42, fixed workload");
+    let dataset = generate_dataset(&DatasetProfile::movie(), &Scale::quick());
+    println!(
+        "dataset: {} users, {} objects, {} attributes",
+        dataset.num_users(),
+        dataset.num_objects(),
+        dataset.dimensions()
+    );
+
+    let (prefers_hash, prefers_compiled, dominance_hash, dominance_compiled) =
+        measure_dominance(&dataset.preferences, &dataset.objects);
+    println!("prefers/hash:        {prefers_hash:>12.0} ops/sec");
+    println!("prefers/compiled:    {prefers_compiled:>12.0} ops/sec");
+    println!("dominance/hash:      {dominance_hash:>12.0} ops/sec");
+    println!("dominance/compiled:  {dominance_compiled:>12.0} ops/sec");
+    println!(
+        "dominance speedup:   {:>12.2}x (compiled vs hash)",
+        dominance_compiled / dominance_hash
+    );
+
+    let engine_objects_per_sec = measure_engine(dataset.preferences.clone(), &dataset.objects);
+    println!("engine ({ENGINE_BACKEND}, 1 shard): {engine_objects_per_sec:>12.0} objects/sec");
+
+    let report = Report {
+        prefers_hash,
+        prefers_compiled,
+        dominance_hash,
+        dominance_compiled,
+        engine_objects_per_sec,
+    };
+    std::fs::write(&out_path, report.to_json()).expect("write report");
+    println!("wrote {out_path}");
+
+    if let Some(baseline) = check_path {
+        match check_against_baseline(&report, &baseline) {
+            Ok(()) => println!("perf-smoke gate: PASS"),
+            Err(failures) => {
+                for failure in &failures {
+                    eprintln!("perf-smoke gate: FAIL: {failure}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

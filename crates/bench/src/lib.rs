@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 pub mod setup;
+pub mod workload;
 
 pub use experiments::{
     ablation_experiment, accuracy_experiment, arrival_experiment, dimension_experiment,

@@ -10,18 +10,24 @@
 //!
 //! * **Exact** ([`ExactMeasure`]) — cluster similarity is computed on the
 //!   clusters' *common preference relations*; the merged cluster's common
-//!   relation is the per-attribute intersection of its parents'.
+//!   relation is the per-attribute intersection of its parents'. The loop
+//!   runs entirely on bitset-compiled relations sharing one interned
+//!   universe per attribute: similarities are AND + popcount over bit-rows
+//!   and a merge's common relation is a word-wise AND
+//!   ([`pm_porder::CompiledRelation::intersect`]).
 //! * **Approximate** ([`ApproxMeasure`]) — cluster similarity is computed on
 //!   per-cluster frequency vectors (Sec. 6.3); merging adds the vectors.
 //!   The merged cluster's exact common relation is still materialised for
 //!   the output, while the *approximate* common relation (Alg. 3) is built
 //!   later by [`crate::approx::approx_common_preference`].
 
-use pm_model::UserId;
-use pm_porder::Preference;
+use std::collections::HashSet;
+
+use pm_model::{AttrId, UserId, ValueId};
+use pm_porder::{CompiledRelation, Preference, Relation};
 
 use crate::approx_similarity::{ApproxMeasure, FrequencyVectors};
-use crate::similarity::{ExactMeasure, SimilarityMeasure};
+use crate::similarity::ExactMeasure;
 
 /// Configuration of the clustering pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,9 +117,97 @@ impl ClusteringOutcome {
     }
 }
 
+/// The sorted value universe of every attribute across all users, so that
+/// all clusters' compiled relations of one attribute share an index space.
+fn attribute_universes(preferences: &[Preference], arity: usize) -> Vec<Vec<ValueId>> {
+    let mut sets: Vec<HashSet<ValueId>> = vec![HashSet::new(); arity];
+    for pref in preferences {
+        for (attr, rel) in pref.relations() {
+            sets[attr.index()].extend(rel.values());
+        }
+    }
+    sets.into_iter()
+        .map(|set| {
+            let mut universe: Vec<ValueId> = set.into_iter().collect();
+            universe.sort_unstable();
+            universe
+        })
+        .collect()
+}
+
+/// One cluster's common preference relations as bit matrices (all clusters
+/// share per-attribute universes) plus the Hasse value weights the weighted
+/// measures need, aligned to the same dense indices.
+struct ExactState {
+    relations: Vec<CompiledRelation>,
+    weights: Vec<Vec<f64>>,
+}
+
+impl ExactState {
+    fn of_user(pref: &Preference, universes: &[Vec<ValueId>]) -> Self {
+        let empty = Relation::new();
+        let relations: Vec<CompiledRelation> = universes
+            .iter()
+            .enumerate()
+            .map(|(idx, universe)| {
+                let rel = if idx < pref.arity() {
+                    pref.relation(AttrId::from(idx))
+                } else {
+                    &empty
+                };
+                CompiledRelation::compile_with_universe(rel, universe)
+            })
+            .collect();
+        Self::with_weights(relations)
+    }
+
+    fn with_weights(relations: Vec<CompiledRelation>) -> Self {
+        let weights = relations
+            .iter()
+            .map(CompiledRelation::value_weights)
+            .collect();
+        Self { relations, weights }
+    }
+
+    /// The merged cluster's common relation (Def. 4.1): a word-wise AND per
+    /// attribute. No closure recomputation is needed (Theorem 4.2).
+    fn merge(&self, other: &ExactState) -> ExactState {
+        Self::with_weights(
+            self.relations
+                .iter()
+                .zip(&other.relations)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        )
+    }
+
+    /// Cluster similarity: the measure summed over attributes (Eq. 1), each
+    /// attribute an AND(+NOT) + popcount pass over the two bit matrices.
+    fn similarity(&self, other: &ExactState, measure: ExactMeasure) -> f64 {
+        self.relations
+            .iter()
+            .zip(&other.relations)
+            .enumerate()
+            .map(|(idx, (a, b))| {
+                measure.compiled_attr_similarity(a, &self.weights[idx], b, &other.weights[idx])
+            })
+            .sum()
+    }
+
+    /// Decompiles into the [`Preference`] of the cluster's virtual user.
+    fn to_preference(&self) -> Preference {
+        Preference::from_relations(
+            self.relations
+                .iter()
+                .map(CompiledRelation::to_relation)
+                .collect(),
+        )
+    }
+}
+
 /// Internal per-cluster state during the agglomerative loop.
 enum State {
-    Exact(Preference),
+    Exact(ExactState),
     Approx(FrequencyVectors),
 }
 
@@ -131,6 +225,11 @@ struct Working {
 /// which is ample for the user populations used in the paper's experiments
 /// (the cost is dominated by Pareto maintenance, not clustering).
 pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> ClusteringOutcome {
+    let arity = preferences.iter().map(Preference::arity).max().unwrap_or(0);
+    let universes = match config {
+        ClusteringConfig::Exact { .. } => attribute_universes(preferences, arity),
+        ClusteringConfig::Approx { .. } => Vec::new(),
+    };
     let mut working: Vec<Working> = preferences
         .iter()
         .enumerate()
@@ -138,7 +237,9 @@ pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> Cl
             members: vec![UserId::from(idx)],
             member_idx: vec![idx],
             state: match config {
-                ClusteringConfig::Exact { .. } => State::Exact(pref.clone()),
+                ClusteringConfig::Exact { .. } => {
+                    State::Exact(ExactState::of_user(pref, &universes))
+                }
                 ClusteringConfig::Approx { measure, .. } => {
                     State::Approx(FrequencyVectors::of_user(pref, measure))
                 }
@@ -187,7 +288,7 @@ pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> Cl
         keeper.members.extend(absorbed.members);
         keeper.member_idx.extend(absorbed.member_idx);
         keeper.state = match (&keeper.state, &absorbed.state) {
-            (State::Exact(a), State::Exact(b)) => State::Exact(Preference::common_of([a, b])),
+            (State::Exact(a), State::Exact(b)) => State::Exact(a.merge(b)),
             (State::Approx(a), State::Approx(b)) => State::Approx(a.merge(b)),
             _ => unreachable!("cluster states never mix within one run"),
         };
@@ -211,7 +312,7 @@ pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> Cl
         .into_iter()
         .map(|w| {
             let common = match w.state {
-                State::Exact(pref) => pref,
+                State::Exact(state) => state.to_preference(),
                 // For the approximate path the exact common relation is still
                 // the natural "virtual user" summary; the approximate relation
                 // is derived separately with Alg. 3.
@@ -230,8 +331,8 @@ pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> Cl
 
 fn pair_similarity(a: &Working, b: &Working, config: &ClusteringConfig) -> f64 {
     match (config, &a.state, &b.state) {
-        (ClusteringConfig::Exact { measure, .. }, State::Exact(pa), State::Exact(pb)) => {
-            measure.similarity(pa, pb)
+        (ClusteringConfig::Exact { measure, .. }, State::Exact(sa), State::Exact(sb)) => {
+            sa.similarity(sb, *measure)
         }
         (ClusteringConfig::Approx { .. }, State::Approx(va), State::Approx(vb)) => {
             va.similarity(vb)

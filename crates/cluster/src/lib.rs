@@ -5,7 +5,9 @@
 //!
 //! * [`similarity`] — the four exact similarity measures between clusters'
 //!   common preference relations: intersection size, Jaccard, weighted
-//!   intersection size and weighted Jaccard (Eq. 1–5).
+//!   intersection size and weighted Jaccard (Eq. 1–5). Each comes in a
+//!   hash-map reference form and a `compiled_*` bit-row form (word-wise
+//!   AND + popcount) that the clustering loop runs on.
 //! * [`approx_similarity`] — the frequency-vector Jaccard and weighted
 //!   Jaccard measures used when clustering for approximate common
 //!   preference relations (Eq. 9–10).

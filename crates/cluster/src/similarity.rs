@@ -6,8 +6,14 @@
 //! average weight of its *better* value in the two clusters, where a value's
 //! weight is the inverse of (1 + its minimum distance from a maximal value
 //! on the cluster's Hasse diagram).
+//!
+//! Two implementations are provided: the original hash-map form on
+//! [`Relation`] (kept as the reference and for one-off comparisons), and the
+//! `compiled_*` functions on [`CompiledRelation`] bit-rows, where every
+//! measure reduces to word-wise AND / AND-NOT plus popcount. The clustering
+//! loop ([`crate::cluster_users`]) runs on the compiled form.
 
-use pm_porder::{HasseDiagram, Preference, Relation};
+use pm_porder::{CompiledRelation, HasseDiagram, Preference, Relation};
 
 /// Which exact similarity measure to use (Sec. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +130,101 @@ pub fn weighted_jaccard(a: &Relation, b: &Relation) -> f64 {
     }
 }
 
+/// `simᵈ_i` on bit-rows: word-wise AND + popcount.
+///
+/// Both relations must share a compiled universe (see
+/// [`CompiledRelation::compile_with_universe`]).
+pub fn compiled_intersection_size(a: &CompiledRelation, b: &CompiledRelation) -> f64 {
+    a.intersection_size(b) as f64
+}
+
+/// `simᵈ_j` on bit-rows. Defined as 0 when both relations are empty.
+pub fn compiled_jaccard(a: &CompiledRelation, b: &CompiledRelation) -> f64 {
+    let inter = a.intersection_size(b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// `simᵈ_wi` on bit-rows: every common tuple with better value `v`
+/// contributes the average of `v`'s weights, so one AND + popcount per row
+/// scaled by that row's average weight covers all of the row's tuples.
+///
+/// `wa` / `wb` are the clusters' Hasse value weights aligned to the shared
+/// universe's dense indices (see [`CompiledRelation::value_weights`]).
+pub fn compiled_weighted_intersection(
+    a: &CompiledRelation,
+    wa: &[f64],
+    b: &CompiledRelation,
+    wb: &[f64],
+) -> f64 {
+    (0..a.num_values())
+        .map(|i| {
+            let common: u32 = a
+                .row(i)
+                .iter()
+                .zip(b.row(i))
+                .map(|(x, y)| (x & y).count_ones())
+                .sum();
+            f64::from(common) * 0.5 * (wa[i] + wb[i])
+        })
+        .sum()
+}
+
+/// `simᵈ_wj` on bit-rows: the weighted intersection over the weighted
+/// union, with the tuples exclusive to one cluster (AND-NOT popcounts)
+/// weighted by that cluster's weights alone.
+pub fn compiled_weighted_jaccard(
+    a: &CompiledRelation,
+    wa: &[f64],
+    b: &CompiledRelation,
+    wb: &[f64],
+) -> f64 {
+    let mut wi = 0.0;
+    let mut only_a = 0.0;
+    let mut only_b = 0.0;
+    for i in 0..a.num_values() {
+        let (mut common, mut oa, mut ob) = (0u32, 0u32, 0u32);
+        for (x, y) in a.row(i).iter().zip(b.row(i)) {
+            common += (x & y).count_ones();
+            oa += (x & !y).count_ones();
+            ob += (!x & y).count_ones();
+        }
+        wi += f64::from(common) * 0.5 * (wa[i] + wb[i]);
+        only_a += f64::from(oa) * wa[i];
+        only_b += f64::from(ob) * wb[i];
+    }
+    let denom = wi + only_a + only_b;
+    if denom == 0.0 {
+        0.0
+    } else {
+        wi / denom
+    }
+}
+
+impl ExactMeasure {
+    /// The measure on one attribute's compiled bit-rows; `wa` / `wb` are the
+    /// two clusters' Hasse value weights over the shared universe (ignored
+    /// by the unweighted measures).
+    pub fn compiled_attr_similarity(
+        self,
+        a: &CompiledRelation,
+        wa: &[f64],
+        b: &CompiledRelation,
+        wb: &[f64],
+    ) -> f64 {
+        match self {
+            ExactMeasure::IntersectionSize => compiled_intersection_size(a, b),
+            ExactMeasure::Jaccard => compiled_jaccard(a, b),
+            ExactMeasure::WeightedIntersectionSize => compiled_weighted_intersection(a, wa, b, wb),
+            ExactMeasure::WeightedJaccard => compiled_weighted_jaccard(a, wa, b, wb),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +314,41 @@ mod tests {
         let p2 = Preference::from_relations(vec![u3(), u3()]);
         let m = ExactMeasure::IntersectionSize;
         assert_eq!(m.similarity(&p1, &p2), 4.0);
+    }
+
+    #[test]
+    fn compiled_measures_match_reference_on_table3() {
+        let rels = [u1(), u2(), u3()];
+        let mut universe: Vec<ValueId> = rels
+            .iter()
+            .flat_map(|r| r.values())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        universe.sort_unstable();
+        let compiled: Vec<CompiledRelation> = rels
+            .iter()
+            .map(|r| CompiledRelation::compile_with_universe(r, &universe))
+            .collect();
+        let weights: Vec<Vec<f64>> = compiled.iter().map(|c| c.value_weights()).collect();
+        for i in 0..rels.len() {
+            for j in 0..rels.len() {
+                for m in ExactMeasure::ALL {
+                    let reference = m.attr_similarity(&rels[i], &rels[j]);
+                    let bitset = m.compiled_attr_similarity(
+                        &compiled[i],
+                        &weights[i],
+                        &compiled[j],
+                        &weights[j],
+                    );
+                    assert!(
+                        (reference - bitset).abs() < 1e-12,
+                        "{} mismatch on ({i}, {j}): {reference} vs {bitset}",
+                        m.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

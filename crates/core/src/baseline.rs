@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use pm_model::{Object, ObjectId, UserId};
-use pm_porder::{Dominance, Preference};
+use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
@@ -21,9 +21,10 @@ use crate::stats::MonitorStats;
 pub(crate) type Frontier = HashMap<ObjectId, Object>;
 
 /// The outcome of updating one user's frontier with a new object
-/// (Procedure `updateParetoFrontier` of Alg. 1).
+/// (Procedure `updateParetoFrontier` of Alg. 1). Runs on the compiled
+/// (bitset) preference form: every dominance test is word-indexed bit math.
 pub(crate) fn update_pareto_frontier(
-    preference: &Preference,
+    preference: &CompiledPreference,
     frontier: &mut Frontier,
     object: &Object,
     stats: &mut MonitorStats,
@@ -59,17 +60,23 @@ pub(crate) fn update_pareto_frontier(
 /// Algorithm 1: the per-user baseline monitor.
 #[derive(Debug, Clone)]
 pub struct BaselineMonitor {
+    /// Build-time preferences, kept for introspection and reconfiguration.
     preferences: Vec<Preference>,
+    /// The bitset-compiled preferences every arrival is tested against.
+    compiled: Vec<CompiledPreference>,
     frontiers: Vec<Frontier>,
     stats: MonitorStats,
 }
 
 impl BaselineMonitor {
-    /// Creates a monitor for the given users (indexed by [`UserId`]).
+    /// Creates a monitor for the given users (indexed by [`UserId`]),
+    /// compiling every preference to its bitset form up front.
     pub fn new(preferences: Vec<Preference>) -> Self {
+        let compiled = preferences.iter().map(Preference::compile).collect();
         let frontiers = vec![Frontier::new(); preferences.len()];
         Self {
             preferences,
+            compiled,
             frontiers,
             stats: MonitorStats::new(),
         }
@@ -84,7 +91,7 @@ impl BaselineMonitor {
 impl ContinuousMonitor for BaselineMonitor {
     fn process(&mut self, object: Object) -> Arrival {
         let mut targets = Vec::new();
-        for (idx, pref) in self.preferences.iter().enumerate() {
+        for (idx, pref) in self.compiled.iter().enumerate() {
             if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
                 targets.push(UserId::from(idx));
             }

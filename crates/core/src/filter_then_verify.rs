@@ -11,7 +11,7 @@
 //! (verify step).
 
 use pm_model::{Object, ObjectId, UserId};
-use pm_porder::{Dominance, Preference};
+use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
 
@@ -23,8 +23,23 @@ use crate::stats::MonitorStats;
 #[derive(Debug, Clone)]
 struct ClusterState {
     members: Vec<UserId>,
+    /// Build-time form of the virtual user's preference (introspection).
     virtual_preference: Preference,
+    /// Bitset form the filter step actually runs on.
+    compiled: CompiledPreference,
     frontier: Frontier,
+}
+
+impl ClusterState {
+    fn new(members: Vec<UserId>, virtual_preference: Preference) -> Self {
+        let compiled = virtual_preference.compile();
+        Self {
+            members,
+            virtual_preference,
+            compiled,
+            frontier: Frontier::new(),
+        }
+    }
 }
 
 /// Algorithm 2: shared-computation monitoring via user clusters.
@@ -35,7 +50,10 @@ struct ClusterState {
 /// the virtual users' preferences differ.
 #[derive(Debug, Clone)]
 pub struct FilterThenVerifyMonitor {
+    /// Build-time per-user preferences (introspection, approx construction).
     preferences: Vec<Preference>,
+    /// Bitset form the verify step runs on, indexed like `preferences`.
+    compiled: Vec<CompiledPreference>,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<ClusterState>,
     stats: MonitorStats,
@@ -48,11 +66,7 @@ impl FilterThenVerifyMonitor {
     pub fn new(preferences: Vec<Preference>, clusters: &[Cluster]) -> Self {
         let states = clusters
             .iter()
-            .map(|c| ClusterState {
-                members: c.members.clone(),
-                virtual_preference: c.common.clone(),
-                frontier: Frontier::new(),
-            })
+            .map(|c| ClusterState::new(c.members.clone(), c.common.clone()))
             .collect();
         Self::from_states(preferences, states)
     }
@@ -73,11 +87,7 @@ impl FilterThenVerifyMonitor {
                     members.iter().map(|u| &preferences[u.index()]),
                     config,
                 );
-                ClusterState {
-                    members,
-                    virtual_preference,
-                    frontier: Frontier::new(),
-                }
+                ClusterState::new(members, virtual_preference)
             })
             .collect();
         Self::from_states(preferences, states)
@@ -91,19 +101,17 @@ impl FilterThenVerifyMonitor {
     ) -> Self {
         let states = clusters
             .into_iter()
-            .map(|(members, virtual_preference)| ClusterState {
-                members,
-                virtual_preference,
-                frontier: Frontier::new(),
-            })
+            .map(|(members, virtual_preference)| ClusterState::new(members, virtual_preference))
             .collect();
         Self::from_states(preferences, states)
     }
 
     fn from_states(preferences: Vec<Preference>, clusters: Vec<ClusterState>) -> Self {
+        let compiled = preferences.iter().map(Preference::compile).collect();
         let user_frontiers = vec![Frontier::new(); preferences.len()];
         Self {
             preferences,
+            compiled,
             user_frontiers,
             clusters,
             stats: MonitorStats::new(),
@@ -145,7 +153,7 @@ impl FilterThenVerifyMonitor {
         let mut dominated: Vec<ObjectId> = Vec::new();
         for existing in cluster.frontier.values() {
             stats.record_comparison();
-            match cluster.virtual_preference.compare(object, existing) {
+            match cluster.compiled.compare(object, existing) {
                 Dominance::Dominates => dominated.push(existing.id()),
                 Dominance::DominatedBy => {
                     is_pareto = false;
@@ -187,7 +195,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
             }
             // Verify against each member's own preference (Alg. 2, line 6).
             for member in &cluster.members {
-                let pref = &self.preferences[member.index()];
+                let pref = &self.compiled[member.index()];
                 if update_pareto_frontier(
                     pref,
                     &mut self.user_frontiers[member.index()],

@@ -18,7 +18,7 @@
 //! has no such loss and serves as ground truth.
 
 use pm_model::{Object, ObjectId, SlidingWindow, UserId};
-use pm_porder::{Dominance, Preference};
+use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
 
@@ -30,7 +30,7 @@ use crate::stats::MonitorStats;
 /// (`refreshParetoBufferSW`, Alg. 4). By Theorem 7.2 the evicted objects can
 /// never become Pareto-optimal again.
 fn refresh_buffer(
-    preference: &Preference,
+    preference: &CompiledPreference,
     buffer: &mut Frontier,
     object: &Object,
     stats: &mut MonitorStats,
@@ -51,7 +51,7 @@ fn refresh_buffer(
 /// `mendParetoFrontierSW` (Alg. 4): promotes `candidate` into `frontier` if
 /// no current frontier member dominates it. Returns whether it was promoted.
 fn mend_frontier(
-    preference: &Preference,
+    preference: &CompiledPreference,
     frontier: &mut Frontier,
     candidate: &Object,
     stats: &mut MonitorStats,
@@ -78,7 +78,10 @@ fn buffer_in_arrival_order(buffer: &Frontier) -> Vec<Object> {
 /// Algorithm 4: per-user sliding-window baseline.
 #[derive(Debug, Clone)]
 pub struct BaselineSwMonitor {
+    /// Build-time preferences, kept for introspection.
     preferences: Vec<Preference>,
+    /// Bitset form every arrival, eviction and mend runs on.
+    compiled: Vec<CompiledPreference>,
     frontiers: Vec<Frontier>,
     buffers: Vec<Frontier>,
     window: SlidingWindow,
@@ -86,11 +89,14 @@ pub struct BaselineSwMonitor {
 }
 
 impl BaselineSwMonitor {
-    /// Creates a monitor over a window of `window_size` objects.
+    /// Creates a monitor over a window of `window_size` objects, compiling
+    /// every preference to its bitset form up front.
     pub fn new(preferences: Vec<Preference>, window_size: usize) -> Self {
         let n = preferences.len();
+        let compiled = preferences.iter().map(Preference::compile).collect();
         Self {
             preferences,
+            compiled,
             frontiers: vec![Frontier::new(); n],
             buffers: vec![Frontier::new(); n],
             window: SlidingWindow::new(window_size),
@@ -112,7 +118,7 @@ impl BaselineSwMonitor {
 
     fn expire(&mut self, expired: &Object) {
         self.stats.record_expiration();
-        for (idx, pref) in self.preferences.iter().enumerate() {
+        for (idx, pref) in self.compiled.iter().enumerate() {
             let frontier = &mut self.frontiers[idx];
             let buffer = &mut self.buffers[idx];
             let was_pareto = frontier.remove(&expired.id()).is_some();
@@ -141,7 +147,7 @@ impl ContinuousMonitor for BaselineSwMonitor {
             self.expire(expired);
         }
         let mut targets = Vec::new();
-        for (idx, pref) in self.preferences.iter().enumerate() {
+        for (idx, pref) in self.compiled.iter().enumerate() {
             if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
                 targets.push(UserId::from(idx));
             }
@@ -173,7 +179,10 @@ impl ContinuousMonitor for BaselineSwMonitor {
 #[derive(Debug, Clone)]
 struct SwClusterState {
     members: Vec<UserId>,
+    /// Build-time form of the virtual user's preference (introspection).
     virtual_preference: Preference,
+    /// Bitset form the filter, mend and buffer scans run on.
+    compiled: CompiledPreference,
     /// `P_U`: the cluster-level frontier.
     frontier: Frontier,
     /// `PB_U`: the cluster-level Pareto frontier buffer (Def. 7.4 for the
@@ -181,11 +190,27 @@ struct SwClusterState {
     buffer: Frontier,
 }
 
+impl SwClusterState {
+    fn new(members: Vec<UserId>, virtual_preference: Preference) -> Self {
+        let compiled = virtual_preference.compile();
+        Self {
+            members,
+            virtual_preference,
+            compiled,
+            frontier: Frontier::new(),
+            buffer: Frontier::new(),
+        }
+    }
+}
+
 /// Algorithm 5: sliding-window FilterThenVerify (and its approximate
 /// variant, depending on how the virtual preferences are built).
 #[derive(Debug, Clone)]
 pub struct FilterThenVerifySwMonitor {
+    /// Build-time per-user preferences (introspection, approx construction).
     preferences: Vec<Preference>,
+    /// Bitset form the verify and mend steps run on.
+    compiled: Vec<CompiledPreference>,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<SwClusterState>,
     window: SlidingWindow,
@@ -198,12 +223,7 @@ impl FilterThenVerifySwMonitor {
     pub fn new(preferences: Vec<Preference>, clusters: &[Cluster], window_size: usize) -> Self {
         let states = clusters
             .iter()
-            .map(|c| SwClusterState {
-                members: c.members.clone(),
-                virtual_preference: c.common.clone(),
-                frontier: Frontier::new(),
-                buffer: Frontier::new(),
-            })
+            .map(|c| SwClusterState::new(c.members.clone(), c.common.clone()))
             .collect();
         Self::from_states(preferences, states, window_size)
     }
@@ -223,12 +243,7 @@ impl FilterThenVerifySwMonitor {
                     c.members.iter().map(|u| &preferences[u.index()]),
                     config,
                 );
-                SwClusterState {
-                    members: c.members.clone(),
-                    virtual_preference,
-                    frontier: Frontier::new(),
-                    buffer: Frontier::new(),
-                }
+                SwClusterState::new(c.members.clone(), virtual_preference)
             })
             .collect();
         Self::from_states(preferences, states, window_size)
@@ -242,12 +257,7 @@ impl FilterThenVerifySwMonitor {
     ) -> Self {
         let states = clusters
             .into_iter()
-            .map(|(members, virtual_preference)| SwClusterState {
-                members,
-                virtual_preference,
-                frontier: Frontier::new(),
-                buffer: Frontier::new(),
-            })
+            .map(|(members, virtual_preference)| SwClusterState::new(members, virtual_preference))
             .collect();
         Self::from_states(preferences, states, window_size)
     }
@@ -257,9 +267,11 @@ impl FilterThenVerifySwMonitor {
         clusters: Vec<SwClusterState>,
         window_size: usize,
     ) -> Self {
+        let compiled = preferences.iter().map(Preference::compile).collect();
         let user_frontiers = vec![Frontier::new(); preferences.len()];
         Self {
             preferences,
+            compiled,
             user_frontiers,
             clusters,
             window: SlidingWindow::new(window_size),
@@ -282,6 +294,11 @@ impl FilterThenVerifySwMonitor {
         let mut ids: Vec<ObjectId> = self.clusters[cluster].frontier.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// The virtual preference used by a cluster (common or approximate).
+    pub fn virtual_preference(&self, cluster: usize) -> &Preference {
+        &self.clusters[cluster].virtual_preference
     }
 
     /// The cluster-level buffer `PB_U`, sorted by id.
@@ -307,13 +324,11 @@ impl FilterThenVerifySwMonitor {
                         continue;
                     }
                     self.stats.record_comparison();
-                    if cluster.virtual_preference.compare(expired, &candidate)
-                        != Dominance::Dominates
-                    {
+                    if cluster.compiled.compare(expired, &candidate) != Dominance::Dominates {
                         continue;
                     }
                     let promoted = mend_frontier(
-                        &cluster.virtual_preference,
+                        &cluster.compiled,
                         &mut cluster.frontier,
                         &candidate,
                         &mut self.stats,
@@ -321,7 +336,7 @@ impl FilterThenVerifySwMonitor {
                     if promoted {
                         for member in &cluster.members {
                             mend_frontier(
-                                &self.preferences[member.index()],
+                                &self.compiled[member.index()],
                                 &mut self.user_frontiers[member.index()],
                                 &candidate,
                                 &mut self.stats,
@@ -338,7 +353,7 @@ impl FilterThenVerifySwMonitor {
     /// (lines 10–14). Returns the members for whom the object is reported
     /// Pareto-optimal.
     fn arrive_cluster(
-        preferences: &[Preference],
+        preferences: &[CompiledPreference],
         user_frontiers: &mut [Frontier],
         cluster: &mut SwClusterState,
         object: &Object,
@@ -349,7 +364,7 @@ impl FilterThenVerifySwMonitor {
         let mut dominated: Vec<ObjectId> = Vec::new();
         for existing in cluster.frontier.values() {
             stats.record_comparison();
-            match cluster.virtual_preference.compare(object, existing) {
+            match cluster.compiled.compare(object, existing) {
                 Dominance::Dominates => dominated.push(existing.id()),
                 Dominance::DominatedBy => {
                     is_pareto = false;
@@ -377,12 +392,7 @@ impl FilterThenVerifySwMonitor {
         }
         // Alg. 5, line 15: the cluster buffer is refreshed regardless of
         // whether the object is currently Pareto-optimal.
-        refresh_buffer(
-            &cluster.virtual_preference,
-            &mut cluster.buffer,
-            object,
-            stats,
-        );
+        refresh_buffer(&cluster.compiled, &mut cluster.buffer, object, stats);
         targets
     }
 }
@@ -396,7 +406,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
         let mut targets = Vec::new();
         for cluster in &mut self.clusters {
             targets.extend(Self::arrive_cluster(
-                &self.preferences,
+                &self.compiled,
                 &mut self.user_frontiers,
                 cluster,
                 &object,

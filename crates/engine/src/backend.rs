@@ -76,6 +76,12 @@ fn exact_clusters(preferences: &[Preference], branch_cut: f64) -> Vec<Cluster> {
 
 impl BackendSpec {
     /// Builds one shard's monitor over the given (shard-local) preferences.
+    ///
+    /// Every monitor constructor compiles its preferences (user-level and
+    /// cluster-level virtual users alike) to the bitset form of
+    /// [`pm_porder::CompiledPreference`] before the first arrival, so each
+    /// shard's dominance hot path runs on word-indexed bit tests regardless
+    /// of the backend chosen here.
     pub fn build(&self, preferences: &[Preference]) -> BoxedMonitor {
         let prefs = preferences.to_vec();
         match *self {

@@ -86,6 +86,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map(|id| Request::Frontier(UserId::new(id)))
                 .map_err(|_| format!("bad user id `{rest}`"))
         }
+        "STATS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
+            Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
+        }
         "STATS" => Ok(Request::Stats),
         "HEALTH" => Ok(Request::Health),
         "QUIT" => Ok(Request::Quit),
@@ -168,6 +171,9 @@ mod tests {
         assert_eq!(parse_request("  QUIT  "), Ok(Request::Quit));
         assert_eq!(parse_request("EXPIRE"), Ok(Request::Expire));
         assert!(parse_request("EXPIRE now").is_err());
+        assert!(parse_request("STATS verbose").is_err());
+        assert!(parse_request("HEALTH ?").is_err());
+        assert!(parse_request("QUIT QUIT").is_err());
         assert!(parse_request("").is_err());
         assert!(parse_request("BOGUS 1").is_err());
     }

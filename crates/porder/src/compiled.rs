@@ -1,0 +1,604 @@
+//! Bitset-compiled partial orders: the immutable, cache-friendly form the
+//! monitoring hot path runs on.
+//!
+//! [`Relation`] is the *build-time* representation: hash maps support
+//! incremental transitive-closure insertion while preferences are collected.
+//! Once a monitor is constructed, its preferences never change again, yet
+//! every arriving object pays `prefers(x, y)` many times over. Compiling a
+//! relation interns its values to dense indices and stores the transitive
+//! closure as a bit matrix — one fixed-width bit-row per value — so that
+//!
+//! * `prefers(x, y)` is two array loads plus one shift-and-mask,
+//! * intersection (the common preference relation of Def. 4.1) is a
+//!   bitwise AND over the rows, and
+//! * the similarity measures of Sec. 5 reduce to AND + popcount.
+//!
+//! [`CompiledPreference`] bundles one [`CompiledRelation`] per attribute and
+//! carries the object-dominance test of Def. 3.2 ([`CompiledPreference::compare`],
+//! [`CompiledPreference::dominates`], [`CompiledPreference::dominates_batch`]).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use pm_model::{AttrId, Object, ValueId};
+
+use crate::preference::{Dominance, Preference};
+use crate::relation::Relation;
+
+/// Sentinel for "value not in this relation's universe".
+const NONE: u32 = u32::MAX;
+
+/// An immutable strict partial order compiled to a dense bit matrix.
+///
+/// Row `i` holds the successor set of the `i`-th interned value: bit `j` of
+/// row `i` is set iff `universe[i] ≻ universe[j]` in the source relation's
+/// transitive closure. Values outside the universe are incomparable to
+/// everything, matching [`Relation::prefers`] on unmentioned values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledRelation {
+    /// `ValueId.raw() → dense index`, or [`NONE`]; indexed directly by raw
+    /// id. Shared (`Arc`) so that [`CompiledRelation::intersect`] — called
+    /// once per attribute per cluster merge — never re-copies the table.
+    index_of: Arc<[u32]>,
+    /// Dense index → interned value, ascending by raw id. Shared like
+    /// `index_of`.
+    universe: Arc<[ValueId]>,
+    /// Width of each bit-row in 64-bit words: `ceil(universe.len() / 64)`.
+    words_per_row: usize,
+    /// `universe.len() * words_per_row` words, row-major.
+    bits: Vec<u64>,
+    /// Number of preference tuples (total popcount), kept for O(1) `len`.
+    len: usize,
+}
+
+impl CompiledRelation {
+    /// Compiles `relation` over exactly the values it mentions.
+    pub fn compile(relation: &Relation) -> Self {
+        let mut universe: Vec<ValueId> = relation.values().into_iter().collect();
+        universe.sort_unstable();
+        Self::compile_with_universe(relation, &universe)
+    }
+
+    /// Compiles `relation` over a caller-chosen `universe` (sorted,
+    /// duplicate-free, covering every value the relation mentions).
+    ///
+    /// Sharing one universe across many relations of the same attribute puts
+    /// their bit-rows in the same index space, which is what makes
+    /// [`CompiledRelation::intersect`] and the popcount-based similarity
+    /// measures plain word-wise operations.
+    ///
+    /// # Panics
+    /// Panics if `universe` misses a value the relation mentions; debug
+    /// builds additionally assert that `universe` is sorted and
+    /// duplicate-free. Compilation is a build-time step, so the covering
+    /// check is kept in release builds too.
+    pub fn compile_with_universe(relation: &Relation, universe: &[ValueId]) -> Self {
+        debug_assert!(universe.windows(2).all(|w| w[0] < w[1]), "universe sorted");
+        let max_raw = universe.last().map_or(0, |v| v.raw() as usize + 1);
+        let mut index_of = vec![NONE; max_raw];
+        for (i, v) in universe.iter().enumerate() {
+            index_of[v.index()] = i as u32;
+        }
+        let n = universe.len();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        let mut len = 0usize;
+        let dense = |v: ValueId| -> usize {
+            match index_of.get(v.index()).copied() {
+                Some(slot) if slot != NONE => slot as usize,
+                _ => panic!("universe does not cover value {v} of the relation"),
+            }
+        };
+        for (x, y) in relation.pairs() {
+            let (ix, iy) = (dense(x), dense(y));
+            bits[ix * words_per_row + iy / 64] |= 1u64 << (iy % 64);
+            len += 1;
+        }
+        Self {
+            index_of: index_of.into(),
+            universe: universe.to_vec().into(),
+            words_per_row,
+            bits,
+            len,
+        }
+    }
+
+    /// The dense index of `v`, if it belongs to the compiled universe.
+    #[inline]
+    pub fn dense_index(&self, v: ValueId) -> Option<usize> {
+        match self.index_of.get(v.index()) {
+            Some(&slot) if slot != NONE => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    /// The interned values, ascending by raw id.
+    pub fn universe(&self) -> &[ValueId] {
+        &self.universe
+    }
+
+    /// Number of interned values.
+    pub fn num_values(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// The bit-row of the `idx`-th interned value: bit `j` set iff
+    /// `universe[idx] ≻ universe[j]`.
+    #[inline]
+    pub fn row(&self, idx: usize) -> &[u64] {
+        &self.bits[idx * self.words_per_row..(idx + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn bit(&self, ix: usize, iy: usize) -> bool {
+        (self.bits[ix * self.words_per_row + iy / 64] >> (iy % 64)) & 1 == 1
+    }
+
+    /// Whether `x ≻ y` holds: two interning loads and one shift-and-mask.
+    #[inline]
+    pub fn prefers(&self, x: ValueId, y: ValueId) -> bool {
+        match (self.dense_index(x), self.dense_index(y)) {
+            (Some(ix), Some(iy)) => self.bit(ix, iy),
+            _ => false,
+        }
+    }
+
+    /// Whether `x ≻ y` or `y ≻ x` holds.
+    #[inline]
+    pub fn comparable(&self, x: ValueId, y: ValueId) -> bool {
+        match (self.dense_index(x), self.dense_index(y)) {
+            (Some(ix), Some(iy)) => self.bit(ix, iy) || self.bit(iy, ix),
+            _ => false,
+        }
+    }
+
+    /// Number of preference tuples in the closure (`|≻ᵈ|`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation holds no preference tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `other` was compiled over the same universe, i.e. the two bit
+    /// matrices live in the same index space.
+    pub fn same_universe(&self, other: &CompiledRelation) -> bool {
+        Arc::ptr_eq(&self.universe, &other.universe) || self.universe == other.universe
+    }
+
+    /// `|≻ᵈ_1 ∩ ≻ᵈ_2|` (`simᵈ_i`, Eq. 2) as word-wise AND + popcount.
+    ///
+    /// # Panics
+    /// Panics (debug builds) unless both relations share a universe.
+    pub fn intersection_size(&self, other: &CompiledRelation) -> usize {
+        debug_assert!(self.same_universe(other), "universes must match");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|≻ᵈ_1 ∪ ≻ᵈ_2|` (denominator of the Jaccard measure, Eq. 3).
+    ///
+    /// # Panics
+    /// Panics (debug builds) unless both relations share a universe.
+    pub fn union_size(&self, other: &CompiledRelation) -> usize {
+        self.len + other.len - self.intersection_size(other)
+    }
+
+    /// The common preference relation `≻ᵈ_U = ≻ᵈ_1 ∩ ≻ᵈ_2` (Def. 4.1) as a
+    /// word-wise AND. The intersection of strict partial orders is a strict
+    /// partial order (Theorem 4.2), so the result needs no re-closure.
+    ///
+    /// # Panics
+    /// Panics (debug builds) unless both relations share a universe.
+    pub fn intersect(&self, other: &CompiledRelation) -> CompiledRelation {
+        debug_assert!(self.same_universe(other), "universes must match");
+        let mut len = 0usize;
+        let bits: Vec<u64> = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| {
+                let word = a & b;
+                len += word.count_ones() as usize;
+                word
+            })
+            .collect();
+        CompiledRelation {
+            index_of: self.index_of.clone(),
+            universe: self.universe.clone(),
+            words_per_row: self.words_per_row,
+            bits,
+            len,
+        }
+    }
+
+    /// Iterates over all preference tuples of the closure.
+    pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
+        (0..self.universe.len()).flat_map(move |ix| {
+            self.iter_row(ix)
+                .map(move |iy| (self.universe[ix], self.universe[iy]))
+        })
+    }
+
+    /// Iterates over the set bit positions of row `ix`.
+    fn iter_row(&self, ix: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(ix).iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(w * 64 + bit)
+            })
+        })
+    }
+
+    /// Decompiles back to the hash-map [`Relation`] (for interop with the
+    /// build-time APIs; the pair set is already transitively closed).
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_closed_pairs(self.pairs().collect())
+    }
+
+    /// The Hasse value weights of Sec. 5 (Eq. 4), indexed by dense index:
+    /// `1 / (1 + min distance from a maximal value over the Hasse diagram)`.
+    ///
+    /// Values of the universe not mentioned by any tuple get weight 1,
+    /// matching [`crate::HasseDiagram::weight`]'s convention that an
+    /// unconstrained value is trivially maximal.
+    pub fn value_weights(&self) -> Vec<f64> {
+        let n = self.universe.len();
+        // Successor lists and predecessor counts from the bit matrix.
+        let succ: Vec<Vec<usize>> = (0..n).map(|ix| self.iter_row(ix).collect()).collect();
+        let mut pred_count = vec![0usize; n];
+        for ys in &succ {
+            for &y in ys {
+                pred_count[y] += 1;
+            }
+        }
+        // Cover (Hasse) edges: (x, y) with no z between them. The inner test
+        // is a single bit lookup per candidate intermediate.
+        let mut cover: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (x, ys) in succ.iter().enumerate() {
+            for &y in ys {
+                let is_cover = !ys.iter().any(|&z| z != y && self.bit(z, y));
+                if is_cover {
+                    cover[x].push(y);
+                }
+            }
+        }
+        // Multi-source BFS from the maximal (predecessor-free, mentioned)
+        // values, exactly as HasseDiagram::of does on the hash-map form.
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for x in 0..n {
+            let mentioned = !succ[x].is_empty() || pred_count[x] > 0;
+            if mentioned && pred_count[x] == 0 {
+                dist[x] = 0;
+                queue.push_back(x);
+            }
+        }
+        while let Some(x) = queue.pop_front() {
+            for &y in &cover[x] {
+                if dist[y] == u32::MAX {
+                    dist[y] = dist[x] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist.into_iter()
+            .map(|d| {
+                if d == u32::MAX {
+                    1.0
+                } else {
+                    1.0 / (f64::from(d) + 1.0)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A user's (or virtual user's) preferences compiled for the hot path: one
+/// [`CompiledRelation`] per attribute.
+#[derive(Debug, Clone)]
+pub struct CompiledPreference {
+    relations: Vec<CompiledRelation>,
+}
+
+impl CompiledPreference {
+    /// Compiles every attribute relation of `preference`.
+    pub fn compile(preference: &Preference) -> Self {
+        Self {
+            relations: preference
+                .relations()
+                .map(|(_, rel)| CompiledRelation::compile(rel))
+                .collect(),
+        }
+    }
+
+    /// Bundles pre-compiled per-attribute relations (in attribute order).
+    pub fn from_relations(relations: Vec<CompiledRelation>) -> Self {
+        Self { relations }
+    }
+
+    /// Number of attributes covered (`|D|`).
+    pub fn arity(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The compiled relation for attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    pub fn relation(&self, attr: AttrId) -> &CompiledRelation {
+        &self.relations[attr.index()]
+    }
+
+    /// Total number of preference tuples across all attributes.
+    pub fn total_pairs(&self) -> usize {
+        self.relations.iter().map(CompiledRelation::len).sum()
+    }
+
+    /// Whether the preference holds no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(CompiledRelation::is_empty)
+    }
+
+    /// Whether value `x` is preferred to `y` on attribute `attr`.
+    #[inline]
+    pub fn prefers(&self, attr: AttrId, x: ValueId, y: ValueId) -> bool {
+        self.relations[attr.index()].prefers(x, y)
+    }
+
+    /// Whether object `a` dominates object `b` (Def. 3.2).
+    #[inline]
+    pub fn dominates(&self, a: &Object, b: &Object) -> bool {
+        matches!(self.compare(a, b), Dominance::Dominates)
+    }
+
+    /// Full three-way-plus-identical comparison of two objects, semantically
+    /// identical to [`Preference::compare`] but with every `prefers` test a
+    /// bit lookup. Only the first `arity()` attributes are considered.
+    pub fn compare(&self, a: &Object, b: &Object) -> Dominance {
+        let mut a_better = false;
+        let mut b_better = false;
+        for (idx, rel) in self.relations.iter().enumerate() {
+            let attr = AttrId::from(idx);
+            let (av, bv) = (a.value(attr), b.value(attr));
+            if av == bv {
+                continue;
+            }
+            match (rel.dense_index(av), rel.dense_index(bv)) {
+                (Some(ia), Some(ib)) => {
+                    if rel.bit(ia, ib) {
+                        a_better = true;
+                    } else if rel.bit(ib, ia) {
+                        b_better = true;
+                    } else {
+                        return Dominance::Incomparable;
+                    }
+                }
+                // A value outside the relation's universe is incomparable to
+                // every differing value.
+                _ => return Dominance::Incomparable,
+            }
+            if a_better && b_better {
+                return Dominance::Incomparable;
+            }
+        }
+        match (a_better, b_better) {
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::DominatedBy,
+            (false, false) => Dominance::Identical,
+            (true, true) => Dominance::Incomparable,
+        }
+    }
+
+    /// Compares `object` against a batch of others in one call, returning
+    /// one [`Dominance`] per element of `others` (in order). This is the
+    /// shape of the frontier-scan loops in `pm-core`, exposed so callers and
+    /// benches can drive the hot path without per-comparison dispatch.
+    pub fn dominates_batch<'a, I>(&self, object: &Object, others: I) -> Vec<Dominance>
+    where
+        I: IntoIterator<Item = &'a Object>,
+    {
+        others
+            .into_iter()
+            .map(|other| self.compare(object, other))
+            .collect()
+    }
+
+    /// Restricts the compiled preference to its first `k` attributes.
+    pub fn project(&self, k: usize) -> CompiledPreference {
+        CompiledPreference {
+            relations: self.relations[..k.min(self.relations.len())].to_vec(),
+        }
+    }
+}
+
+impl Preference {
+    /// Compiles this preference for the monitoring hot path.
+    pub fn compile(&self) -> CompiledPreference {
+        CompiledPreference::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasse::HasseDiagram;
+    use pm_model::ObjectId;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn obj(id: u64, vals: &[u32]) -> Object {
+        Object::new(ObjectId::new(id), vals.iter().map(|&x| v(x)).collect())
+    }
+
+    #[test]
+    fn compiled_prefers_matches_relation() {
+        let rel = Relation::from_pairs([(v(0), v(1)), (v(1), v(2)), (v(5), v(2))]).unwrap();
+        let c = CompiledRelation::compile(&rel);
+        assert_eq!(c.len(), rel.len());
+        assert_eq!(c.num_values(), 4);
+        for x in 0..8 {
+            for y in 0..8 {
+                assert_eq!(c.prefers(v(x), v(y)), rel.prefers(v(x), v(y)), "({x}, {y})");
+                assert_eq!(c.comparable(v(x), v(y)), rel.comparable(v(x), v(y)));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_pairs_round_trip() {
+        let rel = Relation::from_pairs([(v(3), v(1)), (v(1), v(0)), (v(7), v(0))]).unwrap();
+        let c = CompiledRelation::compile(&rel);
+        let back = c.to_relation();
+        assert_eq!(back, rel);
+        let mut pairs: Vec<_> = c.pairs().collect();
+        pairs.sort();
+        let mut expected: Vec<_> = rel.pairs().collect();
+        expected.sort();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn empty_relation_compiles_to_empty_matrix() {
+        let c = CompiledRelation::compile(&Relation::new());
+        assert!(c.is_empty());
+        assert_eq!(c.num_values(), 0);
+        assert!(!c.prefers(v(0), v(1)));
+        assert!(c.pairs().next().is_none());
+    }
+
+    #[test]
+    fn wide_universe_spans_multiple_words() {
+        // 70 values forces words_per_row = 2, exercising cross-word bits.
+        let rel = Relation::from_pairs((0..69).map(|i| (v(i), v(i + 1)))).unwrap();
+        let c = CompiledRelation::compile(&rel);
+        assert_eq!(c.num_values(), 70);
+        assert_eq!(c.len(), rel.len());
+        assert!(c.prefers(v(0), v(69)), "closure bit in the second word");
+        assert!(!c.prefers(v(69), v(0)));
+        assert_eq!(c.to_relation(), rel);
+    }
+
+    #[test]
+    fn shared_universe_intersection_is_and_popcount() {
+        let a = Relation::from_pairs([(v(1), v(0)), (v(2), v(0)), (v(3), v(0))]).unwrap();
+        let b = Relation::from_pairs([(v(1), v(0)), (v(3), v(2)), (v(3), v(0))]).unwrap();
+        let (va, vb) = (a.values(), b.values());
+        let mut universe: Vec<ValueId> = va.union(&vb).copied().collect();
+        universe.sort_unstable();
+        let ca = CompiledRelation::compile_with_universe(&a, &universe);
+        let cb = CompiledRelation::compile_with_universe(&b, &universe);
+        assert_eq!(ca.intersection_size(&cb), a.intersection_size(&b));
+        assert_eq!(ca.union_size(&cb), a.union_size(&b));
+        assert_eq!(ca.intersect(&cb).to_relation(), a.intersection(&b));
+    }
+
+    #[test]
+    fn value_weights_match_hasse_diagram() {
+        // U2 on brand (Example 5.4): Samsung ≻ Lenovo ≻ {Apple, Toshiba}.
+        let rel = Relation::from_pairs([(v(2), v(1)), (v(1), v(0)), (v(1), v(3))]).unwrap();
+        let c = CompiledRelation::compile(&rel);
+        let hasse = HasseDiagram::of(&rel);
+        let weights = c.value_weights();
+        for (i, &value) in c.universe().iter().enumerate() {
+            assert!(
+                (weights[i] - hasse.weight(value)).abs() < 1e-15,
+                "weight of {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmentioned_universe_values_get_weight_one() {
+        let rel = Relation::from_pairs([(v(0), v(1))]).unwrap();
+        let universe = [v(0), v(1), v(2)];
+        let c = CompiledRelation::compile_with_universe(&rel, &universe);
+        let weights = c.value_weights();
+        assert_eq!(weights, vec![1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn compiled_preference_compare_matches_preference() {
+        let mut p = Preference::new(3);
+        p.prefer(a(0), v(2), v(1));
+        p.prefer(a(0), v(1), v(3));
+        p.prefer(a(1), v(0), v(1));
+        p.prefer(a(2), v(1), v(2));
+        p.prefer(a(2), v(1), v(3));
+        p.prefer(a(2), v(1), v(0));
+        let c = p.compile();
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.total_pairs(), p.total_pairs());
+        let objects = [
+            obj(1, &[1, 0, 0]),
+            obj(2, &[2, 0, 1]),
+            obj(3, &[2, 2, 1]),
+            obj(4, &[3, 1, 3]),
+            obj(5, &[9, 9, 9]),
+        ];
+        for x in &objects {
+            for y in &objects {
+                assert_eq!(c.compare(x, y), p.compare(x, y), "{} vs {}", x.id(), y.id());
+            }
+        }
+        assert!(c.dominates(&objects[1], &objects[0]));
+    }
+
+    #[test]
+    fn dominates_batch_matches_pointwise_compare() {
+        let mut p = Preference::new(1);
+        p.prefer(a(0), v(0), v(1));
+        p.prefer(a(0), v(1), v(2));
+        let c = p.compile();
+        let best = obj(0, &[0]);
+        let others = [obj(1, &[1]), obj(2, &[2]), obj(3, &[0]), obj(4, &[7])];
+        let verdicts = c.dominates_batch(&best, others.iter());
+        assert_eq!(
+            verdicts,
+            vec![
+                Dominance::Dominates,
+                Dominance::Dominates,
+                Dominance::Identical,
+                Dominance::Incomparable,
+            ]
+        );
+    }
+
+    #[test]
+    fn projection_restricts_attributes() {
+        let mut p = Preference::new(2);
+        p.prefer(a(0), v(0), v(1));
+        p.prefer(a(1), v(1), v(0));
+        let c = p.compile().project(1);
+        assert_eq!(c.arity(), 1);
+        let x = obj(0, &[0, 0]);
+        let y = obj(1, &[1, 1]);
+        assert_eq!(c.compare(&x, &y), Dominance::Dominates);
+    }
+
+    #[test]
+    fn empty_preference_is_empty_and_identical_everywhere() {
+        let c = Preference::new(2).compile();
+        assert!(c.is_empty());
+        let x = obj(0, &[0, 1]);
+        let y = obj(1, &[2, 3]);
+        assert_eq!(c.compare(&x, &y), Dominance::Incomparable);
+        assert_eq!(c.compare(&x, &x), Dominance::Identical);
+    }
+}

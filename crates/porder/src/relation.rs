@@ -2,9 +2,11 @@
 //!
 //! A [`Relation`] materialises the *transitive closure* of a preference
 //! relation `≻ᵈ_c` (Def. 3.1): the set of preference tuples `(x, y)`
-//! meaning "x is preferred to y". Storing the closure makes the hot
-//! `prefers(x, y)` test O(1) and makes intersection of relations (common
-//! preference relations, Def. 4.1) a straightforward set intersection.
+//! meaning "x is preferred to y". Storing the closure makes `prefers(x, y)`
+//! O(1) and makes intersection of relations (common preference relations,
+//! Def. 4.1) a straightforward filter. This is the *mutable, build-time*
+//! representation; hot paths compile it to a
+//! [`CompiledRelation`](crate::CompiledRelation) bit matrix.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -38,14 +40,18 @@ impl fmt::Display for RelationError {
 impl std::error::Error for RelationError {}
 
 /// A strict partial order over [`ValueId`]s, stored as its transitive closure.
+///
+/// The closure is held only as the successor/predecessor adjacency maps; the
+/// tuple `(x, y)` is present iff `y ∈ successors[x]`, so no separate pair
+/// set is materialised (it would triple-store every tuple).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Relation {
-    /// All preference tuples of the transitive closure.
-    pairs: HashSet<(ValueId, ValueId)>,
-    /// `successors[x]` = all `y` with `x ≻ y`.
+    /// `successors[x]` = all `y` with `x ≻ y`. Entries are never empty.
     successors: HashMap<ValueId, HashSet<ValueId>>,
-    /// `predecessors[y]` = all `x` with `x ≻ y`.
+    /// `predecessors[y]` = all `x` with `x ≻ y`. Entries are never empty.
     predecessors: HashMap<ValueId, HashSet<ValueId>>,
+    /// Number of preference tuples in the closure.
+    len: usize,
 }
 
 impl Relation {
@@ -77,14 +83,15 @@ impl Relation {
     pub(crate) fn from_closed_pairs(pairs: HashSet<(ValueId, ValueId)>) -> Self {
         let mut successors: HashMap<ValueId, HashSet<ValueId>> = HashMap::new();
         let mut predecessors: HashMap<ValueId, HashSet<ValueId>> = HashMap::new();
-        for &(x, y) in &pairs {
+        let len = pairs.len();
+        for (x, y) in pairs {
             successors.entry(x).or_default().insert(y);
             predecessors.entry(y).or_default().insert(x);
         }
         let rel = Self {
-            pairs,
             successors,
             predecessors,
+            len,
         };
         debug_assert!(rel.validate().is_ok());
         rel
@@ -116,7 +123,7 @@ impl Relation {
     /// Whether `x ≻ y` holds.
     #[inline]
     pub fn prefers(&self, x: ValueId, y: ValueId) -> bool {
-        self.pairs.contains(&(x, y))
+        self.successors.get(&x).is_some_and(|s| s.contains(&y))
     }
 
     /// Whether the preference tuple `(x, y)` or its reverse is present.
@@ -127,27 +134,28 @@ impl Relation {
 
     /// Number of preference tuples in the transitive closure (`|≻ᵈ|`).
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.len
     }
 
     /// Whether the relation holds no preference tuples.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len == 0
     }
 
     /// Iterates over all preference tuples of the closure.
     pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
-        self.pairs.iter().copied()
+        self.successors
+            .iter()
+            .flat_map(|(&x, ys)| ys.iter().map(move |&y| (x, y)))
     }
 
     /// The set of values mentioned by at least one preference tuple.
     pub fn values(&self) -> HashSet<ValueId> {
-        let mut vals = HashSet::new();
-        for &(x, y) in &self.pairs {
-            vals.insert(x);
-            vals.insert(y);
-        }
-        vals
+        self.successors
+            .keys()
+            .chain(self.predecessors.keys())
+            .copied()
+            .collect()
     }
 
     /// All values preferred *by* `x` (its successors in the closure).
@@ -194,9 +202,9 @@ impl Relation {
 
     #[inline]
     fn add_closed_pair(&mut self, x: ValueId, y: ValueId) {
-        if self.pairs.insert((x, y)) {
-            self.successors.entry(x).or_default().insert(y);
+        if self.successors.entry(x).or_default().insert(y) {
             self.predecessors.entry(y).or_default().insert(x);
+            self.len += 1;
         }
     }
 
@@ -211,10 +219,8 @@ impl Relation {
             (other, self)
         };
         let pairs: HashSet<(ValueId, ValueId)> = small
-            .pairs
-            .iter()
-            .filter(|p| large.pairs.contains(*p))
-            .copied()
+            .pairs()
+            .filter(|&(x, y)| large.prefers(x, y))
             .collect();
         Relation::from_closed_pairs(pairs)
     }
@@ -247,11 +253,7 @@ impl Relation {
         } else {
             (other, self)
         };
-        small
-            .pairs
-            .iter()
-            .filter(|p| large.pairs.contains(*p))
-            .count()
+        small.pairs().filter(|&(x, y)| large.prefers(x, y)).count()
     }
 
     /// Size of the union with `other` (denominator of the Jaccard measure,
@@ -266,10 +268,7 @@ impl Relation {
         &'a self,
         other: &'a Relation,
     ) -> impl Iterator<Item = (ValueId, ValueId)> + 'a {
-        self.pairs
-            .iter()
-            .filter(move |p| !other.pairs.contains(*p))
-            .copied()
+        self.pairs().filter(move |&(x, y)| !other.prefers(x, y))
     }
 
     /// Number of tuples the closure would gain if `x ≻ y` were inserted.
@@ -299,18 +298,18 @@ impl Relation {
     /// Verifies irreflexivity, asymmetry and transitivity of the stored pair
     /// set. Intended for tests and debug assertions.
     pub fn validate(&self) -> Result<(), String> {
-        for &(x, y) in &self.pairs {
+        for (x, y) in self.pairs() {
             if x == y {
                 return Err(format!("reflexive pair ({x}, {y})"));
             }
-            if self.pairs.contains(&(y, x)) {
+            if self.prefers(y, x) {
                 return Err(format!("asymmetry violated for ({x}, {y})"));
             }
         }
-        for &(x, y) in &self.pairs {
+        for (x, y) in self.pairs() {
             if let Some(succ) = self.successors.get(&y) {
                 for &z in succ {
-                    if !self.pairs.contains(&(x, z)) {
+                    if !self.prefers(x, z) {
                         return Err(format!("transitivity violated: ({x},{y}),({y},{z})"));
                     }
                 }
@@ -331,7 +330,7 @@ impl FromIterator<(ValueId, ValueId)> for Relation {
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut pairs: Vec<(ValueId, ValueId)> = self.pairs.iter().copied().collect();
+        let mut pairs: Vec<(ValueId, ValueId)> = self.pairs().collect();
         pairs.sort();
         let rendered: Vec<String> = pairs.iter().map(|(x, y)| format!("({x}≻{y})")).collect();
         write!(f, "{{{}}}", rendered.join(", "))

@@ -1,0 +1,163 @@
+//! Protocol edge cases of the `pm-server` serving layer: malformed
+//! requests, empty batches, unknown commands and oversized attribute lists
+//! must all come back as `ERR` lines — never by killing the connection or
+//! the engine — and the connection must keep serving valid requests
+//! afterwards, both through [`EngineService`] directly and over real TCP.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use pm_engine::server::serve;
+use pm_engine::{BackendSpec, EngineConfig, EngineService, ShardedEngine};
+use pm_integration_tests::small_movie_dataset;
+
+/// Arity of the movie schema used by all tests here.
+const ARITY: usize = 4;
+
+fn movie_service(backend: &str) -> EngineService {
+    let dataset = small_movie_dataset(7);
+    assert_eq!(dataset.dimensions(), ARITY);
+    let spec = BackendSpec::parse(backend).expect("valid backend");
+    let engine = ShardedEngine::new(dataset.preferences, &EngineConfig::new(2), &spec);
+    EngineService::new(engine, spec, ARITY, 64)
+}
+
+#[test]
+fn malformed_ingest_lines_return_errors() {
+    let svc = movie_service("baseline");
+    for line in [
+        "INGEST",           // no rows at all
+        "INGEST ",          // whitespace only
+        "INGEST a,b,c,d",   // non-numeric values
+        "INGEST 1,2,3,4;",  // trailing empty row
+        "INGEST ;1,2,3,4",  // leading empty row
+        "INGEST 1,,3,4",    // empty value inside a row
+        "INGEST 1,2,3,4;x", // second row malformed
+        "INGEST -1,2,3,4",  // negative value
+        "INGEST 1 2 3 4",   // wrong separator
+    ] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // The service still ingests a valid batch afterwards.
+    assert!(svc
+        .respond_line("INGEST 0,0,0,0")
+        .starts_with("OK INGESTED 1"));
+}
+
+#[test]
+fn oversized_and_undersized_attribute_lists_are_rejected() {
+    let svc = movie_service("baseline");
+    // One value too many, one too few, and a wildly oversized row.
+    let huge = vec!["1"; 10_000].join(",");
+    for line in [
+        "INGEST 1,2,3,4,5".to_owned(),
+        "INGEST 1,2,3".to_owned(),
+        format!("INGEST {huge}"),
+        // A valid row followed by an oversized one: the whole batch must be
+        // rejected atomically, before any id is assigned.
+        "INGEST 1,2,3,4;1,2,3,4,5".to_owned(),
+    ] {
+        let response = svc.respond_line(&line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // Batch rejection assigned no ids: the next accepted object is o0.
+    let ok = svc.respond_line("INGEST 0,1,2,3");
+    assert!(ok.starts_with("OK INGESTED 1 0:"), "{ok}");
+}
+
+#[test]
+fn malformed_query_and_frontier_arguments_are_errors() {
+    let svc = movie_service("baseline");
+    for line in [
+        "QUERY",         // missing id
+        "QUERY abc",     // non-numeric
+        "QUERY o",       // prefix without digits
+        "QUERY -3",      // negative
+        "QUERY 1 2",     // trailing garbage
+        "FRONTIER",      // missing id
+        "FRONTIER oops", // non-numeric
+        "FRONTIER c",    // prefix without digits
+    ] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // Well-formed but unknown ids are errors too, not panics.
+    assert!(svc.respond_line("QUERY 999999").starts_with("ERR"));
+    assert!(svc.respond_line("FRONTIER 999999").starts_with("ERR"));
+}
+
+#[test]
+fn unknown_commands_and_bad_arity_verbs_are_errors() {
+    let svc = movie_service("baseline-sw:16");
+    for line in [
+        "BOGUS",
+        "INGESTT 1,2,3,4",
+        "EXPIRE now",
+        "STATS извините", // non-ASCII argument to a nullary verb
+        "QUIT QUIT",
+    ] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // None of that disturbed the engine: it still answers health checks.
+    assert!(svc.respond_line("HEALTH").starts_with("OK HEALTH"));
+}
+
+#[test]
+fn tcp_connection_survives_a_barrage_of_garbage() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let svc = Arc::new(movie_service("ftv:0.4"));
+    let server_svc = Arc::clone(&svc);
+    std::thread::spawn(move || serve(listener, server_svc));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let mut ask = |req: &str| -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection closed on {req:?}");
+        line.trim_end().to_owned()
+    };
+
+    let huge_row = vec!["9"; 4_096].join(",");
+    let garbage = [
+        "GARBAGE VERB",
+        "INGEST x,y,z,w",
+        "INGEST 1,2,3,4,5,6,7,8",
+        "QUERY not-an-id",
+        "FRONTIER ☃",
+        &huge_row, // a raw value row with no verb at all
+    ];
+    for (i, req) in garbage.iter().enumerate() {
+        let response = ask(req);
+        assert!(response.starts_with("ERR"), "garbage #{i} -> {response}");
+    }
+    // After all of that, the same connection still works end to end.
+    assert!(ask("INGEST 0,1,2,3").starts_with("OK INGESTED 1"));
+    assert!(ask("QUERY 0").starts_with("OK QUERY 0"));
+    assert!(ask("FRONTIER 0").starts_with("OK FRONTIER 0"));
+    assert!(ask("STATS").contains("ingested=1"));
+    assert_eq!(ask("QUIT"), "OK BYE");
+}
+
+#[test]
+fn empty_batch_rows_do_not_reach_the_engine() {
+    let svc = movie_service("baseline");
+    // Whitespace-only and semicolon-only payloads must be parse errors.
+    for line in ["INGEST  ", "INGEST ;", "INGEST ;;", "INGEST  ;  "] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // No object ids were consumed by the rejected batches.
+    let ok = svc.respond_line("INGEST 3,2,1,0");
+    assert!(ok.starts_with("OK INGESTED 1 0:"), "{ok}");
+    // And the engine's ingest counter saw exactly one object.
+    assert!(svc.respond_line("STATS").contains("ingested=1"));
+}

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
 use pm_integration_tests::one_cluster;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
-use pm_porder::{naive_pareto_frontier, Dominance, HasseDiagram, Preference, Relation};
+use pm_porder::{
+    naive_pareto_frontier, CompiledPreference, CompiledRelation, Dominance, HasseDiagram,
+    Preference, Relation,
+};
 
 const DOMAIN: u32 = 6;
 const ATTRS: usize = 3;
@@ -206,6 +209,77 @@ proptest! {
                     prop_assert!(id.raw() >= oldest_alive, "expired object in buffer");
                 }
             }
+        }
+    }
+
+    /// The bitset-compiled relation agrees with the hash-map relation on
+    /// every value pair of the domain, plus size and round-trip.
+    #[test]
+    fn compiled_relation_agrees_with_relation(rel in relation_strategy()) {
+        let compiled = CompiledRelation::compile(&rel);
+        prop_assert_eq!(compiled.len(), rel.len());
+        prop_assert_eq!(compiled.is_empty(), rel.is_empty());
+        for x in 0..DOMAIN {
+            for y in 0..DOMAIN {
+                let (x, y) = (ValueId::new(x), ValueId::new(y));
+                prop_assert_eq!(compiled.prefers(x, y), rel.prefers(x, y));
+                prop_assert_eq!(compiled.comparable(x, y), rel.comparable(x, y));
+            }
+        }
+        prop_assert_eq!(compiled.to_relation(), rel);
+    }
+
+    /// Compiled relations over a shared universe reproduce intersection,
+    /// union and the bitwise-AND common relation of the hash-map form.
+    #[test]
+    fn compiled_intersection_agrees_with_relation(
+        a in relation_strategy(),
+        b in relation_strategy(),
+    ) {
+        let (va, vb) = (a.values(), b.values());
+        let mut universe: Vec<ValueId> = va.union(&vb).copied().collect();
+        universe.sort_unstable();
+        let ca = CompiledRelation::compile_with_universe(&a, &universe);
+        let cb = CompiledRelation::compile_with_universe(&b, &universe);
+        prop_assert_eq!(ca.intersection_size(&cb), a.intersection_size(&b));
+        prop_assert_eq!(ca.union_size(&cb), a.union_size(&b));
+        prop_assert_eq!(ca.intersect(&cb).to_relation(), a.intersection(&b));
+    }
+
+    /// The compiled Hasse value weights match HasseDiagram's on every
+    /// interned value (the weighted similarity measures rely on this).
+    #[test]
+    fn compiled_weights_agree_with_hasse(rel in relation_strategy()) {
+        let compiled = CompiledRelation::compile(&rel);
+        let hasse = HasseDiagram::of(&rel);
+        let weights = compiled.value_weights();
+        for (idx, &value) in compiled.universe().iter().enumerate() {
+            prop_assert!(
+                (weights[idx] - hasse.weight(value)).abs() < 1e-15,
+                "weight mismatch at {}", value
+            );
+        }
+    }
+
+    /// The compiled preference's object comparison agrees with the
+    /// hash-map preference on random objects, hence so does dominance.
+    #[test]
+    fn compiled_preference_compare_agrees(
+        pref in preference_strategy(),
+        objects in objects_strategy(10),
+    ) {
+        let compiled = CompiledPreference::compile(&pref);
+        prop_assert_eq!(compiled.arity(), pref.arity());
+        prop_assert_eq!(compiled.total_pairs(), pref.total_pairs());
+        for a in &objects {
+            for b in &objects {
+                prop_assert_eq!(compiled.compare(a, b), pref.compare(a, b));
+                prop_assert_eq!(compiled.dominates(a, b), pref.dominates(a, b));
+            }
+        }
+        let verdicts = compiled.dominates_batch(&objects[0], objects.iter());
+        for (b, verdict) in objects.iter().zip(verdicts) {
+            prop_assert_eq!(verdict, pref.compare(&objects[0], b));
         }
     }
 

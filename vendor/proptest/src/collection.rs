@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Acceptable size arguments for [`vec`]: an exact `usize` or a
+/// Acceptable size arguments for [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`.
 pub trait IntoSizeRange {
     /// Lower bound (inclusive) and upper bound (exclusive).
@@ -31,7 +31,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

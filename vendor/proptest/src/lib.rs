@@ -4,7 +4,7 @@
 //! so the subset of the proptest API our property tests use is
 //! re-implemented here: the [`proptest!`] macro (including
 //! `#![proptest_config(...)]`), range / tuple / [`collection::vec`]
-//! strategies, [`Strategy::prop_map`], and the `prop_assert*` macros.
+//! strategies, [`Strategy::prop_map`](crate::strategy::Strategy::prop_map), and the `prop_assert*` macros.
 //!
 //! Semantics differ from real proptest in two deliberate ways: inputs are
 //! drawn from a fixed deterministic seed per case (reproducible CI, no
