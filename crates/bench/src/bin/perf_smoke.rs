@@ -4,18 +4,22 @@
 //!
 //! 1. the dominance hot path — `compare`/`dominates` throughput of the
 //!    hash-map [`Preference`] form vs the bitset-compiled
-//!    [`CompiledPreference`] form, and
+//!    [`CompiledPreference`] form,
 //! 2. end-to-end engine throughput — objects/sec through a
-//!    [`ShardedEngine`] running the FilterThenVerify backend.
+//!    [`ShardedEngine`] running the FilterThenVerify backend, and
+//! 3. the same stream with **registration churn**: one REGISTER +
+//!    UNREGISTER pair per 10 objects (10% churn), so the perf gate also
+//!    covers the dynamic-membership path (cluster join/repair + frontier
+//!    backfill).
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_2.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_3.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
 //! the checked-in baseline, or when the compiled dominance path is less
 //! than 2x the hash-map path — this is the `perf-smoke` CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_2.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_3.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -23,9 +27,9 @@ use std::time::Instant;
 use pm_bench::setup::generate_dataset;
 use pm_bench::workload::{object_pair_indices, value_pair, WORKLOAD_PREFS};
 use pm_bench::Scale;
-use pm_datagen::DatasetProfile;
+use pm_datagen::{Dataset, DatasetProfile};
 use pm_engine::{BackendSpec, EngineConfig, ShardedEngine};
-use pm_model::Object;
+use pm_model::{Object, UserId};
 use pm_porder::{CompiledPreference, Preference};
 
 /// Comparisons per dominance measurement.
@@ -36,6 +40,10 @@ const ENGINE_OBJECTS: usize = 6_000;
 const ENGINE_BATCH: usize = 256;
 /// The engine backend under test.
 const ENGINE_BACKEND: &str = "ftv:0.4";
+/// Churn phase: one REGISTER/UNREGISTER pair per this many objects (10%).
+const CHURN_PERIOD: usize = 10;
+/// How many registrations stay live before being unregistered again.
+const CHURN_LAG: u32 = 8;
 /// Regression tolerance of the `--check` gate.
 const MAX_REGRESSION: f64 = 0.30;
 /// Required compiled-vs-hash dominance speedup.
@@ -47,6 +55,7 @@ struct Report {
     dominance_hash: f64,
     dominance_compiled: f64,
     engine_objects_per_sec: f64,
+    engine_churn_objects_per_sec: f64,
 }
 
 impl Report {
@@ -56,11 +65,12 @@ impl Report {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v1\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v2\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
-             \"engine_objects\": {},\n  \"engine_objects_per_sec\": {:.0}\n}}\n",
+             \"engine_objects\": {},\n  \"engine_objects_per_sec\": {:.0},\n  \
+             \"engine_churn_objects_per_sec\": {:.0}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -69,6 +79,7 @@ impl Report {
             ENGINE_BACKEND,
             ENGINE_OBJECTS,
             self.engine_objects_per_sec,
+            self.engine_churn_objects_per_sec,
         )
     }
 }
@@ -129,15 +140,19 @@ fn measure_dominance(preferences: &[Preference], objects: &[Object]) -> (f64, f6
     )
 }
 
-fn measure_engine(preferences: Vec<Preference>, objects: &[Object]) -> f64 {
-    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
-    let engine = ShardedEngine::new(preferences, &EngineConfig::new(1), &spec);
-    let stream: Vec<Object> = (0..ENGINE_OBJECTS)
+fn engine_stream(objects: &[Object]) -> Vec<Object> {
+    (0..ENGINE_OBJECTS)
         .map(|i| {
             let base = &objects[i % objects.len()];
             Object::new(pm_model::ObjectId::from(i), base.values().to_vec())
         })
-        .collect();
+        .collect()
+}
+
+fn measure_engine(preferences: Vec<Preference>, objects: &[Object]) -> f64 {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(preferences, &EngineConfig::new(1), &spec);
+    let stream = engine_stream(objects);
     let start = Instant::now();
     let mut processed = 0usize;
     for chunk in stream.chunks(ENGINE_BATCH) {
@@ -146,6 +161,46 @@ fn measure_engine(preferences: Vec<Preference>, objects: &[Object]) -> f64 {
     }
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(processed, ENGINE_OBJECTS, "every object must be processed");
+    processed as f64 / elapsed
+}
+
+/// The same stream with 10% registration churn: after every
+/// [`CHURN_PERIOD`] objects, one new user registers (preferences cycled
+/// from the dataset, sparse ids above the base population) and the user
+/// registered [`CHURN_LAG`] rounds earlier unregisters, so the population
+/// stays near its base size while the dynamic path — cluster join/repair
+/// plus full-history frontier backfill — runs continuously.
+fn measure_engine_churn(dataset: &Dataset) -> f64 {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(1), &spec);
+    let stream = engine_stream(&dataset.objects);
+    let base = dataset.num_users() as u32;
+    let churn_per_batch = ENGINE_BATCH / CHURN_PERIOD;
+    let start = Instant::now();
+    let mut processed = 0usize;
+    let mut next_user = base;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        processed += engine.process_batch(chunk.to_vec()).len();
+        for _ in 0..churn_per_batch {
+            let pref = dataset.preferences[(next_user as usize) % dataset.num_users()].clone();
+            engine
+                .register(UserId::new(1_000_000 + next_user), pref)
+                .expect("register");
+            if next_user >= base + CHURN_LAG {
+                engine
+                    .unregister(UserId::new(1_000_000 + next_user - CHURN_LAG))
+                    .expect("unregister");
+            }
+            next_user += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(processed, ENGINE_OBJECTS, "every object must be processed");
+    assert_eq!(
+        engine.num_users(),
+        dataset.num_users() + CHURN_LAG as usize,
+        "churn must keep the population bounded"
+    );
     processed as f64 / elapsed
 }
 
@@ -178,6 +233,10 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
     let gates = [
         ("dominance_compiled_ops_per_sec", report.dominance_compiled),
         ("engine_objects_per_sec", report.engine_objects_per_sec),
+        (
+            "engine_churn_objects_per_sec",
+            report.engine_churn_objects_per_sec,
+        ),
     ];
     for (key, current) in gates {
         let Some(expected) = lookup(key) else {
@@ -217,7 +276,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_2.json".to_owned();
+    let mut out_path = "BENCH_3.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -254,12 +313,19 @@ fn main() {
     let engine_objects_per_sec = measure_engine(dataset.preferences.clone(), &dataset.objects);
     println!("engine ({ENGINE_BACKEND}, 1 shard): {engine_objects_per_sec:>12.0} objects/sec");
 
+    let engine_churn_objects_per_sec = measure_engine_churn(&dataset);
+    println!(
+        "engine + 10% churn:  {engine_churn_objects_per_sec:>12.0} objects/sec \
+         (1 REGISTER+UNREGISTER per {CHURN_PERIOD} objects)"
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
         dominance_hash,
         dominance_compiled,
         engine_objects_per_sec,
+        engine_churn_objects_per_sec,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

@@ -119,7 +119,7 @@ impl ClusteringOutcome {
 
 /// The sorted value universe of every attribute across all users, so that
 /// all clusters' compiled relations of one attribute share an index space.
-fn attribute_universes(preferences: &[Preference], arity: usize) -> Vec<Vec<ValueId>> {
+pub(crate) fn attribute_universes(preferences: &[Preference], arity: usize) -> Vec<Vec<ValueId>> {
     let mut sets: Vec<HashSet<ValueId>> = vec![HashSet::new(); arity];
     for pref in preferences {
         for (attr, rel) in pref.relations() {
@@ -138,13 +138,17 @@ fn attribute_universes(preferences: &[Preference], arity: usize) -> Vec<Vec<Valu
 /// One cluster's common preference relations as bit matrices (all clusters
 /// share per-attribute universes) plus the Hasse value weights the weighted
 /// measures need, aligned to the same dense indices.
-struct ExactState {
+///
+/// Shared with [`crate::maintain::Clustering`], which keeps one such state
+/// per user and per cluster to support incremental membership changes.
+#[derive(Debug, Clone)]
+pub(crate) struct ExactState {
     relations: Vec<CompiledRelation>,
     weights: Vec<Vec<f64>>,
 }
 
 impl ExactState {
-    fn of_user(pref: &Preference, universes: &[Vec<ValueId>]) -> Self {
+    pub(crate) fn of_user(pref: &Preference, universes: &[Vec<ValueId>]) -> Self {
         let empty = Relation::new();
         let relations: Vec<CompiledRelation> = universes
             .iter()
@@ -171,7 +175,7 @@ impl ExactState {
 
     /// The merged cluster's common relation (Def. 4.1): a word-wise AND per
     /// attribute. No closure recomputation is needed (Theorem 4.2).
-    fn merge(&self, other: &ExactState) -> ExactState {
+    pub(crate) fn merge(&self, other: &ExactState) -> ExactState {
         Self::with_weights(
             self.relations
                 .iter()
@@ -183,7 +187,7 @@ impl ExactState {
 
     /// Cluster similarity: the measure summed over attributes (Eq. 1), each
     /// attribute an AND(+NOT) + popcount pass over the two bit matrices.
-    fn similarity(&self, other: &ExactState, measure: ExactMeasure) -> f64 {
+    pub(crate) fn similarity(&self, other: &ExactState, measure: ExactMeasure) -> f64 {
         self.relations
             .iter()
             .zip(&other.relations)
@@ -195,7 +199,7 @@ impl ExactState {
     }
 
     /// Decompiles into the [`Preference`] of the cluster's virtual user.
-    fn to_preference(&self) -> Preference {
+    pub(crate) fn to_preference(&self) -> Preference {
         Preference::from_relations(
             self.relations
                 .iter()

@@ -16,6 +16,10 @@
 //!   their virtual-user preferences.
 //! * [`approx`] — `GetApproxPreferenceTuples` (Alg. 3), constructing
 //!   approximate common preference relations under thresholds θ1 and θ2.
+//! * [`maintain`] — an incrementally maintained [`Clustering`] for dynamic
+//!   user populations: online insertion joins the most similar cluster (or
+//!   spins up a singleton), removal repairs only the affected cluster by
+//!   re-intersecting the remaining members' compiled relations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +27,11 @@
 pub mod agglomerative;
 pub mod approx;
 pub mod approx_similarity;
+pub mod maintain;
 pub mod similarity;
 
 pub use agglomerative::{cluster_users, Cluster, ClusteringConfig, ClusteringOutcome};
 pub use approx::{approx_common_preference, approx_common_relation, ApproxConfig};
 pub use approx_similarity::{ApproxMeasure, FrequencyVectors};
+pub use maintain::{Clustering, Placement, Removal};
 pub use similarity::{ExactMeasure, SimilarityMeasure};

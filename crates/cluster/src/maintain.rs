@@ -1,0 +1,551 @@
+//! Incrementally maintained clustering for dynamic user populations.
+//!
+//! The agglomerative pass of [`crate::cluster_users`] is a build-time
+//! operation: it assumes the whole population is known before the stream
+//! starts. Online REGISTER/UNREGISTER traffic instead needs
+//! *dendrogram-local repair*:
+//!
+//! * [`Clustering::insert_user`] either joins the most similar existing
+//!   cluster — when that similarity clears the branch cut `h`, exactly the
+//!   agglomerative merge criterion — or spins up a new singleton cluster.
+//!   Joining recomputes the cluster's common preference relation as a
+//!   word-wise AND ([`pm_porder::CompiledRelation::intersect`]) of the old
+//!   common relation and the new member's relations.
+//! * [`Clustering::remove_user`] shrinks the user's cluster, recomputing
+//!   its common relation as the AND-fold of the remaining members'
+//!   compiled relations, or dissolves the cluster entirely when the last
+//!   member leaves.
+//!
+//! No other cluster is touched, so churn costs O(k) compiled similarity
+//! passes plus one AND-fold instead of a full O(n³) agglomerative rebuild.
+//! All states live on shared per-attribute value universes; a registered
+//! user mentioning a never-seen value triggers the one slow path: the
+//! universes grow and every stored state is recompiled.
+
+use std::collections::HashMap;
+
+use pm_model::{UserId, ValueId};
+use pm_porder::Preference;
+
+use crate::agglomerative::{attribute_universes, cluster_users, Cluster, ExactState};
+use crate::{ClusteringConfig, ExactMeasure};
+
+/// Where [`Clustering::insert_user`] placed a user.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// The user joined existing cluster `cluster`, whose common preference
+    /// relation shrank to `common` (the old common relation intersected
+    /// with the user's relations).
+    Joined {
+        /// Index of the joined cluster.
+        cluster: usize,
+        /// The cluster's recomputed common preference relation.
+        common: Preference,
+    },
+    /// No cluster was similar enough (or none existed): the user became a
+    /// new singleton cluster, appended at index `cluster`.
+    Singleton {
+        /// Index of the new singleton cluster (`num_clusters() - 1`).
+        cluster: usize,
+    },
+}
+
+impl Placement {
+    /// The index of the cluster the user ended up in.
+    pub fn cluster(&self) -> usize {
+        match *self {
+            Placement::Joined { cluster, .. } | Placement::Singleton { cluster } => cluster,
+        }
+    }
+}
+
+/// What [`Clustering::remove_user`] did to the user's cluster.
+#[derive(Debug, Clone)]
+pub enum Removal {
+    /// Cluster `cluster` lost the user; its common preference relation was
+    /// recomputed from the remaining members as `common`.
+    Shrunk {
+        /// Index of the shrunk cluster.
+        cluster: usize,
+        /// The cluster's recomputed common preference relation.
+        common: Preference,
+    },
+    /// The user was the cluster's last member: the cluster at `cluster`
+    /// was removed by swap-remove (the previously-last cluster now holds
+    /// this index).
+    Dissolved {
+        /// Index the dissolved cluster occupied.
+        cluster: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct UserEntry {
+    preference: Preference,
+    state: ExactState,
+    /// Index of the cluster this user belongs to, kept in sync with
+    /// `clusters` so removal never scans the member lists.
+    cluster: usize,
+}
+
+#[derive(Debug, Clone)]
+struct MaintainedCluster {
+    members: Vec<UserId>,
+    state: ExactState,
+}
+
+/// A clustering of users that tracks membership changes incrementally.
+///
+/// Built once with the agglomerative algorithm over the initial population,
+/// then maintained under churn with dendrogram-local repair (see the module
+/// docs). The caller chooses the user-id space: ids only need to be unique,
+/// not dense.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    measure: ExactMeasure,
+    branch_cut: f64,
+    universes: Vec<Vec<ValueId>>,
+    users: HashMap<UserId, UserEntry>,
+    clusters: Vec<MaintainedCluster>,
+}
+
+impl Clustering {
+    /// Clusters `preferences` (indexed by user id) with the agglomerative
+    /// algorithm under `measure` and `branch_cut`, keeping the compiled
+    /// state needed for later incremental maintenance.
+    pub fn new(preferences: &[Preference], measure: ExactMeasure, branch_cut: f64) -> Self {
+        let outcome = cluster_users(
+            preferences,
+            ClusteringConfig::Exact {
+                measure,
+                branch_cut,
+            },
+        );
+        let arity = preferences.iter().map(Preference::arity).max().unwrap_or(0);
+        let universes = attribute_universes(preferences, arity);
+        let mut cluster_of = vec![0usize; preferences.len()];
+        for (idx, cluster) in outcome.clusters.iter().enumerate() {
+            for member in &cluster.members {
+                cluster_of[member.index()] = idx;
+            }
+        }
+        let users = preferences
+            .iter()
+            .enumerate()
+            .map(|(idx, pref)| {
+                (
+                    UserId::from(idx),
+                    UserEntry {
+                        preference: pref.clone(),
+                        state: ExactState::of_user(pref, &universes),
+                        cluster: cluster_of[idx],
+                    },
+                )
+            })
+            .collect();
+        let clusters = outcome
+            .clusters
+            .iter()
+            .map(|cluster| MaintainedCluster {
+                members: cluster.members.clone(),
+                state: ExactState::of_user(&cluster.common, &universes),
+            })
+            .collect();
+        Self {
+            measure,
+            branch_cut,
+            universes,
+            users,
+            clusters,
+        }
+    }
+
+    /// The similarity measure merges are judged by.
+    pub fn measure(&self) -> ExactMeasure {
+        self.measure
+    }
+
+    /// The branch cut `h` a join must clear.
+    pub fn branch_cut(&self) -> f64 {
+        self.branch_cut
+    }
+
+    /// Number of clustered users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether no users are clustered.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether `user` is currently clustered.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.users.contains_key(&user)
+    }
+
+    /// The stored preference of `user`, if clustered.
+    pub fn preference_of(&self, user: UserId) -> Option<&Preference> {
+        self.users.get(&user).map(|entry| &entry.preference)
+    }
+
+    /// The index of the cluster containing `user`, if any. O(1): the
+    /// per-user entry tracks its cluster index.
+    pub fn cluster_of(&self, user: UserId) -> Option<usize> {
+        self.users.get(&user).map(|entry| entry.cluster)
+    }
+
+    /// The members of cluster `cluster`, in insertion order.
+    pub fn members(&self, cluster: usize) -> &[UserId] {
+        &self.clusters[cluster].members
+    }
+
+    /// The common preference relation of cluster `cluster` (Def. 4.1),
+    /// decompiled from the maintained bit matrices.
+    pub fn common_preference(&self, cluster: usize) -> Preference {
+        self.clusters[cluster].state.to_preference()
+    }
+
+    /// All clusters as [`Cluster`] values (members + exact common
+    /// preference), e.g. for constructing a FilterThenVerify monitor.
+    pub fn clusters(&self) -> Vec<Cluster> {
+        self.clusters
+            .iter()
+            .map(|cluster| Cluster {
+                members: cluster.members.clone(),
+                common: cluster.state.to_preference(),
+            })
+            .collect()
+    }
+
+    /// Extends the shared universes to cover `pref`, recompiling every
+    /// stored state when they grow — the rare slow path taken when a
+    /// registered user mentions a value (or attribute) never seen before.
+    fn ensure_covered(&mut self, pref: &Preference) {
+        let covered = pref.arity() <= self.universes.len()
+            && pref.relations().all(|(attr, rel)| {
+                let universe = &self.universes[attr.index()];
+                rel.values()
+                    .into_iter()
+                    .all(|v| universe.binary_search(&v).is_ok())
+            });
+        if covered {
+            return;
+        }
+        let all: Vec<Preference> = self
+            .users
+            .values()
+            .map(|entry| entry.preference.clone())
+            .chain([pref.clone()])
+            .collect();
+        let arity = all.iter().map(Preference::arity).max().unwrap_or(0);
+        self.universes = attribute_universes(&all, arity);
+        for entry in self.users.values_mut() {
+            entry.state = ExactState::of_user(&entry.preference, &self.universes);
+        }
+        for idx in 0..self.clusters.len() {
+            let members = self.clusters[idx].members.clone();
+            self.clusters[idx].state = self.common_state(&members);
+        }
+    }
+
+    /// The AND-fold of the members' compiled relations: the cluster's
+    /// common preference relation per Def. 4.1 / Theorem 4.2.
+    fn common_state(&self, members: &[UserId]) -> ExactState {
+        let mut iter = members.iter();
+        let first = iter.next().expect("a cluster has at least one member");
+        let mut state = self.users[first].state.clone();
+        for member in iter {
+            state = state.merge(&self.users[member].state);
+        }
+        state
+    }
+
+    /// Inserts `user` with `preference`: joins the most similar cluster if
+    /// that similarity reaches the branch cut, otherwise creates a new
+    /// singleton cluster.
+    ///
+    /// # Panics
+    /// Panics if `user` is already clustered.
+    pub fn insert_user(&mut self, user: UserId, preference: &Preference) -> Placement {
+        assert!(
+            !self.users.contains_key(&user),
+            "user {user} is already clustered"
+        );
+        self.ensure_covered(preference);
+        let state = ExactState::of_user(preference, &self.universes);
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, cluster) in self.clusters.iter().enumerate() {
+            let sim = state.similarity(&cluster.state, self.measure);
+            if best.map(|(_, b)| sim > b).unwrap_or(true) {
+                best = Some((idx, sim));
+            }
+        }
+        let placement = match best {
+            Some((idx, sim)) if sim >= self.branch_cut => {
+                let cluster = &mut self.clusters[idx];
+                cluster.members.push(user);
+                cluster.state = cluster.state.merge(&state);
+                Placement::Joined {
+                    cluster: idx,
+                    common: cluster.state.to_preference(),
+                }
+            }
+            _ => {
+                self.clusters.push(MaintainedCluster {
+                    members: vec![user],
+                    state: state.clone(),
+                });
+                Placement::Singleton {
+                    cluster: self.clusters.len() - 1,
+                }
+            }
+        };
+        self.users.insert(
+            user,
+            UserEntry {
+                preference: preference.clone(),
+                state,
+                cluster: placement.cluster(),
+            },
+        );
+        placement
+    }
+
+    /// Removes `user`, repairing only its own cluster.
+    ///
+    /// # Panics
+    /// Panics if `user` is not clustered.
+    pub fn remove_user(&mut self, user: UserId) -> Removal {
+        let entry = self
+            .users
+            .remove(&user)
+            .unwrap_or_else(|| panic!("user {user} is not clustered"));
+        let idx = entry.cluster;
+        self.clusters[idx].members.retain(|&member| member != user);
+        if self.clusters[idx].members.is_empty() {
+            self.clusters.swap_remove(idx);
+            // The previously-last cluster moved into slot `idx`: repoint
+            // its members' entries.
+            if idx < self.clusters.len() {
+                for member in self.clusters[idx].members.clone() {
+                    self.users
+                        .get_mut(&member)
+                        .expect("member has an entry")
+                        .cluster = idx;
+                }
+            }
+            return Removal::Dissolved { cluster: idx };
+        }
+        let members = self.clusters[idx].members.clone();
+        self.clusters[idx].state = self.common_state(&members);
+        Removal::Shrunk {
+            cluster: idx,
+            common: self.clusters[idx].state.to_preference(),
+        }
+    }
+
+    /// Renames `old` to `new` without touching any cluster state. Used by
+    /// callers that renumber users on swap-remove.
+    ///
+    /// # Panics
+    /// Panics if `old` is not clustered or `new` already is.
+    pub fn rename_user(&mut self, old: UserId, new: UserId) {
+        if old == new {
+            return;
+        }
+        assert!(
+            !self.users.contains_key(&new),
+            "user {new} is already clustered"
+        );
+        let entry = self
+            .users
+            .remove(&old)
+            .unwrap_or_else(|| panic!("user {old} is not clustered"));
+        self.users.insert(new, entry);
+        for cluster in &mut self.clusters {
+            for member in &mut cluster.members {
+                if *member == old {
+                    *member = new;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_model::AttrId;
+    use pm_porder::Relation;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::new(i)
+    }
+
+    fn pref(pairs: &[(u32, u32)]) -> Preference {
+        let rel = Relation::from_pairs(pairs.iter().map(|&(x, y)| (v(x), v(y)))).unwrap();
+        Preference::from_relations(vec![rel])
+    }
+
+    /// The six users of Table 3 (brand attribute only).
+    fn table3_users() -> Vec<Preference> {
+        vec![
+            pref(&[(0, 1), (1, 2), (3, 1)]),
+            pref(&[(0, 1), (1, 2), (3, 2)]),
+            pref(&[(2, 1), (1, 0), (1, 3)]),
+            pref(&[(2, 1), (1, 0), (1, 3), (0, 3)]),
+            pref(&[(1, 0), (1, 3), (0, 2), (3, 2)]),
+            pref(&[(1, 0), (0, 3), (0, 2)]),
+        ]
+    }
+
+    fn assert_common_matches(clustering: &Clustering) {
+        for k in 0..clustering.num_clusters() {
+            let members = clustering.members(k).to_vec();
+            assert!(!members.is_empty(), "cluster {k} is empty");
+            let expected = Preference::common_of(
+                members
+                    .iter()
+                    .map(|&m| clustering.preference_of(m).expect("member has preference")),
+            );
+            let got = clustering.common_preference(k);
+            let arity = expected.arity().max(got.arity());
+            for attr in 0..arity {
+                let attr = AttrId::from(attr);
+                let want: std::collections::HashSet<_> = if attr.index() < expected.arity() {
+                    expected.relation(attr).pairs().collect()
+                } else {
+                    Default::default()
+                };
+                let have: std::collections::HashSet<_> = if attr.index() < got.arity() {
+                    got.relation(attr).pairs().collect()
+                } else {
+                    Default::default()
+                };
+                assert_eq!(have, want, "cluster {k} attribute {attr}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_agglomerative_outcome() {
+        let users = table3_users();
+        let clustering = Clustering::new(&users, ExactMeasure::WeightedJaccard, 0.2);
+        let outcome = cluster_users(
+            &users,
+            ClusteringConfig::Exact {
+                measure: ExactMeasure::WeightedJaccard,
+                branch_cut: 0.2,
+            },
+        );
+        assert_eq!(clustering.num_clusters(), outcome.len());
+        assert_eq!(clustering.num_users(), users.len());
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn insert_joins_similar_cluster_and_intersects_common() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users[..4], ExactMeasure::WeightedJaccard, 0.2);
+        // c5 is similar to the {c1, c2} side of Table 3; with the paper's
+        // branch cut it joins an existing cluster rather than staying alone.
+        let placement = clustering.insert_user(UserId::new(4), &users[4]);
+        assert!(
+            matches!(placement, Placement::Joined { .. }),
+            "{placement:?}"
+        );
+        assert_common_matches(&clustering);
+        assert_eq!(clustering.num_users(), 5);
+    }
+
+    #[test]
+    fn insert_far_user_becomes_singleton() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        // An impossible branch cut keeps everything singleton.
+        assert_eq!(clustering.num_clusters(), users.len());
+        let extra = pref(&[(5, 6)]);
+        let placement = clustering.insert_user(UserId::new(99), &extra);
+        assert!(
+            matches!(placement, Placement::Singleton { .. }),
+            "{placement:?}"
+        );
+        assert_eq!(placement.cluster(), clustering.num_clusters() - 1);
+        assert_eq!(clustering.cluster_of(UserId::new(99)), Some(users.len()));
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn insert_with_unseen_values_extends_universes() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        // Values 7..9 never occur in Table 3: the shared universes must grow.
+        let extra = pref(&[(7, 8), (8, 9)]);
+        clustering.insert_user(UserId::new(42), &extra);
+        assert_common_matches(&clustering);
+        // A second arity: attribute 1 never existed before.
+        let mut wide = Preference::new(2);
+        wide.prefer(AttrId::new(1), v(0), v(1));
+        clustering.insert_user(UserId::new(43), &wide);
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn remove_repairs_only_the_users_cluster() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::IntersectionSize, 0.0);
+        assert_eq!(clustering.num_clusters(), 1);
+        let removal = clustering.remove_user(UserId::new(2));
+        assert!(matches!(removal, Removal::Shrunk { .. }), "{removal:?}");
+        assert_eq!(clustering.num_users(), 5);
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn removing_last_member_dissolves_the_cluster() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let k = clustering.num_clusters();
+        let removal = clustering.remove_user(UserId::new(3));
+        assert!(matches!(removal, Removal::Dissolved { .. }), "{removal:?}");
+        assert_eq!(clustering.num_clusters(), k - 1);
+        assert!(!clustering.contains(UserId::new(3)));
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn rename_preserves_membership() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        let before = clustering.cluster_of(UserId::new(5)).unwrap();
+        clustering.rename_user(UserId::new(5), UserId::new(50));
+        assert_eq!(clustering.cluster_of(UserId::new(50)), Some(before));
+        assert!(!clustering.contains(UserId::new(5)));
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn empty_clustering_accepts_first_insert() {
+        let mut clustering = Clustering::new(&[], ExactMeasure::Jaccard, 0.5);
+        assert!(clustering.is_empty());
+        assert_eq!(clustering.num_clusters(), 0);
+        let placement = clustering.insert_user(UserId::new(0), &pref(&[(0, 1)]));
+        assert!(matches!(placement, Placement::Singleton { cluster: 0 }));
+        assert_eq!(clustering.num_users(), 1);
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    #[should_panic(expected = "already clustered")]
+    fn double_insert_panics() {
+        let mut clustering = Clustering::new(&table3_users(), ExactMeasure::Jaccard, 0.2);
+        clustering.insert_user(UserId::new(0), &pref(&[(0, 1)]));
+    }
+}

@@ -65,6 +65,11 @@ pub struct BaselineMonitor {
     /// The bitset-compiled preferences every arrival is tested against.
     compiled: Vec<CompiledPreference>,
     frontiers: Vec<Frontier>,
+    /// Every ingested object in arrival order. Append-only monitors never
+    /// expire objects, so a user registered mid-stream must be backfilled
+    /// against the full stream (any past object may be Pareto-optimal under
+    /// the new preference).
+    history: Vec<Object>,
     stats: MonitorStats,
 }
 
@@ -78,6 +83,7 @@ impl BaselineMonitor {
             preferences,
             compiled,
             frontiers,
+            history: Vec::new(),
             stats: MonitorStats::new(),
         }
     }
@@ -97,8 +103,10 @@ impl ContinuousMonitor for BaselineMonitor {
             }
         }
         self.stats.record_arrival(targets.len());
+        let id = object.id();
+        self.history.push(object);
         Arrival {
-            object: object.id(),
+            object: id,
             target_users: targets,
         }
     }
@@ -111,6 +119,28 @@ impl ContinuousMonitor for BaselineMonitor {
 
     fn num_users(&self) -> usize {
         self.preferences.len()
+    }
+
+    fn add_user(&mut self, preference: Preference) -> UserId {
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        for object in &self.history {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences.push(preference);
+        self.compiled.push(compiled);
+        self.frontiers.push(frontier);
+        UserId::from(self.preferences.len() - 1)
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Option<UserId> {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let last = self.preferences.len() - 1;
+        self.preferences.swap_remove(idx);
+        self.compiled.swap_remove(idx);
+        self.frontiers.swap_remove(idx);
+        (idx != last).then(|| UserId::from(last))
     }
 
     fn stats(&self) -> MonitorStats {
@@ -288,6 +318,44 @@ mod tests {
         let mut m = BaselineMonitor::new(vec![]);
         let arrival = m.process(obj(1, &[0, 0, 0]));
         assert!(arrival.target_users.is_empty());
+        assert_eq!(m.num_users(), 0);
+    }
+
+    #[test]
+    fn added_user_is_backfilled_from_the_full_history() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::new(vec![users[0].clone()]);
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        // Register c2 mid-stream: its frontier must equal that of a monitor
+        // that had c2 from the start.
+        let added = m.add_user(users[1].clone());
+        assert_eq!(added, UserId::new(1));
+        let mut from_start = BaselineMonitor::new(users);
+        for o in laptop_objects() {
+            from_start.process(o);
+        }
+        assert_eq!(m.frontier(added), from_start.frontier(UserId::new(1)));
+        // Subsequent arrivals notify the registered user normally.
+        let arrival = m.process(obj(15, &[3, 1, 3]));
+        assert_eq!(arrival.target_users, vec![UserId::new(1)]);
+    }
+
+    #[test]
+    fn remove_user_swap_renumbers_the_last_user() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::new(users.clone());
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        let c2_frontier = m.frontier(UserId::new(1));
+        // Removing user 0 moves user 1 into slot 0.
+        assert_eq!(m.remove_user(UserId::new(0)), Some(UserId::new(1)));
+        assert_eq!(m.num_users(), 1);
+        assert_eq!(m.frontier(UserId::new(0)), c2_frontier);
+        // Removing the (now) last user returns None.
+        assert_eq!(m.remove_user(UserId::new(0)), None);
         assert_eq!(m.num_users(), 0);
     }
 

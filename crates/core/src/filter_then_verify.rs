@@ -13,11 +13,87 @@
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
-use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
+use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal};
 
 use crate::baseline::{update_pareto_frontier, Frontier};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
+
+/// How a membership change must repair the affected cluster, shared by the
+/// append-only and sliding FilterThenVerify monitors.
+pub(crate) enum ClusterRepair {
+    /// Remove the cluster at this index (swap-remove).
+    Drop(usize),
+    /// Recompute the cluster's virtual preference; `Some` carries the exact
+    /// common relation already computed by a maintained [`Clustering`].
+    Recompute(usize, Option<Preference>),
+    /// The user was in no cluster (hand-built monitors only).
+    Detached,
+}
+
+/// The virtual preference a cluster of `members` should carry: the
+/// approximate common relation (Alg. 3) when the monitor is an approx
+/// variant, else the exact common relation (Def. 4.1).
+pub(crate) fn members_virtual_preference(
+    preferences: &[Preference],
+    members: &[UserId],
+    approx: Option<ApproxConfig>,
+) -> Preference {
+    let prefs = members.iter().map(|m| &preferences[m.index()]);
+    match approx {
+        Some(config) => approx_common_preference(prefs, config),
+        None => Preference::common_of(prefs),
+    }
+}
+
+/// Decides how removing `user` repairs the cluster list: consults (and
+/// updates) the maintained clustering when present, else falls back to
+/// scanning `member_lists` (hand-built monitors).
+pub(crate) fn plan_detach<'a>(
+    clustering: Option<&mut Clustering>,
+    member_lists: impl Iterator<Item = &'a [UserId]>,
+    user: UserId,
+) -> ClusterRepair {
+    match clustering {
+        Some(clustering) => match clustering.remove_user(user) {
+            Removal::Dissolved { cluster } => ClusterRepair::Drop(cluster),
+            Removal::Shrunk { cluster, common } => ClusterRepair::Recompute(cluster, Some(common)),
+        },
+        None => {
+            let mut lists = member_lists.enumerate();
+            let Some((cluster, members)) = lists.find(|(_, members)| members.contains(&user))
+            else {
+                return ClusterRepair::Detached;
+            };
+            if members.len() == 1 {
+                ClusterRepair::Drop(cluster)
+            } else {
+                ClusterRepair::Recompute(cluster, None)
+            }
+        }
+    }
+}
+
+/// After a swap-remove renumbered the previously-last user `moved` to
+/// `user`, renames it across the maintained clustering and every cluster
+/// member list.
+pub(crate) fn renumber_member<'a>(
+    clustering: Option<&mut Clustering>,
+    member_lists: impl Iterator<Item = &'a mut Vec<UserId>>,
+    moved: UserId,
+    user: UserId,
+) {
+    if let Some(clustering) = clustering {
+        clustering.rename_user(moved, user);
+    }
+    for members in member_lists {
+        for member in members.iter_mut() {
+            if *member == moved {
+                *member = user;
+            }
+        }
+    }
+}
 
 /// One cluster's shared state: the virtual user's preference and frontier.
 #[derive(Debug, Clone)]
@@ -56,6 +132,18 @@ pub struct FilterThenVerifyMonitor {
     compiled: Vec<CompiledPreference>,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<ClusterState>,
+    /// Incrementally maintained clustering driving dynamic membership.
+    /// `None` for monitors built from fixed cluster lists, which fall back
+    /// to singleton insertion and `common_of` repair.
+    clustering: Option<Clustering>,
+    /// Alg. 3 thresholds when the virtual preferences are approximate:
+    /// membership changes then rebuild the affected cluster's virtual
+    /// preference with Alg. 3 instead of the exact intersection.
+    approx: Option<ApproxConfig>,
+    /// Every ingested object in arrival order. Append-only monitors never
+    /// expire objects, so late registrations backfill against the full
+    /// stream.
+    history: Vec<Object>,
     stats: MonitorStats,
 }
 
@@ -68,7 +156,26 @@ impl FilterThenVerifyMonitor {
             .iter()
             .map(|c| ClusterState::new(c.members.clone(), c.common.clone()))
             .collect();
-        Self::from_states(preferences, states)
+        Self::from_states(preferences, states, None, None)
+    }
+
+    /// Creates a monitor backed by an incrementally maintained
+    /// [`Clustering`] over the same users: [`Self::add_user`] then joins
+    /// the most similar cluster (or spins up a singleton) and
+    /// [`Self::remove_user`] repairs only the affected cluster, both
+    /// through the clustering's compiled intersect path.
+    pub fn with_clustering(preferences: Vec<Preference>, clustering: Clustering) -> Self {
+        assert_eq!(
+            clustering.num_users(),
+            preferences.len(),
+            "clustering must cover exactly the monitor's users"
+        );
+        let states = clustering
+            .clusters()
+            .into_iter()
+            .map(|c| ClusterState::new(c.members, c.common))
+            .collect();
+        Self::from_states(preferences, states, Some(clustering), None)
     }
 
     /// Creates a monitor whose virtual users carry *approximate* common
@@ -79,18 +186,25 @@ impl FilterThenVerifyMonitor {
         clusters: &[Cluster],
         config: ApproxConfig,
     ) -> Self {
-        let states = clusters
-            .iter()
-            .map(|c| {
-                let members = c.members.clone();
-                let virtual_preference = approx_common_preference(
-                    members.iter().map(|u| &preferences[u.index()]),
-                    config,
-                );
-                ClusterState::new(members, virtual_preference)
-            })
-            .collect();
-        Self::from_states(preferences, states)
+        let states = Self::approx_states(&preferences, clusters, config);
+        Self::from_states(preferences, states, None, Some(config))
+    }
+
+    /// Like [`Self::with_clustering`], but the virtual preferences are the
+    /// approximate common relations of Alg. 3 (FilterThenVerifyApprox with
+    /// dynamic membership).
+    pub fn with_approx_clustering(
+        preferences: Vec<Preference>,
+        clustering: Clustering,
+        config: ApproxConfig,
+    ) -> Self {
+        assert_eq!(
+            clustering.num_users(),
+            preferences.len(),
+            "clustering must cover exactly the monitor's users"
+        );
+        let states = Self::approx_states(&preferences, &clustering.clusters(), config);
+        Self::from_states(preferences, states, Some(clustering), Some(config))
     }
 
     /// Creates a monitor with explicitly provided virtual-user preferences,
@@ -103,10 +217,33 @@ impl FilterThenVerifyMonitor {
             .into_iter()
             .map(|(members, virtual_preference)| ClusterState::new(members, virtual_preference))
             .collect();
-        Self::from_states(preferences, states)
+        Self::from_states(preferences, states, None, None)
     }
 
-    fn from_states(preferences: Vec<Preference>, clusters: Vec<ClusterState>) -> Self {
+    fn approx_states(
+        preferences: &[Preference],
+        clusters: &[Cluster],
+        config: ApproxConfig,
+    ) -> Vec<ClusterState> {
+        clusters
+            .iter()
+            .map(|c| {
+                let members = c.members.clone();
+                let virtual_preference = approx_common_preference(
+                    members.iter().map(|u| &preferences[u.index()]),
+                    config,
+                );
+                ClusterState::new(members, virtual_preference)
+            })
+            .collect()
+    }
+
+    fn from_states(
+        preferences: Vec<Preference>,
+        clusters: Vec<ClusterState>,
+        clustering: Option<Clustering>,
+        approx: Option<ApproxConfig>,
+    ) -> Self {
         let compiled = preferences.iter().map(Preference::compile).collect();
         let user_frontiers = vec![Frontier::new(); preferences.len()];
         Self {
@@ -114,6 +251,9 @@ impl FilterThenVerifyMonitor {
             compiled,
             user_frontiers,
             clusters,
+            clustering,
+            approx,
+            history: Vec::new(),
             stats: MonitorStats::new(),
         }
     }
@@ -121,6 +261,11 @@ impl FilterThenVerifyMonitor {
     /// Number of clusters (`k` in the paper's cost model).
     pub fn num_clusters(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// The preference of `user`.
+    pub fn preference(&self, user: UserId) -> &Preference {
+        &self.preferences[user.index()]
     }
 
     /// The cluster-level ("virtual user") frontier `P_U`, sorted by id.
@@ -208,8 +353,10 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         }
         targets.sort_unstable();
         self.stats.record_arrival(targets.len());
+        let id = object.id();
+        self.history.push(object);
         Arrival {
-            object: object.id(),
+            object: id,
             target_users: targets,
         }
     }
@@ -222,6 +369,102 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
 
     fn num_users(&self) -> usize {
         self.preferences.len()
+    }
+
+    fn add_user(&mut self, preference: Preference) -> UserId {
+        let user = UserId::from(self.preferences.len());
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        for object in &self.history {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences.push(preference);
+        self.compiled.push(compiled);
+        self.user_frontiers.push(frontier);
+        let placement = match self.clustering.as_mut() {
+            Some(clustering) => clustering.insert_user(user, &self.preferences[user.index()]),
+            None => Placement::Singleton {
+                cluster: self.clusters.len(),
+            },
+        };
+        match placement {
+            Placement::Joined { cluster, common } => {
+                self.clusters[cluster].members.push(user);
+                let virtual_preference = match self.approx {
+                    Some(_) => members_virtual_preference(
+                        &self.preferences,
+                        &self.clusters[cluster].members,
+                        self.approx,
+                    ),
+                    None => common,
+                };
+                let state = &mut self.clusters[cluster];
+                state.compiled = virtual_preference.compile();
+                state.virtual_preference = virtual_preference;
+                // The cluster frontier is deliberately left as-is: any set
+                // of alive objects filtered under the (smaller) new common
+                // relation is a sound filter — rejection still implies
+                // dominance for every member — and exactness rests on the
+                // per-member verify step (Lemma 4.6), not on P_U being the
+                // exact cluster frontier.
+            }
+            Placement::Singleton { cluster } => {
+                debug_assert_eq!(cluster, self.clusters.len());
+                let mut state =
+                    ClusterState::new(vec![user], self.preferences[user.index()].clone());
+                // A singleton's filter frontier is exactly the member's own
+                // (backfilled) frontier.
+                state.frontier = self.user_frontiers[user.index()].clone();
+                self.clusters.push(state);
+            }
+        }
+        user
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Option<UserId> {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let repair = plan_detach(
+            self.clustering.as_mut(),
+            self.clusters.iter().map(|c| c.members.as_slice()),
+            user,
+        );
+        match repair {
+            ClusterRepair::Drop(cluster) => {
+                self.clusters.swap_remove(cluster);
+            }
+            ClusterRepair::Recompute(cluster, exact_common) => {
+                self.clusters[cluster].members.retain(|&m| m != user);
+                let virtual_preference = match (self.approx, exact_common) {
+                    (None, Some(common)) => common,
+                    _ => members_virtual_preference(
+                        &self.preferences,
+                        &self.clusters[cluster].members,
+                        self.approx,
+                    ),
+                };
+                let state = &mut self.clusters[cluster];
+                state.compiled = virtual_preference.compile();
+                state.virtual_preference = virtual_preference;
+                // P_U is left as-is; see `add_user` for why that is sound.
+            }
+            ClusterRepair::Detached => {}
+        }
+        let last = self.preferences.len() - 1;
+        self.preferences.swap_remove(idx);
+        self.compiled.swap_remove(idx);
+        self.user_frontiers.swap_remove(idx);
+        if idx == last {
+            return None;
+        }
+        let moved = UserId::from(last);
+        renumber_member(
+            self.clustering.as_mut(),
+            self.clusters.iter_mut().map(|c| &mut c.members),
+            moved,
+            user,
+        );
+        Some(moved)
     }
 
     fn stats(&self) -> MonitorStats {
@@ -492,6 +735,71 @@ mod tests {
         assert_eq!(ftv.num_clusters(), 1);
         assert_eq!(ftv.cluster_members(0).len(), 2);
         assert!(ftv.virtual_preference(0).total_pairs() > 0);
+    }
+
+    #[test]
+    fn dynamic_membership_stays_exact_with_maintained_clustering() {
+        use pm_cluster::Clustering;
+        let users = laptop_users();
+        let clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        let mut ftv = FilterThenVerifyMonitor::with_clustering(users.clone(), clustering);
+        let objects = laptop_objects();
+        // Half the stream, then register a third user (same prefs as c1).
+        for o in &objects[..7] {
+            ftv.process(o.clone());
+        }
+        let added = ftv.add_user(users[0].clone());
+        assert_eq!(added, UserId::new(2));
+        for o in &objects[7..] {
+            ftv.process(o.clone());
+        }
+        // The backfilled + continued frontier equals a from-start baseline.
+        let mut baseline =
+            BaselineMonitor::new(vec![users[0].clone(), users[1].clone(), users[0].clone()]);
+        for o in &objects {
+            baseline.process(o.clone());
+        }
+        for u in 0..3usize {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
+        // Every cluster's common relation is the intersection of its
+        // members' preferences, and no cluster is empty.
+        let prefs = [users[0].clone(), users[1].clone(), users[0].clone()];
+        for k in 0..ftv.num_clusters() {
+            let members = ftv.cluster_members(k).to_vec();
+            assert!(!members.is_empty());
+            let expected = Preference::common_of(members.iter().map(|m| &prefs[m.index()]));
+            let got = ftv.virtual_preference(k);
+            for attr in 0..expected.arity() {
+                let attr = pm_model::AttrId::from(attr);
+                let want: std::collections::HashSet<_> = expected.relation(attr).pairs().collect();
+                let have: std::collections::HashSet<_> = got.relation(attr).pairs().collect();
+                assert_eq!(have, want, "cluster {k} attribute {attr}");
+            }
+        }
+        // Unregister c2 (user 1): user 2 is renumbered to 1 and results
+        // still match a baseline over the surviving users.
+        assert_eq!(ftv.remove_user(UserId::new(1)), Some(UserId::new(2)));
+        let arrival = ftv.process(obj(15, &[3, 1, 3]));
+        let mut survivors = BaselineMonitor::new(vec![users[0].clone(), users[0].clone()]);
+        let mut all = objects.clone();
+        all.push(obj(15, &[3, 1, 3]));
+        let mut expected_arrival = None;
+        for o in &all {
+            expected_arrival = Some(survivors.process(o.clone()));
+        }
+        assert_eq!(arrival, expected_arrival.unwrap());
+        for u in 0..2usize {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                survivors.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
     }
 
     #[test]

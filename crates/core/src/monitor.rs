@@ -1,6 +1,7 @@
 //! The common interface implemented by every monitoring algorithm.
 
 use pm_model::{Object, ObjectId, UserId};
+use pm_porder::Preference;
 
 use crate::stats::MonitorStats;
 
@@ -36,6 +37,26 @@ pub trait ContinuousMonitor {
 
     /// Number of users served by this monitor.
     fn num_users(&self) -> usize;
+
+    /// Registers a new user mid-stream, assigning the next local user id
+    /// (equal to [`Self::num_users`] before the call) and returning it.
+    ///
+    /// The user's state is backfilled from the currently *alive* objects —
+    /// append-only monitors replay the full ingested history, sliding-window
+    /// monitors replay the window — so the user's frontier is identical to
+    /// that of a monitor built with the user present from the start,
+    /// restricted to the alive objects. Backfilling reports no
+    /// notifications; only genuine arrivals do.
+    fn add_user(&mut self, preference: Preference) -> UserId;
+
+    /// Removes `user` in O(1) swap-remove fashion: the user with the
+    /// highest local id (when different from `user`) is renumbered to
+    /// `user`'s id. Returns the renumbered user's previous id, or `None`
+    /// when `user` already held the highest id.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    fn remove_user(&mut self, user: UserId) -> Option<UserId>;
 
     /// Work counters accumulated so far.
     fn stats(&self) -> MonitorStats;

@@ -20,9 +20,12 @@
 use pm_model::{Object, ObjectId, SlidingWindow, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
-use pm_cluster::{approx_common_preference, ApproxConfig, Cluster};
+use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Placement};
 
 use crate::baseline::{update_pareto_frontier, Frontier};
+use crate::filter_then_verify::{
+    members_virtual_preference, plan_detach, renumber_member, ClusterRepair,
+};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
 
@@ -170,6 +173,35 @@ impl ContinuousMonitor for BaselineSwMonitor {
         self.preferences.len()
     }
 
+    fn add_user(&mut self, preference: Preference) -> UserId {
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        let mut buffer = Frontier::new();
+        // Replaying the alive objects oldest-first rebuilds exactly the
+        // frontier and Pareto frontier buffer (Def. 7.4) a from-start user
+        // would hold over the current window.
+        for object in self.window.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+            refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+        }
+        self.preferences.push(preference);
+        self.compiled.push(compiled);
+        self.frontiers.push(frontier);
+        self.buffers.push(buffer);
+        UserId::from(self.preferences.len() - 1)
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Option<UserId> {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let last = self.preferences.len() - 1;
+        self.preferences.swap_remove(idx);
+        self.compiled.swap_remove(idx);
+        self.frontiers.swap_remove(idx);
+        self.buffers.swap_remove(idx);
+        (idx != last).then(|| UserId::from(last))
+    }
+
     fn stats(&self) -> MonitorStats {
         self.stats
     }
@@ -213,6 +245,12 @@ pub struct FilterThenVerifySwMonitor {
     compiled: Vec<CompiledPreference>,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<SwClusterState>,
+    /// Incrementally maintained clustering driving dynamic membership;
+    /// `None` for monitors built from fixed cluster lists (fallback:
+    /// singleton insertion, `common_of` repair).
+    clustering: Option<Clustering>,
+    /// Alg. 3 thresholds when the virtual preferences are approximate.
+    approx: Option<ApproxConfig>,
     window: SlidingWindow,
     stats: MonitorStats,
 }
@@ -225,7 +263,30 @@ impl FilterThenVerifySwMonitor {
             .iter()
             .map(|c| SwClusterState::new(c.members.clone(), c.common.clone()))
             .collect();
-        Self::from_states(preferences, states, window_size)
+        Self::from_states(preferences, states, None, None, window_size)
+    }
+
+    /// Creates a monitor backed by an incrementally maintained
+    /// [`Clustering`]: [`Self::add_user`] joins the most similar cluster
+    /// (or spins up a singleton) and [`Self::remove_user`] repairs only the
+    /// affected cluster, whose frontier and buffer are rebuilt by replaying
+    /// the window under the recomputed common relation.
+    pub fn with_clustering(
+        preferences: Vec<Preference>,
+        clustering: Clustering,
+        window_size: usize,
+    ) -> Self {
+        assert_eq!(
+            clustering.num_users(),
+            preferences.len(),
+            "clustering must cover exactly the monitor's users"
+        );
+        let states = clustering
+            .clusters()
+            .into_iter()
+            .map(|c| SwClusterState::new(c.members, c.common))
+            .collect();
+        Self::from_states(preferences, states, Some(clustering), None, window_size)
     }
 
     /// Creates a monitor whose clusters carry approximate common preference
@@ -236,17 +297,31 @@ impl FilterThenVerifySwMonitor {
         config: ApproxConfig,
         window_size: usize,
     ) -> Self {
-        let states = clusters
-            .iter()
-            .map(|c| {
-                let virtual_preference = approx_common_preference(
-                    c.members.iter().map(|u| &preferences[u.index()]),
-                    config,
-                );
-                SwClusterState::new(c.members.clone(), virtual_preference)
-            })
-            .collect();
-        Self::from_states(preferences, states, window_size)
+        let states = Self::approx_states(&preferences, clusters, config);
+        Self::from_states(preferences, states, None, Some(config), window_size)
+    }
+
+    /// Like [`Self::with_clustering`], but with approximate (Alg. 3)
+    /// virtual preferences.
+    pub fn with_approx_clustering(
+        preferences: Vec<Preference>,
+        clustering: Clustering,
+        config: ApproxConfig,
+        window_size: usize,
+    ) -> Self {
+        assert_eq!(
+            clustering.num_users(),
+            preferences.len(),
+            "clustering must cover exactly the monitor's users"
+        );
+        let states = Self::approx_states(&preferences, &clustering.clusters(), config);
+        Self::from_states(
+            preferences,
+            states,
+            Some(clustering),
+            Some(config),
+            window_size,
+        )
     }
 
     /// Creates a monitor with explicitly provided virtual preferences.
@@ -259,12 +334,31 @@ impl FilterThenVerifySwMonitor {
             .into_iter()
             .map(|(members, virtual_preference)| SwClusterState::new(members, virtual_preference))
             .collect();
-        Self::from_states(preferences, states, window_size)
+        Self::from_states(preferences, states, None, None, window_size)
+    }
+
+    fn approx_states(
+        preferences: &[Preference],
+        clusters: &[Cluster],
+        config: ApproxConfig,
+    ) -> Vec<SwClusterState> {
+        clusters
+            .iter()
+            .map(|c| {
+                let virtual_preference = approx_common_preference(
+                    c.members.iter().map(|u| &preferences[u.index()]),
+                    config,
+                );
+                SwClusterState::new(c.members.clone(), virtual_preference)
+            })
+            .collect()
     }
 
     fn from_states(
         preferences: Vec<Preference>,
         clusters: Vec<SwClusterState>,
+        clustering: Option<Clustering>,
+        approx: Option<ApproxConfig>,
         window_size: usize,
     ) -> Self {
         let compiled = preferences.iter().map(Preference::compile).collect();
@@ -274,6 +368,8 @@ impl FilterThenVerifySwMonitor {
             compiled,
             user_frontiers,
             clusters,
+            clustering,
+            approx,
             window: SlidingWindow::new(window_size),
             stats: MonitorStats::new(),
         }
@@ -282,6 +378,11 @@ impl FilterThenVerifySwMonitor {
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// The preference of `user`.
+    pub fn preference(&self, user: UserId) -> &Preference {
+        &self.preferences[user.index()]
     }
 
     /// The window capacity `W`.
@@ -306,6 +407,27 @@ impl FilterThenVerifySwMonitor {
         let mut ids: Vec<ObjectId> = self.clusters[cluster].buffer.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Rebuilds one cluster's frontier `P_U` and buffer `PB_U` by replaying
+    /// the alive objects under the cluster's (possibly just recomputed)
+    /// compiled common relation. After a membership change the old state was
+    /// computed under a different relation, and a too-small buffer would
+    /// miss promotions on future expiries — the replay restores exactly the
+    /// state a from-start cluster would hold over the current window.
+    fn rebuild_cluster_state(&mut self, cluster: usize) {
+        let state = &mut self.clusters[cluster];
+        state.frontier.clear();
+        state.buffer.clear();
+        for object in self.window.iter() {
+            update_pareto_frontier(
+                &state.compiled,
+                &mut state.frontier,
+                object,
+                &mut self.stats,
+            );
+            refresh_buffer(&state.compiled, &mut state.buffer, object, &mut self.stats);
+        }
     }
 
     fn expire(&mut self, expired: &Object) {
@@ -429,6 +551,98 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
 
     fn num_users(&self) -> usize {
         self.preferences.len()
+    }
+
+    fn add_user(&mut self, preference: Preference) -> UserId {
+        let user = UserId::from(self.preferences.len());
+        let compiled = preference.compile();
+        // Backfill the user's own frontier from the alive objects.
+        let mut frontier = Frontier::new();
+        for object in self.window.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences.push(preference);
+        self.compiled.push(compiled);
+        self.user_frontiers.push(frontier);
+        let placement = match self.clustering.as_mut() {
+            Some(clustering) => clustering.insert_user(user, &self.preferences[user.index()]),
+            None => Placement::Singleton {
+                cluster: self.clusters.len(),
+            },
+        };
+        let cluster = match placement {
+            Placement::Joined { cluster, common } => {
+                self.clusters[cluster].members.push(user);
+                let virtual_preference = match self.approx {
+                    Some(_) => members_virtual_preference(
+                        &self.preferences,
+                        &self.clusters[cluster].members,
+                        self.approx,
+                    ),
+                    None => common,
+                };
+                let state = &mut self.clusters[cluster];
+                state.compiled = virtual_preference.compile();
+                state.virtual_preference = virtual_preference;
+                cluster
+            }
+            Placement::Singleton { cluster } => {
+                debug_assert_eq!(cluster, self.clusters.len());
+                self.clusters.push(SwClusterState::new(
+                    vec![user],
+                    self.preferences[user.index()].clone(),
+                ));
+                cluster
+            }
+        };
+        self.rebuild_cluster_state(cluster);
+        user
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Option<UserId> {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let repair = plan_detach(
+            self.clustering.as_mut(),
+            self.clusters.iter().map(|c| c.members.as_slice()),
+            user,
+        );
+        match repair {
+            ClusterRepair::Drop(cluster) => {
+                self.clusters.swap_remove(cluster);
+            }
+            ClusterRepair::Recompute(cluster, exact_common) => {
+                self.clusters[cluster].members.retain(|&m| m != user);
+                let virtual_preference = match (self.approx, exact_common) {
+                    (None, Some(common)) => common,
+                    _ => members_virtual_preference(
+                        &self.preferences,
+                        &self.clusters[cluster].members,
+                        self.approx,
+                    ),
+                };
+                let state = &mut self.clusters[cluster];
+                state.compiled = virtual_preference.compile();
+                state.virtual_preference = virtual_preference;
+                self.rebuild_cluster_state(cluster);
+            }
+            ClusterRepair::Detached => {}
+        }
+        let last = self.preferences.len() - 1;
+        self.preferences.swap_remove(idx);
+        self.compiled.swap_remove(idx);
+        self.user_frontiers.swap_remove(idx);
+        if idx == last {
+            return None;
+        }
+        let moved = UserId::from(last);
+        renumber_member(
+            self.clustering.as_mut(),
+            self.clusters.iter_mut().map(|c| &mut c.members),
+            moved,
+            user,
+        );
+        Some(moved)
     }
 
     fn stats(&self) -> MonitorStats {
@@ -720,6 +934,82 @@ mod tests {
         assert_eq!(m.window_size(), 4);
         assert!(m.stats().arrivals == 7);
         assert!(m.stats().expirations == 3);
+    }
+
+    #[test]
+    fn added_sliding_user_matches_from_start_monitor_over_the_window() {
+        let users = laptop_users();
+        let window = 4;
+        let mut m = BaselineSwMonitor::new(vec![users[0].clone()], window);
+        let objects = table8_objects();
+        for o in &objects[..5] {
+            m.process(o.clone());
+        }
+        let added = m.add_user(users[1].clone());
+        assert_eq!(added, UserId::new(1));
+        for o in &objects[5..] {
+            m.process(o.clone());
+        }
+        let mut from_start = BaselineSwMonitor::new(users.clone(), window);
+        for o in &objects {
+            from_start.process(o.clone());
+        }
+        assert_eq!(m.frontier(added), from_start.frontier(UserId::new(1)));
+        assert_eq!(m.buffer(added), from_start.buffer(UserId::new(1)));
+        // Expiry-driven mending keeps working for the registered user.
+        let extra = [obj(8, &[0, 1, 3]), obj(9, &[1, 0, 0]), obj(10, &[4, 4, 0])];
+        for o in &extra {
+            m.process(o.clone());
+            from_start.process(o.clone());
+        }
+        assert_eq!(m.frontier(added), from_start.frontier(UserId::new(1)));
+    }
+
+    #[test]
+    fn dynamic_singleton_clusters_sw_track_baseline_sw() {
+        use pm_cluster::{Clustering, ExactMeasure};
+        let users = laptop_users();
+        let window = 4;
+        // An impossible branch cut keeps every user in a singleton cluster,
+        // where FilterThenVerifySW is exact — including under churn.
+        let clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let mut ftv = FilterThenVerifySwMonitor::with_clustering(users.clone(), clustering, window);
+        let mut baseline = BaselineSwMonitor::new(users.clone(), window);
+        let objects = table8_objects();
+        for o in &objects[..4] {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
+        let pref = users[0].clone();
+        assert_eq!(ftv.add_user(pref.clone()), baseline.add_user(pref));
+        assert_eq!(ftv.num_clusters(), 3);
+        for o in &objects[4..] {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
+        assert_eq!(
+            ftv.remove_user(UserId::new(0)),
+            baseline.remove_user(UserId::new(0))
+        );
+        assert_eq!(ftv.num_clusters(), 2);
+        let extra = [obj(8, &[2, 2, 1]), obj(9, &[0, 1, 3]), obj(10, &[1, 0, 0])];
+        for o in &extra {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
+        for u in 0..baseline.num_users() {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pm_cluster::{cluster_users, ApproxConfig, Cluster, ClusteringConfig, ExactMeasure};
+use pm_cluster::{ApproxConfig, Clustering, ExactMeasure};
 use pm_core::{
     BaselineMonitor, BaselineSwMonitor, FilterThenVerifyMonitor, FilterThenVerifySwMonitor,
 };
@@ -60,20 +60,6 @@ pub enum BackendSpec {
     },
 }
 
-fn exact_clusters(preferences: &[Preference], branch_cut: f64) -> Vec<Cluster> {
-    if preferences.is_empty() {
-        return Vec::new();
-    }
-    cluster_users(
-        preferences,
-        ClusteringConfig::Exact {
-            measure: ExactMeasure::Jaccard,
-            branch_cut,
-        },
-    )
-    .clusters
-}
-
 impl BackendSpec {
     /// Builds one shard's monitor over the given (shard-local) preferences.
     ///
@@ -81,36 +67,40 @@ impl BackendSpec {
     /// cluster-level virtual users alike) to the bitset form of
     /// [`pm_porder::CompiledPreference`] before the first arrival, so each
     /// shard's dominance hot path runs on word-indexed bit tests regardless
-    /// of the backend chosen here.
+    /// of the backend chosen here. The FilterThenVerify backends are built
+    /// over an incrementally maintained [`Clustering`], so the shard can
+    /// serve REGISTER/UNREGISTER with dendrogram-local repair instead of a
+    /// full re-clustering.
     pub fn build(&self, preferences: &[Preference]) -> BoxedMonitor {
         let prefs = preferences.to_vec();
+        let clustering =
+            |branch_cut: f64| Clustering::new(preferences, ExactMeasure::Jaccard, branch_cut);
         match *self {
             BackendSpec::Baseline => Box::new(BaselineMonitor::new(prefs)),
-            BackendSpec::FilterThenVerify { branch_cut } => {
-                let clusters = exact_clusters(preferences, branch_cut);
-                Box::new(FilterThenVerifyMonitor::new(prefs, &clusters))
-            }
+            BackendSpec::FilterThenVerify { branch_cut } => Box::new(
+                FilterThenVerifyMonitor::with_clustering(prefs, clustering(branch_cut)),
+            ),
             BackendSpec::FilterThenVerifyApprox { branch_cut, config } => {
-                let clusters = exact_clusters(preferences, branch_cut);
-                Box::new(FilterThenVerifyMonitor::with_approx_clusters(
-                    prefs, &clusters, config,
+                Box::new(FilterThenVerifyMonitor::with_approx_clustering(
+                    prefs,
+                    clustering(branch_cut),
+                    config,
                 ))
             }
             BackendSpec::BaselineSw { window } => Box::new(BaselineSwMonitor::new(prefs, window)),
-            BackendSpec::FilterThenVerifySw { branch_cut, window } => {
-                let clusters = exact_clusters(preferences, branch_cut);
-                Box::new(FilterThenVerifySwMonitor::new(prefs, &clusters, window))
-            }
+            BackendSpec::FilterThenVerifySw { branch_cut, window } => Box::new(
+                FilterThenVerifySwMonitor::with_clustering(prefs, clustering(branch_cut), window),
+            ),
             BackendSpec::FilterThenVerifyApproxSw {
                 branch_cut,
                 config,
                 window,
-            } => {
-                let clusters = exact_clusters(preferences, branch_cut);
-                Box::new(FilterThenVerifySwMonitor::with_approx_clusters(
-                    prefs, &clusters, config, window,
-                ))
-            }
+            } => Box::new(FilterThenVerifySwMonitor::with_approx_clustering(
+                prefs,
+                clustering(branch_cut),
+                config,
+                window,
+            )),
         }
     }
 

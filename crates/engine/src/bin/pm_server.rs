@@ -156,7 +156,8 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "pm-server: listening on {} ({} attributes per object; INGEST/EXPIRE/QUERY/FRONTIER/STATS/HEALTH/QUIT)",
+        "pm-server: listening on {} ({} attributes per object; \
+         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UNREGISTER/STATS/HEALTH/QUIT)",
         opts.server.addr, arity
     );
     if let Err(e) = pm_engine::server::serve(listener, service) {

@@ -83,6 +83,13 @@ pub fn shard_of(user: UserId, shards: usize) -> usize {
 /// consistent global order (a short critical section around the send), so
 /// concurrent ingestion from several threads interleaves at batch
 /// granularity and every shard observes the same object order.
+///
+/// The population is **dynamic**: [`ShardedEngine::register`] adds a user
+/// mid-stream (routed to its owning shard, frontier backfilled from the
+/// alive objects) and [`ShardedEngine::unregister`] drops one. Because
+/// registrations are enqueued under the same ordering lock as batches, a
+/// user registered before a batch sees exactly that batch onward — no
+/// arrival is dropped or duplicated around a membership change.
 pub struct ShardedEngine {
     /// Locked while *enqueueing* so all shards see commands in one order;
     /// replies are awaited without holding the lock, which lets the next
@@ -90,8 +97,11 @@ pub struct ShardedEngine {
     senders: Mutex<Vec<SyncSender<ShardCmd>>>,
     handles: Vec<JoinHandle<()>>,
     queue_depths: Vec<Arc<AtomicUsize>>,
-    shard_users: Vec<Vec<UserId>>,
-    num_users: usize,
+    /// Engine-side view of which global users each shard owns. Mutated only
+    /// while holding `senders` (after it, in lock order), so it never
+    /// disagrees with the command stream the workers observe.
+    membership: Mutex<Vec<Vec<UserId>>>,
+    num_users: AtomicUsize,
     ingested: AtomicU64,
     started: Instant,
 }
@@ -160,11 +170,19 @@ impl ShardedEngine {
             senders: Mutex::new(senders),
             handles,
             queue_depths,
-            shard_users,
-            num_users,
+            membership: Mutex::new(shard_users),
+            num_users: AtomicUsize::new(num_users),
             ingested: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Builds an engine with no initial users; populate it with
+    /// [`Self::register`]. The population is not a build-time constraint:
+    /// an empty engine serves batches (with empty target sets) and grows as
+    /// users register.
+    pub fn empty(config: &EngineConfig, spec: &BackendSpec) -> Self {
+        Self::new(Vec::new(), config, spec)
     }
 
     /// Number of shards.
@@ -172,14 +190,81 @@ impl ShardedEngine {
         self.queue_depths.len()
     }
 
-    /// Number of users across all shards.
+    /// Number of currently registered users across all shards.
     pub fn num_users(&self) -> usize {
-        self.num_users
+        self.num_users.load(Ordering::Acquire)
     }
 
-    /// The global user ids owned by `shard`, ascending.
-    pub fn shard_users(&self, shard: usize) -> &[UserId] {
-        &self.shard_users[shard]
+    /// The global user ids currently owned by `shard` (in registration
+    /// order, except that unregistration swap-removes).
+    pub fn shard_users(&self, shard: usize) -> Vec<UserId> {
+        self.membership.lock().expect("engine poisoned")[shard].clone()
+    }
+
+    /// Whether `user` is currently registered.
+    pub fn is_registered(&self, user: UserId) -> bool {
+        let shard = shard_of(user, self.num_shards());
+        self.membership.lock().expect("engine poisoned")[shard].contains(&user)
+    }
+
+    /// Registers `user` with `preference`, routing it to its owning shard.
+    ///
+    /// The shard compiles the preference, inserts the user into the
+    /// best-fitting cluster (FilterThenVerify backends) or its own slot,
+    /// and backfills the user's frontier from the alive objects; the call
+    /// returns once the registration is fully applied. Batches enqueued
+    /// before this call never notify the user; batches enqueued after it
+    /// always consider the user.
+    ///
+    /// Errors if `user` is already registered.
+    pub fn register(&self, user: UserId, preference: Preference) -> Result<(), String> {
+        let shard = shard_of(user, self.num_shards());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let senders = self.senders.lock().expect("engine poisoned");
+            let mut membership = self.membership.lock().expect("engine poisoned");
+            if membership[shard].contains(&user) {
+                return Err(format!("user {} is already registered", user.raw()));
+            }
+            senders[shard]
+                .send(ShardCmd::AddUser {
+                    user,
+                    preference,
+                    reply: reply_tx,
+                })
+                .expect("shard worker terminated");
+            membership[shard].push(user);
+            self.num_users.fetch_add(1, Ordering::AcqRel);
+        }
+        reply_rx.recv().expect("shard worker dropped its reply");
+        Ok(())
+    }
+
+    /// Unregisters `user`, dropping its frontier and repairing its cluster
+    /// on the owning shard. Returns once the removal is fully applied.
+    ///
+    /// Errors if `user` is not registered.
+    pub fn unregister(&self, user: UserId) -> Result<(), String> {
+        let shard = shard_of(user, self.num_shards());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let senders = self.senders.lock().expect("engine poisoned");
+            let mut membership = self.membership.lock().expect("engine poisoned");
+            let Some(pos) = membership[shard].iter().position(|&u| u == user) else {
+                return Err(format!("user {} is not registered", user.raw()));
+            };
+            senders[shard]
+                .send(ShardCmd::RemoveUser {
+                    user,
+                    reply: reply_tx,
+                })
+                .expect("shard worker terminated");
+            membership[shard].swap_remove(pos);
+            self.num_users.fetch_sub(1, Ordering::AcqRel);
+        }
+        let removed = reply_rx.recv().expect("shard worker dropped its reply");
+        debug_assert!(removed, "shard membership diverged from engine view");
+        Ok(())
     }
 
     /// Enqueues one batch on every shard and returns a [`BatchTicket`] to
@@ -247,10 +332,18 @@ impl ShardedEngine {
         reply_rx.recv().expect("shard worker dropped its reply")
     }
 
-    /// The frontiers of all users, indexed by global user id.
-    pub fn all_frontiers(&self) -> Vec<Vec<ObjectId>> {
-        (0..self.num_users)
-            .map(|u| self.frontier(UserId::from(u)))
+    /// The frontiers of all registered users as `(user, frontier)` pairs,
+    /// ascending by user id. With a dynamic population the id space may be
+    /// sparse, so frontiers are keyed rather than positional.
+    pub fn all_frontiers(&self) -> Vec<(UserId, Vec<ObjectId>)> {
+        let mut users: Vec<UserId> = {
+            let membership = self.membership.lock().expect("engine poisoned");
+            membership.iter().flatten().copied().collect()
+        };
+        users.sort_unstable();
+        users
+            .into_iter()
+            .map(|user| (user, self.frontier(user)))
             .collect()
     }
 
@@ -295,12 +388,16 @@ impl ShardedEngine {
     /// depths, user counts, throughput.
     pub fn snapshot(&self) -> EngineSnapshot {
         let per_shard = self.shard_stats();
+        let users_per_shard: Vec<usize> = {
+            let membership = self.membership.lock().expect("engine poisoned");
+            membership.iter().map(Vec::len).collect()
+        };
         let shards = per_shard
             .into_iter()
             .enumerate()
             .map(|(shard, stats)| ShardSnapshot {
                 shard,
-                users: self.shard_users[shard].len(),
+                users: users_per_shard[shard],
                 queue_depth: self.queue_depths[shard].load(Ordering::Acquire),
                 stats,
             })
@@ -309,7 +406,7 @@ impl ShardedEngine {
         let ingested = self.ingested.load(Ordering::Relaxed);
         EngineSnapshot {
             shards,
-            users: self.num_users,
+            users: users_per_shard.iter().sum(),
             ingested,
             uptime,
         }
@@ -571,5 +668,89 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedEngine::new(Vec::new(), &EngineConfig::new(0), &BackendSpec::Baseline);
+    }
+
+    #[test]
+    fn register_mid_stream_matches_fresh_engine() {
+        let prefs = population(12);
+        let late = population(14).pop().unwrap();
+        let objects = stream(80);
+        for shards in [1usize, 3] {
+            let dynamic = ShardedEngine::new(
+                prefs.clone(),
+                &EngineConfig::new(shards),
+                &BackendSpec::Baseline,
+            );
+            dynamic.process_batch(objects[..40].to_vec());
+            // Register a sparse global id mid-stream.
+            let user = UserId::new(500);
+            dynamic.register(user, late.clone()).unwrap();
+            assert!(dynamic.is_registered(user));
+            assert_eq!(dynamic.num_users(), 13);
+            let got = dynamic.process_batch(objects[40..].to_vec());
+            // The fresh engine has the user from the start: frontiers and
+            // the post-registration arrivals must coincide.
+            let fresh = ShardedEngine::empty(&EngineConfig::new(shards), &BackendSpec::Baseline);
+            for (idx, pref) in prefs.iter().enumerate() {
+                fresh.register(UserId::from(idx), pref.clone()).unwrap();
+            }
+            fresh.register(user, late.clone()).unwrap();
+            fresh.process_batch(objects[..40].to_vec());
+            let expected = fresh.process_batch(objects[40..].to_vec());
+            assert_eq!(got, expected, "shards={shards}");
+            assert_eq!(dynamic.frontier(user), fresh.frontier(user));
+            for (idx, _) in prefs.iter().enumerate() {
+                assert_eq!(
+                    dynamic.frontier(UserId::from(idx)),
+                    fresh.frontier(UserId::from(idx)),
+                    "shards={shards} user={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unregister_removes_the_user_observably() {
+        let prefs = population(10);
+        let engine =
+            ShardedEngine::new(prefs.clone(), &EngineConfig::new(4), &BackendSpec::Baseline);
+        engine.process_batch(stream(30));
+        let victim = UserId::new(3);
+        assert!(engine.is_registered(victim));
+        engine.unregister(victim).unwrap();
+        assert!(!engine.is_registered(victim));
+        assert_eq!(engine.num_users(), 9);
+        assert!(engine.frontier(victim).is_empty());
+        // The per-shard user counts in the snapshot reflect the removal.
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.users, 9);
+        assert_eq!(snapshot.shards.iter().map(|s| s.users).sum::<usize>(), 9);
+        assert!(snapshot.to_string().contains("shard_users="));
+        // Arrivals no longer mention the unregistered user.
+        for arrival in engine.process_batch(stream(30)) {
+            assert!(!arrival.target_users.contains(&victim));
+        }
+        // Errors: double unregister and duplicate register.
+        assert!(engine.unregister(victim).is_err());
+        assert!(engine.register(UserId::new(0), prefs[0].clone()).is_err());
+        // Re-registering a previously removed id is allowed.
+        engine.register(victim, prefs[3].clone()).unwrap();
+        assert!(engine.is_registered(victim));
+        assert_eq!(engine.num_users(), 10);
+    }
+
+    #[test]
+    fn all_frontiers_reports_sparse_ids_in_order() {
+        let engine = ShardedEngine::empty(&EngineConfig::new(2), &BackendSpec::Baseline);
+        let prefs = population(3);
+        for (user, pref) in [(9u32, 0usize), (2, 1), (700, 2)] {
+            engine
+                .register(UserId::new(user), prefs[pref].clone())
+                .unwrap();
+        }
+        engine.process_batch(stream(20));
+        let frontiers = engine.all_frontiers();
+        let ids: Vec<u32> = frontiers.iter().map(|(u, _)| u.raw()).collect();
+        assert_eq!(ids, vec![2, 9, 700]);
     }
 }

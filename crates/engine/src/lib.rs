@@ -24,12 +24,19 @@
 //! * Ingestion is batched and backpressured: shard inboxes are bounded
 //!   [`std::sync::mpsc::sync_channel`]s, so a producer that outruns the
 //!   shards blocks instead of exhausting memory.
+//! * User membership is **dynamic**: [`ShardedEngine::register`] /
+//!   [`ShardedEngine::unregister`] route a membership change to the owning
+//!   shard, which compiles the preference, joins (or repairs) the
+//!   best-fitting cluster for the FilterThenVerify backends, and backfills
+//!   the user's frontier from the alive objects — no shard rebuild, no
+//!   stream pause. Registrations are ordered with batches, so no arrival is
+//!   dropped or duplicated around a membership change.
 //! * [`EngineSnapshot`] rolls the per-shard [`pm_core::MonitorStats`] up
 //!   into engine-level metrics: arrivals/sec, per-shard queue depths and
 //!   user-partition skew.
 //! * [`server`] exposes the engine over TCP with a newline-delimited text
-//!   protocol (`INGEST`, `EXPIRE`, `QUERY`, `FRONTIER`, `STATS`, `HEALTH`),
-//!   served by the `pm-server` binary.
+//!   protocol (`INGEST`, `EXPIRE`, `QUERY`, `FRONTIER`, `REGISTER`,
+//!   `UNREGISTER`, `STATS`, `HEALTH`), served by the `pm-server` binary.
 //!
 //! Everything is `std`-only: threads and channels, no async runtime.
 

@@ -49,6 +49,13 @@ impl EngineSnapshot {
         self.shards.iter().map(|s| s.queue_depth).collect()
     }
 
+    /// Live user count per shard, indexed by shard. With dynamic
+    /// registration this is the observable effect of REGISTER/UNREGISTER:
+    /// the owning shard's count moves immediately.
+    pub fn users_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.users).collect()
+    }
+
     /// User-partition skew: largest shard population divided by the ideal
     /// (uniform) population. 1.0 is a perfect split; 0.0 when there are no
     /// users.
@@ -89,14 +96,16 @@ impl fmt::Display for EngineSnapshot {
             .iter()
             .map(|s| s.queue_depth.to_string())
             .collect();
+        let users: Vec<String> = self.shards.iter().map(|s| s.users.to_string()).collect();
         write!(
             f,
-            "ingested={} arrivals_per_sec={:.1} users={} shards={} skew={:.2} \
+            "ingested={} arrivals_per_sec={:.1} users={} shards={} shard_users={} skew={:.2} \
              comparisons={} notifications={} expirations={} queue_depths={}",
             self.ingested,
             self.arrivals_per_sec(),
             self.users,
             self.shards.len(),
+            users.join(","),
             self.shard_skew(),
             self.total_comparisons(),
             self.total_notifications(),

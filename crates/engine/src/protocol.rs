@@ -7,14 +7,20 @@
 //! EXPIRE                      report cumulative window expirations
 //! QUERY <object>              target users of a recently ingested object
 //! FRONTIER <user>             current Pareto frontier of a user
+//! REGISTER <user> <rows>      register a user mid-stream; one row per
+//!                             attribute, ';'-separated, each row a
+//!                             comma-separated list of `x>y` tuples
+//!                             (`x` preferred to `y`), or `-`/empty for
+//!                             "no preferences on this attribute"
+//! UNREGISTER <user>           remove a registered user
 //! STATS                       engine metrics snapshot
 //! HEALTH                      liveness + engine identity
 //! QUIT                        close the connection
 //! ```
 //!
 //! Ids may be written bare (`QUERY 17`) or with the display prefix of the
-//! id type (`QUERY o17`, `FRONTIER c3`). Responses are single lines starting
-//! with `OK` or `ERR`.
+//! id type (`QUERY o17`, `FRONTIER c3`, `REGISTER c9 ...`). Responses are
+//! single lines starting with `OK` or `ERR`.
 
 use pm_model::{ObjectId, UserId, ValueId};
 
@@ -29,12 +35,53 @@ pub enum Request {
     Query(ObjectId),
     /// Report the current Pareto frontier of a user.
     Frontier(UserId),
+    /// Register a new user: one row of `(better, worse)` preference tuples
+    /// per attribute.
+    Register {
+        /// The global id the client chose for the user.
+        user: UserId,
+        /// Per-attribute preference tuples, in attribute order.
+        rows: Vec<Vec<(ValueId, ValueId)>>,
+    },
+    /// Remove a registered user.
+    Unregister(UserId),
     /// Report an engine metrics snapshot.
     Stats,
     /// Liveness check.
     Health,
     /// Close the connection.
     Quit,
+}
+
+/// Parses a user id, accepting the bare number or the `c` display prefix.
+fn parse_user(text: &str) -> Result<UserId, String> {
+    let raw = text.strip_prefix('c').unwrap_or(text);
+    raw.parse::<u32>()
+        .map(UserId::new)
+        .map_err(|_| format!("bad user id `{text}`"))
+}
+
+/// Parses one attribute's preference row: `-` or empty means "no
+/// preferences on this attribute", otherwise comma-separated `x>y` tuples.
+fn parse_pref_row(row: &str) -> Result<Vec<(ValueId, ValueId)>, String> {
+    let row = row.trim();
+    if row.is_empty() || row == "-" {
+        return Ok(Vec::new());
+    }
+    row.split(',')
+        .map(|tuple| {
+            let (x, y) = tuple
+                .split_once('>')
+                .ok_or_else(|| format!("bad preference tuple `{tuple}` (expected x>y)"))?;
+            let parse = |v: &str| {
+                v.trim()
+                    .parse::<u32>()
+                    .map(ValueId::new)
+                    .map_err(|_| format!("bad value `{v}` in preference tuple `{tuple}`"))
+            };
+            Ok((parse(x)?, parse(y)?))
+        })
+        .collect()
 }
 
 fn parse_values(group: &str) -> Result<Vec<ValueId>, String> {
@@ -80,12 +127,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map(|id| Request::Query(ObjectId::new(id)))
                 .map_err(|_| format!("bad object id `{rest}`"))
         }
-        "FRONTIER" => {
-            let raw = rest.strip_prefix('c').unwrap_or(rest);
-            raw.parse::<u32>()
-                .map(|id| Request::Frontier(UserId::new(id)))
-                .map_err(|_| format!("bad user id `{rest}`"))
+        "FRONTIER" => parse_user(rest).map(Request::Frontier),
+        "REGISTER" => {
+            let (user_text, rows_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+                "REGISTER needs a user id and preference rows \
+                 (e.g. REGISTER 9 0>1,1>2;-;3>0)"
+                    .to_owned()
+            })?;
+            let user = parse_user(user_text)?;
+            let rows = rows_text
+                .trim()
+                .split(';')
+                .map(parse_pref_row)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Register { user, rows })
         }
+        "UNREGISTER" => parse_user(rest).map(Request::Unregister),
         "STATS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
             Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
         }
@@ -94,7 +151,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "QUIT" => Ok(Request::Quit),
         "" => Err("empty request".to_owned()),
         other => Err(format!(
-            "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, STATS, HEALTH or QUIT)"
+            "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
+             UNREGISTER, STATS, HEALTH or QUIT)"
         )),
     }
 }
@@ -176,6 +234,50 @@ mod tests {
         assert!(parse_request("QUIT QUIT").is_err());
         assert!(parse_request("").is_err());
         assert!(parse_request("BOGUS 1").is_err());
+    }
+
+    #[test]
+    fn parses_register_and_unregister() {
+        let v = ValueId::new;
+        assert_eq!(
+            parse_request("REGISTER 9 0>1,1>2;-;3>0"),
+            Ok(Request::Register {
+                user: UserId::new(9),
+                rows: vec![vec![(v(0), v(1)), (v(1), v(2))], vec![], vec![(v(3), v(0))],],
+            })
+        );
+        // Display prefix, empty rows and whitespace are all accepted.
+        assert_eq!(
+            parse_request("register c3 ;;"),
+            Ok(Request::Register {
+                user: UserId::new(3),
+                rows: vec![vec![], vec![], vec![]],
+            })
+        );
+        assert_eq!(
+            parse_request("UNREGISTER c7"),
+            Ok(Request::Unregister(UserId::new(7)))
+        );
+        assert_eq!(
+            parse_request("unregister 7"),
+            Ok(Request::Unregister(UserId::new(7)))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_register_lines() {
+        for line in [
+            "REGISTER",          // no arguments at all
+            "REGISTER 5",        // user but no rows
+            "REGISTER x 0>1",    // bad user id
+            "REGISTER 5 0>1,2",  // tuple without '>'
+            "REGISTER 5 a>b",    // non-numeric values
+            "REGISTER 5 0>1,>2", // missing left value
+            "UNREGISTER",        // missing id
+            "UNREGISTER soon",   // bad id
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?} should fail");
+        }
     }
 
     #[test]

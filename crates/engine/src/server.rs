@@ -8,10 +8,11 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 
 use pm_core::Arrival;
-use pm_model::{Object, ObjectId, UserId, ValueId};
+use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
+use pm_porder::Preference;
 
 use crate::backend::BackendSpec;
-use crate::engine::ShardedEngine;
+use crate::engine::{shard_of, ShardedEngine};
 use crate::protocol::{format_objects, format_users, parse_request, Request};
 
 /// Configuration of the serving layer (see `pm-server --help`).
@@ -129,6 +130,36 @@ impl EngineService {
         state.targets.get(&object).cloned()
     }
 
+    /// Registers a user from wire-format preference rows: validates the row
+    /// count against the schema arity and that every row stays a strict
+    /// partial order, then routes the registration to the owning shard.
+    /// Returns that shard's index.
+    pub fn register(
+        &self,
+        user: UserId,
+        rows: Vec<Vec<(ValueId, ValueId)>>,
+    ) -> Result<usize, String> {
+        if rows.len() != self.arity {
+            return Err(format!(
+                "preference has {} attribute rows, schema has {} attributes",
+                rows.len(),
+                self.arity
+            ));
+        }
+        let mut preference = Preference::new(self.arity);
+        for (attr, row) in rows.into_iter().enumerate() {
+            let attr = AttrId::from(attr);
+            for (x, y) in row {
+                preference
+                    .relation_mut(attr)
+                    .insert(x, y)
+                    .map_err(|e| format!("non-canonical preference row for {attr}: {e}"))?;
+            }
+        }
+        self.engine.register(user, preference)?;
+        Ok(shard_of(user, self.engine.num_shards()))
+    }
+
     /// Handles one parsed request, returning the response line (without the
     /// trailing newline).
     pub fn respond(&self, request: Request) -> String {
@@ -161,13 +192,21 @@ impl EngineService {
                 ),
             },
             Request::Frontier(user) => {
-                if user.index() >= self.engine.num_users() {
+                if !self.engine.is_registered(user) {
                     format!("ERR unknown user {}", user.raw())
                 } else {
                     let frontier = self.engine.frontier(user);
                     format!("OK FRONTIER {} {}", user.raw(), format_objects(&frontier))
                 }
             }
+            Request::Register { user, rows } => match self.register(user, rows) {
+                Ok(shard) => format!("OK REGISTERED {} shard={shard}", user.raw()),
+                Err(e) => format!("ERR {e}"),
+            },
+            Request::Unregister(user) => match self.engine.unregister(user) {
+                Ok(()) => format!("OK UNREGISTERED {}", user.raw()),
+                Err(e) => format!("ERR {e}"),
+            },
             Request::Stats => {
                 let snapshot = self.engine.snapshot();
                 format!("OK STATS {snapshot}")
@@ -299,6 +338,55 @@ mod tests {
         // History capacity is 8: object 0 has been evicted, recent ones kept.
         assert!(svc.respond_line("QUERY 0").starts_with("ERR"));
         assert!(svc.respond_line("QUERY 11").starts_with("OK"));
+    }
+
+    #[test]
+    fn register_unregister_round_trip() {
+        let svc = service(2, "baseline");
+        // Register user 9 with a chain preference on both attributes.
+        let r = svc.respond_line("REGISTER 9 0>1,1>2;2>0");
+        assert!(r.starts_with("OK REGISTERED 9 shard="), "{r}");
+        assert!(svc.respond_line("HEALTH").contains("users=4"));
+        // The new user participates in ingestion and frontier queries.
+        assert!(svc.respond_line("INGEST 0,2").starts_with("OK INGESTED 1"));
+        assert!(svc
+            .respond_line("FRONTIER 9")
+            .starts_with("OK FRONTIER 9 0"));
+        let stats = svc.respond_line("STATS");
+        assert!(stats.contains("users=4"), "{stats}");
+        assert!(stats.contains("shard_users="), "{stats}");
+        // Unregister and observe the user disappear.
+        assert_eq!(svc.respond_line("UNREGISTER 9"), "OK UNREGISTERED 9");
+        assert!(svc
+            .respond_line("FRONTIER 9")
+            .starts_with("ERR unknown user"));
+        assert!(svc.respond_line("HEALTH").contains("users=3"));
+    }
+
+    #[test]
+    fn register_validates_arity_and_partial_order() {
+        let svc = service(1, "baseline");
+        // Wrong row count (schema has 2 attributes).
+        assert!(svc
+            .respond_line("REGISTER 9 0>1")
+            .starts_with("ERR preference has 1 attribute rows"));
+        // Reflexive and cyclic rows are non-canonical.
+        assert!(svc
+            .respond_line("REGISTER 9 1>1;-")
+            .starts_with("ERR non-canonical preference row"));
+        assert!(svc
+            .respond_line("REGISTER 9 0>1,1>0;-")
+            .starts_with("ERR non-canonical preference row"));
+        // Duplicate user ids are rejected.
+        assert!(svc
+            .respond_line("REGISTER 0 0>1;-")
+            .starts_with("ERR user 0 is already registered"));
+        // Unknown unregister is an error, not a panic.
+        assert!(svc
+            .respond_line("UNREGISTER 99")
+            .starts_with("ERR user 99 is not registered"));
+        // None of that broke the service.
+        assert!(svc.respond_line("REGISTER 9 0>1;-").starts_with("OK"));
     }
 
     #[test]

@@ -4,14 +4,18 @@
 //! population and processes commands from its bounded inbox in order.
 //! Because the monitor only knows its local, densely re-indexed users, the
 //! worker translates between local indices and global [`UserId`]s at the
-//! boundary.
+//! boundary. With dynamic membership (REGISTER/UNREGISTER) the local→global
+//! map is append-plus-swap-remove maintained, so it is *not* sorted; a hash
+//! map resolves global ids on the query path.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use pm_core::{ContinuousMonitor, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
+use pm_porder::Preference;
 
 /// A monitor that can be moved onto a shard worker thread.
 ///
@@ -34,6 +38,15 @@ pub(crate) enum ShardCmd {
         user: UserId,
         reply: Sender<Vec<ObjectId>>,
     },
+    /// Register a new user on this shard, backfilling its frontier from the
+    /// alive objects. Replies once the registration is visible.
+    AddUser {
+        user: UserId,
+        preference: Preference,
+        reply: Sender<()>,
+    },
+    /// Unregister a user from this shard. Replies whether the user existed.
+    RemoveUser { user: UserId, reply: Sender<bool> },
     /// Report the monitor's work counters.
     Stats { reply: Sender<MonitorStats> },
     /// Terminate the worker.
@@ -45,7 +58,8 @@ pub(crate) struct ShardBatchReply {
     /// Which shard this reply came from.
     pub shard: usize,
     /// For each object of the batch, the target users owned by this shard,
-    /// as global ids in ascending order.
+    /// as global ids. Per-shard sets are pairwise disjoint across shards;
+    /// the engine sorts the merged set, so no per-shard order is promised.
     pub targets: Vec<Vec<UserId>>,
 }
 
@@ -53,7 +67,7 @@ pub(crate) struct ShardBatchReply {
 pub(crate) struct ShardWorker {
     pub shard: usize,
     pub monitor: BoxedMonitor,
-    /// Local user index → global user id, ascending.
+    /// Local user index → global user id (unsorted under churn).
     pub global_users: Vec<UserId>,
     /// Number of batches enqueued but not yet fully processed.
     pub queue_depth: Arc<AtomicUsize>,
@@ -62,6 +76,13 @@ pub(crate) struct ShardWorker {
 impl ShardWorker {
     /// Processes commands until the channel closes or `Shutdown` arrives.
     pub fn run(mut self, inbox: Receiver<ShardCmd>) {
+        // Global id → local index, kept in sync with `global_users`.
+        let mut local_of: HashMap<UserId, usize> = self
+            .global_users
+            .iter()
+            .enumerate()
+            .map(|(local, &user)| (user, local))
+            .collect();
         while let Ok(cmd) = inbox.recv() {
             match cmd {
                 ShardCmd::Batch { objects, reply } => {
@@ -69,8 +90,6 @@ impl ShardWorker {
                         .iter()
                         .map(|object| {
                             let arrival = self.monitor.process(object.clone());
-                            // Local indices are ascending, and the local→global
-                            // map is monotone, so the mapped list stays sorted.
                             arrival
                                 .target_users
                                 .iter()
@@ -85,11 +104,39 @@ impl ShardWorker {
                     });
                 }
                 ShardCmd::Frontier { user, reply } => {
-                    let frontier = match self.global_users.binary_search(&user) {
-                        Ok(local) => self.monitor.frontier(UserId::from(local)),
-                        Err(_) => Vec::new(),
+                    let frontier = match local_of.get(&user) {
+                        Some(&local) => self.monitor.frontier(UserId::from(local)),
+                        None => Vec::new(),
                     };
                     let _ = reply.send(frontier);
+                }
+                ShardCmd::AddUser {
+                    user,
+                    preference,
+                    reply,
+                } => {
+                    debug_assert!(!local_of.contains_key(&user), "duplicate registration");
+                    let local = self.monitor.add_user(preference);
+                    debug_assert_eq!(local.index(), self.global_users.len());
+                    local_of.insert(user, local.index());
+                    self.global_users.push(user);
+                    let _ = reply.send(());
+                }
+                ShardCmd::RemoveUser { user, reply } => {
+                    let removed = match local_of.remove(&user) {
+                        Some(local) => {
+                            // Mirror the monitor's swap-remove: the last
+                            // local user takes over the freed slot.
+                            self.monitor.remove_user(UserId::from(local));
+                            self.global_users.swap_remove(local);
+                            if local < self.global_users.len() {
+                                local_of.insert(self.global_users[local], local);
+                            }
+                            true
+                        }
+                        None => false,
+                    };
+                    let _ = reply.send(removed);
                 }
                 ShardCmd::Stats { reply } => {
                     let _ = reply.send(self.monitor.stats());

@@ -1,0 +1,310 @@
+//! Dynamic-membership oracle equivalence: an interleaved stream of
+//! INGEST / REGISTER / UNREGISTER events must leave every surviving user
+//! with a frontier identical to (a) a per-user oracle that replays the
+//! alive objects and (b) a *fresh* engine built with the final population
+//! and fed the alive objects — across all four backends and 1/2/4/8 shards.
+//!
+//! The per-object arrival comparison additionally proves that a REGISTER
+//! during an active stream never drops or duplicates a notification: every
+//! batch enqueued after the registration considers the user, every batch
+//! before it does not.
+//!
+//! Backend notes: `Baseline`, `BaselineSw` and append-only
+//! `FilterThenVerify` are exact under any clustering (Lemma 4.6), so the
+//! FTV run uses a real branch cut and genuinely exercises incremental
+//! cluster joins/repairs. `FilterThenVerifySw` is only exact when every
+//! cluster is a singleton, so its oracle run pins an unreachable branch cut
+//! (the paper's approximation error is otherwise clustering-dependent);
+//! cluster-structure invariants under churn are covered by the property
+//! tests instead.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor};
+use pm_datagen::{Dataset, DatasetProfile};
+use pm_engine::{BackendSpec, EngineConfig, ShardedEngine};
+use pm_model::{Object, ObjectId, UserId};
+use pm_porder::Preference;
+
+const WINDOW: usize = 120;
+const BATCH: usize = 24;
+
+/// One step of the interleaved script.
+enum Event {
+    Ingest(Vec<Object>),
+    Register(UserId, Preference),
+    Unregister(UserId),
+}
+
+/// Builds the deterministic event script: 24 initial users, a pool of late
+/// registrations under sparse ids (200+), periodic unregistrations, and one
+/// id that is unregistered and later *re-registered with a different
+/// preference*.
+fn build_script() -> (Vec<(UserId, Preference)>, Vec<Event>) {
+    let profile = DatasetProfile::movie()
+        .with_users(36)
+        .with_objects(240)
+        .with_interactions(45);
+    let dataset = Dataset::generate(&profile, 97);
+    let stream: Vec<Object> = dataset.stream(360).iter().collect();
+    let initial: Vec<(UserId, Preference)> = (0..24)
+        .map(|u| (UserId::from(u), dataset.preferences[u].clone()))
+        .collect();
+
+    let mut live: Vec<UserId> = initial.iter().map(|(u, _)| *u).collect();
+    let mut events = Vec::new();
+    let mut next_pool = 24usize;
+    let mut next_id = 200u32;
+    let mut recycled: Option<(UserId, Preference)> = None;
+    for (i, chunk) in stream.chunks(BATCH).enumerate() {
+        events.push(Event::Ingest(chunk.to_vec()));
+        if i % 3 != 1 {
+            // Register: prefer the recycled id (re-registration with a
+            // different preference), else draw from the pool.
+            if let Some((user, pref)) = recycled.take() {
+                events.push(Event::Register(user, pref));
+                live.push(user);
+            } else if next_pool < dataset.preferences.len() {
+                let user = UserId::new(next_id);
+                next_id += 1;
+                let pref = dataset.preferences[next_pool].clone();
+                next_pool += 1;
+                events.push(Event::Register(user, pref));
+                live.push(user);
+            }
+        }
+        if i % 3 != 0 && live.len() > 4 {
+            let idx = (i * 7) % live.len();
+            let user = live.swap_remove(idx);
+            events.push(Event::Unregister(user));
+            if i == 7 {
+                // Later, give this id a brand-new preference.
+                let pref = dataset.preferences[(i * 5) % dataset.preferences.len()].clone();
+                recycled = Some((user, pref));
+            }
+        }
+    }
+    assert!(events.iter().any(|e| matches!(e, Event::Register(..))));
+    assert!(events.iter().any(|e| matches!(e, Event::Unregister(..))));
+    (initial, events)
+}
+
+/// Ground truth: one single-user exact monitor per registered user,
+/// backfilled from the alive objects at registration time.
+struct Oracle {
+    window: Option<usize>,
+    history: Vec<Object>,
+    users: BTreeMap<u32, Box<dyn ContinuousMonitor>>,
+}
+
+impl Oracle {
+    fn new(window: Option<usize>) -> Self {
+        Self {
+            window,
+            history: Vec::new(),
+            users: BTreeMap::new(),
+        }
+    }
+
+    fn register(&mut self, user: UserId, pref: Preference) {
+        let mut monitor: Box<dyn ContinuousMonitor> = match self.window {
+            Some(w) => Box::new(BaselineSwMonitor::new(vec![pref], w)),
+            None => Box::new(BaselineMonitor::new(vec![pref])),
+        };
+        let start = match self.window {
+            Some(w) => self.history.len().saturating_sub(w),
+            None => 0,
+        };
+        for object in &self.history[start..] {
+            monitor.process(object.clone());
+        }
+        assert!(self.users.insert(user.raw(), monitor).is_none());
+    }
+
+    fn unregister(&mut self, user: UserId) {
+        assert!(self.users.remove(&user.raw()).is_some());
+    }
+
+    /// Processes one arrival and returns its target users, ascending.
+    fn ingest(&mut self, object: Object) -> Vec<UserId> {
+        self.history.push(object.clone());
+        let mut targets = Vec::new();
+        for (&raw, monitor) in self.users.iter_mut() {
+            if monitor.process(object.clone()).has_targets() {
+                targets.push(UserId::new(raw));
+            }
+        }
+        targets
+    }
+
+    fn frontier(&self, user: UserId) -> Vec<ObjectId> {
+        self.users[&user.raw()].frontier(UserId::new(0))
+    }
+
+    /// The currently alive objects, oldest first.
+    fn alive(&self) -> Vec<Object> {
+        let start = match self.window {
+            Some(w) => self.history.len().saturating_sub(w),
+            None => 0,
+        };
+        self.history[start..].to_vec()
+    }
+}
+
+fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
+    let (initial, events) = build_script();
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(
+            initial.iter().map(|(_, p)| p.clone()).collect(),
+            &EngineConfig::new(shards),
+            &spec,
+        );
+        let mut oracle = Oracle::new(window);
+        let mut population: BTreeMap<u32, Preference> = BTreeMap::new();
+        for (user, pref) in &initial {
+            oracle.register(*user, pref.clone());
+            population.insert(user.raw(), pref.clone());
+        }
+
+        for event in &events {
+            match event {
+                Event::Ingest(chunk) => {
+                    let arrivals = engine.process_batch(chunk.clone());
+                    assert_eq!(arrivals.len(), chunk.len());
+                    for (object, arrival) in chunk.iter().zip(&arrivals) {
+                        let expected = oracle.ingest(object.clone());
+                        assert_eq!(
+                            arrival.target_users,
+                            expected,
+                            "{label}/{shards}: arrival {} disagrees with oracle",
+                            object.id()
+                        );
+                    }
+                }
+                Event::Register(user, pref) => {
+                    engine.register(*user, pref.clone()).unwrap();
+                    oracle.register(*user, pref.clone());
+                    population.insert(user.raw(), pref.clone());
+                }
+                Event::Unregister(user) => {
+                    engine.unregister(*user).unwrap();
+                    oracle.unregister(*user);
+                    population.remove(&user.raw());
+                }
+            }
+        }
+
+        // A fresh engine built with the final population, fed the alive
+        // objects, must agree with the churned engine on every frontier.
+        let fresh = ShardedEngine::empty(&EngineConfig::new(shards), &spec);
+        for (&raw, pref) in &population {
+            fresh.register(UserId::new(raw), pref.clone()).unwrap();
+        }
+        for chunk in oracle.alive().chunks(BATCH) {
+            fresh.process_batch(chunk.to_vec());
+        }
+        for &raw in population.keys() {
+            let user = UserId::new(raw);
+            let dynamic = engine.frontier(user);
+            assert_eq!(
+                dynamic,
+                oracle.frontier(user),
+                "{label}/{shards}: user {raw} vs oracle"
+            );
+            assert_eq!(
+                dynamic,
+                fresh.frontier(user),
+                "{label}/{shards}: user {raw} vs fresh engine"
+            );
+        }
+        assert_eq!(engine.num_users(), population.len());
+    }
+}
+
+#[test]
+fn dynamic_membership_matches_oracle_baseline() {
+    run_backend(BackendSpec::Baseline, None, "baseline");
+}
+
+#[test]
+fn dynamic_membership_matches_oracle_filter_then_verify() {
+    // A real branch cut: registrations join existing clusters and removals
+    // repair them; Lemma 4.6 keeps the results exact regardless.
+    run_backend(
+        BackendSpec::FilterThenVerify { branch_cut: 0.45 },
+        None,
+        "ftv",
+    );
+}
+
+#[test]
+fn dynamic_membership_matches_oracle_baseline_sw() {
+    run_backend(
+        BackendSpec::BaselineSw { window: WINDOW },
+        Some(WINDOW),
+        "baseline-sw",
+    );
+}
+
+#[test]
+fn dynamic_membership_matches_oracle_filter_then_verify_sw() {
+    // Singleton clusters (unreachable branch cut) make FilterThenVerifySW
+    // exact, so the oracle equivalence is well-defined; see module docs.
+    run_backend(
+        BackendSpec::FilterThenVerifySw {
+            branch_cut: 100.0,
+            window: WINDOW,
+        },
+        Some(WINDOW),
+        "ftv-sw",
+    );
+}
+
+/// Registration and ingestion from different threads must interleave safely
+/// (batch-granular ordering, no deadlock, no lost arrival).
+#[test]
+fn concurrent_registration_during_ingest_is_safe() {
+    let profile = DatasetProfile::movie()
+        .with_users(24)
+        .with_objects(120)
+        .with_interactions(40);
+    let dataset = Dataset::generate(&profile, 11);
+    let engine = Arc::new(ShardedEngine::new(
+        dataset.preferences.clone(),
+        &EngineConfig::new(4),
+        &BackendSpec::FilterThenVerify { branch_cut: 0.45 },
+    ));
+    let stream: Vec<Object> = dataset.stream(480).iter().collect();
+
+    let ingester = {
+        let engine = Arc::clone(&engine);
+        let stream = stream.clone();
+        std::thread::spawn(move || {
+            let mut processed = 0usize;
+            for chunk in stream.chunks(32) {
+                processed += engine.process_batch(chunk.to_vec()).len();
+            }
+            processed
+        })
+    };
+    // Churn 40 register/unregister pairs while the stream is in flight.
+    for i in 0..40u32 {
+        let user = UserId::new(1_000 + i);
+        let pref = dataset.preferences[(i as usize) % dataset.num_users()].clone();
+        engine.register(user, pref).unwrap();
+        if i >= 8 {
+            engine.unregister(UserId::new(1_000 + i - 8)).unwrap();
+        }
+    }
+    let processed = ingester.join().expect("ingester panicked");
+    assert_eq!(processed, stream.len());
+    assert_eq!(engine.stats().arrivals, stream.len() as u64);
+    assert_eq!(engine.num_users(), dataset.num_users() + 8);
+    // Every surviving registered user answers frontier queries.
+    for i in 32..40u32 {
+        let _ = engine.frontier(UserId::new(1_000 + i));
+    }
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.users, dataset.num_users() + 8);
+}

@@ -148,6 +148,101 @@ fn tcp_connection_survives_a_barrage_of_garbage() {
 }
 
 #[test]
+fn malformed_register_lines_return_errors() {
+    let svc = movie_service("baseline");
+    for line in [
+        "REGISTER",                  // no arguments at all
+        "REGISTER 5",                // user id but no preference rows
+        "REGISTER x 0>1;;;",         // bad user id
+        "REGISTER 5 0>1",            // 1 row, schema has 4 attributes
+        "REGISTER 5 0>1;;;;;",       // 6 rows, schema has 4
+        "REGISTER 5 0-1;;;",         // tuple without '>'
+        "REGISTER 5 a>b;;;",         // non-numeric values
+        "REGISTER 5 0>1,;;;",        // dangling comma
+        "REGISTER 5 1>1;;;",         // reflexive tuple (non-canonical)
+        "REGISTER 5 0>1,1>0;;;",     // cyclic tuples (non-canonical)
+        "REGISTER 5 0>1,1>2,2>0;;;", // longer cycle via closure
+    ] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // The dataset registers users 0..19 up front: duplicates are rejected.
+    let dup = svc.respond_line("REGISTER 5 0>1;;;");
+    assert!(dup.starts_with("ERR user 5 is already registered"), "{dup}");
+    // None of that registered anyone or killed the engine.
+    assert!(svc
+        .respond_line("FRONTIER 25")
+        .starts_with("ERR unknown user"));
+    let ok = svc.respond_line("REGISTER 25 0>1;-;-;2>0");
+    assert!(ok.starts_with("OK REGISTERED 25 shard="), "{ok}");
+    assert!(svc
+        .respond_line("FRONTIER 25")
+        .starts_with("OK FRONTIER 25"));
+}
+
+#[test]
+fn unregister_of_unknown_users_is_an_error_not_fatal() {
+    let svc = movie_service("ftv-sw:0.4:16");
+    for line in ["UNREGISTER", "UNREGISTER nope", "UNREGISTER 9999"] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // A real unregister works once, then errors on repeat.
+    assert_eq!(svc.respond_line("UNREGISTER 3"), "OK UNREGISTERED 3");
+    assert!(svc
+        .respond_line("UNREGISTER 3")
+        .starts_with("ERR user 3 is not registered"));
+    // The connection and engine keep serving.
+    assert!(svc
+        .respond_line("INGEST 0,1,2,3")
+        .starts_with("OK INGESTED 1"));
+    assert!(svc
+        .respond_line("FRONTIER 3")
+        .starts_with("ERR unknown user"));
+    assert!(svc.respond_line("HEALTH").starts_with("OK HEALTH"));
+}
+
+#[test]
+fn register_churn_over_tcp_survives_and_is_observable() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let svc = Arc::new(movie_service("baseline-sw:32"));
+    let server_svc = Arc::clone(&svc);
+    std::thread::spawn(move || serve(listener, server_svc));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let mut ask = |req: &str| -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection closed on {req:?}");
+        line.trim_end().to_owned()
+    };
+
+    // STATS reports the per-shard live user counts before and after churn.
+    let before = ask("STATS");
+    assert!(before.contains("users=20"), "{before}");
+    assert!(before.contains("shard_users="), "{before}");
+    assert!(ask("REGISTER 40 0>1;-;-;-").starts_with("OK REGISTERED 40"));
+    assert!(ask("REGISTER 41 -;1>0;-;-").starts_with("OK REGISTERED 41"));
+    assert!(ask("INGEST 0,0,0,0;1,1,1,1").starts_with("OK INGESTED 2"));
+    let during = ask("STATS");
+    assert!(during.contains("users=22"), "{during}");
+    assert!(ask("UNREGISTER 40").starts_with("OK UNREGISTERED 40"));
+    let after = ask("STATS");
+    assert!(after.contains("users=21"), "{after}");
+    // Malformed churn requests in between never kill the connection.
+    assert!(ask("REGISTER 41 -;1>0;-;-").starts_with("ERR"));
+    assert!(ask("UNREGISTER 40").starts_with("ERR"));
+    assert!(ask("FRONTIER 41").starts_with("OK FRONTIER 41"));
+    assert_eq!(ask("QUIT"), "OK BYE");
+}
+
+#[test]
 fn empty_batch_rows_do_not_reach_the_engine() {
     let svc = movie_service("baseline");
     // Whitespace-only and semicolon-only payloads must be parse errors.

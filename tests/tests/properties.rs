@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 
+use pm_cluster::{Clustering, ExactMeasure};
 use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
 use pm_integration_tests::one_cluster;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
@@ -12,6 +13,40 @@ use pm_porder::{
     naive_pareto_frontier, CompiledPreference, CompiledRelation, Dominance, HasseDiagram,
     Preference, Relation,
 };
+
+/// Asserts the two ISSUE invariants on a preference pair set: used by the
+/// churn properties below to check that a cluster's common relation equals
+/// the intersection of its members' relations on every attribute.
+fn assert_common_is_intersection(
+    label: &str,
+    common: &Preference,
+    members: &[UserId],
+    preference_of: impl Fn(UserId) -> Preference,
+) {
+    let expected = Preference::common_of(
+        members
+            .iter()
+            .map(|&m| preference_of(m))
+            .collect::<Vec<_>>()
+            .iter(),
+    );
+    let arity = expected.arity().max(common.arity());
+    for attr in 0..arity {
+        let attr = AttrId::from(attr);
+        let pairs = |p: &Preference| -> std::collections::HashSet<(ValueId, ValueId)> {
+            if attr.index() < p.arity() {
+                p.relation(attr).pairs().collect()
+            } else {
+                Default::default()
+            }
+        };
+        assert_eq!(
+            pairs(common),
+            pairs(&expected),
+            "{label}: common relation of {members:?} on {attr} is not the intersection"
+        );
+    }
+}
 
 const DOMAIN: u32 = 6;
 const ATTRS: usize = 3;
@@ -296,6 +331,118 @@ proptest! {
                 }
             }
             prop_assert!(common.relation(attr).validate().is_ok());
+        }
+    }
+
+    /// After a random insert/remove sequence, the incrementally maintained
+    /// clustering still partitions the users, holds no empty cluster, and
+    /// every cluster's common relation equals the intersection of its
+    /// members' relations.
+    #[test]
+    fn clustering_churn_keeps_common_relations_exact(
+        initial in proptest::collection::vec(preference_strategy(), 0..5),
+        ops in proptest::collection::vec((0u8..2, preference_strategy(), 0u8..255), 1..20),
+        branch in 0usize..3,
+    ) {
+        let branch_cut = [0.0, 0.3, 100.0][branch];
+        let mut clustering = Clustering::new(&initial, ExactMeasure::Jaccard, branch_cut);
+        let mut live: Vec<(UserId, Preference)> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UserId::from(i), p.clone()))
+            .collect();
+        let mut next_id = initial.len() as u32;
+        for (op, pref, pick) in ops {
+            if op == 0 || live.is_empty() {
+                let user = UserId::new(next_id);
+                next_id += 1;
+                clustering.insert_user(user, &pref);
+                live.push((user, pref));
+            } else {
+                let idx = (pick as usize) % live.len();
+                let (user, _) = live.swap_remove(idx);
+                clustering.remove_user(user);
+            }
+            prop_assert_eq!(clustering.num_users(), live.len());
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..clustering.num_clusters() {
+                let members = clustering.members(k).to_vec();
+                prop_assert!(!members.is_empty(), "cluster {} is empty", k);
+                for &m in &members {
+                    prop_assert!(seen.insert(m), "user {} in two clusters", m);
+                }
+                assert_common_is_intersection(
+                    "clustering churn",
+                    &clustering.common_preference(k),
+                    &members,
+                    |m| clustering.preference_of(m).expect("member stored").clone(),
+                );
+            }
+            prop_assert_eq!(seen.len(), live.len());
+        }
+    }
+
+    /// Interleaved ingest / add_user / remove_user on a FilterThenVerify
+    /// monitor with a maintained clustering keeps every per-user frontier
+    /// exactly equal to a fresh baseline over the same history (Lemma 4.6
+    /// under churn), and keeps the cluster invariants of the ISSUE: no
+    /// empty cluster, common relation = intersection of members'.
+    #[test]
+    fn ftv_dynamic_membership_stays_exact(
+        initial in proptest::collection::vec(preference_strategy(), 1..4),
+        segments in proptest::collection::vec(
+            (objects_strategy(8), preference_strategy(), 0u8..255, 0u8..2), 1..5),
+        branch in 0usize..3,
+    ) {
+        let branch_cut = [0.0, 0.4, 100.0][branch];
+        let clustering = Clustering::new(&initial, ExactMeasure::Jaccard, branch_cut);
+        let mut ftv = FilterThenVerifyMonitor::with_clustering(initial.clone(), clustering);
+        let mut prefs = initial;
+        let mut history: Vec<Object> = Vec::new();
+        let mut next_obj = 0u64;
+        for (objects, new_pref, pick, do_remove) in segments {
+            for object in objects {
+                let object = Object::new(ObjectId::new(next_obj), object.values().to_vec());
+                next_obj += 1;
+                ftv.process(object.clone());
+                history.push(object);
+            }
+            let added = ftv.add_user(new_pref.clone());
+            prop_assert_eq!(added.index(), prefs.len());
+            prefs.push(new_pref);
+            if do_remove == 1 && prefs.len() > 1 {
+                let idx = (pick as usize) % prefs.len();
+                ftv.remove_user(UserId::from(idx));
+                prefs.swap_remove(idx);
+            }
+            // Exactness: frontiers equal a fresh baseline replay.
+            let mut baseline = BaselineMonitor::new(prefs.clone());
+            for object in &history {
+                baseline.process(object.clone());
+            }
+            for user in 0..prefs.len() {
+                prop_assert_eq!(
+                    ftv.frontier(UserId::from(user)),
+                    baseline.frontier(UserId::from(user)),
+                    "user {} after churn", user
+                );
+            }
+            // Cluster invariants.
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..ftv.num_clusters() {
+                let members = ftv.cluster_members(k).to_vec();
+                prop_assert!(!members.is_empty(), "cluster {} is empty", k);
+                for &m in &members {
+                    prop_assert!(seen.insert(m), "user {} in two clusters", m);
+                }
+                assert_common_is_intersection(
+                    "ftv churn",
+                    ftv.virtual_preference(k),
+                    &members,
+                    |m| ftv.preference(m).clone(),
+                );
+            }
+            prop_assert_eq!(seen.len(), prefs.len());
         }
     }
 }
