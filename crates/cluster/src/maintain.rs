@@ -15,6 +15,12 @@
 //!   its common relation as the AND-fold of the remaining members'
 //!   compiled relations, or dissolves the cluster entirely when the last
 //!   member leaves.
+//! * [`Clustering::update_user`] changes a user's preference *in place* by
+//!   diffing the old and new compiled relations against the user's current
+//!   cluster: when the new relations still clear the branch cut against the
+//!   remaining members' common relation the user stays put and only that
+//!   cluster's common relation is re-AND-folded; otherwise the cluster is
+//!   locally repaired and the user re-inserted as if newly registered.
 //!
 //! No other cluster is touched, so churn costs O(k) compiled similarity
 //! passes plus one AND-fold instead of a full O(n³) agglomerative rebuild.
@@ -76,6 +82,35 @@ pub enum Removal {
     Dissolved {
         /// Index the dissolved cluster occupied.
         cluster: usize,
+    },
+}
+
+/// What [`Clustering::update_user`] did with the user's new preference.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// The new relations still clear the branch cut against the rest of the
+    /// user's cluster (trivially so for a singleton): the user stayed in
+    /// `cluster` and its common preference relation was re-AND-folded to
+    /// `common`.
+    Stayed {
+        /// Index of the cluster the user stayed in.
+        cluster: usize,
+        /// The cluster's recomputed common preference relation.
+        common: Preference,
+    },
+    /// The new relations no longer fit: the user left its old cluster and
+    /// was re-inserted under the ordinary placement rule (`to`). The old
+    /// cluster always *shrinks* — a singleton would have stayed put — so
+    /// no cluster index shifts before `to` is applied; the variant carries
+    /// the shrunk cluster's index and recomputed common relation directly
+    /// to make dissolution unrepresentable.
+    Moved {
+        /// Index of the cluster the user left.
+        from_cluster: usize,
+        /// That cluster's recomputed common preference relation.
+        from_common: Preference,
+        /// Where the user landed.
+        to: Placement,
     },
 }
 
@@ -351,6 +386,77 @@ impl Clustering {
         }
     }
 
+    /// Replaces the preference of `user` in place, diffing the old and new
+    /// compiled relations against the user's current cluster.
+    ///
+    /// When the new relations still clear the branch cut against the
+    /// AND-fold of the *other* members' relations, the user stays in its
+    /// cluster and only that cluster's common relation is recomputed (one
+    /// AND-fold — no membership change anywhere). A singleton trivially
+    /// stays put: its common relation just becomes the new preference.
+    /// Otherwise the old cluster is repaired exactly as by
+    /// [`Self::remove_user`] and the user re-inserted exactly as by
+    /// [`Self::insert_user`] — but the user id never changes, so callers
+    /// need no renumbering.
+    ///
+    /// # Panics
+    /// Panics if `user` is not clustered.
+    pub fn update_user(&mut self, user: UserId, preference: &Preference) -> Update {
+        assert!(
+            self.users.contains_key(&user),
+            "user {user} is not clustered"
+        );
+        self.ensure_covered(preference);
+        let state = ExactState::of_user(preference, &self.universes);
+        let idx = self.users[&user].cluster;
+        let others: Vec<UserId> = self.clusters[idx]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != user)
+            .collect();
+        if others.is_empty() {
+            // A singleton is always at least as similar to itself as the
+            // branch cut requires: stay put, the common relation IS the
+            // user's new relations.
+            self.clusters[idx].state = state.clone();
+            let entry = self.users.get_mut(&user).expect("user is clustered");
+            entry.preference = preference.clone();
+            entry.state = state;
+            return Update::Stayed {
+                cluster: idx,
+                common: self.clusters[idx].state.to_preference(),
+            };
+        }
+        let rest = self.common_state(&others);
+        let sim = state.similarity(&rest, self.measure);
+        if sim >= self.branch_cut {
+            self.clusters[idx].state = rest.merge(&state);
+            let entry = self.users.get_mut(&user).expect("user is clustered");
+            entry.preference = preference.clone();
+            entry.state = state;
+            return Update::Stayed {
+                cluster: idx,
+                common: self.clusters[idx].state.to_preference(),
+            };
+        }
+        // The changed preference no longer fits: local repair + re-insertion.
+        // `others` is non-empty, so the old cluster always shrinks (never
+        // dissolves) and no cluster index shifts before the insertion. The
+        // AND-fold of the remaining members was already computed for the
+        // branch-cut test, so the repair reuses it instead of re-folding.
+        self.clusters[idx].members.retain(|&member| member != user);
+        self.clusters[idx].state = rest;
+        let from_common = self.clusters[idx].state.to_preference();
+        self.users.remove(&user);
+        let to = self.insert_user(user, preference);
+        Update::Moved {
+            from_cluster: idx,
+            from_common,
+            to,
+        }
+    }
+
     /// Renames `old` to `new` without touching any cluster state. Used by
     /// callers that renumber users on swap-remove.
     ///
@@ -547,5 +653,106 @@ mod tests {
     fn double_insert_panics() {
         let mut clustering = Clustering::new(&table3_users(), ExactMeasure::Jaccard, 0.2);
         clustering.insert_user(UserId::new(0), &pref(&[(0, 1)]));
+    }
+
+    #[test]
+    fn update_of_singleton_stays_put_and_refreshes_common() {
+        let users = table3_users();
+        // An impossible branch cut keeps every user a singleton.
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let clusters_before = clustering.num_clusters();
+        let cluster_before = clustering.cluster_of(UserId::new(2)).unwrap();
+        let new_pref = pref(&[(3, 0), (0, 2)]);
+        let update = clustering.update_user(UserId::new(2), &new_pref);
+        match update {
+            Update::Stayed { cluster, common } => {
+                assert_eq!(cluster, cluster_before);
+                let want: std::collections::HashSet<_> =
+                    new_pref.relation(AttrId::new(0)).pairs().collect();
+                let have: std::collections::HashSet<_> =
+                    common.relation(AttrId::new(0)).pairs().collect();
+                assert_eq!(have, want);
+            }
+            other => panic!("singleton must stay put, got {other:?}"),
+        }
+        assert_eq!(clustering.num_clusters(), clusters_before);
+        assert_eq!(clustering.num_users(), users.len());
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn update_keeping_similarity_stays_and_refolds_common() {
+        let users = table3_users();
+        // IntersectionSize with cut 0.0 puts everyone in one cluster and
+        // keeps any update in it.
+        let mut clustering = Clustering::new(&users, ExactMeasure::IntersectionSize, 0.0);
+        assert_eq!(clustering.num_clusters(), 1);
+        let new_pref = pref(&[(0, 1), (1, 2)]);
+        let update = clustering.update_user(UserId::new(1), &new_pref);
+        assert!(
+            matches!(update, Update::Stayed { cluster: 0, .. }),
+            "{update:?}"
+        );
+        assert_eq!(clustering.num_clusters(), 1);
+        assert_eq!(
+            clustering
+                .preference_of(UserId::new(1))
+                .unwrap()
+                .total_pairs(),
+            new_pref.total_pairs()
+        );
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn update_that_no_longer_fits_moves_the_user() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        // Find a user sharing a cluster with someone else, then hand it a
+        // preference over values nobody else mentions: similarity drops to
+        // zero, the user must leave via local repair + re-insertion.
+        let victim = (0..users.len())
+            .map(UserId::from)
+            .find(|&u| clustering.members(clustering.cluster_of(u).unwrap()).len() > 1)
+            .expect("the paper's clustering has a non-singleton cluster");
+        let old_cluster = clustering.cluster_of(victim).unwrap();
+        let alien = pref(&[(17, 18), (18, 19)]);
+        let update = clustering.update_user(victim, &alien);
+        match update {
+            Update::Moved {
+                from_cluster, to, ..
+            } => {
+                assert_eq!(from_cluster, old_cluster);
+                assert!(matches!(to, Placement::Singleton { .. }), "{to:?}");
+            }
+            other => panic!("expected a move, got {other:?}"),
+        }
+        assert_ne!(clustering.cluster_of(victim), Some(old_cluster));
+        assert_eq!(clustering.num_users(), users.len());
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    fn update_with_unseen_values_extends_universes() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        // Values 40..42 and a second attribute never occurred before: the
+        // shared universes must grow and every stored state recompile.
+        let mut wide = Preference::new(2);
+        wide.prefer(AttrId::new(0), v(40), v(41));
+        wide.prefer(AttrId::new(1), v(41), v(42));
+        clustering.update_user(UserId::new(0), &wide);
+        assert_common_matches(&clustering);
+        assert_eq!(clustering.num_users(), users.len());
+        // A later plain insert still works on the extended universes.
+        clustering.insert_user(UserId::new(99), &pref(&[(40, 0)]));
+        assert_common_matches(&clustering);
+    }
+
+    #[test]
+    #[should_panic(expected = "not clustered")]
+    fn update_of_unknown_user_panics() {
+        let mut clustering = Clustering::new(&table3_users(), ExactMeasure::Jaccard, 0.2);
+        clustering.update_user(UserId::new(77), &pref(&[(0, 1)]));
     }
 }

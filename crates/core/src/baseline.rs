@@ -7,13 +7,61 @@
 //! similar preferences — the inefficiency the FilterThenVerify family
 //! removes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
+
+/// The retained object history of an append-only monitor: every ingested
+/// object in arrival order, optionally truncated from the front by a
+/// history cap.
+///
+/// Append-only monitors never expire objects, so a user registered (or
+/// updated) mid-stream must be backfilled against the full stream — any
+/// past object may be Pareto-optimal under the new preference. On unbounded
+/// streams that is an unbounded `Vec`, so the history can be capped: the
+/// oldest objects are dropped and backfill becomes *best-effort* — the
+/// replayed frontier is the exact Pareto frontier of the retained suffix,
+/// which contains every still-retained member of the true frontier but may
+/// (a) miss truncated frontier objects and (b) admit retained objects that
+/// only truncated ones dominated.
+#[derive(Debug, Clone)]
+pub(crate) struct History {
+    objects: VecDeque<Object>,
+    limit: Option<usize>,
+}
+
+impl History {
+    pub(crate) fn new(limit: Option<usize>) -> Self {
+        Self {
+            objects: VecDeque::new(),
+            limit,
+        }
+    }
+
+    /// Appends one object, evicting from the front once over the cap.
+    pub(crate) fn push(&mut self, object: Object) {
+        self.objects.push_back(object);
+        if let Some(limit) = self.limit {
+            while self.objects.len() > limit {
+                self.objects.pop_front();
+            }
+        }
+    }
+
+    /// The retained objects, oldest first.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.objects.iter()
+    }
+
+    /// Number of retained objects.
+    pub(crate) fn len(&self) -> usize {
+        self.objects.len()
+    }
+}
 
 /// Per-user Pareto frontier: frontier objects are stored by value so no
 /// shared catalog is needed and expired/dominated objects are dropped
@@ -65,25 +113,32 @@ pub struct BaselineMonitor {
     /// The bitset-compiled preferences every arrival is tested against.
     compiled: Vec<CompiledPreference>,
     frontiers: Vec<Frontier>,
-    /// Every ingested object in arrival order. Append-only monitors never
-    /// expire objects, so a user registered mid-stream must be backfilled
-    /// against the full stream (any past object may be Pareto-optimal under
-    /// the new preference).
-    history: Vec<Object>,
+    /// Retained object history for mid-stream registration/update backfill
+    /// (see [`History`] for the cap semantics).
+    history: History,
     stats: MonitorStats,
 }
 
 impl BaselineMonitor {
     /// Creates a monitor for the given users (indexed by [`UserId`]),
-    /// compiling every preference to its bitset form up front.
+    /// compiling every preference to its bitset form up front. The object
+    /// history is unlimited; see [`Self::with_history_limit`].
     pub fn new(preferences: Vec<Preference>) -> Self {
+        Self::with_history_limit(preferences, None)
+    }
+
+    /// Like [`Self::new`], but retains at most `limit` objects of history
+    /// (`None` = unlimited): [`Self::add_user`]/[`Self::update_user`]
+    /// backfill then becomes best-effort once the cap truncates — the
+    /// replayed frontier is the exact frontier of the retained suffix.
+    pub fn with_history_limit(preferences: Vec<Preference>, limit: Option<usize>) -> Self {
         let compiled = preferences.iter().map(Preference::compile).collect();
         let frontiers = vec![Frontier::new(); preferences.len()];
         Self {
             preferences,
             compiled,
             frontiers,
-            history: Vec::new(),
+            history: History::new(limit),
             stats: MonitorStats::new(),
         }
     }
@@ -91,6 +146,11 @@ impl BaselineMonitor {
     /// The preference of `user`.
     pub fn preference(&self, user: UserId) -> &Preference {
         &self.preferences[user.index()]
+    }
+
+    /// Number of retained history objects (for cap observability).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
     }
 }
 
@@ -124,13 +184,26 @@ impl ContinuousMonitor for BaselineMonitor {
     fn add_user(&mut self, preference: Preference) -> UserId {
         let compiled = preference.compile();
         let mut frontier = Frontier::new();
-        for object in &self.history {
+        for object in self.history.iter() {
             update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
         }
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.frontiers.push(frontier);
         UserId::from(self.preferences.len() - 1)
+    }
+
+    fn update_user(&mut self, user: UserId, preference: Preference) {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        for object in self.history.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences[idx] = preference;
+        self.compiled[idx] = compiled;
+        self.frontiers[idx] = frontier;
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
@@ -357,6 +430,78 @@ mod tests {
         // Removing the (now) last user returns None.
         assert_eq!(m.remove_user(UserId::new(0)), None);
         assert_eq!(m.num_users(), 0);
+    }
+
+    #[test]
+    fn updated_user_matches_from_start_monitor_and_keeps_its_id() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::new(users.clone());
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        // Swap c1's preference for c2's mid-stream: the frontier must equal
+        // that of a monitor built with c2's preference from the start, and
+        // neither user's id moves.
+        m.update_user(UserId::new(0), users[1].clone());
+        assert_eq!(m.num_users(), 2);
+        let mut from_start = BaselineMonitor::new(vec![users[1].clone(), users[1].clone()]);
+        for o in laptop_objects() {
+            from_start.process(o);
+        }
+        assert_eq!(
+            m.frontier(UserId::new(0)),
+            from_start.frontier(UserId::new(0))
+        );
+        assert_eq!(
+            m.frontier(UserId::new(1)),
+            from_start.frontier(UserId::new(1))
+        );
+        // Subsequent arrivals run against the new preference.
+        let arrival = m.process(obj(15, &[3, 1, 3]));
+        assert_eq!(arrival.target_users, vec![UserId::new(0), UserId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_of_unknown_user_panics() {
+        let mut m = BaselineMonitor::new(laptop_users());
+        m.update_user(UserId::new(9), Preference::new(3));
+    }
+
+    #[test]
+    fn history_cap_bounds_memory_and_makes_backfill_best_effort() {
+        let users = laptop_users();
+        let mut capped = BaselineMonitor::with_history_limit(vec![users[0].clone()], Some(4));
+        let mut unlimited = BaselineMonitor::new(vec![users[0].clone()]);
+        for o in laptop_objects() {
+            capped.process(o.clone());
+            unlimited.process(o);
+        }
+        assert_eq!(capped.history_len(), 4);
+        assert_eq!(unlimited.history_len(), 14);
+        // Live frontiers are unaffected by the cap: only backfill is.
+        assert_eq!(
+            capped.frontier(UserId::new(0)),
+            unlimited.frontier(UserId::new(0))
+        );
+        // A late registration backfills from the retained suffix only: it
+        // sees every retained true-frontier object, and every object it
+        // reports is from the retained suffix (ids 11..=14 here).
+        let added = capped.add_user(users[1].clone());
+        let reference = unlimited.add_user(users[1].clone());
+        let best_effort = capped.frontier(added);
+        let exact = unlimited.frontier(reference);
+        for id in &exact {
+            if id.raw() > 10 {
+                assert!(
+                    best_effort.contains(id),
+                    "retained frontier object {id} lost"
+                );
+            }
+        }
+        for id in &best_effort {
+            assert!(id.raw() > 10, "backfill invented a truncated object {id}");
+        }
     }
 
     #[test]

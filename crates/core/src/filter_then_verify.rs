@@ -13,9 +13,11 @@
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
-use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal};
+use pm_cluster::{
+    approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal, Update,
+};
 
-use crate::baseline::{update_pareto_frontier, Frontier};
+use crate::baseline::{update_pareto_frontier, Frontier, History};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
 
@@ -46,6 +48,25 @@ pub(crate) fn members_virtual_preference(
     }
 }
 
+/// The virtual preference a cluster should carry after a membership or
+/// preference change: exact monitors use `exact_common` (the relation a
+/// maintained [`Clustering`] already re-AND-folded) when available, approx
+/// monitors (and hand-built exact monitors, which have no maintained
+/// clustering) rebuild from the members' current preferences. Shared by
+/// both FilterThenVerify monitors so the exact-vs-approx decision lives in
+/// one place.
+pub(crate) fn resolve_virtual_preference(
+    preferences: &[Preference],
+    members: &[UserId],
+    approx: Option<ApproxConfig>,
+    exact_common: Option<Preference>,
+) -> Preference {
+    match (approx, exact_common) {
+        (None, Some(common)) => common,
+        _ => members_virtual_preference(preferences, members, approx),
+    }
+}
+
 /// Decides how removing `user` repairs the cluster list: consults (and
 /// updates) the maintained clustering when present, else falls back to
 /// scanning `member_lists` (hand-built monitors).
@@ -69,6 +90,72 @@ pub(crate) fn plan_detach<'a>(
                 ClusterRepair::Drop(cluster)
             } else {
                 ClusterRepair::Recompute(cluster, None)
+            }
+        }
+    }
+}
+
+/// How an in-place preference update must repair the cluster list, shared
+/// by the append-only and sliding FilterThenVerify monitors. Cluster
+/// indices are valid in order: repair `from` first, then `to`.
+pub(crate) enum UpdateRepair {
+    /// The user stayed in this cluster: recompute its virtual preference
+    /// (`Some` carries the exact common relation already re-AND-folded by
+    /// the maintained [`Clustering`]).
+    Stay(usize, Option<Preference>),
+    /// The user left cluster `from` and joined existing cluster `to`; both
+    /// virtual preferences must be recomputed.
+    Move {
+        from: usize,
+        from_common: Option<Preference>,
+        to: usize,
+        to_common: Option<Preference>,
+    },
+    /// The user left cluster `from` and becomes a new singleton cluster,
+    /// appended at the end of the cluster list by the caller.
+    MoveSingleton {
+        from: usize,
+        from_common: Option<Preference>,
+    },
+    /// The user was in no cluster (hand-built monitors only).
+    Detached,
+}
+
+/// Decides how updating `user`'s preference repairs the cluster list:
+/// consults (and updates) the maintained clustering when present, else
+/// falls back to scanning `member_lists` and keeping the user in its
+/// current cluster (hand-built monitors have no branch cut to judge by).
+pub(crate) fn plan_update<'a>(
+    clustering: Option<&mut Clustering>,
+    member_lists: impl Iterator<Item = &'a [UserId]>,
+    user: UserId,
+    preference: &Preference,
+) -> UpdateRepair {
+    match clustering {
+        Some(clustering) => match clustering.update_user(user, preference) {
+            Update::Stayed { cluster, common } => UpdateRepair::Stay(cluster, Some(common)),
+            Update::Moved {
+                from_cluster,
+                from_common,
+                to,
+            } => match to {
+                Placement::Joined { cluster, common } => UpdateRepair::Move {
+                    from: from_cluster,
+                    from_common: Some(from_common),
+                    to: cluster,
+                    to_common: Some(common),
+                },
+                Placement::Singleton { .. } => UpdateRepair::MoveSingleton {
+                    from: from_cluster,
+                    from_common: Some(from_common),
+                },
+            },
+        },
+        None => {
+            let mut lists = member_lists.enumerate();
+            match lists.find(|(_, members)| members.contains(&user)) {
+                Some((cluster, _)) => UpdateRepair::Stay(cluster, None),
+                None => UpdateRepair::Detached,
             }
         }
     }
@@ -140,10 +227,9 @@ pub struct FilterThenVerifyMonitor {
     /// membership changes then rebuild the affected cluster's virtual
     /// preference with Alg. 3 instead of the exact intersection.
     approx: Option<ApproxConfig>,
-    /// Every ingested object in arrival order. Append-only monitors never
-    /// expire objects, so late registrations backfill against the full
-    /// stream.
-    history: Vec<Object>,
+    /// Retained object history for mid-stream registration/update backfill
+    /// (see [`History`] for the cap semantics).
+    history: History,
     stats: MonitorStats,
 }
 
@@ -253,9 +339,23 @@ impl FilterThenVerifyMonitor {
             clusters,
             clustering,
             approx,
-            history: Vec::new(),
+            history: History::new(None),
             stats: MonitorStats::new(),
         }
+    }
+
+    /// Caps the retained object history at `limit` objects (`None` =
+    /// unlimited): [`Self::add_user`]/[`Self::update_user`] backfill then
+    /// becomes best-effort once the cap truncates. Call right after
+    /// construction — any already-retained history is discarded.
+    pub fn with_history_limit(mut self, limit: Option<usize>) -> Self {
+        self.history = History::new(limit);
+        self
+    }
+
+    /// Number of retained history objects (for cap observability).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
     }
 
     /// Number of clusters (`k` in the paper's cost model).
@@ -283,6 +383,36 @@ impl FilterThenVerifyMonitor {
     /// The member users of a cluster.
     pub fn cluster_members(&self, cluster: usize) -> &[UserId] {
         &self.clusters[cluster].members
+    }
+
+    /// Recomputes one cluster's virtual preference after a membership or
+    /// preference change: `exact_common` (from a maintained [`Clustering`])
+    /// is used directly for exact monitors, while approx monitors rebuild
+    /// the Alg. 3 relation from the members' (already updated) preferences.
+    ///
+    /// The cluster frontier `P_U` is deliberately left as-is: any set of
+    /// alive objects filtered under the new common relation is a sound
+    /// filter — rejection still implies dominance for every member — and
+    /// exactness rests on the per-member verify step (Lemma 4.6), not on
+    /// `P_U` being the exact cluster frontier.
+    fn refresh_virtual_preference(&mut self, cluster: usize, exact_common: Option<Preference>) {
+        let virtual_preference = resolve_virtual_preference(
+            &self.preferences,
+            &self.clusters[cluster].members,
+            self.approx,
+            exact_common,
+        );
+        let state = &mut self.clusters[cluster];
+        state.compiled = virtual_preference.compile();
+        state.virtual_preference = virtual_preference;
+    }
+
+    /// Appends a new singleton cluster for `user`, whose filter frontier is
+    /// exactly the member's own (already backfilled) frontier.
+    fn push_singleton(&mut self, user: UserId) {
+        let mut state = ClusterState::new(vec![user], self.preferences[user.index()].clone());
+        state.frontier = self.user_frontiers[user.index()].clone();
+        self.clusters.push(state);
     }
 
     /// Procedure `updateParetoFrontierU` of Alg. 2: filters `object` through
@@ -375,7 +505,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         let user = UserId::from(self.preferences.len());
         let compiled = preference.compile();
         let mut frontier = Frontier::new();
-        for object in &self.history {
+        for object in self.history.iter() {
             update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
         }
         self.preferences.push(preference);
@@ -390,35 +520,59 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         match placement {
             Placement::Joined { cluster, common } => {
                 self.clusters[cluster].members.push(user);
-                let virtual_preference = match self.approx {
-                    Some(_) => members_virtual_preference(
-                        &self.preferences,
-                        &self.clusters[cluster].members,
-                        self.approx,
-                    ),
-                    None => common,
-                };
-                let state = &mut self.clusters[cluster];
-                state.compiled = virtual_preference.compile();
-                state.virtual_preference = virtual_preference;
-                // The cluster frontier is deliberately left as-is: any set
-                // of alive objects filtered under the (smaller) new common
-                // relation is a sound filter — rejection still implies
-                // dominance for every member — and exactness rests on the
-                // per-member verify step (Lemma 4.6), not on P_U being the
-                // exact cluster frontier.
+                self.refresh_virtual_preference(cluster, Some(common));
             }
             Placement::Singleton { cluster } => {
                 debug_assert_eq!(cluster, self.clusters.len());
-                let mut state =
-                    ClusterState::new(vec![user], self.preferences[user.index()].clone());
-                // A singleton's filter frontier is exactly the member's own
-                // (backfilled) frontier.
-                state.frontier = self.user_frontiers[user.index()].clone();
-                self.clusters.push(state);
+                self.push_singleton(user);
             }
         }
         user
+    }
+
+    fn update_user(&mut self, user: UserId, preference: Preference) {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        // Rebuild the user's own frontier by replaying the retained history
+        // under the new preference (best-effort once a cap truncated it).
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        for object in self.history.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences[idx] = preference;
+        self.compiled[idx] = compiled;
+        self.user_frontiers[idx] = frontier;
+        // Repair the clustering: stay put with a re-AND-folded common
+        // relation, or move via local repair + re-insertion.
+        let repair = plan_update(
+            self.clustering.as_mut(),
+            self.clusters.iter().map(|c| c.members.as_slice()),
+            user,
+            &self.preferences[idx],
+        );
+        match repair {
+            UpdateRepair::Stay(cluster, exact_common) => {
+                self.refresh_virtual_preference(cluster, exact_common);
+            }
+            UpdateRepair::Move {
+                from,
+                from_common,
+                to,
+                to_common,
+            } => {
+                self.clusters[from].members.retain(|&m| m != user);
+                self.refresh_virtual_preference(from, from_common);
+                self.clusters[to].members.push(user);
+                self.refresh_virtual_preference(to, to_common);
+            }
+            UpdateRepair::MoveSingleton { from, from_common } => {
+                self.clusters[from].members.retain(|&m| m != user);
+                self.refresh_virtual_preference(from, from_common);
+                self.push_singleton(user);
+            }
+            UpdateRepair::Detached => {}
+        }
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
@@ -435,18 +589,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
             }
             ClusterRepair::Recompute(cluster, exact_common) => {
                 self.clusters[cluster].members.retain(|&m| m != user);
-                let virtual_preference = match (self.approx, exact_common) {
-                    (None, Some(common)) => common,
-                    _ => members_virtual_preference(
-                        &self.preferences,
-                        &self.clusters[cluster].members,
-                        self.approx,
-                    ),
-                };
-                let state = &mut self.clusters[cluster];
-                state.compiled = virtual_preference.compile();
-                state.virtual_preference = virtual_preference;
-                // P_U is left as-is; see `add_user` for why that is sound.
+                self.refresh_virtual_preference(cluster, exact_common);
             }
             ClusterRepair::Detached => {}
         }
@@ -799,6 +942,133 @@ mod tests {
                 survivors.frontier(UserId::from(u)),
                 "user {u}"
             );
+        }
+    }
+
+    #[test]
+    fn update_user_with_maintained_clustering_stays_exact() {
+        use pm_cluster::Clustering;
+        let users = laptop_users();
+        // A branch cut of 0.2 keeps c1 and c2 clustered together.
+        let clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
+        let mut ftv = FilterThenVerifyMonitor::with_clustering(users.clone(), clustering);
+        let objects = laptop_objects();
+        for o in &objects[..7] {
+            ftv.process(o.clone());
+        }
+        // c1 adopts c2's preference mid-stream (in place, id 0 unchanged).
+        ftv.update_user(UserId::new(0), users[1].clone());
+        assert_eq!(ftv.num_users(), 2);
+        for o in &objects[7..] {
+            ftv.process(o.clone());
+        }
+        // Frontiers match a from-start baseline over the final preferences.
+        let mut baseline = BaselineMonitor::new(vec![users[1].clone(), users[1].clone()]);
+        for o in &objects {
+            baseline.process(o.clone());
+        }
+        for u in 0..2usize {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
+        // Cluster invariants hold: common = intersection, no empty cluster.
+        let prefs = [users[1].clone(), users[1].clone()];
+        for k in 0..ftv.num_clusters() {
+            let members = ftv.cluster_members(k).to_vec();
+            assert!(!members.is_empty());
+            let expected = Preference::common_of(members.iter().map(|m| &prefs[m.index()]));
+            let got = ftv.virtual_preference(k);
+            for attr in 0..expected.arity() {
+                let attr = pm_model::AttrId::from(attr);
+                let want: std::collections::HashSet<_> = expected.relation(attr).pairs().collect();
+                let have: std::collections::HashSet<_> = got.relation(attr).pairs().collect();
+                assert_eq!(have, want, "cluster {k} attribute {attr}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_that_leaves_the_cluster_moves_without_renumbering() {
+        use pm_cluster::Clustering;
+        let users = vec![laptop_users()[0].clone(), laptop_users()[0].clone()];
+        // Identical preferences cluster together under any sane cut.
+        let clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.5);
+        let mut ftv = FilterThenVerifyMonitor::with_clustering(users.clone(), clustering);
+        assert_eq!(ftv.num_clusters(), 1);
+        for o in laptop_objects() {
+            ftv.process(o);
+        }
+        // User 1 switches to a preference over values nobody else mentions:
+        // similarity collapses, the user moves out into a singleton.
+        let mut alien = Preference::new(3);
+        alien.prefer(a(0), v(40), v(41));
+        ftv.update_user(UserId::new(1), alien.clone());
+        assert_eq!(ftv.num_clusters(), 2);
+        assert_eq!(ftv.num_users(), 2);
+        // No renumbering: user 0 still holds its original preference.
+        assert_eq!(
+            ftv.preference(UserId::new(0)).total_pairs(),
+            users[0].total_pairs()
+        );
+        assert_eq!(ftv.preference(UserId::new(1)).total_pairs(), 1);
+        // Both users' frontiers match a from-start baseline.
+        let mut baseline = BaselineMonitor::new(vec![users[0].clone(), alien]);
+        for o in laptop_objects() {
+            baseline.process(o);
+        }
+        for u in 0..2usize {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_on_hand_built_clusters_stays_put_and_exact() {
+        let users = laptop_users();
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users));
+        let objects = laptop_objects();
+        for o in &objects[..7] {
+            ftv.process(o.clone());
+        }
+        ftv.update_user(UserId::new(1), users[0].clone());
+        assert_eq!(ftv.num_clusters(), 1);
+        for o in &objects[7..] {
+            ftv.process(o.clone());
+        }
+        let mut baseline = BaselineMonitor::new(vec![users[0].clone(), users[0].clone()]);
+        for o in &objects {
+            baseline.process(o.clone());
+        }
+        for u in 0..2usize {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn history_cap_applies_to_update_backfill() {
+        let users = laptop_users();
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users))
+                .with_history_limit(Some(3));
+        for o in laptop_objects() {
+            ftv.process(o);
+        }
+        assert_eq!(ftv.history_len(), 3);
+        // The update replays only the retained suffix (ids 12..=14).
+        ftv.update_user(UserId::new(0), users[1].clone());
+        for id in ftv.frontier(UserId::new(0)) {
+            assert!(id.raw() >= 12, "backfill saw a truncated object {id}");
         }
     }
 

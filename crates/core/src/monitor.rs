@@ -58,6 +58,22 @@ pub trait ContinuousMonitor {
     /// Panics if `user` is out of range.
     fn remove_user(&mut self, user: UserId) -> Option<UserId>;
 
+    /// Replaces `user`'s preference **in place**, keeping its local id (no
+    /// swap-remove, no renumbering of any user).
+    ///
+    /// The user's frontier is repaired by replay under the new preference —
+    /// append-only monitors replay the retained object history (exact when
+    /// the history is unlimited, documented best-effort once a history cap
+    /// has truncated it), sliding-window monitors replay the window (frontier
+    /// plus the Def. 7.4 Pareto buffer). Cluster-based monitors additionally
+    /// repair the user's cluster: the user stays put when its new relations
+    /// still fit, else it is moved, without touching any other user's state.
+    /// Like registration backfill, the replay reports no notifications.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    fn update_user(&mut self, user: UserId, preference: Preference);
+
     /// Work counters accumulated so far.
     fn stats(&self) -> MonitorStats;
 

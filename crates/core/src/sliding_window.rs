@@ -24,7 +24,8 @@ use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Pl
 
 use crate::baseline::{update_pareto_frontier, Frontier};
 use crate::filter_then_verify::{
-    members_virtual_preference, plan_detach, renumber_member, ClusterRepair,
+    plan_detach, plan_update, renumber_member, resolve_virtual_preference, ClusterRepair,
+    UpdateRepair,
 };
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
@@ -200,6 +201,25 @@ impl ContinuousMonitor for BaselineSwMonitor {
         self.frontiers.swap_remove(idx);
         self.buffers.swap_remove(idx);
         (idx != last).then(|| UserId::from(last))
+    }
+
+    fn update_user(&mut self, user: UserId, preference: Preference) {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        let mut buffer = Frontier::new();
+        // Replaying the window oldest-first rebuilds exactly the frontier
+        // and Pareto frontier buffer (Def. 7.4) a from-start user with the
+        // new preference would hold over the current window.
+        for object in self.window.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+            refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+        }
+        self.preferences[idx] = preference;
+        self.compiled[idx] = compiled;
+        self.frontiers[idx] = frontier;
+        self.buffers[idx] = buffer;
     }
 
     fn stats(&self) -> MonitorStats {
@@ -409,6 +429,24 @@ impl FilterThenVerifySwMonitor {
         ids
     }
 
+    /// Recomputes one cluster's virtual preference after a membership or
+    /// preference change (`exact_common` comes from a maintained
+    /// [`Clustering`]; approx monitors rebuild the Alg. 3 relation from the
+    /// members' already-updated preferences). The caller must follow up
+    /// with [`Self::rebuild_cluster_state`]: under a different common
+    /// relation the old buffer may be too small to mend future expiries.
+    fn refresh_virtual_preference(&mut self, cluster: usize, exact_common: Option<Preference>) {
+        let virtual_preference = resolve_virtual_preference(
+            &self.preferences,
+            &self.clusters[cluster].members,
+            self.approx,
+            exact_common,
+        );
+        let state = &mut self.clusters[cluster];
+        state.compiled = virtual_preference.compile();
+        state.virtual_preference = virtual_preference;
+    }
+
     /// Rebuilds one cluster's frontier `P_U` and buffer `PB_U` by replaying
     /// the alive objects under the cluster's (possibly just recomputed)
     /// compiled common relation. After a membership change the old state was
@@ -573,17 +611,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
         let cluster = match placement {
             Placement::Joined { cluster, common } => {
                 self.clusters[cluster].members.push(user);
-                let virtual_preference = match self.approx {
-                    Some(_) => members_virtual_preference(
-                        &self.preferences,
-                        &self.clusters[cluster].members,
-                        self.approx,
-                    ),
-                    None => common,
-                };
-                let state = &mut self.clusters[cluster];
-                state.compiled = virtual_preference.compile();
-                state.virtual_preference = virtual_preference;
+                self.refresh_virtual_preference(cluster, Some(common));
                 cluster
             }
             Placement::Singleton { cluster } => {
@@ -597,6 +625,60 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
         };
         self.rebuild_cluster_state(cluster);
         user
+    }
+
+    fn update_user(&mut self, user: UserId, preference: Preference) {
+        let idx = user.index();
+        assert!(idx < self.preferences.len(), "user {user} out of range");
+        // Rebuild the user's own frontier by replaying the window under the
+        // new preference.
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        for object in self.window.iter() {
+            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+        }
+        self.preferences[idx] = preference;
+        self.compiled[idx] = compiled;
+        self.user_frontiers[idx] = frontier;
+        // Repair the clustering; every cluster whose common relation changed
+        // replays the window so its frontier and Def. 7.4 buffer match a
+        // from-start cluster over the current window.
+        let repair = plan_update(
+            self.clustering.as_mut(),
+            self.clusters.iter().map(|c| c.members.as_slice()),
+            user,
+            &self.preferences[idx],
+        );
+        match repair {
+            UpdateRepair::Stay(cluster, exact_common) => {
+                self.refresh_virtual_preference(cluster, exact_common);
+                self.rebuild_cluster_state(cluster);
+            }
+            UpdateRepair::Move {
+                from,
+                from_common,
+                to,
+                to_common,
+            } => {
+                self.clusters[from].members.retain(|&m| m != user);
+                self.refresh_virtual_preference(from, from_common);
+                self.rebuild_cluster_state(from);
+                self.clusters[to].members.push(user);
+                self.refresh_virtual_preference(to, to_common);
+                self.rebuild_cluster_state(to);
+            }
+            UpdateRepair::MoveSingleton { from, from_common } => {
+                self.clusters[from].members.retain(|&m| m != user);
+                self.refresh_virtual_preference(from, from_common);
+                self.rebuild_cluster_state(from);
+                self.clusters.push(SwClusterState::new(
+                    vec![user],
+                    self.preferences[idx].clone(),
+                ));
+                self.rebuild_cluster_state(self.clusters.len() - 1);
+            }
+            UpdateRepair::Detached => {}
+        }
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
@@ -613,17 +695,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             }
             ClusterRepair::Recompute(cluster, exact_common) => {
                 self.clusters[cluster].members.retain(|&m| m != user);
-                let virtual_preference = match (self.approx, exact_common) {
-                    (None, Some(common)) => common,
-                    _ => members_virtual_preference(
-                        &self.preferences,
-                        &self.clusters[cluster].members,
-                        self.approx,
-                    ),
-                };
-                let state = &mut self.clusters[cluster];
-                state.compiled = virtual_preference.compile();
-                state.virtual_preference = virtual_preference;
+                self.refresh_virtual_preference(cluster, exact_common);
                 self.rebuild_cluster_state(cluster);
             }
             ClusterRepair::Detached => {}
@@ -996,6 +1068,86 @@ mod tests {
             baseline.remove_user(UserId::new(0))
         );
         assert_eq!(ftv.num_clusters(), 2);
+        let extra = [obj(8, &[2, 2, 1]), obj(9, &[0, 1, 3]), obj(10, &[1, 0, 0])];
+        for o in &extra {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
+        for u in 0..baseline.num_users() {
+            assert_eq!(
+                ftv.frontier(UserId::from(u)),
+                baseline.frontier(UserId::from(u)),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn updated_sliding_user_matches_from_start_monitor_over_the_window() {
+        let users = laptop_users();
+        let window = 4;
+        let mut m = BaselineSwMonitor::new(users.clone(), window);
+        let objects = table8_objects();
+        for o in &objects[..5] {
+            m.process(o.clone());
+        }
+        // c1 adopts c2's preference mid-stream.
+        m.update_user(UserId::new(0), users[1].clone());
+        assert_eq!(m.num_users(), 2);
+        for o in &objects[5..] {
+            m.process(o.clone());
+        }
+        let mut from_start =
+            BaselineSwMonitor::new(vec![users[1].clone(), users[1].clone()], window);
+        for o in &objects {
+            from_start.process(o.clone());
+        }
+        assert_eq!(
+            m.frontier(UserId::new(0)),
+            from_start.frontier(UserId::new(0))
+        );
+        assert_eq!(m.buffer(UserId::new(0)), from_start.buffer(UserId::new(0)));
+        // Expiry-driven mending keeps working under the new preference.
+        let extra = [obj(8, &[0, 1, 3]), obj(9, &[1, 0, 0]), obj(10, &[4, 4, 0])];
+        for o in &extra {
+            m.process(o.clone());
+            from_start.process(o.clone());
+        }
+        assert_eq!(
+            m.frontier(UserId::new(0)),
+            from_start.frontier(UserId::new(0))
+        );
+    }
+
+    #[test]
+    fn dynamic_singleton_clusters_sw_track_baseline_sw_under_update() {
+        use pm_cluster::{Clustering, ExactMeasure};
+        let users = laptop_users();
+        let window = 4;
+        // Singleton clusters keep FilterThenVerifySW exact, including under
+        // in-place preference updates.
+        let clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let mut ftv = FilterThenVerifySwMonitor::with_clustering(users.clone(), clustering, window);
+        let mut baseline = BaselineSwMonitor::new(users.clone(), window);
+        let objects = table8_objects();
+        for o in &objects[..4] {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
+        let new_pref = users[0].clone();
+        ftv.update_user(UserId::new(1), new_pref.clone());
+        baseline.update_user(UserId::new(1), new_pref);
+        assert_eq!(ftv.num_clusters(), 2);
+        for o in &objects[4..] {
+            assert_eq!(
+                ftv.process(o.clone()).target_users,
+                baseline.process(o.clone()).target_users
+            );
+        }
         let extra = [obj(8, &[2, 2, 1]), obj(9, &[0, 1, 3]), obj(10, &[1, 0, 0])];
         for o in &extra {
             assert_eq!(

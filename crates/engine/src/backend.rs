@@ -23,11 +23,19 @@ use crate::shard::BoxedMonitor;
 #[derive(Debug, Clone, PartialEq)]
 pub enum BackendSpec {
     /// Alg. 1: per-user baseline, append-only.
-    Baseline,
+    Baseline {
+        /// Maximum retained history objects for REGISTER/UPDATE backfill
+        /// (`None` = unlimited). Once the cap truncates, backfill is
+        /// best-effort: the replayed frontier is the exact frontier of the
+        /// retained suffix.
+        history_limit: Option<usize>,
+    },
     /// Alg. 2: FilterThenVerify with exact common preferences, append-only.
     FilterThenVerify {
         /// Branch cut `h` for the agglomerative clustering.
         branch_cut: f64,
+        /// Retained-history cap (see [`BackendSpec::Baseline`]).
+        history_limit: Option<usize>,
     },
     /// Sec. 6: FilterThenVerify with approximate common preferences.
     FilterThenVerifyApprox {
@@ -35,6 +43,8 @@ pub enum BackendSpec {
         branch_cut: f64,
         /// θ1/θ2 thresholds of Alg. 3.
         config: ApproxConfig,
+        /// Retained-history cap (see [`BackendSpec::Baseline`]).
+        history_limit: Option<usize>,
     },
     /// Alg. 4: per-user baseline over a sliding window of `window` objects.
     BaselineSw {
@@ -61,6 +71,21 @@ pub enum BackendSpec {
 }
 
 impl BackendSpec {
+    /// The append-only baseline with unlimited history.
+    pub fn baseline() -> Self {
+        BackendSpec::Baseline {
+            history_limit: None,
+        }
+    }
+
+    /// Append-only FilterThenVerify with unlimited history.
+    pub fn ftv(branch_cut: f64) -> Self {
+        BackendSpec::FilterThenVerify {
+            branch_cut,
+            history_limit: None,
+        }
+    }
+
     /// Builds one shard's monitor over the given (shard-local) preferences.
     ///
     /// Every monitor constructor compiles its preferences (user-level and
@@ -76,17 +101,28 @@ impl BackendSpec {
         let clustering =
             |branch_cut: f64| Clustering::new(preferences, ExactMeasure::Jaccard, branch_cut);
         match *self {
-            BackendSpec::Baseline => Box::new(BaselineMonitor::new(prefs)),
-            BackendSpec::FilterThenVerify { branch_cut } => Box::new(
-                FilterThenVerifyMonitor::with_clustering(prefs, clustering(branch_cut)),
+            BackendSpec::Baseline { history_limit } => {
+                Box::new(BaselineMonitor::with_history_limit(prefs, history_limit))
+            }
+            BackendSpec::FilterThenVerify {
+                branch_cut,
+                history_limit,
+            } => Box::new(
+                FilterThenVerifyMonitor::with_clustering(prefs, clustering(branch_cut))
+                    .with_history_limit(history_limit),
             ),
-            BackendSpec::FilterThenVerifyApprox { branch_cut, config } => {
-                Box::new(FilterThenVerifyMonitor::with_approx_clustering(
+            BackendSpec::FilterThenVerifyApprox {
+                branch_cut,
+                config,
+                history_limit,
+            } => Box::new(
+                FilterThenVerifyMonitor::with_approx_clustering(
                     prefs,
                     clustering(branch_cut),
                     config,
-                ))
-            }
+                )
+                .with_history_limit(history_limit),
+            ),
             BackendSpec::BaselineSw { window } => Box::new(BaselineSwMonitor::new(prefs, window)),
             BackendSpec::FilterThenVerifySw { branch_cut, window } => Box::new(
                 FilterThenVerifySwMonitor::with_clustering(prefs, clustering(branch_cut), window),
@@ -114,11 +150,14 @@ impl BackendSpec {
         )
     }
 
-    /// Parses a backend description, as accepted by `pm-server --backend`:
+    /// Parses a backend description, as accepted by `pm-server --backend`.
+    /// The append-only backends accept an optional trailing history cap
+    /// `C`: at most `C` objects are retained for REGISTER/UPDATE backfill
+    /// (default unlimited; backfill is best-effort once the cap truncates).
     ///
-    /// * `baseline`
-    /// * `ftv:<h>` — e.g. `ftv:0.55`
-    /// * `ftv-approx:<h>:<theta1>:<theta2>` — e.g. `ftv-approx:0.55:256:0.5`
+    /// * `baseline[:<C>]`
+    /// * `ftv:<h>[:<C>]` — e.g. `ftv:0.55` or `ftv:0.55:100000`
+    /// * `ftv-approx:<h>:<theta1>:<theta2>[:<C>]`
     /// * `baseline-sw:<W>` — e.g. `baseline-sw:400`
     /// * `ftv-sw:<h>:<W>`
     /// * `ftv-approx-sw:<h>:<theta1>:<theta2>:<W>`
@@ -151,20 +190,34 @@ impl BackendSpec {
                 ))
             }
         };
-        match kind {
-            "baseline" => {
-                expect_args(0)?;
-                Ok(BackendSpec::Baseline)
+        // The optional history cap occupies position `i` when present.
+        let history_limit = |i: usize| -> Result<Option<usize>, String> {
+            match rest.len() {
+                n if n == i => Ok(None),
+                n if n == i + 1 => Ok(Some(uint(i)?)),
+                n => Err(format!(
+                    "backend `{kind}` takes {i} or {} argument(s), got {n}",
+                    i + 1
+                )),
             }
+        };
+        match kind {
+            "baseline" => Ok(BackendSpec::Baseline {
+                history_limit: history_limit(0)?,
+            }),
             "ftv" => {
-                expect_args(1)?;
-                Ok(BackendSpec::FilterThenVerify { branch_cut: float(0)? })
+                let history_limit = history_limit(1)?;
+                Ok(BackendSpec::FilterThenVerify {
+                    branch_cut: float(0)?,
+                    history_limit,
+                })
             }
             "ftv-approx" => {
-                expect_args(3)?;
+                let history_limit = history_limit(3)?;
                 Ok(BackendSpec::FilterThenVerifyApprox {
                     branch_cut: float(0)?,
                     config: ApproxConfig::new(uint(1)?, float(2)?),
+                    history_limit,
                 })
             }
             "baseline-sw" => {
@@ -195,13 +248,28 @@ impl BackendSpec {
 
 impl fmt::Display for BackendSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = |limit: &Option<usize>| match limit {
+            Some(limit) => format!(":{limit}"),
+            None => String::new(),
+        };
         match self {
-            BackendSpec::Baseline => write!(f, "baseline"),
-            BackendSpec::FilterThenVerify { branch_cut } => write!(f, "ftv:{branch_cut}"),
-            BackendSpec::FilterThenVerifyApprox { branch_cut, config } => write!(
+            BackendSpec::Baseline { history_limit } => {
+                write!(f, "baseline{}", cap(history_limit))
+            }
+            BackendSpec::FilterThenVerify {
+                branch_cut,
+                history_limit,
+            } => write!(f, "ftv:{branch_cut}{}", cap(history_limit)),
+            BackendSpec::FilterThenVerifyApprox {
+                branch_cut,
+                config,
+                history_limit,
+            } => write!(
                 f,
-                "ftv-approx:{branch_cut}:{}:{}",
-                config.theta1, config.theta2
+                "ftv-approx:{branch_cut}:{}:{}{}",
+                config.theta1,
+                config.theta2,
+                cap(history_limit)
             ),
             BackendSpec::BaselineSw { window } => write!(f, "baseline-sw:{window}"),
             BackendSpec::FilterThenVerifySw { branch_cut, window } => {
@@ -228,8 +296,11 @@ mod tests {
     fn parse_round_trips_through_display() {
         for text in [
             "baseline",
+            "baseline:100000",
             "ftv:0.55",
+            "ftv:0.55:100000",
             "ftv-approx:0.55:256:0.5",
+            "ftv-approx:0.55:256:0.5:100000",
             "baseline-sw:400",
             "ftv-sw:0.55:400",
             "ftv-approx-sw:0.55:256:0.5:400",
@@ -247,12 +318,34 @@ mod tests {
             "nope",
             "ftv",
             "ftv:x",
-            "baseline:1",
+            "baseline:x",
+            "baseline:1:2",
+            "ftv:0.5:10:20",
             "baseline-sw",
+            "baseline-sw:400:100",
             "ftv-sw:0.5",
         ] {
             assert!(BackendSpec::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn history_caps_parse_into_the_append_only_variants() {
+        assert_eq!(
+            BackendSpec::parse("baseline:64"),
+            Ok(BackendSpec::Baseline {
+                history_limit: Some(64)
+            })
+        );
+        assert_eq!(
+            BackendSpec::parse("ftv:0.5:64"),
+            Ok(BackendSpec::FilterThenVerify {
+                branch_cut: 0.5,
+                history_limit: Some(64)
+            })
+        );
+        assert_eq!(BackendSpec::parse("baseline"), Ok(BackendSpec::baseline()));
+        assert_eq!(BackendSpec::parse("ftv:0.5"), Ok(BackendSpec::ftv(0.5)));
     }
 
     #[test]

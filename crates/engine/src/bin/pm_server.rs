@@ -37,7 +37,7 @@ impl Default for Options {
         Self {
             server: ServerConfig::default(),
             engine: EngineConfig::default(),
-            backend: BackendSpec::Baseline,
+            backend: BackendSpec::baseline(),
             profile: DatasetProfile::movie(),
             users: 200,
             objects: 2_000,
@@ -56,9 +56,13 @@ OPTIONS:
     --addr HOST:PORT     bind address           [default: 127.0.0.1:7878]
     --shards N           shard worker threads   [default: available cores]
     --queue BATCHES      per-shard inbox bound  [default: 16]
-    --backend SPEC       baseline | ftv:<h> | ftv-approx:<h>:<t1>:<t2> |
+    --backend SPEC       baseline[:<C>] | ftv:<h>[:<C>] |
+                         ftv-approx:<h>:<t1>:<t2>[:<C>] |
                          baseline-sw:<W> | ftv-sw:<h>:<W> |
                          ftv-approx-sw:<h>:<t1>:<t2>:<W>   [default: baseline]
+                         (<C> caps the retained history of the append-only
+                         backends; REGISTER/UPDATE backfill is then
+                         best-effort over the newest <C> objects)
     --profile NAME       movie | publication    [default: movie]
     --users N            simulated users        [default: 200]
     --objects N          base objects used to derive preferences [default: 2000]
@@ -157,7 +161,7 @@ fn main() -> ExitCode {
     };
     eprintln!(
         "pm-server: listening on {} ({} attributes per object; \
-         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UNREGISTER/STATS/HEALTH/QUIT)",
+         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UPDATE/UNREGISTER/STATS/HEALTH/QUIT)",
         opts.server.addr, arity
     );
     if let Err(e) = pm_engine::server::serve(listener, service) {

@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -61,6 +61,15 @@ pub fn shard_of(user: UserId, shards: usize) -> usize {
     (u64::from(user.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
+/// Locks a mutex, recovering from poisoning. A panicking thread (e.g. a
+/// connection thread that died mid-call) must not wedge every future
+/// request with `PoisonError`s: the critical sections guarded here only
+/// enqueue commands or copy membership data, so the state behind the lock
+/// is consistent even if a holder panicked.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A concurrent monitoring engine that partitions users across shard
 /// threads.
 ///
@@ -103,6 +112,12 @@ pub struct ShardedEngine {
     membership: Mutex<Vec<Vec<UserId>>>,
     num_users: AtomicUsize,
     ingested: AtomicU64,
+    /// Lifetime counts of applied membership commands, for observability:
+    /// STATS exposes them so churn (and in-place updates in particular) is
+    /// visible without diffing user lists.
+    registrations: AtomicU64,
+    unregistrations: AtomicU64,
+    updates: AtomicU64,
     started: Instant,
 }
 
@@ -173,6 +188,9 @@ impl ShardedEngine {
             membership: Mutex::new(shard_users),
             num_users: AtomicUsize::new(num_users),
             ingested: AtomicU64::new(0),
+            registrations: AtomicU64::new(0),
+            unregistrations: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -198,13 +216,13 @@ impl ShardedEngine {
     /// The global user ids currently owned by `shard` (in registration
     /// order, except that unregistration swap-removes).
     pub fn shard_users(&self, shard: usize) -> Vec<UserId> {
-        self.membership.lock().expect("engine poisoned")[shard].clone()
+        lock_recovering(&self.membership)[shard].clone()
     }
 
     /// Whether `user` is currently registered.
     pub fn is_registered(&self, user: UserId) -> bool {
         let shard = shard_of(user, self.num_shards());
-        self.membership.lock().expect("engine poisoned")[shard].contains(&user)
+        lock_recovering(&self.membership)[shard].contains(&user)
     }
 
     /// Registers `user` with `preference`, routing it to its owning shard.
@@ -216,13 +234,15 @@ impl ShardedEngine {
     /// before this call never notify the user; batches enqueued after it
     /// always consider the user.
     ///
-    /// Errors if `user` is already registered.
+    /// Errors if `user` is already registered, or if the owning shard's
+    /// worker has terminated (the membership map is then left unchanged) —
+    /// membership commands never panic the calling thread.
     pub fn register(&self, user: UserId, preference: Preference) -> Result<(), String> {
         let shard = shard_of(user, self.num_shards());
         let (reply_tx, reply_rx) = mpsc::channel();
         {
-            let senders = self.senders.lock().expect("engine poisoned");
-            let mut membership = self.membership.lock().expect("engine poisoned");
+            let senders = lock_recovering(&self.senders);
+            let mut membership = lock_recovering(&self.membership);
             if membership[shard].contains(&user) {
                 return Err(format!("user {} is already registered", user.raw()));
             }
@@ -232,24 +252,36 @@ impl ShardedEngine {
                     preference,
                     reply: reply_tx,
                 })
-                .expect("shard worker terminated");
+                .map_err(|_| format!("shard {shard} worker terminated"))?;
             membership[shard].push(user);
             self.num_users.fetch_add(1, Ordering::AcqRel);
         }
-        reply_rx.recv().expect("shard worker dropped its reply");
+        if reply_rx.recv().is_err() {
+            // The worker died mid-registration: roll the engine-side view
+            // back so `is_registered` does not report a user no shard holds
+            // (a concurrent unregister may have raced us; tolerate that).
+            let mut membership = lock_recovering(&self.membership);
+            if let Some(pos) = membership[shard].iter().position(|&u| u == user) {
+                membership[shard].swap_remove(pos);
+                self.num_users.fetch_sub(1, Ordering::AcqRel);
+            }
+            return Err(format!("shard {shard} worker dropped its reply"));
+        }
+        self.registrations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Unregisters `user`, dropping its frontier and repairing its cluster
     /// on the owning shard. Returns once the removal is fully applied.
     ///
-    /// Errors if `user` is not registered.
+    /// Errors if `user` is not registered or the owning shard's worker has
+    /// terminated.
     pub fn unregister(&self, user: UserId) -> Result<(), String> {
         let shard = shard_of(user, self.num_shards());
         let (reply_tx, reply_rx) = mpsc::channel();
         {
-            let senders = self.senders.lock().expect("engine poisoned");
-            let mut membership = self.membership.lock().expect("engine poisoned");
+            let senders = lock_recovering(&self.senders);
+            let mut membership = lock_recovering(&self.membership);
             let Some(pos) = membership[shard].iter().position(|&u| u == user) else {
                 return Err(format!("user {} is not registered", user.raw()));
             };
@@ -258,12 +290,70 @@ impl ShardedEngine {
                     user,
                     reply: reply_tx,
                 })
-                .expect("shard worker terminated");
+                .map_err(|_| format!("shard {shard} worker terminated"))?;
             membership[shard].swap_remove(pos);
             self.num_users.fetch_sub(1, Ordering::AcqRel);
         }
-        let removed = reply_rx.recv().expect("shard worker dropped its reply");
+        let Ok(removed) = reply_rx.recv() else {
+            // The worker died mid-removal: restore the engine-side view so
+            // the maps do not claim the user is gone while a (dead) shard
+            // still held it (tolerate a racing re-register of the same id).
+            let mut membership = lock_recovering(&self.membership);
+            if !membership[shard].contains(&user) {
+                membership[shard].push(user);
+                self.num_users.fetch_add(1, Ordering::AcqRel);
+            }
+            return Err(format!("shard {shard} worker dropped its reply"));
+        };
         debug_assert!(removed, "shard membership diverged from engine view");
+        self.unregistrations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replaces the preference of registered `user` **in place**, routing
+    /// the change to the owning shard under the same ordering lock as
+    /// batches: arrivals enqueued before this call are judged under the old
+    /// preference, arrivals after it under the new one.
+    ///
+    /// Unlike `unregister` + `register`, the user keeps its global *and*
+    /// shard-local ids (no swap-remove renumbering of any user), pays one
+    /// cluster repair instead of two — the shard's clustering diffs the old
+    /// and new relations and re-AND-folds in place when the user's cluster
+    /// still fits — and one frontier replay.
+    ///
+    /// Errors if `user` is not registered or the owning shard's worker has
+    /// terminated.
+    pub fn update(&self, user: UserId, preference: Preference) -> Result<(), String> {
+        let shard = shard_of(user, self.num_shards());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let senders = lock_recovering(&self.senders);
+            let membership = lock_recovering(&self.membership);
+            if !membership[shard].contains(&user) {
+                return Err(format!("user {} is not registered", user.raw()));
+            }
+            senders[shard]
+                .send(ShardCmd::UpdateUser {
+                    user,
+                    preference,
+                    reply: reply_tx,
+                })
+                .map_err(|_| format!("shard {shard} worker terminated"))?;
+        }
+        let updated = reply_rx
+            .recv()
+            .map_err(|_| format!("shard {shard} worker dropped its reply"))?;
+        if !updated {
+            // Only reachable if a past membership command failed half-way
+            // (worker died between engine-side bookkeeping and the shard
+            // applying it): surface the divergence instead of counting a
+            // no-op as a successful update.
+            return Err(format!(
+                "user {} is not present on shard {shard}",
+                user.raw()
+            ));
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -280,7 +370,7 @@ impl ShardedEngine {
         let batch = Arc::new(objects);
         let (reply_tx, reply_rx) = mpsc::channel();
         if !batch.is_empty() {
-            let senders = self.senders.lock().expect("engine poisoned");
+            let senders = lock_recovering(&self.senders);
             for (shard, sender) in senders.iter().enumerate() {
                 self.queue_depths[shard].fetch_add(1, Ordering::AcqRel);
                 sender
@@ -321,7 +411,7 @@ impl ShardedEngine {
         let shard = shard_of(user, self.num_shards());
         let (reply_tx, reply_rx) = mpsc::channel();
         {
-            let senders = self.senders.lock().expect("engine poisoned");
+            let senders = lock_recovering(&self.senders);
             senders[shard]
                 .send(ShardCmd::Frontier {
                     user,
@@ -337,7 +427,7 @@ impl ShardedEngine {
     /// sparse, so frontiers are keyed rather than positional.
     pub fn all_frontiers(&self) -> Vec<(UserId, Vec<ObjectId>)> {
         let mut users: Vec<UserId> = {
-            let membership = self.membership.lock().expect("engine poisoned");
+            let membership = lock_recovering(&self.membership);
             membership.iter().flatten().copied().collect()
         };
         users.sort_unstable();
@@ -353,7 +443,7 @@ impl ShardedEngine {
         // matter which worker answers first.
         let mut receivers = Vec::with_capacity(self.num_shards());
         {
-            let senders = self.senders.lock().expect("engine poisoned");
+            let senders = lock_recovering(&self.senders);
             for sender in senders.iter() {
                 let (reply_tx, reply_rx) = mpsc::channel();
                 sender
@@ -389,7 +479,7 @@ impl ShardedEngine {
     pub fn snapshot(&self) -> EngineSnapshot {
         let per_shard = self.shard_stats();
         let users_per_shard: Vec<usize> = {
-            let membership = self.membership.lock().expect("engine poisoned");
+            let membership = lock_recovering(&self.membership);
             membership.iter().map(Vec::len).collect()
         };
         let shards = per_shard
@@ -408,6 +498,9 @@ impl ShardedEngine {
             shards,
             users: users_per_shard.iter().sum(),
             ingested,
+            registrations: self.registrations.load(Ordering::Relaxed),
+            unregistrations: self.unregistrations.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
             uptime,
         }
     }
@@ -557,7 +650,7 @@ mod tests {
             let engine = ShardedEngine::new(
                 prefs.clone(),
                 &EngineConfig::new(shards),
-                &BackendSpec::Baseline,
+                &BackendSpec::baseline(),
             );
             let got = engine.process_batch(objects.clone());
             assert_eq!(got, expected, "shards={shards}");
@@ -578,10 +671,10 @@ mod tests {
         let engine_batched = ShardedEngine::new(
             prefs.clone(),
             &EngineConfig::new(3).with_queue_capacity(2),
-            &BackendSpec::Baseline,
+            &BackendSpec::baseline(),
         );
         let engine_single =
-            ShardedEngine::new(prefs, &EngineConfig::new(3), &BackendSpec::Baseline);
+            ShardedEngine::new(prefs, &EngineConfig::new(3), &BackendSpec::baseline());
         let mut batched = Vec::new();
         for chunk in objects.chunks(7) {
             batched.extend(engine_batched.process_batch(chunk.to_vec()));
@@ -596,8 +689,11 @@ mod tests {
     #[test]
     fn overlapping_submitted_batches_keep_global_order() {
         let prefs = population(9);
-        let engine =
-            ShardedEngine::new(prefs.clone(), &EngineConfig::new(3), &BackendSpec::Baseline);
+        let engine = ShardedEngine::new(
+            prefs.clone(),
+            &EngineConfig::new(3),
+            &BackendSpec::baseline(),
+        );
         let objects = stream(40);
         // Both batches are in flight before either is awaited; the enqueue
         // order fixes the processing order.
@@ -614,7 +710,7 @@ mod tests {
     #[test]
     fn engine_stats_roll_up() {
         let prefs = population(10);
-        let engine = ShardedEngine::new(prefs, &EngineConfig::new(4), &BackendSpec::Baseline);
+        let engine = ShardedEngine::new(prefs, &EngineConfig::new(4), &BackendSpec::baseline());
         let n = 50;
         engine.process_batch(stream(n));
         let stats = engine.stats();
@@ -656,7 +752,8 @@ mod tests {
 
     #[test]
     fn empty_population_and_empty_batches_are_fine() {
-        let engine = ShardedEngine::new(Vec::new(), &EngineConfig::new(2), &BackendSpec::Baseline);
+        let engine =
+            ShardedEngine::new(Vec::new(), &EngineConfig::new(2), &BackendSpec::baseline());
         assert!(engine.process_batch(Vec::new()).is_empty());
         let arrival = engine.process(obj(0, &[1, 2, 3]));
         assert!(arrival.target_users.is_empty());
@@ -667,7 +764,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
-        let _ = ShardedEngine::new(Vec::new(), &EngineConfig::new(0), &BackendSpec::Baseline);
+        let _ = ShardedEngine::new(Vec::new(), &EngineConfig::new(0), &BackendSpec::baseline());
     }
 
     #[test]
@@ -679,7 +776,7 @@ mod tests {
             let dynamic = ShardedEngine::new(
                 prefs.clone(),
                 &EngineConfig::new(shards),
-                &BackendSpec::Baseline,
+                &BackendSpec::baseline(),
             );
             dynamic.process_batch(objects[..40].to_vec());
             // Register a sparse global id mid-stream.
@@ -690,7 +787,7 @@ mod tests {
             let got = dynamic.process_batch(objects[40..].to_vec());
             // The fresh engine has the user from the start: frontiers and
             // the post-registration arrivals must coincide.
-            let fresh = ShardedEngine::empty(&EngineConfig::new(shards), &BackendSpec::Baseline);
+            let fresh = ShardedEngine::empty(&EngineConfig::new(shards), &BackendSpec::baseline());
             for (idx, pref) in prefs.iter().enumerate() {
                 fresh.register(UserId::from(idx), pref.clone()).unwrap();
             }
@@ -712,8 +809,11 @@ mod tests {
     #[test]
     fn unregister_removes_the_user_observably() {
         let prefs = population(10);
-        let engine =
-            ShardedEngine::new(prefs.clone(), &EngineConfig::new(4), &BackendSpec::Baseline);
+        let engine = ShardedEngine::new(
+            prefs.clone(),
+            &EngineConfig::new(4),
+            &BackendSpec::baseline(),
+        );
         engine.process_batch(stream(30));
         let victim = UserId::new(3);
         assert!(engine.is_registered(victim));
@@ -740,8 +840,68 @@ mod tests {
     }
 
     #[test]
+    fn update_in_place_matches_fresh_engine_and_keeps_ids() {
+        let prefs = population(12);
+        let new_pref = population(14).pop().unwrap();
+        let objects = stream(80);
+        for shards in [1usize, 3] {
+            let engine = ShardedEngine::new(
+                prefs.clone(),
+                &EngineConfig::new(shards),
+                &BackendSpec::baseline(),
+            );
+            engine.process_batch(objects[..40].to_vec());
+            // Capture the exact per-shard membership before the update.
+            let before: Vec<Vec<UserId>> = (0..shards).map(|s| engine.shard_users(s)).collect();
+            let victim = UserId::new(5);
+            engine.update(victim, new_pref.clone()).unwrap();
+            // In-place: nobody was renumbered, no count moved.
+            let after: Vec<Vec<UserId>> = (0..shards).map(|s| engine.shard_users(s)).collect();
+            assert_eq!(before, after, "shards={shards}: membership changed");
+            assert_eq!(engine.num_users(), 12);
+            let got = engine.process_batch(objects[40..].to_vec());
+            // A fresh engine with the final preferences agrees on arrivals
+            // and frontiers.
+            let mut final_prefs = prefs.clone();
+            final_prefs[5] = new_pref.clone();
+            let fresh = ShardedEngine::new(
+                final_prefs,
+                &EngineConfig::new(shards),
+                &BackendSpec::baseline(),
+            );
+            fresh.process_batch(objects[..40].to_vec());
+            let expected = fresh.process_batch(objects[40..].to_vec());
+            assert_eq!(got, expected, "shards={shards}");
+            for u in 0..12usize {
+                assert_eq!(
+                    engine.frontier(UserId::from(u)),
+                    fresh.frontier(UserId::from(u)),
+                    "shards={shards} user={u}"
+                );
+            }
+            // The update is counted in the snapshot.
+            let snapshot = engine.snapshot();
+            assert_eq!(snapshot.updates, 1);
+            assert!(snapshot.to_string().contains("updates=1"));
+        }
+    }
+
+    #[test]
+    fn update_of_unknown_user_is_an_error() {
+        let engine = ShardedEngine::new(
+            population(4),
+            &EngineConfig::new(2),
+            &BackendSpec::baseline(),
+        );
+        let err = engine.update(UserId::new(99), Preference::new(3));
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("not registered"));
+        assert_eq!(engine.snapshot().updates, 0);
+    }
+
+    #[test]
     fn all_frontiers_reports_sparse_ids_in_order() {
-        let engine = ShardedEngine::empty(&EngineConfig::new(2), &BackendSpec::Baseline);
+        let engine = ShardedEngine::empty(&EngineConfig::new(2), &BackendSpec::baseline());
         let prefs = population(3);
         for (user, pref) in [(9u32, 0usize), (2, 1), (700, 2)] {
             engine

@@ -28,6 +28,12 @@ pub struct EngineSnapshot {
     pub users: usize,
     /// Objects ingested by the engine (each object counted once).
     pub ingested: u64,
+    /// Lifetime count of applied REGISTER commands.
+    pub registrations: u64,
+    /// Lifetime count of applied UNREGISTER commands.
+    pub unregistrations: u64,
+    /// Lifetime count of applied in-place UPDATE commands.
+    pub updates: u64,
     /// Time since the engine was built.
     pub uptime: Duration,
 }
@@ -100,6 +106,7 @@ impl fmt::Display for EngineSnapshot {
         write!(
             f,
             "ingested={} arrivals_per_sec={:.1} users={} shards={} shard_users={} skew={:.2} \
+             registrations={} unregistrations={} updates={} \
              comparisons={} notifications={} expirations={} queue_depths={}",
             self.ingested,
             self.arrivals_per_sec(),
@@ -107,6 +114,9 @@ impl fmt::Display for EngineSnapshot {
             self.shards.len(),
             users.join(","),
             self.shard_skew(),
+            self.registrations,
+            self.unregistrations,
+            self.updates,
             self.total_comparisons(),
             self.total_notifications(),
             self.expirations(),
@@ -136,6 +146,9 @@ mod tests {
             shards: vec![shard(0, 5, 10), shard(1, 5, 20)],
             users: 10,
             ingested: 7,
+            registrations: 0,
+            unregistrations: 0,
+            updates: 0,
             uptime: Duration::from_secs(1),
         };
         assert!((snap.shard_skew() - 1.0).abs() < 1e-9);
@@ -149,6 +162,9 @@ mod tests {
             shards: vec![shard(0, 9, 0), shard(1, 1, 0)],
             users: 10,
             ingested: 0,
+            registrations: 0,
+            unregistrations: 0,
+            updates: 0,
             uptime: Duration::ZERO,
         };
         assert!((snap.shard_skew() - 1.8).abs() < 1e-9);
@@ -161,6 +177,9 @@ mod tests {
             shards: vec![],
             users: 0,
             ingested: 0,
+            registrations: 0,
+            unregistrations: 0,
+            updates: 0,
             uptime: Duration::ZERO,
         };
         assert_eq!(snap.shard_skew(), 0.0);

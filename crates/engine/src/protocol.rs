@@ -12,6 +12,10 @@
 //!                             comma-separated list of `x>y` tuples
 //!                             (`x` preferred to `y`), or `-`/empty for
 //!                             "no preferences on this attribute"
+//! UPDATE <user> <rows>        replace a registered user's preference in
+//!                             place (same row syntax as REGISTER); the
+//!                             user keeps its id and shard, no other user
+//!                             is touched
 //! UNREGISTER <user>           remove a registered user
 //! STATS                       engine metrics snapshot
 //! HEALTH                      liveness + engine identity
@@ -39,6 +43,15 @@ pub enum Request {
     /// per attribute.
     Register {
         /// The global id the client chose for the user.
+        user: UserId,
+        /// Per-attribute preference tuples, in attribute order.
+        rows: Vec<Vec<(ValueId, ValueId)>>,
+    },
+    /// Replace a registered user's preference in place: same payload shape
+    /// as [`Request::Register`], but the user must already exist and keeps
+    /// its id.
+    Update {
+        /// The global id of the user being updated.
         user: UserId,
         /// Per-attribute preference tuples, in attribute order.
         rows: Vec<Vec<(ValueId, ValueId)>>,
@@ -82,6 +95,27 @@ fn parse_pref_row(row: &str) -> Result<Vec<(ValueId, ValueId)>, String> {
             Ok((parse(x)?, parse(y)?))
         })
         .collect()
+}
+
+/// Per-attribute `(better, worse)` preference tuples, as carried by the
+/// REGISTER and UPDATE payloads.
+pub type PreferenceRows = Vec<Vec<(ValueId, ValueId)>>;
+
+/// Parses the shared `<user> <rows>` payload of REGISTER and UPDATE.
+fn parse_user_rows(verb: &str, rest: &str) -> Result<(UserId, PreferenceRows), String> {
+    let (user_text, rows_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+        format!(
+            "{verb} needs a user id and preference rows \
+             (e.g. {verb} 9 0>1,1>2;-;3>0)"
+        )
+    })?;
+    let user = parse_user(user_text)?;
+    let rows = rows_text
+        .trim()
+        .split(';')
+        .map(parse_pref_row)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((user, rows))
 }
 
 fn parse_values(group: &str) -> Result<Vec<ValueId>, String> {
@@ -129,18 +163,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "FRONTIER" => parse_user(rest).map(Request::Frontier),
         "REGISTER" => {
-            let (user_text, rows_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-                "REGISTER needs a user id and preference rows \
-                 (e.g. REGISTER 9 0>1,1>2;-;3>0)"
-                    .to_owned()
-            })?;
-            let user = parse_user(user_text)?;
-            let rows = rows_text
-                .trim()
-                .split(';')
-                .map(parse_pref_row)
-                .collect::<Result<Vec<_>, _>>()?;
+            let (user, rows) = parse_user_rows("REGISTER", rest)?;
             Ok(Request::Register { user, rows })
+        }
+        "UPDATE" => {
+            let (user, rows) = parse_user_rows("UPDATE", rest)?;
+            Ok(Request::Update { user, rows })
         }
         "UNREGISTER" => parse_user(rest).map(Request::Unregister),
         "STATS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
@@ -152,7 +180,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "" => Err("empty request".to_owned()),
         other => Err(format!(
             "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
-             UNREGISTER, STATS, HEALTH or QUIT)"
+             UPDATE, UNREGISTER, STATS, HEALTH or QUIT)"
         )),
     }
 }
@@ -265,6 +293,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_update_like_register() {
+        let v = ValueId::new;
+        assert_eq!(
+            parse_request("UPDATE 9 0>1,1>2;-;3>0"),
+            Ok(Request::Update {
+                user: UserId::new(9),
+                rows: vec![vec![(v(0), v(1)), (v(1), v(2))], vec![], vec![(v(3), v(0))],],
+            })
+        );
+        assert_eq!(
+            parse_request("update c3 ;;"),
+            Ok(Request::Update {
+                user: UserId::new(3),
+                rows: vec![vec![], vec![], vec![]],
+            })
+        );
+    }
+
+    #[test]
     fn rejects_malformed_register_lines() {
         for line in [
             "REGISTER",          // no arguments at all
@@ -273,6 +320,11 @@ mod tests {
             "REGISTER 5 0>1,2",  // tuple without '>'
             "REGISTER 5 a>b",    // non-numeric values
             "REGISTER 5 0>1,>2", // missing left value
+            "UPDATE",            // no arguments at all
+            "UPDATE 5",          // user but no rows
+            "UPDATE x 0>1",      // bad user id
+            "UPDATE 5 0>1,2",    // tuple without '>'
+            "UPDATE 5 a>b",      // non-numeric values
             "UNREGISTER",        // missing id
             "UNREGISTER soon",   // bad id
         ] {

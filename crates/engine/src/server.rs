@@ -5,7 +5,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pm_core::Arrival;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
@@ -51,6 +51,14 @@ pub struct EngineService {
     ingest: Mutex<IngestState>,
 }
 
+/// Locks the ingest state, recovering from poisoning: one connection
+/// thread dying mid-call must not take the whole service down with
+/// `PoisonError` panics. The state is monotonic (id counter + bounded
+/// history), so it stays usable even if a holder panicked between writes.
+fn lock_ingest(mutex: &Mutex<IngestState>) -> MutexGuard<'_, IngestState> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl EngineService {
     /// Wraps `engine`. `arity` is the number of attributes every ingested
     /// object must carry; `history` bounds how many recent arrivals `QUERY`
@@ -94,7 +102,7 @@ impl EngineService {
             }
         }
         let ticket = {
-            let mut state = self.ingest.lock().expect("ingest state poisoned");
+            let mut state = lock_ingest(&self.ingest);
             let objects: Vec<Object> = rows
                 .into_iter()
                 .map(|values| {
@@ -109,7 +117,7 @@ impl EngineService {
         // Concurrent batches may record their history slightly out of id
         // order; the eviction bound still holds and each object is recorded
         // exactly once.
-        let mut state = self.ingest.lock().expect("ingest state poisoned");
+        let mut state = lock_ingest(&self.ingest);
         for arrival in &arrivals {
             state.order.push_back(arrival.object);
             state
@@ -126,19 +134,17 @@ impl EngineService {
 
     /// The recorded target users of a recently ingested object.
     pub fn lookup(&self, object: ObjectId) -> Option<Vec<UserId>> {
-        let state = self.ingest.lock().expect("ingest state poisoned");
+        let state = lock_ingest(&self.ingest);
         state.targets.get(&object).cloned()
     }
 
-    /// Registers a user from wire-format preference rows: validates the row
-    /// count against the schema arity and that every row stays a strict
-    /// partial order, then routes the registration to the owning shard.
-    /// Returns that shard's index.
-    pub fn register(
+    /// Validates wire-format preference rows against the schema arity and
+    /// the strict-partial-order laws, building the preference they denote.
+    /// Shared by `REGISTER` and `UPDATE`, which accept the same payload.
+    fn preference_from_rows(
         &self,
-        user: UserId,
         rows: Vec<Vec<(ValueId, ValueId)>>,
-    ) -> Result<usize, String> {
+    ) -> Result<Preference, String> {
         if rows.len() != self.arity {
             return Err(format!(
                 "preference has {} attribute rows, schema has {} attributes",
@@ -156,7 +162,35 @@ impl EngineService {
                     .map_err(|e| format!("non-canonical preference row for {attr}: {e}"))?;
             }
         }
+        Ok(preference)
+    }
+
+    /// Registers a user from wire-format preference rows: validates the row
+    /// count against the schema arity and that every row stays a strict
+    /// partial order, then routes the registration to the owning shard.
+    /// Returns that shard's index.
+    pub fn register(
+        &self,
+        user: UserId,
+        rows: Vec<Vec<(ValueId, ValueId)>>,
+    ) -> Result<usize, String> {
+        let preference = self.preference_from_rows(rows)?;
         self.engine.register(user, preference)?;
+        Ok(shard_of(user, self.engine.num_shards()))
+    }
+
+    /// Replaces a registered user's preference in place from wire-format
+    /// rows (same validation as [`Self::register`]): the user keeps its
+    /// global and shard-local ids, its frontier is repaired by replay and
+    /// its cluster by diffing the old and new relations. Returns the owning
+    /// shard's index.
+    pub fn update(
+        &self,
+        user: UserId,
+        rows: Vec<Vec<(ValueId, ValueId)>>,
+    ) -> Result<usize, String> {
+        let preference = self.preference_from_rows(rows)?;
+        self.engine.update(user, preference)?;
         Ok(shard_of(user, self.engine.num_shards()))
     }
 
@@ -203,6 +237,10 @@ impl EngineService {
                 Ok(shard) => format!("OK REGISTERED {} shard={shard}", user.raw()),
                 Err(e) => format!("ERR {e}"),
             },
+            Request::Update { user, rows } => match self.update(user, rows) {
+                Ok(shard) => format!("OK UPDATED {} shard={shard}", user.raw()),
+                Err(e) => format!("ERR {e}"),
+            },
             Request::Unregister(user) => match self.engine.unregister(user) {
                 Ok(()) => format!("OK UNREGISTERED {}", user.raw()),
                 Err(e) => format!("ERR {e}"),
@@ -232,6 +270,11 @@ impl EngineService {
 }
 
 /// Serves one established connection until `QUIT`, EOF or an I/O error.
+///
+/// Failure policy (audited): parse failures answer `ERR` and keep serving;
+/// read/write failures end *this* connection only — the error propagates to
+/// the per-connection thread in [`serve`], which logs it and drops the
+/// socket without disturbing the engine or any other connection.
 pub fn handle_connection(stream: TcpStream, service: &EngineService) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -256,13 +299,36 @@ pub fn handle_connection(stream: TcpStream, service: &EngineService) -> std::io:
     Ok(())
 }
 
-/// Accept loop: one thread per connection, until the listener errors out.
+/// Accept loop: one thread per connection.
+///
+/// Accept failures are logged and *skipped* — transient conditions
+/// (`ECONNABORTED`, `EMFILE` after a burst, a peer resetting mid-handshake)
+/// must not take the whole server down. Only a closed/invalid listener
+/// (which `incoming` surfaces as an unending error stream) ends the loop,
+/// after a bounded number of consecutive failures.
 pub fn serve(listener: TcpListener, service: Arc<EngineService>) -> std::io::Result<()> {
+    let mut consecutive_failures = 0u32;
     for stream in listener.incoming() {
-        let stream = stream?;
+        let stream = match stream {
+            Ok(stream) => {
+                consecutive_failures = 0;
+                stream
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                eprintln!("pm-server: accept failed ({consecutive_failures} in a row): {e}");
+                if consecutive_failures >= 16 {
+                    return Err(e);
+                }
+                continue;
+            }
+        };
         let service = Arc::clone(&service);
         std::thread::spawn(move || {
-            let _ = handle_connection(stream, &service);
+            if let Err(e) = handle_connection(stream, &service) {
+                // Read/write failure on one connection: log and drop it.
+                eprintln!("pm-server: connection error: {e}");
+            }
         });
     }
     Ok(())
@@ -387,6 +453,58 @@ mod tests {
             .starts_with("ERR user 99 is not registered"));
         // None of that broke the service.
         assert!(svc.respond_line("REGISTER 9 0>1;-").starts_with("OK"));
+    }
+
+    #[test]
+    fn update_round_trip_changes_results_in_place() {
+        let svc = service(2, "baseline");
+        // User 1 initially prefers 1 over 2 on both attributes; object (2,2)
+        // then (1,1): the second object dominates the first for user 1.
+        assert!(svc.respond_line("INGEST 2,2").starts_with("OK INGESTED 1"));
+        // Invert the preference in place: 2 is now preferred to 1.
+        let r = svc.respond_line("UPDATE 1 2>1;2>1");
+        assert!(r.starts_with("OK UPDATED 1 shard="), "{r}");
+        // The frontier was repaired by replay under the new preference.
+        assert!(svc
+            .respond_line("FRONTIER 1")
+            .starts_with("OK FRONTIER 1 0"));
+        // Later arrivals are judged under the new preference: (1,1) is now
+        // dominated by (2,2) for user 1.
+        let ingest = svc.respond_line("INGEST 1,1");
+        assert!(ingest.starts_with("OK INGESTED 1"), "{ingest}");
+        let q = svc.respond_line("QUERY 1");
+        let targets = q.strip_prefix("OK QUERY 1 ").unwrap();
+        assert!(
+            !targets.split(',').any(|u| u == "1"),
+            "user 1 should not be notified: {q}"
+        );
+        // User count is unchanged; the STATS line reports the update.
+        assert!(svc.respond_line("HEALTH").contains("users=3"));
+        let stats = svc.respond_line("STATS");
+        assert!(stats.contains("updates=1"), "{stats}");
+    }
+
+    #[test]
+    fn update_validates_like_register() {
+        let svc = service(1, "baseline");
+        // Unknown user, wrong arity, non-canonical rows: all ERR, never fatal.
+        assert!(svc
+            .respond_line("UPDATE 99 0>1;-")
+            .starts_with("ERR user 99 is not registered"));
+        assert!(svc
+            .respond_line("UPDATE 0 0>1")
+            .starts_with("ERR preference has 1 attribute rows"));
+        assert!(svc
+            .respond_line("UPDATE 0 1>1;-")
+            .starts_with("ERR non-canonical preference row"));
+        assert!(svc
+            .respond_line("UPDATE 0 0>1,1>0;-")
+            .starts_with("ERR non-canonical preference row"));
+        // The service still works and the user is untouched.
+        assert!(svc
+            .respond_line("UPDATE 0 0>1;-")
+            .starts_with("OK UPDATED 0"));
+        assert!(svc.respond_line("FRONTIER 0").starts_with("OK FRONTIER 0"));
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub(crate) enum ShardCmd {
     },
     /// Unregister a user from this shard. Replies whether the user existed.
     RemoveUser { user: UserId, reply: Sender<bool> },
+    /// Replace a registered user's preference in place, keeping its global
+    /// and local ids (no swap-remove renumbering anywhere). The monitor
+    /// repairs the user's frontier by replay and its cluster by diffing the
+    /// old and new relations. Replies whether the user existed.
+    UpdateUser {
+        user: UserId,
+        preference: Preference,
+        reply: Sender<bool>,
+    },
     /// Report the monitor's work counters.
     Stats { reply: Sender<MonitorStats> },
     /// Terminate the worker.
@@ -121,6 +130,20 @@ impl ShardWorker {
                     local_of.insert(user, local.index());
                     self.global_users.push(user);
                     let _ = reply.send(());
+                }
+                ShardCmd::UpdateUser {
+                    user,
+                    preference,
+                    reply,
+                } => {
+                    let updated = match local_of.get(&user) {
+                        Some(&local) => {
+                            self.monitor.update_user(UserId::from(local), preference);
+                            true
+                        }
+                        None => false,
+                    };
+                    let _ = reply.send(updated);
                 }
                 ShardCmd::RemoveUser { user, reply } => {
                     let removed = match local_of.remove(&user) {

@@ -1,13 +1,18 @@
 //! Dynamic-membership oracle equivalence: an interleaved stream of
-//! INGEST / REGISTER / UNREGISTER events must leave every surviving user
-//! with a frontier identical to (a) a per-user oracle that replays the
-//! alive objects and (b) a *fresh* engine built with the final population
-//! and fed the alive objects — across all four backends and 1/2/4/8 shards.
+//! INGEST / REGISTER / UPDATE / UNREGISTER events must leave every
+//! surviving user with a frontier identical to (a) a per-user oracle whose
+//! monitors are rebuilt with the final preferences from the alive objects,
+//! (b) a *fresh* engine built with the final population and fed the alive
+//! objects, and (c) a reference engine that serves every UPDATE as
+//! UNREGISTER + REGISTER — across all four backends and 1/2/4/8 shards.
 //!
 //! The per-object arrival comparison additionally proves that a REGISTER
-//! during an active stream never drops or duplicates a notification: every
-//! batch enqueued after the registration considers the user, every batch
-//! before it does not.
+//! or UPDATE during an active stream never drops or duplicates a
+//! notification: every batch enqueued after the command observes it, every
+//! batch before it does not. Along the way the script asserts that an
+//! in-place UPDATE never renumbers any user (per-shard membership lists are
+//! byte-identical around it) and that the per-shard live user counts of
+//! `EngineSnapshot` stay exact after every event.
 //!
 //! Backend notes: `Baseline`, `BaselineSw` and append-only
 //! `FilterThenVerify` are exact under any clustering (Lemma 4.6), so the
@@ -34,13 +39,14 @@ const BATCH: usize = 24;
 enum Event {
     Ingest(Vec<Object>),
     Register(UserId, Preference),
+    Update(UserId, Preference),
     Unregister(UserId),
 }
 
 /// Builds the deterministic event script: 24 initial users, a pool of late
-/// registrations under sparse ids (200+), periodic unregistrations, and one
-/// id that is unregistered and later *re-registered with a different
-/// preference*.
+/// registrations under sparse ids (200+), periodic unregistrations,
+/// periodic in-place preference updates of live users, and one id that is
+/// unregistered and later *re-registered with a different preference*.
 fn build_script() -> (Vec<(UserId, Preference)>, Vec<Event>) {
     let profile = DatasetProfile::movie()
         .with_users(36)
@@ -74,6 +80,14 @@ fn build_script() -> (Vec<(UserId, Preference)>, Vec<Event>) {
                 live.push(user);
             }
         }
+        if i % 2 == 0 && !live.is_empty() {
+            // In-place update: a live user adopts a different preference
+            // drawn from the dataset pool. Some picks repeat a user updated
+            // earlier, covering repeated updates of the same id.
+            let user = live[(i * 5) % live.len()];
+            let pref = dataset.preferences[(i * 11) % dataset.preferences.len()].clone();
+            events.push(Event::Update(user, pref));
+        }
         if i % 3 != 0 && live.len() > 4 {
             let idx = (i * 7) % live.len();
             let user = live.swap_remove(idx);
@@ -86,6 +100,7 @@ fn build_script() -> (Vec<(UserId, Preference)>, Vec<Event>) {
         }
     }
     assert!(events.iter().any(|e| matches!(e, Event::Register(..))));
+    assert!(events.iter().any(|e| matches!(e, Event::Update(..))));
     assert!(events.iter().any(|e| matches!(e, Event::Unregister(..))));
     (initial, events)
 }
@@ -126,6 +141,14 @@ impl Oracle {
         assert!(self.users.remove(&user.raw()).is_some());
     }
 
+    /// In-place update ground truth: the user's monitor is rebuilt with the
+    /// new preference and replays the alive objects — exactly "a per-user
+    /// monitor rebuilt with the final preference".
+    fn update(&mut self, user: UserId, pref: Preference) {
+        self.unregister(user);
+        self.register(user, pref);
+    }
+
     /// Processes one arrival and returns its target users, ascending.
     fn ingest(&mut self, object: Object) -> Vec<UserId> {
         self.history.push(object.clone());
@@ -152,10 +175,42 @@ impl Oracle {
     }
 }
 
+/// Asserts the engine's per-shard live user counts are exactly the counts
+/// derived from the reference population via `shard_of` — the regression
+/// check that `shard_users=` in `EngineSnapshot`/STATS never drifts under
+/// interleaved INGEST/REGISTER/UPDATE/UNREGISTER.
+fn assert_shard_counts_exact(
+    engine: &ShardedEngine,
+    population: &BTreeMap<u32, Preference>,
+    label: &str,
+) {
+    let shards = engine.num_shards();
+    let mut expected = vec![0usize; shards];
+    for &raw in population.keys() {
+        expected[pm_engine::shard_of(UserId::new(raw), shards)] += 1;
+    }
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.users, population.len(), "{label}: total drifted");
+    assert_eq!(
+        snapshot.users_per_shard(),
+        expected,
+        "{label}: per-shard counts drifted"
+    );
+    assert_eq!(engine.num_users(), population.len(), "{label}: num_users");
+}
+
 fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
     let (initial, events) = build_script();
     for shards in [1usize, 2, 4, 8] {
         let engine = ShardedEngine::new(
+            initial.iter().map(|(_, p)| p.clone()).collect(),
+            &EngineConfig::new(shards),
+            &spec,
+        );
+        // Reference run: identical script, but every UPDATE is served as
+        // UNREGISTER + REGISTER. In-place updates must not be observably
+        // different (beyond paying one repair instead of two).
+        let reference = ShardedEngine::new(
             initial.iter().map(|(_, p)| p.clone()).collect(),
             &EngineConfig::new(shards),
             &spec,
@@ -171,6 +226,7 @@ fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
             match event {
                 Event::Ingest(chunk) => {
                     let arrivals = engine.process_batch(chunk.clone());
+                    let ref_arrivals = reference.process_batch(chunk.clone());
                     assert_eq!(arrivals.len(), chunk.len());
                     for (object, arrival) in chunk.iter().zip(&arrivals) {
                         let expected = oracle.ingest(object.clone());
@@ -181,18 +237,39 @@ fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
                             object.id()
                         );
                     }
+                    assert_eq!(
+                        arrivals, ref_arrivals,
+                        "{label}/{shards}: in-place UPDATE and unregister+register disagree"
+                    );
                 }
                 Event::Register(user, pref) => {
                     engine.register(*user, pref.clone()).unwrap();
+                    reference.register(*user, pref.clone()).unwrap();
                     oracle.register(*user, pref.clone());
+                    population.insert(user.raw(), pref.clone());
+                }
+                Event::Update(user, pref) => {
+                    // An in-place UPDATE never renumbers any user: every
+                    // shard's membership list is byte-identical around it.
+                    let before: Vec<Vec<UserId>> =
+                        (0..shards).map(|s| engine.shard_users(s)).collect();
+                    engine.update(*user, pref.clone()).unwrap();
+                    let after: Vec<Vec<UserId>> =
+                        (0..shards).map(|s| engine.shard_users(s)).collect();
+                    assert_eq!(before, after, "{label}/{shards}: UPDATE renumbered a user");
+                    reference.unregister(*user).unwrap();
+                    reference.register(*user, pref.clone()).unwrap();
+                    oracle.update(*user, pref.clone());
                     population.insert(user.raw(), pref.clone());
                 }
                 Event::Unregister(user) => {
                     engine.unregister(*user).unwrap();
+                    reference.unregister(*user).unwrap();
                     oracle.unregister(*user);
                     population.remove(&user.raw());
                 }
             }
+            assert_shard_counts_exact(&engine, &population, label);
         }
 
         // A fresh engine built with the final population, fed the alive
@@ -217,6 +294,11 @@ fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
                 fresh.frontier(user),
                 "{label}/{shards}: user {raw} vs fresh engine"
             );
+            assert_eq!(
+                dynamic,
+                reference.frontier(user),
+                "{label}/{shards}: user {raw} vs unregister+register reference"
+            );
         }
         assert_eq!(engine.num_users(), population.len());
     }
@@ -224,18 +306,14 @@ fn run_backend(spec: BackendSpec, window: Option<usize>, label: &str) {
 
 #[test]
 fn dynamic_membership_matches_oracle_baseline() {
-    run_backend(BackendSpec::Baseline, None, "baseline");
+    run_backend(BackendSpec::baseline(), None, "baseline");
 }
 
 #[test]
 fn dynamic_membership_matches_oracle_filter_then_verify() {
     // A real branch cut: registrations join existing clusters and removals
     // repair them; Lemma 4.6 keeps the results exact regardless.
-    run_backend(
-        BackendSpec::FilterThenVerify { branch_cut: 0.45 },
-        None,
-        "ftv",
-    );
+    run_backend(BackendSpec::ftv(0.45), None, "ftv");
 }
 
 #[test]
@@ -261,6 +339,79 @@ fn dynamic_membership_matches_oracle_filter_then_verify_sw() {
     );
 }
 
+/// The universe-extension slow path: a REGISTER or UPDATE naming attribute
+/// values (on several attributes) that no clustering state has ever seen
+/// forces the shared per-attribute universes to grow and every compiled
+/// state to be rebuilt — results must stay exact on all four backends.
+#[test]
+fn universe_extension_slow_path_stays_exact_for_all_backends() {
+    use pm_model::{AttrId, ValueId};
+    let profile = DatasetProfile::movie()
+        .with_users(12)
+        .with_objects(120)
+        .with_interactions(40);
+    let dataset = Dataset::generate(&profile, 23);
+    let arity = dataset.dimensions();
+    let stream: Vec<Object> = dataset.stream(160).iter().collect();
+    // Values 9000+ never occur in the generated dataset: both preferences
+    // trigger the recompile-everything slow path, on different attributes.
+    let mut alien_register = Preference::new(arity);
+    alien_register.prefer(AttrId::new(0), ValueId::new(9000), ValueId::new(9001));
+    alien_register.prefer(
+        AttrId::new(arity as u32 - 1),
+        ValueId::new(9001),
+        ValueId::new(9002),
+    );
+    let mut alien_update = Preference::new(arity);
+    alien_update.prefer(AttrId::new(1), ValueId::new(9100), ValueId::new(9101));
+    alien_update.prefer(AttrId::new(1), ValueId::new(9101), ValueId::new(9102));
+    let specs: Vec<(BackendSpec, &str)> = vec![
+        (BackendSpec::baseline(), "baseline"),
+        (BackendSpec::ftv(0.45), "ftv"),
+        (BackendSpec::BaselineSw { window: 60 }, "baseline-sw"),
+        (
+            BackendSpec::FilterThenVerifySw {
+                branch_cut: 100.0,
+                window: 60,
+            },
+            "ftv-sw",
+        ),
+    ];
+    for (spec, label) in specs {
+        let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(2), &spec);
+        engine.process_batch(stream[..80].to_vec());
+        engine
+            .register(UserId::new(500), alien_register.clone())
+            .unwrap();
+        engine.update(UserId::new(3), alien_update.clone()).unwrap();
+        engine.process_batch(stream[80..].to_vec());
+        // A fresh engine with the final population (alien values present
+        // from the very first compile) must agree on every frontier.
+        let fresh = ShardedEngine::empty(&EngineConfig::new(2), &spec);
+        let mut final_pop: Vec<(UserId, Preference)> = dataset
+            .preferences
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UserId::from(i), p.clone()))
+            .collect();
+        final_pop[3].1 = alien_update.clone();
+        final_pop.push((UserId::new(500), alien_register.clone()));
+        for (user, pref) in &final_pop {
+            fresh.register(*user, pref.clone()).unwrap();
+        }
+        for chunk in stream.chunks(BATCH) {
+            fresh.process_batch(chunk.to_vec());
+        }
+        for (user, _) in &final_pop {
+            assert_eq!(
+                engine.frontier(*user),
+                fresh.frontier(*user),
+                "{label}: user {user} after universe extension"
+            );
+        }
+    }
+}
+
 /// Registration and ingestion from different threads must interleave safely
 /// (batch-granular ordering, no deadlock, no lost arrival).
 #[test]
@@ -273,7 +424,7 @@ fn concurrent_registration_during_ingest_is_safe() {
     let engine = Arc::new(ShardedEngine::new(
         dataset.preferences.clone(),
         &EngineConfig::new(4),
-        &BackendSpec::FilterThenVerify { branch_cut: 0.45 },
+        &BackendSpec::ftv(0.45),
     ));
     let stream: Vec<Object> = dataset.stream(480).iter().collect();
 
@@ -288,11 +439,17 @@ fn concurrent_registration_during_ingest_is_safe() {
             processed
         })
     };
-    // Churn 40 register/unregister pairs while the stream is in flight.
+    // Churn 40 register/update/unregister rounds while the stream is in
+    // flight.
     for i in 0..40u32 {
         let user = UserId::new(1_000 + i);
         let pref = dataset.preferences[(i as usize) % dataset.num_users()].clone();
         engine.register(user, pref).unwrap();
+        if i >= 4 {
+            let updated = UserId::new(1_000 + i - 4);
+            let new_pref = dataset.preferences[((i + 7) as usize) % dataset.num_users()].clone();
+            engine.update(updated, new_pref).unwrap();
+        }
         if i >= 8 {
             engine.unregister(UserId::new(1_000 + i - 8)).unwrap();
         }

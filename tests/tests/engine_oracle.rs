@@ -135,7 +135,7 @@ fn sharded_engine_matches_baseline_oracle_on_10k_by_1k_stream() {
         let engine = ShardedEngine::new(
             prefs.clone(),
             &EngineConfig::new(shards),
-            &BackendSpec::Baseline,
+            &BackendSpec::baseline(),
         );
         assert_engine_matches(
             &engine,
@@ -182,11 +182,11 @@ fn every_shard_count_matches_on_movie_profile_data() {
     let dataset = Dataset::generate(&profile, 41);
     let stream: Vec<Object> = dataset.stream(800).iter().collect();
     for (spec, label) in [
-        (BackendSpec::Baseline, "append-only"),
+        (BackendSpec::baseline(), "append-only"),
         (BackendSpec::BaselineSw { window: 200 }, "sliding"),
     ] {
         let expected: Vec<Arrival> = match spec {
-            BackendSpec::Baseline => {
+            BackendSpec::Baseline { .. } => {
                 let mut oracle = BaselineMonitor::new(dataset.preferences.clone());
                 stream.iter().cloned().map(|o| oracle.process(o)).collect()
             }
@@ -229,7 +229,7 @@ fn filter_then_verify_backend_matches_baseline_oracle_under_sharding() {
         let engine = ShardedEngine::new(
             dataset.preferences.clone(),
             &EngineConfig::new(shards),
-            &BackendSpec::FilterThenVerify { branch_cut: 0.55 },
+            &BackendSpec::ftv(0.55),
         );
         let got = run_engine(&engine, &dataset.objects);
         assert_eq!(got, expected, "ftv shards={shards}");
@@ -292,7 +292,7 @@ proptest! {
     ) {
         let mut oracle = BaselineMonitor::new(prefs.clone());
         let expected: Vec<Arrival> = objects.iter().cloned().map(|o| oracle.process(o)).collect();
-        let engine = ShardedEngine::new(prefs.clone(), &EngineConfig::new(shards), &BackendSpec::Baseline);
+        let engine = ShardedEngine::new(prefs.clone(), &EngineConfig::new(shards), &BackendSpec::baseline());
         let got = run_engine(&engine, &objects);
         prop_assert_eq!(got, expected);
         for user in 0..prefs.len() {

@@ -181,6 +181,78 @@ fn malformed_register_lines_return_errors() {
 }
 
 #[test]
+fn malformed_update_lines_return_errors() {
+    let svc = movie_service("ftv:0.4");
+    for line in [
+        "UPDATE",                  // no arguments at all
+        "UPDATE 5",                // user id but no preference rows
+        "UPDATE x 0>1;;;",         // bad user id
+        "UPDATE 5 0>1",            // 1 row, schema has 4 attributes
+        "UPDATE 5 0>1;;;;;",       // 6 rows, schema has 4
+        "UPDATE 5 0-1;;;",         // tuple without '>'
+        "UPDATE 5 a>b;;;",         // non-numeric values
+        "UPDATE 5 0>1,;;;",        // dangling comma
+        "UPDATE 5 1>1;;;",         // reflexive tuple (non-canonical)
+        "UPDATE 5 0>1,1>0;;;",     // cyclic tuples (non-canonical)
+        "UPDATE 5 0>1,1>2,2>0;;;", // longer cycle via closure
+        "UPDATE 99 0>1;;;",        // well-formed but unknown user
+    ] {
+        let response = svc.respond_line(line);
+        assert!(response.starts_with("ERR"), "{line:?} -> {response}");
+    }
+    // None of that changed anyone or killed the engine: a genuine update on
+    // a registered user still works, in place.
+    let ok = svc.respond_line("UPDATE 5 0>1;-;-;2>0");
+    assert!(ok.starts_with("OK UPDATED 5 shard="), "{ok}");
+    assert!(svc.respond_line("FRONTIER 5").starts_with("OK FRONTIER 5"));
+    assert!(svc.respond_line("HEALTH").contains("users=20"));
+}
+
+#[test]
+fn update_churn_over_tcp_is_observable_in_stats() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let svc = Arc::new(movie_service("baseline"));
+    let server_svc = Arc::clone(&svc);
+    std::thread::spawn(move || serve(listener, server_svc));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let mut ask = |req: &str| -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection closed on {req:?}");
+        line.trim_end().to_owned()
+    };
+
+    let before = ask("STATS");
+    assert!(before.contains("users=20"), "{before}");
+    assert!(before.contains("updates=0"), "{before}");
+    let shard_users_before = before
+        .split_whitespace()
+        .find(|f| f.starts_with("shard_users="))
+        .expect("STATS reports shard_users=")
+        .to_owned();
+    // Two in-place updates: the user count and per-shard split must not
+    // move, while the updates counter does.
+    assert!(ask("UPDATE 3 0>1;-;-;-").starts_with("OK UPDATED 3"));
+    assert!(ask("UPDATE 3 -;1>0;-;-").starts_with("OK UPDATED 3"));
+    assert!(ask("INGEST 0,0,0,0").starts_with("OK INGESTED 1"));
+    let after = ask("STATS");
+    assert!(after.contains("users=20"), "{after}");
+    assert!(after.contains("updates=2"), "{after}");
+    assert!(after.contains(&shard_users_before), "{after}");
+    // Malformed updates in between never kill the connection.
+    assert!(ask("UPDATE 999 0>1;-;-;-").starts_with("ERR"));
+    assert!(ask("FRONTIER 3").starts_with("OK FRONTIER 3"));
+    assert_eq!(ask("QUIT"), "OK BYE");
+}
+
+#[test]
 fn unregister_of_unknown_users_is_an_error_not_fatal() {
     let svc = movie_service("ftv-sw:0.4:16");
     for line in ["UNREGISTER", "UNREGISTER nope", "UNREGISTER 9999"] {

@@ -334,14 +334,16 @@ proptest! {
         }
     }
 
-    /// After a random insert/remove sequence, the incrementally maintained
-    /// clustering still partitions the users, holds no empty cluster, and
-    /// every cluster's common relation equals the intersection of its
-    /// members' relations.
+    /// After a random insert/remove/update sequence, the incrementally
+    /// maintained clustering still partitions the users, holds no empty
+    /// cluster, and every cluster's common relation equals the intersection
+    /// of its members' relations — in particular, an in-place UPDATE
+    /// (stay-put re-AND-fold or local repair + re-insertion) preserves all
+    /// three invariants.
     #[test]
     fn clustering_churn_keeps_common_relations_exact(
         initial in proptest::collection::vec(preference_strategy(), 0..5),
-        ops in proptest::collection::vec((0u8..2, preference_strategy(), 0u8..255), 1..20),
+        ops in proptest::collection::vec((0u8..3, preference_strategy(), 0u8..255), 1..20),
         branch in 0usize..3,
     ) {
         let branch_cut = [0.0, 0.3, 100.0][branch];
@@ -358,6 +360,12 @@ proptest! {
                 next_id += 1;
                 clustering.insert_user(user, &pref);
                 live.push((user, pref));
+            } else if op == 2 {
+                // In-place preference update of a random live user.
+                let idx = (pick as usize) % live.len();
+                let user = live[idx].0;
+                clustering.update_user(user, &pref);
+                live[idx].1 = pref;
             } else {
                 let idx = (pick as usize) % live.len();
                 let (user, _) = live.swap_remove(idx);
@@ -382,16 +390,17 @@ proptest! {
         }
     }
 
-    /// Interleaved ingest / add_user / remove_user on a FilterThenVerify
-    /// monitor with a maintained clustering keeps every per-user frontier
-    /// exactly equal to a fresh baseline over the same history (Lemma 4.6
-    /// under churn), and keeps the cluster invariants of the ISSUE: no
-    /// empty cluster, common relation = intersection of members'.
+    /// Interleaved ingest / add_user / update_user / remove_user on a
+    /// FilterThenVerify monitor with a maintained clustering keeps every
+    /// per-user frontier exactly equal to a fresh baseline over the same
+    /// history (Lemma 4.6 under churn), and keeps the cluster invariants of
+    /// the ISSUE: no empty cluster, common relation = intersection of
+    /// members'.
     #[test]
     fn ftv_dynamic_membership_stays_exact(
         initial in proptest::collection::vec(preference_strategy(), 1..4),
         segments in proptest::collection::vec(
-            (objects_strategy(8), preference_strategy(), 0u8..255, 0u8..2), 1..5),
+            (objects_strategy(8), preference_strategy(), 0u8..255, 0u8..4), 1..5),
         branch in 0usize..3,
     ) {
         let branch_cut = [0.0, 0.4, 100.0][branch];
@@ -400,17 +409,25 @@ proptest! {
         let mut prefs = initial;
         let mut history: Vec<Object> = Vec::new();
         let mut next_obj = 0u64;
-        for (objects, new_pref, pick, do_remove) in segments {
+        for (objects, new_pref, pick, op) in segments {
             for object in objects {
                 let object = Object::new(ObjectId::new(next_obj), object.values().to_vec());
                 next_obj += 1;
                 ftv.process(object.clone());
                 history.push(object);
             }
-            let added = ftv.add_user(new_pref.clone());
-            prop_assert_eq!(added.index(), prefs.len());
-            prefs.push(new_pref);
-            if do_remove == 1 && prefs.len() > 1 {
+            if op == 2 {
+                // In-place preference update of a random existing user: no
+                // id changes, exactness must survive the cluster diff.
+                let idx = (pick as usize) % prefs.len();
+                ftv.update_user(UserId::from(idx), new_pref.clone());
+                prefs[idx] = new_pref;
+            } else {
+                let added = ftv.add_user(new_pref.clone());
+                prop_assert_eq!(added.index(), prefs.len());
+                prefs.push(new_pref);
+            }
+            if op == 1 && prefs.len() > 1 {
                 let idx = (pick as usize) % prefs.len();
                 ftv.remove_user(UserId::from(idx));
                 prefs.swap_remove(idx);
