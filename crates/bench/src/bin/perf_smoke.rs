@@ -18,16 +18,26 @@
 //!    permutes the base users' preferences, which also changes the cluster
 //!    structure the INGEST side runs on. The like-for-like claim (measured
 //!    by swapping the verb on this same workload) is that in-place UPDATE
-//!    runs ~20% faster than serving each update as UNREGISTER+REGISTER.
+//!    runs ~20% faster than serving each update as UNREGISTER+REGISTER,
+//!    and
+//! 5. the registration-churn stream again on the **compacting history**
+//!    backend (`ftv:0.4:compact`): REGISTER/UPDATE backfill replays the
+//!    skyline-union retained set instead of the full stream. The report
+//!    carries the retained-history size next to the full-history size; the
+//!    `--check` gate additionally requires the compacted retained set to
+//!    stay under `max_compact_retention_ratio` (0.5 = half) of the full
+//!    history on this fixed-seed workload, so the memory win is regression
+//!    -tested alongside the throughput floors.
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_4.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_5.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
-//! the checked-in baseline, or when the compiled dominance path is less
-//! than 2x the hash-map path — this is the `perf-smoke` CI gate.
+//! the checked-in baseline, when the compiled dominance path is less than
+//! 2x the hash-map path, or when compaction retains too much — this is the
+//! `perf-smoke` CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_4.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_5.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -48,6 +58,8 @@ const ENGINE_OBJECTS: usize = 6_000;
 const ENGINE_BATCH: usize = 256;
 /// The engine backend under test.
 const ENGINE_BACKEND: &str = "ftv:0.4";
+/// The compacting-history variant of the engine backend (phase 5).
+const ENGINE_BACKEND_COMPACT: &str = "ftv:0.4:compact";
 /// Churn phase: one REGISTER/UNREGISTER pair per this many objects (10%).
 const CHURN_PERIOD: usize = 10;
 /// How many registrations stay live before being unregistered again.
@@ -65,6 +77,11 @@ struct Report {
     engine_objects_per_sec: f64,
     engine_churn_objects_per_sec: f64,
     engine_update_objects_per_sec: f64,
+    engine_compact_churn_objects_per_sec: f64,
+    compact_retained_objects: u64,
+    compact_full_objects: u64,
+    compact_retained_bytes: u64,
+    compact_full_bytes: u64,
 }
 
 impl Report {
@@ -72,15 +89,29 @@ impl Report {
         self.dominance_compiled / self.dominance_hash
     }
 
+    /// Retained-history memory relative to the full history an unlimited
+    /// backend holds over the identical stream. Bytes, not object counts:
+    /// value-duplicate collapsing stores each distinct vector once with an
+    /// id list, which is most of the win on a stream that repeats vectors —
+    /// skyline-union eviction then trims the id lists themselves.
+    fn retention_ratio(&self) -> f64 {
+        self.compact_retained_bytes as f64 / self.compact_full_bytes as f64
+    }
+
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v3\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v4\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
              \"engine_objects\": {},\n  \"engine_objects_per_sec\": {:.0},\n  \
              \"engine_churn_objects_per_sec\": {:.0},\n  \
-             \"engine_update_objects_per_sec\": {:.0}\n}}\n",
+             \"engine_update_objects_per_sec\": {:.0},\n  \
+             \"engine_compact_backend\": \"{}\",\n  \
+             \"engine_compact_churn_objects_per_sec\": {:.0},\n  \
+             \"compact_retained_objects\": {},\n  \"compact_full_objects\": {},\n  \
+             \"compact_retained_bytes\": {},\n  \"compact_full_bytes\": {},\n  \
+             \"compact_retention_ratio\": {:.3}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -91,6 +122,13 @@ impl Report {
             self.engine_objects_per_sec,
             self.engine_churn_objects_per_sec,
             self.engine_update_objects_per_sec,
+            ENGINE_BACKEND_COMPACT,
+            self.engine_compact_churn_objects_per_sec,
+            self.compact_retained_objects,
+            self.compact_full_objects,
+            self.compact_retained_bytes,
+            self.compact_full_bytes,
+            self.retention_ratio(),
         )
     }
 }
@@ -175,14 +213,18 @@ fn measure_engine(preferences: Vec<Preference>, objects: &[Object]) -> f64 {
     processed as f64 / elapsed
 }
 
-/// The same stream with 10% registration churn: after every
+/// The same stream with 10% registration churn on `backend`: after every
 /// [`CHURN_PERIOD`] objects, one new user registers (preferences cycled
 /// from the dataset, sparse ids above the base population) and the user
 /// registered [`CHURN_LAG`] rounds earlier unregisters, so the population
 /// stays near its base size while the dynamic path — cluster join/repair
-/// plus full-history frontier backfill — runs continuously.
-fn measure_engine_churn(dataset: &Dataset) -> f64 {
-    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+/// plus frontier backfill over the retained history — runs continuously.
+/// Returns the throughput plus the engine's final work counters (which
+/// carry the retained-history gauges). One function serves both the plain
+/// and the compacting phase so the two stay the *identical* workload the
+/// retention-ratio gate compares.
+fn run_churn_workload(dataset: &Dataset, backend: &str) -> (f64, pm_core::MonitorStats) {
+    let spec = BackendSpec::parse(backend).expect("valid backend spec");
     let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(1), &spec);
     let stream = engine_stream(&dataset.objects);
     let base = dataset.num_users() as u32;
@@ -212,7 +254,7 @@ fn measure_engine_churn(dataset: &Dataset) -> f64 {
         dataset.num_users() + CHURN_LAG as usize,
         "churn must keep the population bounded"
     );
-    processed as f64 / elapsed
+    (processed as f64 / elapsed, engine.stats())
 }
 
 /// The same stream with 10% **update churn**: after every [`CHURN_PERIOD`]
@@ -222,7 +264,7 @@ fn measure_engine_churn(dataset: &Dataset) -> f64 {
 /// size never move. This times the in-place path the UPDATE verb serves:
 /// one cluster re-AND-fold or local repair plus one frontier replay —
 /// versus the two repairs and swap-remove renumbering of
-/// UNREGISTER+REGISTER measured by [`measure_engine_churn`].
+/// UNREGISTER+REGISTER measured by [`run_churn_workload`].
 fn measure_engine_update_churn(dataset: &Dataset) -> f64 {
     let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
     let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(1), &spec);
@@ -288,6 +330,10 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
             "engine_update_objects_per_sec",
             report.engine_update_objects_per_sec,
         ),
+        (
+            "engine_compact_churn_objects_per_sec",
+            report.engine_compact_churn_objects_per_sec,
+        ),
     ];
     for (key, current) in gates {
         let Some(expected) = lookup(key) else {
@@ -319,6 +365,28 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         );
     }
 
+    // Memory-reduction gate: the compacted retained set must stay under the
+    // baseline ratio of the full history on this fixed-seed workload.
+    if let Some(max_ratio) = lookup("max_compact_retention_ratio") {
+        if report.retention_ratio() > max_ratio {
+            failures.push(format!(
+                "compaction retained {} of {} history bytes ({:.1}%), above \
+                 the {:.1}% ceiling",
+                report.compact_retained_bytes,
+                report.compact_full_bytes,
+                report.retention_ratio() * 100.0,
+                max_ratio * 100.0
+            ));
+        } else {
+            println!(
+                "gate ok: compact_retention_ratio = {:.3} (<= {max_ratio:.3})",
+                report.retention_ratio()
+            );
+        }
+    } else {
+        failures.push("baseline is missing `max_compact_retention_ratio`".to_owned());
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
@@ -327,7 +395,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_4.json".to_owned();
+    let mut out_path = "BENCH_5.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -364,7 +432,10 @@ fn main() {
     let engine_objects_per_sec = measure_engine(dataset.preferences.clone(), &dataset.objects);
     println!("engine ({ENGINE_BACKEND}, 1 shard): {engine_objects_per_sec:>12.0} objects/sec");
 
-    let engine_churn_objects_per_sec = measure_engine_churn(&dataset);
+    // The unlimited backend's retained-history bytes double as the "full
+    // history" yardstick of the compaction phase (identical stream).
+    let (engine_churn_objects_per_sec, full_stats) = run_churn_workload(&dataset, ENGINE_BACKEND);
+    let compact_full_bytes = full_stats.history_bytes;
     println!(
         "engine + 10% churn:  {engine_churn_objects_per_sec:>12.0} objects/sec \
          (1 REGISTER+UNREGISTER per {CHURN_PERIOD} objects)"
@@ -376,6 +447,25 @@ fn main() {
          (1 in-place UPDATE per {CHURN_PERIOD} objects)"
     );
 
+    // Phase 5: the identical churn workload on the compacting-history
+    // backend — every REGISTER backfill replays the skyline-union retained
+    // set instead of the full stream; churn preferences come from the base
+    // population, so backfill stays exact while the history shrinks.
+    let (engine_compact_churn_objects_per_sec, compact_stats) =
+        run_churn_workload(&dataset, ENGINE_BACKEND_COMPACT);
+    let compact_retained_objects = compact_stats.history_objects;
+    let compact_retained_bytes = compact_stats.history_bytes;
+    let compact_full_objects = full_stats.history_objects;
+    println!(
+        "engine compact+churn ({ENGINE_BACKEND_COMPACT}): \
+         {engine_compact_churn_objects_per_sec:>12.0} objects/sec"
+    );
+    println!(
+        "compacted history:   {compact_retained_objects:>12} of {compact_full_objects} \
+         objects, {compact_retained_bytes} of {compact_full_bytes} bytes retained ({:.1}%)",
+        100.0 * compact_retained_bytes as f64 / compact_full_bytes as f64
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
@@ -384,6 +474,11 @@ fn main() {
         engine_objects_per_sec,
         engine_churn_objects_per_sec,
         engine_update_objects_per_sec,
+        engine_compact_churn_objects_per_sec,
+        compact_retained_objects,
+        compact_full_objects,
+        compact_retained_bytes,
+        compact_full_bytes,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

@@ -7,61 +7,14 @@
 //! similar preferences — the inefficiency the FilterThenVerify family
 //! removes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
+use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
-
-/// The retained object history of an append-only monitor: every ingested
-/// object in arrival order, optionally truncated from the front by a
-/// history cap.
-///
-/// Append-only monitors never expire objects, so a user registered (or
-/// updated) mid-stream must be backfilled against the full stream — any
-/// past object may be Pareto-optimal under the new preference. On unbounded
-/// streams that is an unbounded `Vec`, so the history can be capped: the
-/// oldest objects are dropped and backfill becomes *best-effort* — the
-/// replayed frontier is the exact Pareto frontier of the retained suffix,
-/// which contains every still-retained member of the true frontier but may
-/// (a) miss truncated frontier objects and (b) admit retained objects that
-/// only truncated ones dominated.
-#[derive(Debug, Clone)]
-pub(crate) struct History {
-    objects: VecDeque<Object>,
-    limit: Option<usize>,
-}
-
-impl History {
-    pub(crate) fn new(limit: Option<usize>) -> Self {
-        Self {
-            objects: VecDeque::new(),
-            limit,
-        }
-    }
-
-    /// Appends one object, evicting from the front once over the cap.
-    pub(crate) fn push(&mut self, object: Object) {
-        self.objects.push_back(object);
-        if let Some(limit) = self.limit {
-            while self.objects.len() > limit {
-                self.objects.pop_front();
-            }
-        }
-    }
-
-    /// The retained objects, oldest first.
-    pub(crate) fn iter(&self) -> impl Iterator<Item = &Object> {
-        self.objects.iter()
-    }
-
-    /// Number of retained objects.
-    pub(crate) fn len(&self) -> usize {
-        self.objects.len()
-    }
-}
 
 /// Per-user Pareto frontier: frontier objects are stored by value so no
 /// shared catalog is needed and expired/dominated objects are dropped
@@ -105,6 +58,40 @@ pub(crate) fn update_pareto_frontier(
     is_pareto
 }
 
+/// Rebuilds one user's frontier by replaying the retained history under
+/// `preference` — the backfill step of `add_user`/`update_user`, shared by
+/// the baseline and FilterThenVerify monitors. Linear histories replay
+/// object by object; compacting histories dominance-test one
+/// representative per distinct value vector and, when it survives, admit
+/// the whole id list at once (identical objects are frontier-equivalent,
+/// Def. 3.2, and a later dominating arrival evicts every duplicate in one
+/// frontier scan), saving a full comparison pass per duplicate.
+pub(crate) fn backfill_frontier(
+    history: &History,
+    preference: &CompiledPreference,
+    stats: &mut MonitorStats,
+) -> Frontier {
+    let mut frontier = Frontier::new();
+    match history.grouped() {
+        Some(groups) => {
+            for (values, ids) in groups {
+                let representative = Object::new(ids[0], values.to_vec());
+                if update_pareto_frontier(preference, &mut frontier, &representative, stats) {
+                    for &id in &ids[1..] {
+                        frontier.insert(id, Object::new(id, values.to_vec()));
+                    }
+                }
+            }
+        }
+        None => {
+            for object in history.iter() {
+                update_pareto_frontier(preference, &mut frontier, &object, stats);
+            }
+        }
+    }
+    frontier
+}
+
 /// Algorithm 1: the per-user baseline monitor.
 #[derive(Debug, Clone)]
 pub struct BaselineMonitor {
@@ -122,23 +109,39 @@ pub struct BaselineMonitor {
 impl BaselineMonitor {
     /// Creates a monitor for the given users (indexed by [`UserId`]),
     /// compiling every preference to its bitset form up front. The object
-    /// history is unlimited; see [`Self::with_history_limit`].
+    /// history is unlimited; see [`Self::with_history`].
     pub fn new(preferences: Vec<Preference>) -> Self {
-        Self::with_history_limit(preferences, None)
+        Self::with_history(preferences, HistoryMode::Unlimited)
     }
 
     /// Like [`Self::new`], but retains at most `limit` objects of history
     /// (`None` = unlimited): [`Self::add_user`]/[`Self::update_user`]
     /// backfill then becomes best-effort once the cap truncates — the
     /// replayed frontier is the exact frontier of the retained suffix.
+    /// Equivalent to [`Self::with_history`] with
+    /// [`HistoryMode::from_limit`].
     pub fn with_history_limit(preferences: Vec<Preference>, limit: Option<usize>) -> Self {
+        Self::with_history(preferences, HistoryMode::from_limit(limit))
+    }
+
+    /// Like [`Self::new`], but with an explicit history retention mode —
+    /// in particular [`HistoryMode::Compact`], which keeps
+    /// [`Self::add_user`]/[`Self::update_user`] backfill exact for every
+    /// preference the monitor has ever observed while retaining only the
+    /// skyline union (see [`crate::history`] for the full contract and the
+    /// novel-preference caveat).
+    pub fn with_history(preferences: Vec<Preference>, mode: HistoryMode) -> Self {
         let compiled = preferences.iter().map(Preference::compile).collect();
         let frontiers = vec![Frontier::new(); preferences.len()];
+        let mut history = History::new(mode);
+        for preference in &preferences {
+            history.observe(preference);
+        }
         Self {
             preferences,
             compiled,
             frontiers,
-            history: History::new(limit),
+            history,
             stats: MonitorStats::new(),
         }
     }
@@ -151,6 +154,24 @@ impl BaselineMonitor {
     /// Number of retained history objects (for cap observability).
     pub fn history_len(&self) -> usize {
         self.history.len()
+    }
+
+    /// Lifetime count of history objects dropped by truncation or
+    /// compaction.
+    pub fn history_evicted(&self) -> u64 {
+        self.history.evicted()
+    }
+
+    /// The retained history object ids, ascending (observability/tests).
+    pub fn retained_history_ids(&self) -> Vec<ObjectId> {
+        self.history.retained_ids()
+    }
+
+    /// Forces a compaction sweep of the retained history right now
+    /// (no-op unless the monitor was built with [`HistoryMode::Compact`];
+    /// sweeps otherwise run automatically every few hundred arrivals).
+    pub fn compact_history_now(&mut self) {
+        self.history.compact_now();
     }
 }
 
@@ -182,11 +203,13 @@ impl ContinuousMonitor for BaselineMonitor {
     }
 
     fn add_user(&mut self, preference: Preference) -> UserId {
+        // Widen the compaction universe *before* the replay: from this
+        // point on no sweep may evict an object this preference's frontier
+        // needs (objects evicted before a genuinely novel preference
+        // arrived are the documented caveat — see `crate::history`).
+        self.history.observe(&preference);
         let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        for object in self.history.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        let frontier = backfill_frontier(&self.history, &compiled, &mut self.stats);
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.frontiers.push(frontier);
@@ -196,14 +219,11 @@ impl ContinuousMonitor for BaselineMonitor {
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
         assert!(idx < self.preferences.len(), "user {user} out of range");
+        self.history.observe(&preference);
         let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        for object in self.history.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        self.frontiers[idx] = backfill_frontier(&self.history, &compiled, &mut self.stats);
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
-        self.frontiers[idx] = frontier;
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
@@ -216,8 +236,16 @@ impl ContinuousMonitor for BaselineMonitor {
         (idx != last).then(|| UserId::from(last))
     }
 
+    fn observe_preference(&mut self, preference: &Preference) {
+        self.history.observe(preference);
+    }
+
     fn stats(&self) -> MonitorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.history_objects = self.history.len() as u64;
+        stats.history_evicted = self.history.evicted();
+        stats.history_bytes = self.history.approx_bytes();
+        stats
     }
 }
 
@@ -501,6 +529,96 @@ mod tests {
         }
         for id in &best_effort {
             assert!(id.raw() > 10, "backfill invented a truncated object {id}");
+        }
+    }
+
+    #[test]
+    fn compacting_history_keeps_backfill_exact_for_observed_preferences() {
+        let users = laptop_users();
+        // Both preferences are observed at construction; c2 then leaves.
+        let mut compact =
+            BaselineMonitor::with_history(users.clone(), HistoryMode::Compact { cap: None });
+        let mut unlimited = BaselineMonitor::new(users.clone());
+        compact.remove_user(UserId::new(1));
+        unlimited.remove_user(UserId::new(1));
+        for o in laptop_objects() {
+            compact.process(o.clone());
+            unlimited.process(o);
+        }
+        compact.compact_history_now();
+        // Compaction genuinely dropped objects no observed preference needs.
+        assert!(compact.history_len() < unlimited.history_len());
+        assert!(compact.history_evicted() > 0);
+        assert_eq!(
+            compact.history_evicted(),
+            (unlimited.history_len() - compact.history_len()) as u64
+        );
+        // Live frontiers are never affected by history retention.
+        assert_eq!(
+            compact.frontier(UserId::new(0)),
+            unlimited.frontier(UserId::new(0))
+        );
+        // Re-registering the previously seen preference is backfilled
+        // exactly — the universe never forgets a preference.
+        let a_compact = compact.add_user(users[1].clone());
+        let a_unlimited = unlimited.add_user(users[1].clone());
+        assert_eq!(compact.frontier(a_compact), unlimited.frontier(a_unlimited));
+        // An in-place update to the other observed preference is exact too.
+        compact.update_user(UserId::new(0), users[1].clone());
+        unlimited.update_user(UserId::new(0), users[1].clone());
+        assert_eq!(
+            compact.frontier(UserId::new(0)),
+            unlimited.frontier(UserId::new(0))
+        );
+        // The stats gauges surface the retained size and the savings.
+        let stats = compact.stats();
+        assert_eq!(stats.history_objects, compact.history_len() as u64);
+        assert_eq!(stats.history_evicted, compact.history_evicted());
+    }
+
+    #[test]
+    fn compacting_history_retains_all_value_duplicates() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::with_history(
+            vec![users[0].clone()],
+            HistoryMode::Compact { cap: None },
+        );
+        // Three identical strong objects plus one dominated one.
+        m.process(obj(1, &[2, 0, 1]));
+        m.process(obj(2, &[2, 0, 1]));
+        m.process(obj(3, &[2, 0, 1]));
+        m.process(obj(4, &[1, 0, 0]));
+        m.compact_history_now();
+        let retained = m.retained_history_ids();
+        assert!(
+            retained.contains(&ObjectId::new(1))
+                && retained.contains(&ObjectId::new(2))
+                && retained.contains(&ObjectId::new(3)),
+            "identical frontier objects must all survive: {retained:?}"
+        );
+        // A late registration of the same preference reports all three.
+        let added = m.add_user(users[0].clone());
+        assert_eq!(
+            m.frontier(added),
+            vec![ObjectId::new(1), ObjectId::new(2), ObjectId::new(3)]
+        );
+    }
+
+    #[test]
+    fn compact_hard_cap_bounds_memory_best_effort() {
+        let users = laptop_users();
+        let mut m =
+            BaselineMonitor::with_history(users.clone(), HistoryMode::Compact { cap: Some(4) });
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        assert!(m.history_len() <= 4, "hard cap must bound the retained set");
+        // Backfill still works (best-effort once the cap bit): every
+        // reported object is genuinely retained.
+        let added = m.add_user(users[1].clone());
+        let retained = m.retained_history_ids();
+        for id in m.frontier(added) {
+            assert!(retained.contains(&id));
         }
     }
 

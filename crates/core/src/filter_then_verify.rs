@@ -17,7 +17,8 @@ use pm_cluster::{
     approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal, Update,
 };
 
-use crate::baseline::{update_pareto_frontier, Frontier, History};
+use crate::baseline::{backfill_frontier, update_pareto_frontier, Frontier};
+use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
 
@@ -339,23 +340,55 @@ impl FilterThenVerifyMonitor {
             clusters,
             clustering,
             approx,
-            history: History::new(None),
+            history: History::new(HistoryMode::Unlimited),
             stats: MonitorStats::new(),
         }
     }
 
     /// Caps the retained object history at `limit` objects (`None` =
     /// unlimited): [`Self::add_user`]/[`Self::update_user`] backfill then
-    /// becomes best-effort once the cap truncates. Call right after
-    /// construction — any already-retained history is discarded.
-    pub fn with_history_limit(mut self, limit: Option<usize>) -> Self {
-        self.history = History::new(limit);
+    /// becomes best-effort once the cap truncates. Equivalent to
+    /// [`Self::with_history`] with [`HistoryMode::from_limit`].
+    pub fn with_history_limit(self, limit: Option<usize>) -> Self {
+        self.with_history(HistoryMode::from_limit(limit))
+    }
+
+    /// Sets the history retention mode — in particular
+    /// [`HistoryMode::Compact`], which keeps
+    /// [`Self::add_user`]/[`Self::update_user`] backfill exact for every
+    /// preference the monitor has ever observed while retaining only the
+    /// skyline union (see [`crate::history`] for the full contract and the
+    /// novel-preference caveat). Call right after construction — any
+    /// already-retained history is discarded. The current users'
+    /// preferences seed the compaction universe.
+    pub fn with_history(mut self, mode: HistoryMode) -> Self {
+        self.history = History::new(mode);
+        for preference in &self.preferences {
+            self.history.observe(preference);
+        }
         self
     }
 
     /// Number of retained history objects (for cap observability).
     pub fn history_len(&self) -> usize {
         self.history.len()
+    }
+
+    /// Lifetime count of history objects dropped by truncation or
+    /// compaction.
+    pub fn history_evicted(&self) -> u64 {
+        self.history.evicted()
+    }
+
+    /// The retained history object ids, ascending (observability/tests).
+    pub fn retained_history_ids(&self) -> Vec<ObjectId> {
+        self.history.retained_ids()
+    }
+
+    /// Forces a compaction sweep of the retained history right now (no-op
+    /// unless built with [`HistoryMode::Compact`]).
+    pub fn compact_history_now(&mut self) {
+        self.history.compact_now();
     }
 
     /// Number of clusters (`k` in the paper's cost model).
@@ -503,11 +536,11 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
 
     fn add_user(&mut self, preference: Preference) -> UserId {
         let user = UserId::from(self.preferences.len());
+        // Widen the compaction universe before the replay (see
+        // `crate::history` for the novel-preference caveat).
+        self.history.observe(&preference);
         let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        for object in self.history.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        let frontier = backfill_frontier(&self.history, &compiled, &mut self.stats);
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.user_frontiers.push(frontier);
@@ -534,15 +567,14 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         let idx = user.index();
         assert!(idx < self.preferences.len(), "user {user} out of range");
         // Rebuild the user's own frontier by replaying the retained history
-        // under the new preference (best-effort once a cap truncated it).
+        // under the new preference (exact for compacting histories unless
+        // the preference is genuinely novel, best-effort once a truncating
+        // cap has bitten).
+        self.history.observe(&preference);
         let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        for object in self.history.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        self.user_frontiers[idx] = backfill_frontier(&self.history, &compiled, &mut self.stats);
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
-        self.user_frontiers[idx] = frontier;
         // Repair the clustering: stay put with a re-AND-folded common
         // relation, or move via local repair + re-insertion.
         let repair = plan_update(
@@ -610,8 +642,16 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         Some(moved)
     }
 
+    fn observe_preference(&mut self, preference: &Preference) {
+        self.history.observe(preference);
+    }
+
     fn stats(&self) -> MonitorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.history_objects = self.history.len() as u64;
+        stats.history_evicted = self.history.evicted();
+        stats.history_bytes = self.history.approx_bytes();
+        stats
     }
 }
 
@@ -1070,6 +1110,37 @@ mod tests {
         for id in ftv.frontier(UserId::new(0)) {
             assert!(id.raw() >= 12, "backfill saw a truncated object {id}");
         }
+    }
+
+    #[test]
+    fn compacting_history_keeps_ftv_backfill_exact_for_observed_preferences() {
+        let users = laptop_users();
+        let mut ftv =
+            FilterThenVerifyMonitor::with_virtual_preferences(users.clone(), one_cluster(&users))
+                .with_history(crate::history::HistoryMode::Compact { cap: None });
+        let mut reference = BaselineMonitor::new(users.clone());
+        for o in laptop_objects() {
+            ftv.process(o.clone());
+            reference.process(o);
+        }
+        ftv.compact_history_now();
+        assert!(ftv.history_len() < 14, "compaction must drop something");
+        assert!(ftv.history_evicted() > 0);
+        // Registering a user with an observed preference backfills exactly
+        // against the full stream, and an in-place update to the other
+        // observed preference does too.
+        let added = ftv.add_user(users[0].clone());
+        let ref_added = reference.add_user(users[0].clone());
+        assert_eq!(ftv.frontier(added), reference.frontier(ref_added));
+        ftv.update_user(UserId::new(1), users[0].clone());
+        reference.update_user(UserId::new(1), users[0].clone());
+        assert_eq!(
+            ftv.frontier(UserId::new(1)),
+            reference.frontier(UserId::new(1))
+        );
+        let stats = ftv.stats();
+        assert_eq!(stats.history_objects, ftv.history_len() as u64);
+        assert_eq!(stats.history_evicted, ftv.history_evicted());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod accuracy;
 pub mod baseline;
 pub mod filter_then_verify;
+pub mod history;
 pub mod monitor;
 pub mod sliding_window;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod stats;
 pub use accuracy::{AccuracyReport, ConfusionMatrix};
 pub use baseline::BaselineMonitor;
 pub use filter_then_verify::FilterThenVerifyMonitor;
+pub use history::{History, HistoryMode};
 pub use monitor::{Arrival, ContinuousMonitor};
 pub use sliding_window::{BaselineSwMonitor, FilterThenVerifySwMonitor};
 pub use stats::MonitorStats;

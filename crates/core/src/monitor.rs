@@ -42,11 +42,15 @@ pub trait ContinuousMonitor {
     /// (equal to [`Self::num_users`] before the call) and returning it.
     ///
     /// The user's state is backfilled from the currently *alive* objects —
-    /// append-only monitors replay the full ingested history, sliding-window
-    /// monitors replay the window — so the user's frontier is identical to
-    /// that of a monitor built with the user present from the start,
-    /// restricted to the alive objects. Backfilling reports no
-    /// notifications; only genuine arrivals do.
+    /// append-only monitors replay the retained ingested history,
+    /// sliding-window monitors replay the window — so the user's frontier
+    /// is identical to that of a monitor built with the user present from
+    /// the start, restricted to the alive objects. With a compacting
+    /// history ([`crate::HistoryMode::Compact`]) the replay is exact for
+    /// every preference the monitor has ever observed (and best-effort for
+    /// a genuinely novel one); with a truncating cap it is best-effort
+    /// once the cap bites. Backfilling reports no notifications; only
+    /// genuine arrivals do.
     fn add_user(&mut self, preference: Preference) -> UserId;
 
     /// Removes `user` in O(1) swap-remove fashion: the user with the
@@ -63,9 +67,11 @@ pub trait ContinuousMonitor {
     ///
     /// The user's frontier is repaired by replay under the new preference —
     /// append-only monitors replay the retained object history (exact when
-    /// the history is unlimited, documented best-effort once a history cap
-    /// has truncated it), sliding-window monitors replay the window (frontier
-    /// plus the Def. 7.4 Pareto buffer). Cluster-based monitors additionally
+    /// the history is unlimited or compacting over observed preferences,
+    /// documented best-effort once a truncating cap has bitten or the new
+    /// preference is genuinely novel to a compacting history), sliding
+    /// monitors replay the window (frontier plus the Def. 7.4 Pareto
+    /// buffer). Cluster-based monitors additionally
     /// repair the user's cluster: the user stays put when its new relations
     /// still fit, else it is moved, without touching any other user's state.
     /// Like registration backfill, the replay reports no notifications.
@@ -73,6 +79,18 @@ pub trait ContinuousMonitor {
     /// # Panics
     /// Panics if `user` is out of range.
     fn update_user(&mut self, user: UserId, preference: Preference);
+
+    /// Observes a preference *without* registering a user for it: monitors
+    /// with a compacting history ([`crate::HistoryMode::Compact`]) widen
+    /// their eviction universe so no later sweep drops an object this
+    /// preference's frontier needs. A sharded engine broadcasts every
+    /// registered/updated preference to all shards through this hook, so
+    /// the compaction universe is global even though each shard only owns
+    /// a slice of the users. Monitors without a compacting history ignore
+    /// the call (the default).
+    fn observe_preference(&mut self, preference: &Preference) {
+        let _ = preference;
+    }
 
     /// Work counters accumulated so far.
     fn stats(&self) -> MonitorStats;

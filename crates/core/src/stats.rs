@@ -22,6 +22,19 @@ pub struct MonitorStats {
     /// Pareto-optimal at arrival time (i.e. the summed sizes of the returned
     /// target-user sets).
     pub notifications: u64,
+    /// Objects currently retained in the backfill history of an append-only
+    /// monitor (a gauge, not a counter; always zero for sliding-window
+    /// monitors, whose alive set is the window itself).
+    pub history_objects: u64,
+    /// Lifetime count of objects dropped from the backfill history by
+    /// truncation, skyline-union compaction or the optional hard cap — the
+    /// memory saved versus an unlimited history.
+    pub history_evicted: u64,
+    /// Estimated heap bytes of the retained backfill history (a gauge;
+    /// compacting histories store each distinct value vector once with an
+    /// id list, so this is the metric that shows the memory reduction on
+    /// streams that repeat vectors).
+    pub history_bytes: u64,
 }
 
 impl MonitorStats {
@@ -70,8 +83,15 @@ impl fmt::Display for MonitorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arrivals={} expirations={} comparisons={} notifications={}",
-            self.arrivals, self.expirations, self.comparisons, self.notifications
+            "arrivals={} expirations={} comparisons={} notifications={} \
+             history_objects={} history_evicted={} history_bytes={}",
+            self.arrivals,
+            self.expirations,
+            self.comparisons,
+            self.notifications,
+            self.history_objects,
+            self.history_evicted,
+            self.history_bytes
         )
     }
 }
@@ -106,7 +126,8 @@ mod tests {
         s.record_arrival(1);
         assert_eq!(
             s.to_string(),
-            "arrivals=1 expirations=0 comparisons=0 notifications=1"
+            "arrivals=1 expirations=0 comparisons=0 notifications=1 \
+             history_objects=0 history_evicted=0 history_bytes=0"
         );
     }
 }

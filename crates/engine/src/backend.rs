@@ -5,6 +5,7 @@ use std::fmt;
 use pm_cluster::{ApproxConfig, Clustering, ExactMeasure};
 use pm_core::{
     BaselineMonitor, BaselineSwMonitor, FilterThenVerifyMonitor, FilterThenVerifySwMonitor,
+    HistoryMode,
 };
 use pm_porder::Preference;
 
@@ -24,18 +25,21 @@ use crate::shard::BoxedMonitor;
 pub enum BackendSpec {
     /// Alg. 1: per-user baseline, append-only.
     Baseline {
-        /// Maximum retained history objects for REGISTER/UPDATE backfill
-        /// (`None` = unlimited). Once the cap truncates, backfill is
-        /// best-effort: the replayed frontier is the exact frontier of the
-        /// retained suffix.
-        history_limit: Option<usize>,
+        /// Retention discipline of the backfill history.
+        /// [`HistoryMode::Truncate`] keeps the newest `C` objects
+        /// (REGISTER/UPDATE backfill is then best-effort: the replayed
+        /// frontier is the exact frontier of the retained suffix);
+        /// [`HistoryMode::Compact`] retains the skyline union over every
+        /// observed preference, keeping backfill exact for all of them at
+        /// a fraction of the memory.
+        history: HistoryMode,
     },
     /// Alg. 2: FilterThenVerify with exact common preferences, append-only.
     FilterThenVerify {
         /// Branch cut `h` for the agglomerative clustering.
         branch_cut: f64,
-        /// Retained-history cap (see [`BackendSpec::Baseline`]).
-        history_limit: Option<usize>,
+        /// Retained-history discipline (see [`BackendSpec::Baseline`]).
+        history: HistoryMode,
     },
     /// Sec. 6: FilterThenVerify with approximate common preferences.
     FilterThenVerifyApprox {
@@ -43,8 +47,8 @@ pub enum BackendSpec {
         branch_cut: f64,
         /// θ1/θ2 thresholds of Alg. 3.
         config: ApproxConfig,
-        /// Retained-history cap (see [`BackendSpec::Baseline`]).
-        history_limit: Option<usize>,
+        /// Retained-history discipline (see [`BackendSpec::Baseline`]).
+        history: HistoryMode,
     },
     /// Alg. 4: per-user baseline over a sliding window of `window` objects.
     BaselineSw {
@@ -74,7 +78,7 @@ impl BackendSpec {
     /// The append-only baseline with unlimited history.
     pub fn baseline() -> Self {
         BackendSpec::Baseline {
-            history_limit: None,
+            history: HistoryMode::Unlimited,
         }
     }
 
@@ -82,7 +86,7 @@ impl BackendSpec {
     pub fn ftv(branch_cut: f64) -> Self {
         BackendSpec::FilterThenVerify {
             branch_cut,
-            history_limit: None,
+            history: HistoryMode::Unlimited,
         }
     }
 
@@ -101,27 +105,27 @@ impl BackendSpec {
         let clustering =
             |branch_cut: f64| Clustering::new(preferences, ExactMeasure::Jaccard, branch_cut);
         match *self {
-            BackendSpec::Baseline { history_limit } => {
-                Box::new(BaselineMonitor::with_history_limit(prefs, history_limit))
+            BackendSpec::Baseline { history } => {
+                Box::new(BaselineMonitor::with_history(prefs, history))
             }
             BackendSpec::FilterThenVerify {
                 branch_cut,
-                history_limit,
+                history,
             } => Box::new(
                 FilterThenVerifyMonitor::with_clustering(prefs, clustering(branch_cut))
-                    .with_history_limit(history_limit),
+                    .with_history(history),
             ),
             BackendSpec::FilterThenVerifyApprox {
                 branch_cut,
                 config,
-                history_limit,
+                history,
             } => Box::new(
                 FilterThenVerifyMonitor::with_approx_clustering(
                     prefs,
                     clustering(branch_cut),
                     config,
                 )
-                .with_history_limit(history_limit),
+                .with_history(history),
             ),
             BackendSpec::BaselineSw { window } => Box::new(BaselineSwMonitor::new(prefs, window)),
             BackendSpec::FilterThenVerifySw { branch_cut, window } => Box::new(
@@ -140,6 +144,26 @@ impl BackendSpec {
         }
     }
 
+    /// Whether the backend runs skyline-union history compaction — i.e.
+    /// whether its monitors react to
+    /// [`pm_core::ContinuousMonitor::observe_preference`]. The engine uses
+    /// this to skip the engine-global preference broadcast entirely for
+    /// backends where it would be a no-op.
+    pub fn compacts_history(&self) -> bool {
+        matches!(
+            self,
+            BackendSpec::Baseline {
+                history: HistoryMode::Compact { .. },
+            } | BackendSpec::FilterThenVerify {
+                history: HistoryMode::Compact { .. },
+                ..
+            } | BackendSpec::FilterThenVerifyApprox {
+                history: HistoryMode::Compact { .. },
+                ..
+            }
+        )
+    }
+
     /// Whether the backend expires objects from a sliding window.
     pub fn is_sliding(&self) -> bool {
         matches!(
@@ -151,13 +175,17 @@ impl BackendSpec {
     }
 
     /// Parses a backend description, as accepted by `pm-server --backend`.
-    /// The append-only backends accept an optional trailing history cap
-    /// `C`: at most `C` objects are retained for REGISTER/UPDATE backfill
-    /// (default unlimited; backfill is best-effort once the cap truncates).
+    /// The append-only backends accept an optional trailing history
+    /// discipline: a numeric cap `C` retains the newest `C` objects
+    /// (REGISTER/UPDATE backfill is then best-effort), while `compact`
+    /// switches on skyline-union compaction (backfill stays exact for
+    /// every observed preference), optionally followed by a hard cap on
+    /// top. A cap of zero is rejected — it would silently retain nothing.
     ///
-    /// * `baseline[:<C>]`
-    /// * `ftv:<h>[:<C>]` — e.g. `ftv:0.55` or `ftv:0.55:100000`
-    /// * `ftv-approx:<h>:<theta1>:<theta2>[:<C>]`
+    /// * `baseline[:<C> | :compact[:<C>]]`
+    /// * `ftv:<h>[:<C> | :compact[:<C>]]` — e.g. `ftv:0.55`,
+    ///   `ftv:0.55:100000` or `ftv:0.55:compact`
+    /// * `ftv-approx:<h>:<theta1>:<theta2>[:<C> | :compact[:<C>]]`
     /// * `baseline-sw:<W>` — e.g. `baseline-sw:400`
     /// * `ftv-sw:<h>:<W>`
     /// * `ftv-approx-sw:<h>:<theta1>:<theta2>:<W>`
@@ -190,34 +218,56 @@ impl BackendSpec {
                 ))
             }
         };
-        // The optional history cap occupies position `i` when present.
-        let history_limit = |i: usize| -> Result<Option<usize>, String> {
+        // A history cap must be a positive object count: zero would
+        // silently retain nothing, which is never what a cap means.
+        let cap = |i: usize| -> Result<usize, String> {
+            match uint(i)? {
+                0 => Err(format!(
+                    "backend `{kind}`: history cap must be at least 1 \
+                     (omit the cap for an unlimited history)"
+                )),
+                cap => Ok(cap),
+            }
+        };
+        // The optional history discipline starts at position `i`:
+        // `<C>` (truncate), `compact` or `compact:<C>`.
+        let history = |i: usize| -> Result<HistoryMode, String> {
             match rest.len() {
-                n if n == i => Ok(None),
-                n if n == i + 1 => Ok(Some(uint(i)?)),
+                n if n == i => Ok(HistoryMode::Unlimited),
+                n if n == i + 1 && rest[i] == "compact" => Ok(HistoryMode::Compact { cap: None }),
+                n if n == i + 1 => Ok(HistoryMode::Truncate(cap(i)?)),
+                n if n == i + 2 && rest[i] == "compact" => Ok(HistoryMode::Compact {
+                    cap: Some(cap(i + 1)?),
+                }),
+                n if n == i + 2 => Err(format!(
+                    "backend `{kind}`: expected `compact[:<C>]` or a single \
+                     history cap, got `{}:{}`",
+                    rest[i],
+                    rest[i + 1]
+                )),
                 n => Err(format!(
-                    "backend `{kind}` takes {i} or {} argument(s), got {n}",
-                    i + 1
+                    "backend `{kind}` takes {i} argument(s) plus an optional \
+                     `<C>` or `compact[:<C>]` history suffix, got {n} argument(s)"
                 )),
             }
         };
         match kind {
             "baseline" => Ok(BackendSpec::Baseline {
-                history_limit: history_limit(0)?,
+                history: history(0)?,
             }),
             "ftv" => {
-                let history_limit = history_limit(1)?;
+                let history = history(1)?;
                 Ok(BackendSpec::FilterThenVerify {
                     branch_cut: float(0)?,
-                    history_limit,
+                    history,
                 })
             }
             "ftv-approx" => {
-                let history_limit = history_limit(3)?;
+                let history = history(3)?;
                 Ok(BackendSpec::FilterThenVerifyApprox {
                     branch_cut: float(0)?,
                     config: ApproxConfig::new(uint(1)?, float(2)?),
-                    history_limit,
+                    history,
                 })
             }
             "baseline-sw" => {
@@ -248,28 +298,30 @@ impl BackendSpec {
 
 impl fmt::Display for BackendSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cap = |limit: &Option<usize>| match limit {
-            Some(limit) => format!(":{limit}"),
-            None => String::new(),
+        let suffix = |history: &HistoryMode| match history {
+            HistoryMode::Unlimited => String::new(),
+            HistoryMode::Truncate(limit) => format!(":{limit}"),
+            HistoryMode::Compact { cap: None } => ":compact".to_owned(),
+            HistoryMode::Compact { cap: Some(cap) } => format!(":compact:{cap}"),
         };
         match self {
-            BackendSpec::Baseline { history_limit } => {
-                write!(f, "baseline{}", cap(history_limit))
+            BackendSpec::Baseline { history } => {
+                write!(f, "baseline{}", suffix(history))
             }
             BackendSpec::FilterThenVerify {
                 branch_cut,
-                history_limit,
-            } => write!(f, "ftv:{branch_cut}{}", cap(history_limit)),
+                history,
+            } => write!(f, "ftv:{branch_cut}{}", suffix(history)),
             BackendSpec::FilterThenVerifyApprox {
                 branch_cut,
                 config,
-                history_limit,
+                history,
             } => write!(
                 f,
                 "ftv-approx:{branch_cut}:{}:{}{}",
                 config.theta1,
                 config.theta2,
-                cap(history_limit)
+                suffix(history)
             ),
             BackendSpec::BaselineSw { window } => write!(f, "baseline-sw:{window}"),
             BackendSpec::FilterThenVerifySw { branch_cut, window } => {
@@ -297,10 +349,16 @@ mod tests {
         for text in [
             "baseline",
             "baseline:100000",
+            "baseline:compact",
+            "baseline:compact:100000",
             "ftv:0.55",
             "ftv:0.55:100000",
+            "ftv:0.55:compact",
+            "ftv:0.55:compact:100000",
             "ftv-approx:0.55:256:0.5",
             "ftv-approx:0.55:256:0.5:100000",
+            "ftv-approx:0.55:256:0.5:compact",
+            "ftv-approx:0.55:256:0.5:compact:100000",
             "baseline-sw:400",
             "ftv-sw:0.55:400",
             "ftv-approx-sw:0.55:256:0.5:400",
@@ -320,28 +378,73 @@ mod tests {
             "ftv:x",
             "baseline:x",
             "baseline:1:2",
+            "baseline:compact:x",
+            "baseline:compact:1:2",
+            "baseline:compactt",
             "ftv:0.5:10:20",
+            "ftv:0.5:compact:x",
             "baseline-sw",
             "baseline-sw:400:100",
+            "baseline-sw:compact",
             "ftv-sw:0.5",
+            "ftv-sw:0.5:400:compact",
         ] {
             assert!(BackendSpec::parse(text).is_err(), "{text:?} should fail");
         }
     }
 
     #[test]
-    fn history_caps_parse_into_the_append_only_variants() {
+    fn zero_and_dangling_history_caps_are_rejected_with_clean_errors() {
+        // A zero cap would silently retain nothing — reject it on every
+        // append-only backend and on the compact hard cap alike.
+        for text in [
+            "baseline:0",
+            "ftv:0.5:0",
+            "ftv-approx:0.5:64:0.5:0",
+            "baseline:compact:0",
+            "ftv:0.5:compact:0",
+            "ftv-approx:0.5:64:0.5:compact:0",
+        ] {
+            let err = BackendSpec::parse(text).expect_err(text);
+            assert!(err.contains("history cap must be at least 1"), "{err}");
+        }
+        // A trailing `:` leaves an empty argument, which is not a cap.
+        for text in [
+            "baseline:",
+            "ftv:0.5:",
+            "baseline:compact:",
+            "ftv-sw:0.5:400:",
+        ] {
+            assert!(BackendSpec::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn history_disciplines_parse_into_the_append_only_variants() {
         assert_eq!(
             BackendSpec::parse("baseline:64"),
             Ok(BackendSpec::Baseline {
-                history_limit: Some(64)
+                history: HistoryMode::Truncate(64)
             })
         );
         assert_eq!(
             BackendSpec::parse("ftv:0.5:64"),
             Ok(BackendSpec::FilterThenVerify {
                 branch_cut: 0.5,
-                history_limit: Some(64)
+                history: HistoryMode::Truncate(64)
+            })
+        );
+        assert_eq!(
+            BackendSpec::parse("baseline:compact"),
+            Ok(BackendSpec::Baseline {
+                history: HistoryMode::Compact { cap: None }
+            })
+        );
+        assert_eq!(
+            BackendSpec::parse("ftv:0.5:compact:512"),
+            Ok(BackendSpec::FilterThenVerify {
+                branch_cut: 0.5,
+                history: HistoryMode::Compact { cap: Some(512) }
             })
         );
         assert_eq!(BackendSpec::parse("baseline"), Ok(BackendSpec::baseline()));
@@ -361,8 +464,11 @@ mod tests {
         let prefs = vec![Preference::new(2), Preference::new(2)];
         for text in [
             "baseline",
+            "baseline:compact",
             "ftv:0.5",
+            "ftv:0.5:compact:64",
             "ftv-approx:0.5:64:0.5",
+            "ftv-approx:0.5:64:0.5:compact",
             "baseline-sw:8",
             "ftv-sw:0.5:8",
             "ftv-approx-sw:0.5:64:0.5:8",

@@ -56,13 +56,18 @@ OPTIONS:
     --addr HOST:PORT     bind address           [default: 127.0.0.1:7878]
     --shards N           shard worker threads   [default: available cores]
     --queue BATCHES      per-shard inbox bound  [default: 16]
-    --backend SPEC       baseline[:<C>] | ftv:<h>[:<C>] |
-                         ftv-approx:<h>:<t1>:<t2>[:<C>] |
+    --backend SPEC       baseline[:<H>] | ftv:<h>[:<H>] |
+                         ftv-approx:<h>:<t1>:<t2>[:<H>] |
                          baseline-sw:<W> | ftv-sw:<h>:<W> |
                          ftv-approx-sw:<h>:<t1>:<t2>:<W>   [default: baseline]
-                         (<C> caps the retained history of the append-only
-                         backends; REGISTER/UPDATE backfill is then
-                         best-effort over the newest <C> objects)
+                         <H> bounds the append-only backends' backfill
+                         history: a number <C> truncates to the newest <C>
+                         objects (REGISTER/UPDATE backfill becomes
+                         best-effort), `compact` retains the skyline union
+                         over every observed preference (backfill stays
+                         exact for all of them; only a never-before-seen
+                         preference can see a compacted-away object), and
+                         `compact:<C>` adds a hard cap on top
     --profile NAME       movie | publication    [default: movie]
     --users N            simulated users        [default: 200]
     --objects N          base objects used to derive preferences [default: 2000]

@@ -118,6 +118,12 @@ pub struct ShardedEngine {
     registrations: AtomicU64,
     unregistrations: AtomicU64,
     updates: AtomicU64,
+    /// Whether registered/updated preferences are broadcast to every shard
+    /// to keep the history-compaction universe engine-global. `false` for
+    /// backends whose monitors ignore `observe_preference` (everything but
+    /// the compacting-history ones), which skips per-churn preference
+    /// clones and channel sends that would be no-ops.
+    broadcast_observes: bool,
     started: Instant,
 }
 
@@ -127,7 +133,12 @@ impl ShardedEngine {
     /// `preferences[i]` is the preference of global user `i`, exactly as for
     /// the single-threaded monitors.
     pub fn new(preferences: Vec<Preference>, config: &EngineConfig, spec: &BackendSpec) -> Self {
-        Self::with_factory(preferences, config, |prefs| spec.build(prefs))
+        Self::build_with_factory(
+            preferences,
+            config,
+            |prefs| spec.build(prefs),
+            spec.compacts_history(),
+        )
     }
 
     /// Builds an engine with a custom monitor factory.
@@ -135,16 +146,30 @@ impl ShardedEngine {
     /// The factory is invoked once per shard with the shard's users'
     /// preferences (densely re-indexed: local user `j` is the `j`-th
     /// preference of the slice) and returns the monitor that shard owns.
-    pub fn with_factory<F>(
+    /// Preference observes are always broadcast (the factory may build
+    /// monitors with compacting histories); [`Self::new`] skips the
+    /// broadcast when the backend spec shows it would be a no-op.
+    pub fn with_factory<F>(preferences: Vec<Preference>, config: &EngineConfig, factory: F) -> Self
+    where
+        F: FnMut(&[Preference]) -> BoxedMonitor,
+    {
+        Self::build_with_factory(preferences, config, factory, true)
+    }
+
+    fn build_with_factory<F>(
         preferences: Vec<Preference>,
         config: &EngineConfig,
         mut factory: F,
+        broadcast_observes: bool,
     ) -> Self
     where
         F: FnMut(&[Preference]) -> BoxedMonitor,
     {
         assert!(config.shards > 0, "engine needs at least one shard");
         let num_users = preferences.len();
+        // Only compacting backends read the full preference list (to seed
+        // every shard's universe); skip the deep clone otherwise.
+        let all_preferences = broadcast_observes.then(|| preferences.clone());
         let mut shard_users: Vec<Vec<UserId>> = vec![Vec::new(); config.shards];
         let mut shard_prefs: Vec<Vec<Preference>> = vec![Vec::new(); config.shards];
         for (idx, pref) in preferences.into_iter().enumerate() {
@@ -158,12 +183,21 @@ impl ShardedEngine {
         let mut handles = Vec::with_capacity(config.shards);
         let mut queue_depths = Vec::with_capacity(config.shards);
         for (shard, prefs) in shard_prefs.into_iter().enumerate() {
-            let monitor = factory(&prefs);
+            let mut monitor = factory(&prefs);
             assert_eq!(
                 monitor.num_users(),
                 prefs.len(),
                 "factory must build a monitor over exactly the shard's users"
             );
+            // The history-compaction universe is engine-global: every shard
+            // observes every user's preference (its own included, which is
+            // idempotent), so a preference living on another shard today
+            // can register here tomorrow and still be backfilled exactly.
+            if let Some(all_preferences) = &all_preferences {
+                for preference in all_preferences {
+                    monitor.observe_preference(preference);
+                }
+            }
             let depth = Arc::new(AtomicUsize::new(0));
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
             let worker = ShardWorker {
@@ -191,6 +225,7 @@ impl ShardedEngine {
             registrations: AtomicU64::new(0),
             unregistrations: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            broadcast_observes,
             started: Instant::now(),
         }
     }
@@ -225,6 +260,29 @@ impl ShardedEngine {
         lock_recovering(&self.membership)[shard].contains(&user)
     }
 
+    /// Sends `preference` to every shard except `owner` as a
+    /// [`ShardCmd::Observe`], widening the engine-global history-compaction
+    /// universe. No-op for backends whose monitors ignore observes. Must be
+    /// called while holding the `senders` ordering lock so the observe is
+    /// FIFO-ordered before any later command on each shard.
+    fn broadcast_observe(
+        &self,
+        senders: &[SyncSender<ShardCmd>],
+        owner: usize,
+        preference: &Preference,
+    ) {
+        if !self.broadcast_observes {
+            return;
+        }
+        for (shard, sender) in senders.iter().enumerate() {
+            if shard != owner {
+                let _ = sender.send(ShardCmd::Observe {
+                    preference: preference.clone(),
+                });
+            }
+        }
+    }
+
     /// Registers `user` with `preference`, routing it to its owning shard.
     ///
     /// The shard compiles the preference, inserts the user into the
@@ -246,6 +304,11 @@ impl ShardedEngine {
             if membership[shard].contains(&user) {
                 return Err(format!("user {} is already registered", user.raw()));
             }
+            // Non-owning shards only widen their compaction universe
+            // (fire-and-forget; FIFO per shard keeps it ordered before any
+            // later registration that might land there). Skipped entirely
+            // when the monitors ignore observes.
+            self.broadcast_observe(&senders, shard, &preference);
             senders[shard]
                 .send(ShardCmd::AddUser {
                     user,
@@ -332,6 +395,9 @@ impl ShardedEngine {
             if !membership[shard].contains(&user) {
                 return Err(format!("user {} is not registered", user.raw()));
             }
+            // Every other shard's compaction universe learns the new
+            // preference too (see `register`).
+            self.broadcast_observe(&senders, shard, &preference);
             senders[shard]
                 .send(ShardCmd::UpdateUser {
                     user,
@@ -463,7 +529,14 @@ impl ShardedEngine {
     /// `arrivals` counts objects ingested by the engine (each object once,
     /// not once per shard) and `expirations` window expiries (identical on
     /// every shard, so the maximum is reported); `comparisons` and
-    /// `notifications` are summed across shards.
+    /// `notifications` are summed across shards. The backfill-history
+    /// gauges report the per-shard maximum — the engine's worst-case
+    /// per-shard memory. For engines built from a [`BackendSpec`] the
+    /// per-shard values are in fact identical (objects *and* observed
+    /// preferences are broadcast to every shard, so universes, sweep
+    /// points and retained sets coincide); the maximum stays a safe
+    /// roll-up for custom factories building heterogeneous monitors. See
+    /// [`EngineSnapshot`] for the per-shard breakdown.
     pub fn stats(&self) -> MonitorStats {
         let per_shard = self.shard_stats();
         let mut stats = MonitorStats::new();
@@ -471,6 +544,17 @@ impl ShardedEngine {
         stats.expirations = per_shard.iter().map(|s| s.expirations).max().unwrap_or(0);
         stats.comparisons = per_shard.iter().map(|s| s.comparisons).sum();
         stats.notifications = per_shard.iter().map(|s| s.notifications).sum();
+        stats.history_objects = per_shard
+            .iter()
+            .map(|s| s.history_objects)
+            .max()
+            .unwrap_or(0);
+        stats.history_evicted = per_shard
+            .iter()
+            .map(|s| s.history_evicted)
+            .max()
+            .unwrap_or(0);
+        stats.history_bytes = per_shard.iter().map(|s| s.history_bytes).max().unwrap_or(0);
         stats
     }
 

@@ -53,6 +53,7 @@ mod shard;
 pub use backend::BackendSpec;
 pub use engine::{shard_of, BatchTicket, EngineConfig, ShardedEngine};
 pub use metrics::{EngineSnapshot, ShardSnapshot};
+pub use pm_core::HistoryMode;
 pub use protocol::{parse_request, Request};
 pub use server::{EngineService, ServerConfig};
 pub use shard::BoxedMonitor;

@@ -93,26 +93,60 @@ impl EngineSnapshot {
             .max()
             .unwrap_or(0)
     }
+
+    /// Retained backfill-history objects per shard, indexed by shard.
+    /// Objects and observed preferences are both broadcast to every shard,
+    /// so for spec-built engines the per-shard values coincide; they are
+    /// still reported per shard because memory is per-shard (no roll-up
+    /// sum would be meaningful) and custom monitor factories may retain
+    /// differently.
+    pub fn history_objects_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.stats.history_objects)
+            .collect()
+    }
+
+    /// History objects saved versus an unlimited history, per shard — the
+    /// lifetime eviction counters of truncation/compaction.
+    pub fn history_saved_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.stats.history_evicted)
+            .collect()
+    }
 }
 
 impl fmt::Display for EngineSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |values: Vec<String>| values.join(",");
         let depths: Vec<String> = self
             .shards
             .iter()
             .map(|s| s.queue_depth.to_string())
             .collect();
         let users: Vec<String> = self.shards.iter().map(|s| s.users.to_string()).collect();
+        let history: Vec<String> = self
+            .history_objects_per_shard()
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let saved: Vec<String> = self
+            .history_saved_per_shard()
+            .iter()
+            .map(u64::to_string)
+            .collect();
         write!(
             f,
             "ingested={} arrivals_per_sec={:.1} users={} shards={} shard_users={} skew={:.2} \
              registrations={} unregistrations={} updates={} \
-             comparisons={} notifications={} expirations={} queue_depths={}",
+             comparisons={} notifications={} expirations={} \
+             history_objects={} history_saved={} queue_depths={}",
             self.ingested,
             self.arrivals_per_sec(),
             self.users,
             self.shards.len(),
-            users.join(","),
+            join(users),
             self.shard_skew(),
             self.registrations,
             self.unregistrations,
@@ -120,7 +154,9 @@ impl fmt::Display for EngineSnapshot {
             self.total_comparisons(),
             self.total_notifications(),
             self.expirations(),
-            depths.join(",")
+            join(history),
+            join(saved),
+            join(depths)
         )
     }
 }

@@ -47,6 +47,14 @@ pub(crate) enum ShardCmd {
     },
     /// Unregister a user from this shard. Replies whether the user existed.
     RemoveUser { user: UserId, reply: Sender<bool> },
+    /// Widen the monitor's history-compaction universe with a preference
+    /// registered (or updated) on *another* shard, without adding a user.
+    /// The compaction universe must be engine-global: a preference living
+    /// on shard `t` may later register on shard `s`, and `s`'s retained
+    /// history has to be able to backfill it exactly. Fire-and-forget —
+    /// FIFO ordering against later commands is all that is required, and
+    /// monitors without a compacting history ignore it.
+    Observe { preference: Preference },
     /// Replace a registered user's preference in place, keeping its global
     /// and local ids (no swap-remove renumbering anywhere). The monitor
     /// repairs the user's frontier by replay and its cluster by diffing the
@@ -160,6 +168,9 @@ impl ShardWorker {
                         None => false,
                     };
                     let _ = reply.send(removed);
+                }
+                ShardCmd::Observe { preference } => {
+                    self.monitor.observe_preference(&preference);
                 }
                 ShardCmd::Stats { reply } => {
                     let _ = reply.send(self.monitor.stats());

@@ -16,6 +16,10 @@
 //!   weighted similarity measures (Eq. 4–5).
 //! * [`Preference`] — a user's (or virtual user's) preferences on all
 //!   attributes, with the object-dominance test of Def. 3.2.
+//! * [`RelationUnion`] / [`PreferenceUniverse`] — the union of every
+//!   observed relation (per attribute, as growable bit rows) and the
+//!   deduplicated set of observed preferences: the dominance kernel behind
+//!   exact history compaction in `pm-core`.
 //! * [`naive_pareto_frontier`] — naive frontier computation used as a test
 //!   oracle by the monitoring algorithms in `pm-core`.
 
@@ -27,9 +31,11 @@ pub mod frontier;
 pub mod hasse;
 pub mod preference;
 pub mod relation;
+pub mod union;
 
 pub use compiled::{CompiledPreference, CompiledRelation};
 pub use frontier::naive_pareto_frontier;
 pub use hasse::HasseDiagram;
 pub use preference::{Dominance, Preference};
 pub use relation::{Relation, RelationError};
+pub use union::{PreferenceUniverse, RelationUnion};

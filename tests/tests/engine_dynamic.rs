@@ -26,7 +26,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor};
+use pm_cluster::{Clustering, ExactMeasure};
+use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifySwMonitor};
 use pm_datagen::{Dataset, DatasetProfile};
 use pm_engine::{BackendSpec, EngineConfig, ShardedEngine};
 use pm_model::{Object, ObjectId, UserId};
@@ -337,6 +338,284 @@ fn dynamic_membership_matches_oracle_filter_then_verify_sw() {
         Some(WINDOW),
         "ftv-sw",
     );
+}
+
+/// Builds the compacting-history event script: the full 36-preference pool
+/// is registered up front (seeding every shard's compaction universe —
+/// exactness of compacted backfill is relative to the observed universe),
+/// then churn draws every REGISTER/UPDATE preference from that same pool:
+/// re-registrations and in-place updates with previously seen preferences,
+/// the common churn shape of a population whose tastes cluster.
+fn build_compact_script() -> (Vec<(UserId, Preference)>, Vec<Event>) {
+    let profile = DatasetProfile::movie()
+        .with_users(36)
+        .with_objects(240)
+        .with_interactions(45);
+    let dataset = Dataset::generate(&profile, 97);
+    let stream: Vec<Object> = dataset.stream(360).iter().collect();
+    let pool = &dataset.preferences;
+    let initial: Vec<(UserId, Preference)> = (0..36)
+        .map(|u| (UserId::from(u), pool[u].clone()))
+        .collect();
+
+    let mut live: Vec<UserId> = initial.iter().map(|(u, _)| *u).collect();
+    let mut events = Vec::new();
+    let mut next_id = 200u32;
+    for (i, chunk) in stream.chunks(BATCH).enumerate() {
+        events.push(Event::Ingest(chunk.to_vec()));
+        if i % 3 != 1 {
+            let user = UserId::new(next_id);
+            next_id += 1;
+            events.push(Event::Register(user, pool[(i * 7) % pool.len()].clone()));
+            live.push(user);
+        }
+        if i % 2 == 0 && !live.is_empty() {
+            let user = live[(i * 5) % live.len()];
+            events.push(Event::Update(user, pool[(i * 11) % pool.len()].clone()));
+        }
+        if i % 3 != 0 && live.len() > 6 {
+            let idx = (i * 7) % live.len();
+            let user = live.swap_remove(idx);
+            events.push(Event::Unregister(user));
+        }
+    }
+    assert!(events.iter().any(|e| matches!(e, Event::Register(..))));
+    assert!(events.iter().any(|e| matches!(e, Event::Update(..))));
+    assert!(events.iter().any(|e| matches!(e, Event::Unregister(..))));
+    (initial, events)
+}
+
+/// The compacting-history battery: with `compact` retention and churn whose
+/// preferences stay inside the observed universe, every backfilled frontier
+/// must equal (a) the per-user full-history oracle and (b) a full-history
+/// reference engine of the same backend fed the identical event script —
+/// the retained skyline union loses nothing any observed preference needs.
+fn run_backend_compact(spec: BackendSpec, reference_spec: BackendSpec, label: &str) {
+    let (initial, events) = build_compact_script();
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(
+            initial.iter().map(|(_, p)| p.clone()).collect(),
+            &EngineConfig::new(shards),
+            &spec,
+        );
+        // Full-history reference: the same backend with unlimited history.
+        let reference = ShardedEngine::new(
+            initial.iter().map(|(_, p)| p.clone()).collect(),
+            &EngineConfig::new(shards),
+            &reference_spec,
+        );
+        let mut oracle = Oracle::new(None);
+        let mut population: BTreeMap<u32, Preference> = BTreeMap::new();
+        for (user, pref) in &initial {
+            oracle.register(*user, pref.clone());
+            population.insert(user.raw(), pref.clone());
+        }
+        for event in &events {
+            match event {
+                Event::Ingest(chunk) => {
+                    let arrivals = engine.process_batch(chunk.clone());
+                    let ref_arrivals = reference.process_batch(chunk.clone());
+                    for (object, arrival) in chunk.iter().zip(&arrivals) {
+                        let expected = oracle.ingest(object.clone());
+                        assert_eq!(
+                            arrival.target_users,
+                            expected,
+                            "{label}/{shards}: arrival {} disagrees with oracle",
+                            object.id()
+                        );
+                    }
+                    assert_eq!(
+                        arrivals, ref_arrivals,
+                        "{label}/{shards}: compacted and full-history arrivals disagree"
+                    );
+                }
+                Event::Register(user, pref) => {
+                    engine.register(*user, pref.clone()).unwrap();
+                    reference.register(*user, pref.clone()).unwrap();
+                    oracle.register(*user, pref.clone());
+                    population.insert(user.raw(), pref.clone());
+                    // The backfilled frontier is checked right away: this
+                    // is the replay the compaction must keep exact.
+                    assert_eq!(
+                        engine.frontier(*user),
+                        oracle.frontier(*user),
+                        "{label}/{shards}: backfill of {user} diverged from full history"
+                    );
+                }
+                Event::Update(user, pref) => {
+                    engine.update(*user, pref.clone()).unwrap();
+                    reference.update(*user, pref.clone()).unwrap();
+                    oracle.update(*user, pref.clone());
+                    population.insert(user.raw(), pref.clone());
+                    assert_eq!(
+                        engine.frontier(*user),
+                        oracle.frontier(*user),
+                        "{label}/{shards}: update backfill of {user} diverged"
+                    );
+                }
+                Event::Unregister(user) => {
+                    engine.unregister(*user).unwrap();
+                    reference.unregister(*user).unwrap();
+                    oracle.unregister(*user);
+                    population.remove(&user.raw());
+                }
+            }
+        }
+        for &raw in population.keys() {
+            let user = UserId::new(raw);
+            let frontier = engine.frontier(user);
+            assert_eq!(
+                frontier,
+                oracle.frontier(user),
+                "{label}/{shards}: user {raw} vs oracle"
+            );
+            assert_eq!(
+                frontier,
+                reference.frontier(user),
+                "{label}/{shards}: user {raw} vs full-history reference engine"
+            );
+        }
+        // Compaction actually reduced the retained history (the stream
+        // repeats dominated value vectors), and STATS sees it per shard.
+        let stats = engine.stats();
+        let full = reference.stats();
+        assert!(
+            stats.history_objects < full.history_objects,
+            "{label}/{shards}: compaction retained {} of {} objects",
+            stats.history_objects,
+            full.history_objects
+        );
+        assert!(
+            stats.history_evicted > 0,
+            "{label}/{shards}: nothing evicted"
+        );
+        assert_eq!(
+            stats.history_objects + stats.history_evicted,
+            full.history_objects,
+            "{label}/{shards}: retained + evicted must cover the stream"
+        );
+    }
+}
+
+#[test]
+fn compacted_backfill_is_exact_baseline() {
+    run_backend_compact(
+        BackendSpec::parse("baseline:compact").unwrap(),
+        BackendSpec::baseline(),
+        "baseline:compact",
+    );
+}
+
+#[test]
+fn compacted_backfill_is_exact_filter_then_verify() {
+    run_backend_compact(
+        BackendSpec::parse("ftv:0.45:compact").unwrap(),
+        BackendSpec::ftv(0.45),
+        "ftv:compact",
+    );
+}
+
+#[test]
+fn compacted_backfill_is_exact_baseline_with_slack_cap() {
+    // A hard cap far above the retained set never bites: semantics are
+    // identical to plain compaction.
+    run_backend_compact(
+        BackendSpec::parse("baseline:compact:100000").unwrap(),
+        BackendSpec::baseline(),
+        "baseline:compact:slack",
+    );
+}
+
+#[test]
+fn compacted_backfill_is_exact_filter_then_verify_with_slack_cap() {
+    run_backend_compact(
+        BackendSpec::parse("ftv:0.45:compact:100000").unwrap(),
+        BackendSpec::ftv(0.45),
+        "ftv:compact:slack",
+    );
+}
+
+/// Def. 7.4 boundary audit: an in-place UPDATE rebuilds the sliding
+/// monitors' frontier *and* Pareto-frontier buffer by replaying the window.
+/// An off-by-one between that replay and incremental maintenance would
+/// surface exactly when the update lands at an expiry boundary (window just
+/// filled, oldest object about to expire) — the rebuilt buffer drives the
+/// next expiry's mending. Sweep every update position across several window
+/// sizes, continue the stream past further expiries, and require frontier
+/// and buffer to match a from-start monitor at every step.
+#[test]
+fn sliding_update_at_every_expiry_boundary_matches_from_start() {
+    let profile = DatasetProfile::movie()
+        .with_users(6)
+        .with_objects(60)
+        .with_interactions(40);
+    let dataset = Dataset::generate(&profile, 41);
+    let stream: Vec<Object> = dataset.stream(30).iter().collect();
+    let users: Vec<Preference> = dataset.preferences[..4].to_vec();
+    let new_pref = dataset.preferences[5].clone();
+    for window in [1usize, 2, 3, 5, 8] {
+        for pos in 0..stream.len() {
+            // The churned monitor: update user 1 after `pos` arrivals.
+            let mut churned = BaselineSwMonitor::new(users.clone(), window);
+            let mut ftv = FilterThenVerifySwMonitor::with_clustering(
+                users.clone(),
+                Clustering::new(&users, ExactMeasure::Jaccard, 100.0),
+                window,
+            );
+            for o in &stream[..pos] {
+                churned.process(o.clone());
+                ftv.process(o.clone());
+            }
+            churned.update_user(UserId::new(1), new_pref.clone());
+            ftv.update_user(UserId::new(1), new_pref.clone());
+            // The from-start monitor holds the final preference throughout.
+            let mut final_prefs = users.clone();
+            final_prefs[1] = new_pref.clone();
+            let mut from_start = BaselineSwMonitor::new(final_prefs, window);
+            for o in &stream[..pos] {
+                from_start.process(o.clone());
+            }
+            // Immediately after the rebuild the buffer must already agree —
+            // this is the Def. 7.4 off-by-one the audit targets.
+            assert_eq!(
+                churned.buffer(UserId::new(1)),
+                from_start.buffer(UserId::new(1)),
+                "window={window} pos={pos}: rebuilt buffer diverged"
+            );
+            // Continue across at least two further expiries: mending after
+            // expiry consumes the rebuilt buffer.
+            for o in &stream[pos..] {
+                let a = churned.process(o.clone());
+                let b = from_start.process(o.clone());
+                let c = ftv.process(o.clone());
+                assert_eq!(
+                    a.target_users,
+                    b.target_users,
+                    "window={window} pos={pos}: arrivals diverged at {}",
+                    o.id()
+                );
+                assert_eq!(
+                    a.target_users,
+                    c.target_users,
+                    "window={window} pos={pos}: ftv-sw arrivals diverged at {}",
+                    o.id()
+                );
+                for u in 0..4usize {
+                    assert_eq!(
+                        churned.frontier(UserId::from(u)),
+                        from_start.frontier(UserId::from(u)),
+                        "window={window} pos={pos}: frontier of user {u} diverged"
+                    );
+                }
+                assert_eq!(
+                    churned.buffer(UserId::new(1)),
+                    from_start.buffer(UserId::new(1)),
+                    "window={window} pos={pos}: buffer diverged after {}",
+                    o.id()
+                );
+            }
+        }
+    }
 }
 
 /// The universe-extension slow path: a REGISTER or UPDATE naming attribute

@@ -23,6 +23,136 @@ fn movie_service(backend: &str) -> EngineService {
     EngineService::new(engine, spec, ARITY, 64)
 }
 
+/// A 2-user, 2-attribute service whose users share the chain preference
+/// `2 ≻ 1 ≻ 0` on both attributes — domination is then certain for every
+/// registered user, which makes compaction sweeps deterministic.
+fn chain_service(backend: &str) -> EngineService {
+    let prefs: Vec<pm_porder::Preference> = (0..2)
+        .map(|_| {
+            let mut p = pm_porder::Preference::new(2);
+            for attr in 0..2u32 {
+                let attr = pm_model::AttrId::new(attr);
+                p.prefer(attr, pm_model::ValueId::new(2), pm_model::ValueId::new(1));
+                p.prefer(attr, pm_model::ValueId::new(1), pm_model::ValueId::new(0));
+            }
+            p
+        })
+        .collect();
+    let spec = BackendSpec::parse(backend).expect("valid backend");
+    let engine = ShardedEngine::new(prefs, &EngineConfig::new(2), &spec);
+    EngineService::new(engine, spec, 2, 64)
+}
+
+/// Pulls one `key=` field out of a STATS response line.
+fn stats_field<'a>(stats: &'a str, key: &str) -> &'a str {
+    stats
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix(key))
+        .unwrap_or_else(|| panic!("STATS lacks {key}: {stats}"))
+}
+
+#[test]
+fn stats_reports_retained_history_per_shard() {
+    // Unlimited append-only history: every shard retains every arrival.
+    let svc = chain_service("baseline");
+    for i in 0..10 {
+        let r = svc.respond_line(&format!("INGEST {},{}", i % 3, i % 3));
+        assert!(r.starts_with("OK INGESTED"), "{r}");
+    }
+    let stats = svc.respond_line("STATS");
+    assert_eq!(stats_field(&stats, "history_objects="), "10,10", "{stats}");
+    assert_eq!(stats_field(&stats, "history_saved="), "0,0", "{stats}");
+
+    // Truncating cap: the newest 4 objects survive, 6 were dropped.
+    let capped = chain_service("baseline:4");
+    for i in 0..10 {
+        capped.respond_line(&format!("INGEST {},{}", i % 3, i % 3));
+    }
+    let stats = capped.respond_line("STATS");
+    assert_eq!(stats_field(&stats, "history_objects="), "4,4", "{stats}");
+    assert_eq!(stats_field(&stats, "history_saved="), "6,6", "{stats}");
+
+    // Sliding backends keep no backfill history (the window is the state).
+    let sliding = chain_service("baseline-sw:4");
+    for i in 0..10 {
+        sliding.respond_line(&format!("INGEST {},{}", i % 3, i % 3));
+    }
+    let stats = sliding.respond_line("STATS");
+    assert_eq!(stats_field(&stats, "history_objects="), "0,0", "{stats}");
+}
+
+#[test]
+fn compact_backend_saves_history_and_keeps_backfill_exact_over_protocol() {
+    let svc = chain_service("ftv:0.4:compact");
+    let reference = chain_service("ftv:0.4");
+    // 150 batches of `0,0;1,1` (dominated) and one final `2,2` (dominating):
+    // past the sweep interval the dominated vectors are evicted — every
+    // registered user agrees they can never re-enter a frontier.
+    for _ in 0..150 {
+        assert!(svc.respond_line("INGEST 0,0;1,1").starts_with("OK"));
+        assert!(reference.respond_line("INGEST 0,0;1,1").starts_with("OK"));
+    }
+    assert!(svc.respond_line("INGEST 2,2").starts_with("OK"));
+    assert!(reference.respond_line("INGEST 2,2").starts_with("OK"));
+    let stats = svc.respond_line("STATS");
+    let retained: u64 = stats_field(&stats, "history_objects=")
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let saved: u64 = stats_field(&stats, "history_saved=")
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(retained < 301, "compaction never kicked in: {stats}");
+    assert!(saved > 0, "{stats}");
+    assert_eq!(retained + saved, 301, "{stats}");
+    let full = reference.respond_line("STATS");
+    assert_eq!(stats_field(&full, "history_objects="), "301,301", "{full}");
+    // A late registration with a seen preference backfills identically on
+    // the compacted and the full-history service.
+    let register = "REGISTER 9 2>1,1>0;2>1,1>0";
+    assert!(svc.respond_line(register).starts_with("OK REGISTERED 9"));
+    assert!(reference
+        .respond_line(register)
+        .starts_with("OK REGISTERED 9"));
+    assert_eq!(
+        svc.respond_line("FRONTIER 9"),
+        reference.respond_line("FRONTIER 9"),
+        "compacted backfill diverged from full history"
+    );
+    // The compact spec round-trips through HEALTH for observability.
+    assert!(
+        svc.respond_line("HEALTH")
+            .contains("backend=ftv:0.4:compact"),
+        "{}",
+        svc.respond_line("HEALTH")
+    );
+}
+
+#[test]
+fn compact_hard_cap_is_visible_and_service_survives() {
+    let svc = chain_service("baseline:compact:16");
+    for i in 0..40 {
+        assert!(svc
+            .respond_line(&format!("INGEST {},{}", i % 3, (i + 1) % 3))
+            .starts_with("OK"));
+    }
+    let stats = svc.respond_line("STATS");
+    for retained in stats_field(&stats, "history_objects=").split(',') {
+        let retained: u64 = retained.parse().unwrap();
+        assert!(retained <= 16, "hard cap exceeded: {stats}");
+    }
+    // Best-effort backfill still serves without disturbing the connection.
+    assert!(svc
+        .respond_line("REGISTER 7 0>1;1>0")
+        .starts_with("OK REGISTERED 7"));
+    assert!(svc.respond_line("FRONTIER 7").starts_with("OK FRONTIER 7"));
+}
+
 #[test]
 fn malformed_ingest_lines_return_errors() {
     let svc = movie_service("baseline");

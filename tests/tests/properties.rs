@@ -6,7 +6,9 @@
 use proptest::prelude::*;
 
 use pm_cluster::{Clustering, ExactMeasure};
-use pm_core::{BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor};
+use pm_core::{
+    BaselineMonitor, BaselineSwMonitor, ContinuousMonitor, FilterThenVerifyMonitor, HistoryMode,
+};
 use pm_integration_tests::one_cluster;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
 use pm_porder::{
@@ -331,6 +333,102 @@ proptest! {
                 }
             }
             prop_assert!(common.relation(attr).validate().is_ok());
+        }
+    }
+
+    /// History compaction never evicts an object that a full-history
+    /// replay would place in any observed user's frontier (the ISSUE
+    /// invariant), collapses only value-duplicates beyond that, and keeps
+    /// both live frontiers and late-registration backfill exactly equal to
+    /// the full stream for every observed preference.
+    #[test]
+    fn compaction_never_evicts_observed_frontier_objects(
+        prefs in proptest::collection::vec(preference_strategy(), 1..4),
+        objects in objects_strategy(40),
+    ) {
+        let mut monitor =
+            BaselineMonitor::with_history(prefs.clone(), HistoryMode::Compact { cap: None });
+        for object in objects.clone() {
+            monitor.process(object);
+        }
+        monitor.compact_history_now();
+        let retained = monitor.retained_history_ids();
+        prop_assert_eq!(
+            retained.len() as u64 + monitor.history_evicted(),
+            objects.len() as u64
+        );
+        for (user, pref) in prefs.iter().enumerate() {
+            let mut full = naive_pareto_frontier(pref, &objects);
+            full.sort_unstable();
+            for id in &full {
+                prop_assert!(
+                    retained.binary_search(id).is_ok(),
+                    "compaction evicted frontier object {} of user {}", id, user
+                );
+            }
+            // Live frontiers are independent of history retention.
+            prop_assert_eq!(monitor.frontier(UserId::from(user)), full);
+        }
+        // Backfill with every observed preference replays to the exact
+        // full-stream frontier from the compacted history alone.
+        for pref in prefs.clone() {
+            let added = monitor.add_user(pref.clone());
+            let mut full = naive_pareto_frontier(&pref, &objects);
+            full.sort_unstable();
+            prop_assert_eq!(monitor.frontier(added), full);
+        }
+    }
+
+    /// Interleaved ingest / add_user / update_user churn on a compacting
+    /// history, with sweeps forced after every segment: as long as churn
+    /// preferences stay inside the observed universe (they are drawn from
+    /// the initial pool), every backfill and every live frontier equals
+    /// the full-history replay.
+    #[test]
+    fn compacted_churn_backfill_stays_exact_for_seen_preferences(
+        initial in proptest::collection::vec(preference_strategy(), 1..4),
+        segments in proptest::collection::vec(
+            (objects_strategy(10), 0u8..255, 0u8..2), 1..5),
+    ) {
+        let mut monitor =
+            BaselineMonitor::with_history(initial.clone(), HistoryMode::Compact { cap: None });
+        let mut prefs = initial.clone();
+        let mut history: Vec<Object> = Vec::new();
+        let mut next_obj = 0u64;
+        for (objects, pick, op) in segments {
+            for object in objects {
+                let object = Object::new(ObjectId::new(next_obj), object.values().to_vec());
+                next_obj += 1;
+                monitor.process(object.clone());
+                history.push(object);
+            }
+            monitor.compact_history_now();
+            let pool_pref = initial[(pick as usize) % initial.len()].clone();
+            let changed = if op == 0 {
+                prefs.push(pool_pref.clone());
+                monitor.add_user(pool_pref)
+            } else {
+                let user = UserId::from((pick as usize) % prefs.len());
+                prefs[user.index()] = pool_pref.clone();
+                monitor.update_user(user, pool_pref);
+                user
+            };
+            let mut full = naive_pareto_frontier(&prefs[changed.index()], &history);
+            full.sort_unstable();
+            prop_assert_eq!(
+                monitor.frontier(changed), full,
+                "backfill of user {} diverged from full history", changed
+            );
+            // The invariant holds for every live user after every sweep.
+            let retained = monitor.retained_history_ids();
+            for (user, pref) in prefs.iter().enumerate() {
+                for id in naive_pareto_frontier(pref, &history) {
+                    prop_assert!(
+                        retained.binary_search(&id).is_ok(),
+                        "sweep evicted frontier object {} of user {}", id, user
+                    );
+                }
+            }
         }
     }
 
