@@ -27,17 +27,25 @@
 //!    `--check` gate additionally requires the compacted retained set to
 //!    stay under `max_compact_retention_ratio` (0.5 = half) of the full
 //!    history on this fixed-seed workload, so the memory win is regression
-//!    -tested alongside the throughput floors.
+//!    -tested alongside the throughput floors, and
+//! 6. the **instrumentation overhead** of the observability layer: the
+//!    plain ingest stream runs with the metrics bundle on and off,
+//!    interleaved, keeping each mode's best round. Every recording site is
+//!    a relaxed atomic op, so the gate requires the on/off throughput gap
+//!    to stay within `max_instrumentation_overhead` (5%) — a larger gap
+//!    means someone put real work on the hot path. The metrics-on run also
+//!    yields the ingest-batch latency percentiles the report carries.
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_5.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_6.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
 //! the checked-in baseline, when the compiled dominance path is less than
-//! 2x the hash-map path, or when compaction retains too much — this is the
-//! `perf-smoke` CI gate.
+//! 2x the hash-map path, when compaction retains too much, or when the
+//! instrumentation overhead exceeds its ceiling — this is the `perf-smoke`
+//! CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_5.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_6.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -68,6 +76,14 @@ const CHURN_LAG: u32 = 8;
 const MAX_REGRESSION: f64 = 0.30;
 /// Required compiled-vs-hash dominance speedup.
 const MIN_SPEEDUP: f64 = 2.0;
+/// Stream length of one instrumentation-overhead round (phase 6). Shorter
+/// than [`ENGINE_OBJECTS`]: the phase runs `2 *`[`OVERHEAD_ROUNDS`] times.
+const OVERHEAD_OBJECTS: usize = 3_000;
+/// Interleaved (off, on) round pairs of the overhead phase; each mode keeps
+/// its best round, so thermal/scheduler drift hits both modes equally.
+const OVERHEAD_ROUNDS: usize = 2;
+/// Overhead ceiling used when the baseline lacks the key.
+const MAX_OVERHEAD: f64 = 0.05;
 
 struct Report {
     prefers_hash: f64,
@@ -82,6 +98,11 @@ struct Report {
     compact_full_objects: u64,
     compact_retained_bytes: u64,
     compact_full_bytes: u64,
+    engine_metrics_on_objects_per_sec: f64,
+    engine_metrics_off_objects_per_sec: f64,
+    ingest_latency_p50_us: f64,
+    ingest_latency_p95_us: f64,
+    ingest_latency_p99_us: f64,
 }
 
 impl Report {
@@ -98,9 +119,17 @@ impl Report {
         self.compact_retained_bytes as f64 / self.compact_full_bytes as f64
     }
 
+    /// Relative throughput cost of the metrics bundle: how much slower the
+    /// metrics-on stream ran than the metrics-off stream (0 when it ran at
+    /// least as fast — noise can swing either way).
+    fn instrumentation_overhead(&self) -> f64 {
+        (self.engine_metrics_off_objects_per_sec / self.engine_metrics_on_objects_per_sec - 1.0)
+            .max(0.0)
+    }
+
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v4\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v5\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
@@ -111,7 +140,13 @@ impl Report {
              \"engine_compact_churn_objects_per_sec\": {:.0},\n  \
              \"compact_retained_objects\": {},\n  \"compact_full_objects\": {},\n  \
              \"compact_retained_bytes\": {},\n  \"compact_full_bytes\": {},\n  \
-             \"compact_retention_ratio\": {:.3}\n}}\n",
+             \"compact_retention_ratio\": {:.3},\n  \
+             \"engine_metrics_on_objects_per_sec\": {:.0},\n  \
+             \"engine_metrics_off_objects_per_sec\": {:.0},\n  \
+             \"instrumentation_overhead_ratio\": {:.4},\n  \
+             \"ingest_latency_p50_us\": {:.1},\n  \
+             \"ingest_latency_p95_us\": {:.1},\n  \
+             \"ingest_latency_p99_us\": {:.1}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -129,6 +164,12 @@ impl Report {
             self.compact_retained_bytes,
             self.compact_full_bytes,
             self.retention_ratio(),
+            self.engine_metrics_on_objects_per_sec,
+            self.engine_metrics_off_objects_per_sec,
+            self.instrumentation_overhead(),
+            self.ingest_latency_p50_us,
+            self.ingest_latency_p95_us,
+            self.ingest_latency_p99_us,
         )
     }
 }
@@ -293,6 +334,54 @@ fn measure_engine_update_churn(dataset: &Dataset) -> f64 {
     processed as f64 / elapsed
 }
 
+/// One metrics-on or metrics-off run of the plain ingest stream (phase 6):
+/// returns throughput and the final engine snapshot, whose ingest-latency
+/// percentiles are nonzero only when the metrics bundle is on.
+fn timed_plain_stream(dataset: &Dataset, metrics: bool) -> (f64, pm_engine::EngineSnapshot) {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let config = EngineConfig::new(1).with_metrics(metrics);
+    let engine = ShardedEngine::new(dataset.preferences.clone(), &config, &spec);
+    let stream: Vec<Object> = (0..OVERHEAD_OBJECTS)
+        .map(|i| {
+            let base = &dataset.objects[i % dataset.objects.len()];
+            Object::new(pm_model::ObjectId::from(i), base.values().to_vec())
+        })
+        .collect();
+    let start = Instant::now();
+    let mut processed = 0usize;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        processed += engine.process_batch(chunk.to_vec()).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        processed, OVERHEAD_OBJECTS,
+        "every object must be processed"
+    );
+    (processed as f64 / elapsed, engine.snapshot())
+}
+
+/// Phase 6: interleaved (off, on) rounds of the plain stream; each mode
+/// keeps its best round so drift hits both equally. Returns
+/// `(best_on, best_off, p50_us, p95_us, p99_us)`, the percentiles taken
+/// from the best metrics-on round.
+fn measure_instrumentation_overhead(dataset: &Dataset) -> (f64, f64, f64, f64, f64) {
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let (mut p50, mut p95, mut p99) = (0.0, 0.0, 0.0);
+    for _ in 0..OVERHEAD_ROUNDS {
+        let (off, _) = timed_plain_stream(dataset, false);
+        best_off = best_off.max(off);
+        let (on, snapshot) = timed_plain_stream(dataset, true);
+        if on > best_on {
+            best_on = on;
+            p50 = snapshot.ingest_p50_us;
+            p95 = snapshot.ingest_p95_us;
+            p99 = snapshot.ingest_p99_us;
+        }
+    }
+    (best_on, best_off, p50, p95, p99)
+}
+
 /// Minimal parser for the flat JSON this harness itself writes: returns the
 /// numeric fields as (key, value) pairs.
 fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
@@ -387,6 +476,26 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         failures.push("baseline is missing `max_compact_retention_ratio`".to_owned());
     }
 
+    // Instrumentation-overhead gate: the metrics bundle must stay within
+    // its documented throughput cost on the identical interleaved stream.
+    let max_overhead = lookup("max_instrumentation_overhead").unwrap_or(MAX_OVERHEAD);
+    if report.instrumentation_overhead() > max_overhead {
+        failures.push(format!(
+            "instrumentation overhead {:.1}% above the {:.1}% ceiling \
+             (metrics on {:.0} vs off {:.0} objects/sec)",
+            report.instrumentation_overhead() * 100.0,
+            max_overhead * 100.0,
+            report.engine_metrics_on_objects_per_sec,
+            report.engine_metrics_off_objects_per_sec,
+        ));
+    } else {
+        println!(
+            "gate ok: instrumentation_overhead = {:.1}% (<= {:.1}%)",
+            report.instrumentation_overhead() * 100.0,
+            max_overhead * 100.0
+        );
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
@@ -395,7 +504,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_5.json".to_owned();
+    let mut out_path = "BENCH_6.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -466,6 +575,27 @@ fn main() {
         100.0 * compact_retained_bytes as f64 / compact_full_bytes as f64
     );
 
+    // Phase 6: instrumentation overhead of the observability layer, plus
+    // the ingest-latency percentiles seen through the metrics bundle.
+    let (
+        engine_metrics_on_objects_per_sec,
+        engine_metrics_off_objects_per_sec,
+        ingest_latency_p50_us,
+        ingest_latency_p95_us,
+        ingest_latency_p99_us,
+    ) = measure_instrumentation_overhead(&dataset);
+    println!(
+        "engine metrics on:   {engine_metrics_on_objects_per_sec:>12.0} objects/sec \
+         (off: {engine_metrics_off_objects_per_sec:.0}, overhead {:.1}%)",
+        (engine_metrics_off_objects_per_sec / engine_metrics_on_objects_per_sec - 1.0).max(0.0)
+            * 100.0
+    );
+    println!(
+        "ingest latency:      p50 {ingest_latency_p50_us:.0}us, \
+         p95 {ingest_latency_p95_us:.0}us, p99 {ingest_latency_p99_us:.0}us \
+         (per {ENGINE_BATCH}-object batch)"
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
@@ -479,6 +609,11 @@ fn main() {
         compact_full_objects,
         compact_retained_bytes,
         compact_full_bytes,
+        engine_metrics_on_objects_per_sec,
+        engine_metrics_off_objects_per_sec,
+        ingest_latency_p50_us,
+        ingest_latency_p95_us,
+        ingest_latency_p99_us,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

@@ -15,6 +15,7 @@ use pm_porder::{CompiledPreference, Dominance, Preference};
 use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
+use crate::timers::{timed, MonitorTimers};
 
 /// Per-user Pareto frontier: frontier objects are stored by value so no
 /// shared catalog is needed and expired/dominated objects are dropped
@@ -77,7 +78,7 @@ pub(crate) fn backfill_frontier(
             for (values, ids) in groups {
                 let representative = Object::new(ids[0], values.to_vec());
                 if update_pareto_frontier(preference, &mut frontier, &representative, stats) {
-                    for &id in &ids[1..] {
+                    for &id in ids.iter().skip(1) {
                         frontier.insert(id, Object::new(id, values.to_vec()));
                     }
                 }
@@ -104,6 +105,9 @@ pub struct BaselineMonitor {
     /// (see [`History`] for the cap semantics).
     history: History,
     stats: MonitorStats,
+    /// Optional latency histograms (see [`MonitorTimers`]); disabled slots
+    /// cost nothing.
+    timers: MonitorTimers,
 }
 
 impl BaselineMonitor {
@@ -143,6 +147,7 @@ impl BaselineMonitor {
             frontiers,
             history,
             stats: MonitorStats::new(),
+            timers: MonitorTimers::disabled(),
         }
     }
 
@@ -177,19 +182,23 @@ impl BaselineMonitor {
 
 impl ContinuousMonitor for BaselineMonitor {
     fn process(&mut self, object: Object) -> Arrival {
-        let mut targets = Vec::new();
-        for (idx, pref) in self.compiled.iter().enumerate() {
-            if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
-                targets.push(UserId::from(idx));
+        let timer = self.timers.arrival.clone();
+        timed(timer.as_ref(), || {
+            let mut targets = Vec::new();
+            for (idx, pref) in self.compiled.iter().enumerate() {
+                if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats)
+                {
+                    targets.push(UserId::from(idx));
+                }
             }
-        }
-        self.stats.record_arrival(targets.len());
-        let id = object.id();
-        self.history.push(object);
-        Arrival {
-            object: id,
-            target_users: targets,
-        }
+            self.stats.record_arrival(targets.len());
+            let id = object.id();
+            self.history.push(object);
+            Arrival {
+                object: id,
+                target_users: targets,
+            }
+        })
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
@@ -209,7 +218,10 @@ impl ContinuousMonitor for BaselineMonitor {
         // arrived are the documented caveat — see `crate::history`).
         self.history.observe(&preference);
         let compiled = preference.compile();
-        let frontier = backfill_frontier(&self.history, &compiled, &mut self.stats);
+        let timer = self.timers.backfill.clone();
+        let frontier = timed(timer.as_ref(), || {
+            backfill_frontier(&self.history, &compiled, &mut self.stats)
+        });
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.frontiers.push(frontier);
@@ -221,7 +233,10 @@ impl ContinuousMonitor for BaselineMonitor {
         assert!(idx < self.preferences.len(), "user {user} out of range");
         self.history.observe(&preference);
         let compiled = preference.compile();
-        self.frontiers[idx] = backfill_frontier(&self.history, &compiled, &mut self.stats);
+        let timer = self.timers.backfill.clone();
+        self.frontiers[idx] = timed(timer.as_ref(), || {
+            backfill_frontier(&self.history, &compiled, &mut self.stats)
+        });
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
     }
@@ -238,6 +253,11 @@ impl ContinuousMonitor for BaselineMonitor {
 
     fn observe_preference(&mut self, preference: &Preference) {
         self.history.observe(preference);
+    }
+
+    fn set_timers(&mut self, timers: MonitorTimers) {
+        self.history.set_sweep_timer(timers.sweep.clone());
+        self.timers = timers;
     }
 
     fn stats(&self) -> MonitorStats {

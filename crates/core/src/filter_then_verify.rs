@@ -21,6 +21,7 @@ use crate::baseline::{backfill_frontier, update_pareto_frontier, Frontier};
 use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
+use crate::timers::{timed, MonitorTimers};
 
 /// How a membership change must repair the affected cluster, shared by the
 /// append-only and sliding FilterThenVerify monitors.
@@ -232,6 +233,9 @@ pub struct FilterThenVerifyMonitor {
     /// (see [`History`] for the cap semantics).
     history: History,
     stats: MonitorStats,
+    /// Optional latency histograms (see [`MonitorTimers`]); disabled slots
+    /// cost nothing.
+    timers: MonitorTimers,
 }
 
 impl FilterThenVerifyMonitor {
@@ -342,6 +346,7 @@ impl FilterThenVerifyMonitor {
             approx,
             history: History::new(HistoryMode::Unlimited),
             stats: MonitorStats::new(),
+            timers: MonitorTimers::disabled(),
         }
     }
 
@@ -490,38 +495,41 @@ impl FilterThenVerifyMonitor {
 
 impl ContinuousMonitor for FilterThenVerifyMonitor {
     fn process(&mut self, object: Object) -> Arrival {
-        let mut targets = Vec::new();
-        for cluster in &mut self.clusters {
-            let survives = Self::update_cluster_frontier(
-                cluster,
-                &mut self.user_frontiers,
-                &object,
-                &mut self.stats,
-            );
-            if !survives {
-                continue;
-            }
-            // Verify against each member's own preference (Alg. 2, line 6).
-            for member in &cluster.members {
-                let pref = &self.compiled[member.index()];
-                if update_pareto_frontier(
-                    pref,
-                    &mut self.user_frontiers[member.index()],
+        let timer = self.timers.arrival.clone();
+        timed(timer.as_ref(), || {
+            let mut targets = Vec::new();
+            for cluster in &mut self.clusters {
+                let survives = Self::update_cluster_frontier(
+                    cluster,
+                    &mut self.user_frontiers,
                     &object,
                     &mut self.stats,
-                ) {
-                    targets.push(*member);
+                );
+                if !survives {
+                    continue;
+                }
+                // Verify against each member's own preference (Alg. 2, line 6).
+                for member in &cluster.members {
+                    let pref = &self.compiled[member.index()];
+                    if update_pareto_frontier(
+                        pref,
+                        &mut self.user_frontiers[member.index()],
+                        &object,
+                        &mut self.stats,
+                    ) {
+                        targets.push(*member);
+                    }
                 }
             }
-        }
-        targets.sort_unstable();
-        self.stats.record_arrival(targets.len());
-        let id = object.id();
-        self.history.push(object);
-        Arrival {
-            object: id,
-            target_users: targets,
-        }
+            targets.sort_unstable();
+            self.stats.record_arrival(targets.len());
+            let id = object.id();
+            self.history.push(object);
+            Arrival {
+                object: id,
+                target_users: targets,
+            }
+        })
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
@@ -540,7 +548,10 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         // `crate::history` for the novel-preference caveat).
         self.history.observe(&preference);
         let compiled = preference.compile();
-        let frontier = backfill_frontier(&self.history, &compiled, &mut self.stats);
+        let timer = self.timers.backfill.clone();
+        let frontier = timed(timer.as_ref(), || {
+            backfill_frontier(&self.history, &compiled, &mut self.stats)
+        });
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.user_frontiers.push(frontier);
@@ -572,7 +583,10 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         // cap has bitten).
         self.history.observe(&preference);
         let compiled = preference.compile();
-        self.user_frontiers[idx] = backfill_frontier(&self.history, &compiled, &mut self.stats);
+        let timer = self.timers.backfill.clone();
+        self.user_frontiers[idx] = timed(timer.as_ref(), || {
+            backfill_frontier(&self.history, &compiled, &mut self.stats)
+        });
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
         // Repair the clustering: stay put with a re-AND-folded common
@@ -644,6 +658,11 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
 
     fn observe_preference(&mut self, preference: &Preference) {
         self.history.observe(preference);
+    }
+
+    fn set_timers(&mut self, timers: MonitorTimers) {
+        self.history.set_sweep_timer(timers.sweep.clone());
+        self.timers = timers;
     }
 
     fn stats(&self) -> MonitorStats {

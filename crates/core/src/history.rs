@@ -59,8 +59,10 @@
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use pm_model::{Object, ObjectId, ValueId};
+use pm_obs::LogHistogram;
 use pm_porder::{Preference, PreferenceUniverse};
 
 /// How often the compacting history sweeps, in pushes. Sweeps are O(G²)
@@ -116,11 +118,12 @@ pub struct History {
     /// every retained object id carrying it (in arrival order). The vector
     /// is stored exactly once — the map key *is* the group — which is where
     /// most of the memory reduction comes from on streams that repeat
-    /// vectors. Map iteration order is arbitrary; replay folds to the
-    /// exact Pareto frontier of the retained set regardless, and sweep
-    /// eviction is a set-level criterion, so nothing observable depends on
-    /// the order.
-    groups: HashMap<Vec<ValueId>, Vec<ObjectId>>,
+    /// vectors. Ids live in a `VecDeque` because cap enforcement evicts
+    /// from the front while pushes append at the back. Map iteration order
+    /// is arbitrary; replay folds to the exact Pareto frontier of the
+    /// retained set regardless, and sweep eviction is a set-level
+    /// criterion, so nothing observable depends on the order.
+    groups: HashMap<Vec<ValueId>, VecDeque<ObjectId>>,
     /// Every distinct preference ever observed; gates eviction.
     universe: PreferenceUniverse,
     /// Retained ids across all groups (compact mode).
@@ -135,6 +138,10 @@ pub struct History {
     pending: usize,
     /// Lifetime count of objects dropped (truncation, compaction or cap).
     evicted: u64,
+    /// Optional duration histogram for sweeps (nanoseconds); attached by
+    /// the host via [`History::set_sweep_timer`]. When absent, sweeps do
+    /// not even read the clock.
+    sweep_timer: Option<Arc<LogHistogram>>,
 }
 
 impl History {
@@ -149,7 +156,14 @@ impl History {
             cap_heap: BinaryHeap::new(),
             pending: 0,
             evicted: 0,
+            sweep_timer: None,
         }
+    }
+
+    /// Attaches a duration histogram that every subsequent compaction
+    /// sweep records into (nanoseconds per sweep); `None` detaches it.
+    pub fn set_sweep_timer(&mut self, timer: Option<Arc<LogHistogram>>) {
+        self.sweep_timer = timer;
     }
 
     /// The retention mode.
@@ -185,13 +199,13 @@ impl History {
             }
             HistoryMode::Compact { cap } => {
                 match self.groups.get_mut(object.values()) {
-                    Some(ids) => ids.push(object.id()),
+                    Some(ids) => ids.push_back(object.id()),
                     None => {
                         let values = object.values().to_vec();
                         if cap.is_some() {
                             self.cap_heap.push(Reverse((object.id(), values.clone())));
                         }
-                        self.groups.insert(values, vec![object.id()]);
+                        self.groups.insert(values, VecDeque::from([object.id()]));
                     }
                 }
                 self.retained += 1;
@@ -251,7 +265,7 @@ impl History {
                 .map(|(values, ids)| {
                     (size_of::<Vec<ValueId>>()
                         + values.len() * size_of::<ValueId>()
-                        + size_of::<Vec<ObjectId>>()
+                        + size_of::<VecDeque<ObjectId>>()
                         + ids.len() * size_of::<ObjectId>()
                         + size_of::<u64>()) as u64
                 })
@@ -301,12 +315,12 @@ impl History {
     /// linear modes. Backfill replay uses this to dominance-test one
     /// representative per distinct vector and admit the whole id list on
     /// survival, instead of re-running the frontier scan per duplicate id.
-    pub fn grouped(&self) -> Option<impl Iterator<Item = (&[ValueId], &[ObjectId])>> {
+    pub fn grouped(&self) -> Option<impl Iterator<Item = (&[ValueId], &VecDeque<ObjectId>)>> {
         match self.mode {
             HistoryMode::Compact { .. } => Some(
                 self.groups
                     .iter()
-                    .map(|(values, ids)| (values.as_slice(), ids.as_slice())),
+                    .map(|(values, ids)| (values.as_slice(), ids)),
             ),
             _ => None,
         }
@@ -325,8 +339,21 @@ impl History {
     /// Evicts every group that is dominated, for **every** universe member,
     /// by some retained group. See the module docs for why simultaneous
     /// eviction is sound (per-member dominance chains ascend to that
-    /// member's skyline, which is never evicted).
+    /// member's skyline, which is never evicted). Records the sweep
+    /// duration when a timer is attached ([`History::set_sweep_timer`]).
     fn sweep(&mut self) {
+        match self.sweep_timer.take() {
+            Some(timer) => {
+                let start = std::time::Instant::now();
+                self.sweep_inner();
+                timer.record_duration(start.elapsed());
+                self.sweep_timer = Some(timer);
+            }
+            None => self.sweep_inner(),
+        }
+    }
+
+    fn sweep_inner(&mut self) {
         self.pending = 0;
         // With no observed preference every object is potential frontier
         // (the first user to register could hold any preference), and a
@@ -411,7 +438,7 @@ impl History {
             if ids[0] != head {
                 continue;
             }
-            ids.remove(0);
+            ids.pop_front();
             self.retained -= 1;
             self.evicted += 1;
             if ids.is_empty() {
@@ -436,8 +463,8 @@ enum IterInner<'a> {
     Linear(std::collections::vec_deque::Iter<'a, Object>),
     /// Reconstructed objects of a compacting history, group by group.
     Compact {
-        groups: std::collections::hash_map::Iter<'a, Vec<ValueId>, Vec<ObjectId>>,
-        current: Option<(&'a Vec<ValueId>, &'a [ObjectId], usize)>,
+        groups: std::collections::hash_map::Iter<'a, Vec<ValueId>, VecDeque<ObjectId>>,
+        current: Option<(&'a Vec<ValueId>, &'a VecDeque<ObjectId>, usize)>,
     },
 }
 

@@ -32,6 +32,7 @@ pub mod history;
 pub mod monitor;
 pub mod sliding_window;
 pub mod stats;
+pub mod timers;
 
 pub use accuracy::{AccuracyReport, ConfusionMatrix};
 pub use baseline::BaselineMonitor;
@@ -40,3 +41,4 @@ pub use history::{History, HistoryMode};
 pub use monitor::{Arrival, ContinuousMonitor};
 pub use sliding_window::{BaselineSwMonitor, FilterThenVerifySwMonitor};
 pub use stats::MonitorStats;
+pub use timers::MonitorTimers;

@@ -4,6 +4,7 @@ use pm_model::{Object, ObjectId, UserId};
 use pm_porder::Preference;
 
 use crate::stats::MonitorStats;
+use crate::timers::MonitorTimers;
 
 /// The result of processing one arriving object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +91,16 @@ pub trait ContinuousMonitor {
     /// the call (the default).
     fn observe_preference(&mut self, preference: &Preference) {
         let _ = preference;
+    }
+
+    /// Attaches latency timers ([`MonitorTimers`]): monitors that support
+    /// instrumentation record per-arrival processing time, backfill-replay
+    /// duration and compaction-sweep duration into the attached histograms
+    /// from then on. The default ignores the call — a monitor without
+    /// instrumentation still satisfies the trait, and hosts may always
+    /// call this unconditionally.
+    fn set_timers(&mut self, timers: MonitorTimers) {
+        let _ = timers;
     }
 
     /// Work counters accumulated so far.

@@ -29,6 +29,7 @@ use crate::filter_then_verify::{
 };
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
+use crate::timers::{timed, MonitorTimers};
 
 /// Adds `object` to `buffer` and evicts every buffered object it dominates
 /// (`refreshParetoBufferSW`, Alg. 4). By Theorem 7.2 the evicted objects can
@@ -90,6 +91,9 @@ pub struct BaselineSwMonitor {
     buffers: Vec<Frontier>,
     window: SlidingWindow,
     stats: MonitorStats,
+    /// Optional latency histograms (see [`MonitorTimers`]); disabled slots
+    /// cost nothing.
+    timers: MonitorTimers,
 }
 
 impl BaselineSwMonitor {
@@ -105,6 +109,7 @@ impl BaselineSwMonitor {
             buffers: vec![Frontier::new(); n],
             window: SlidingWindow::new(window_size),
             stats: MonitorStats::new(),
+            timers: MonitorTimers::disabled(),
         }
     }
 
@@ -146,22 +151,26 @@ impl BaselineSwMonitor {
 
 impl ContinuousMonitor for BaselineSwMonitor {
     fn process(&mut self, object: Object) -> Arrival {
-        let event = self.window.push(object.clone());
-        if let Some(expired) = &event.expired {
-            self.expire(expired);
-        }
-        let mut targets = Vec::new();
-        for (idx, pref) in self.compiled.iter().enumerate() {
-            if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats) {
-                targets.push(UserId::from(idx));
+        let timer = self.timers.arrival.clone();
+        timed(timer.as_ref(), || {
+            let event = self.window.push(object.clone());
+            if let Some(expired) = &event.expired {
+                self.expire(expired);
             }
-            refresh_buffer(pref, &mut self.buffers[idx], &object, &mut self.stats);
-        }
-        self.stats.record_arrival(targets.len());
-        Arrival {
-            object: object.id(),
-            target_users: targets,
-        }
+            let mut targets = Vec::new();
+            for (idx, pref) in self.compiled.iter().enumerate() {
+                if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats)
+                {
+                    targets.push(UserId::from(idx));
+                }
+                refresh_buffer(pref, &mut self.buffers[idx], &object, &mut self.stats);
+            }
+            self.stats.record_arrival(targets.len());
+            Arrival {
+                object: object.id(),
+                target_users: targets,
+            }
+        })
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
@@ -181,10 +190,13 @@ impl ContinuousMonitor for BaselineSwMonitor {
         // Replaying the alive objects oldest-first rebuilds exactly the
         // frontier and Pareto frontier buffer (Def. 7.4) a from-start user
         // would hold over the current window.
-        for object in self.window.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-            refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
-        }
+        let timer = self.timers.backfill.clone();
+        timed(timer.as_ref(), || {
+            for object in self.window.iter() {
+                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+                refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+            }
+        });
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.frontiers.push(frontier);
@@ -203,6 +215,11 @@ impl ContinuousMonitor for BaselineSwMonitor {
         (idx != last).then(|| UserId::from(last))
     }
 
+    fn set_timers(&mut self, timers: MonitorTimers) {
+        // No retained history, so the sweep slot never records.
+        self.timers = timers;
+    }
+
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
         assert!(idx < self.preferences.len(), "user {user} out of range");
@@ -212,10 +229,13 @@ impl ContinuousMonitor for BaselineSwMonitor {
         // Replaying the window oldest-first rebuilds exactly the frontier
         // and Pareto frontier buffer (Def. 7.4) a from-start user with the
         // new preference would hold over the current window.
-        for object in self.window.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-            refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
-        }
+        let timer = self.timers.backfill.clone();
+        timed(timer.as_ref(), || {
+            for object in self.window.iter() {
+                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+                refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+            }
+        });
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
         self.frontiers[idx] = frontier;
@@ -273,6 +293,9 @@ pub struct FilterThenVerifySwMonitor {
     approx: Option<ApproxConfig>,
     window: SlidingWindow,
     stats: MonitorStats,
+    /// Optional latency histograms (see [`MonitorTimers`]); disabled slots
+    /// cost nothing.
+    timers: MonitorTimers,
 }
 
 impl FilterThenVerifySwMonitor {
@@ -392,6 +415,7 @@ impl FilterThenVerifySwMonitor {
             approx,
             window: SlidingWindow::new(window_size),
             stats: MonitorStats::new(),
+            timers: MonitorTimers::disabled(),
         }
     }
 
@@ -559,26 +583,29 @@ impl FilterThenVerifySwMonitor {
 
 impl ContinuousMonitor for FilterThenVerifySwMonitor {
     fn process(&mut self, object: Object) -> Arrival {
-        let event = self.window.push(object.clone());
-        if let Some(expired) = &event.expired {
-            self.expire(expired);
-        }
-        let mut targets = Vec::new();
-        for cluster in &mut self.clusters {
-            targets.extend(Self::arrive_cluster(
-                &self.compiled,
-                &mut self.user_frontiers,
-                cluster,
-                &object,
-                &mut self.stats,
-            ));
-        }
-        targets.sort_unstable();
-        self.stats.record_arrival(targets.len());
-        Arrival {
-            object: object.id(),
-            target_users: targets,
-        }
+        let timer = self.timers.arrival.clone();
+        timed(timer.as_ref(), || {
+            let event = self.window.push(object.clone());
+            if let Some(expired) = &event.expired {
+                self.expire(expired);
+            }
+            let mut targets = Vec::new();
+            for cluster in &mut self.clusters {
+                targets.extend(Self::arrive_cluster(
+                    &self.compiled,
+                    &mut self.user_frontiers,
+                    cluster,
+                    &object,
+                    &mut self.stats,
+                ));
+            }
+            targets.sort_unstable();
+            self.stats.record_arrival(targets.len());
+            Arrival {
+                object: object.id(),
+                target_users: targets,
+            }
+        })
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
@@ -596,9 +623,12 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
         let compiled = preference.compile();
         // Backfill the user's own frontier from the alive objects.
         let mut frontier = Frontier::new();
-        for object in self.window.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        let timer = self.timers.backfill.clone();
+        timed(timer.as_ref(), || {
+            for object in self.window.iter() {
+                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+            }
+        });
         self.preferences.push(preference);
         self.compiled.push(compiled);
         self.user_frontiers.push(frontier);
@@ -634,9 +664,12 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
         // new preference.
         let compiled = preference.compile();
         let mut frontier = Frontier::new();
-        for object in self.window.iter() {
-            update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-        }
+        let timer = self.timers.backfill.clone();
+        timed(timer.as_ref(), || {
+            for object in self.window.iter() {
+                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+            }
+        });
         self.preferences[idx] = preference;
         self.compiled[idx] = compiled;
         self.user_frontiers[idx] = frontier;
@@ -715,6 +748,11 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             user,
         );
         Some(moved)
+    }
+
+    fn set_timers(&mut self, timers: MonitorTimers) {
+        // No retained history, so the sweep slot never records.
+        self.timers = timers;
     }
 
     fn stats(&self) -> MonitorStats {

@@ -4,6 +4,7 @@
 //! pm-server [--addr HOST:PORT] [--shards N] [--queue BATCHES]
 //!           [--backend SPEC] [--profile movie|publication]
 //!           [--users N] [--interactions N] [--seed N] [--history N]
+//!           [--no-metrics] [--slow-op-ms MS] [--log SPEC]
 //! ```
 //!
 //! The user population (preferences) is simulated with `pm-datagen`; objects
@@ -12,11 +13,13 @@
 //! ```text
 //! $ cargo run --release --bin pm-server -- --users 100 --shards 4 &
 //! $ printf 'INGEST 1,2,3,4\nSTATS\nQUIT\n' | nc 127.0.0.1 7878
+//! $ printf 'METRICS\nQUIT\n' | nc 127.0.0.1 7878   # Prometheus exposition
 //! ```
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pm_datagen::{Dataset, DatasetProfile};
 use pm_engine::{BackendSpec, EngineConfig, EngineService, ServerConfig, ShardedEngine};
@@ -74,7 +77,20 @@ OPTIONS:
     --interactions N     interactions per user  [default: 60]
     --seed N             dataset RNG seed       [default: 42]
     --history N          QUERY-able arrivals    [default: 4096]
+    --no-metrics         drop the metrics bundle: METRICS answers ERR,
+                         STATS reports zero latency percentiles, and even
+                         the (lock-free) recording overhead is gone
+    --slow-op-ms MS      warn-log ingest batches slower than MS
+                         milliseconds with their stage breakdown; 0
+                         disables the slow-op log  [default: 100]
+    --log SPEC           log filter, same syntax as PM_LOG: a level
+                         (off|error|warn|info|debug) optionally followed
+                         by `,json` for JSON-lines output; overrides the
+                         PM_LOG environment variable  [default: warn]
     --help               print this help
+
+Logs go to stderr. Scrape metrics with e.g.:
+    printf 'METRICS\\nQUIT\\n' | nc 127.0.0.1 7878
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -84,6 +100,10 @@ fn parse_args() -> Result<Options, String> {
         if flag == "--help" || flag == "-h" {
             print!("{USAGE}");
             std::process::exit(0);
+        }
+        if flag == "--no-metrics" {
+            opts.engine.metrics = false;
+            continue;
         }
         let value = args
             .next()
@@ -117,6 +137,11 @@ fn parse_args() -> Result<Options, String> {
             "--history" => {
                 opts.server.history = value.parse().map_err(|e| format!("--history: {e}"))?
             }
+            "--slow-op-ms" => {
+                let ms: u64 = value.parse().map_err(|e| format!("--slow-op-ms: {e}"))?;
+                opts.server.slow_op = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--log" => pm_obs::log::set_config_spec(&value),
             other => return Err(format!("unknown flag `{other}` (see --help)")),
         }
     }
@@ -127,14 +152,19 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(e) => {
+            // Usage errors go straight to stderr: the logger is leveled and
+            // a typo'd flag must be visible regardless of PM_LOG.
             eprintln!("pm-server: {e}");
             return ExitCode::FAILURE;
         }
     };
 
-    eprintln!(
-        "pm-server: simulating {} users ({} profile, seed {})...",
-        opts.users, opts.profile.name, opts.seed
+    pm_obs::info!(
+        "pm_server",
+        "simulating user population",
+        users = opts.users,
+        profile = opts.profile.name,
+        seed = opts.seed,
     );
     let profile = opts
         .profile
@@ -145,32 +175,41 @@ fn main() -> ExitCode {
     let dataset = Dataset::generate(&profile, opts.seed);
     let arity = dataset.dimensions();
 
-    eprintln!(
-        "pm-server: starting {} shard(s), backend {}, queue {} batch(es)/shard",
-        opts.engine.shards, opts.backend, opts.engine.queue_capacity
+    pm_obs::info!(
+        "pm_server",
+        "starting engine",
+        shards = opts.engine.shards,
+        backend = opts.backend,
+        queue_capacity = opts.engine.queue_capacity,
+        metrics = opts.engine.metrics,
     );
     let engine = ShardedEngine::new(dataset.preferences, &opts.engine, &opts.backend);
-    let service = Arc::new(EngineService::new(
-        engine,
-        opts.backend.clone(),
-        arity,
-        opts.server.history,
-    ));
+    let service = Arc::new(
+        EngineService::new(engine, opts.backend.clone(), arity, opts.server.history)
+            .with_slow_op(opts.server.slow_op),
+    );
 
     let listener = match TcpListener::bind(&opts.server.addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("pm-server: cannot bind {}: {e}", opts.server.addr);
+            pm_obs::error!(
+                "pm_server",
+                "cannot bind",
+                addr = opts.server.addr,
+                error = e
+            );
             return ExitCode::FAILURE;
         }
     };
+    // The startup banner is load-bearing (scripts wait for it), so it is
+    // printed unconditionally rather than behind the info level.
     eprintln!(
         "pm-server: listening on {} ({} attributes per object; \
-         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UPDATE/UNREGISTER/STATS/HEALTH/QUIT)",
+         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UPDATE/UNREGISTER/STATS/METRICS/HEALTH/QUIT)",
         opts.server.addr, arity
     );
     if let Err(e) = pm_engine::server::serve(listener, service) {
-        eprintln!("pm-server: accept loop failed: {e}");
+        pm_obs::error!("pm_server", "accept loop failed", error = e);
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

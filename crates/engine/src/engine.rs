@@ -5,14 +5,16 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pm_core::{Arrival, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
+use pm_obs::WindowedRate;
 use pm_porder::Preference;
 
 use crate::backend::BackendSpec;
 use crate::metrics::{EngineSnapshot, ShardSnapshot};
+use crate::obs::EngineMetrics;
 use crate::shard::{BoxedMonitor, ShardBatchReply, ShardCmd, ShardWorker};
 
 /// Sizing knobs of a [`ShardedEngine`].
@@ -23,20 +25,35 @@ pub struct EngineConfig {
     /// Capacity of each shard's inbox, in batches. Ingestion blocks once a
     /// shard is this many batches behind (backpressure).
     pub queue_capacity: usize,
+    /// Whether the engine carries an [`EngineMetrics`] bundle: per-verb
+    /// and per-stage latency histograms, per-shard gauges and the
+    /// Prometheus `METRICS` exposition. Recording is lock-free atomics, so
+    /// the default is on; switch it off to measure (or avoid) even that
+    /// overhead — `METRICS` then answers `ERR` and STATS reports zero
+    /// latency percentiles.
+    pub metrics: bool,
 }
 
 impl EngineConfig {
-    /// A config with `shards` workers and the default queue capacity.
+    /// A config with `shards` workers, the default queue capacity and
+    /// metrics on.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
             queue_capacity: 16,
+            metrics: true,
         }
     }
 
     /// Overrides the per-shard inbox capacity (in batches).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Switches the metrics bundle on or off (see [`EngineConfig::metrics`]).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -125,6 +142,13 @@ pub struct ShardedEngine {
     /// clones and channel sends that would be no-ops.
     broadcast_observes: bool,
     started: Instant,
+    /// Arrivals over the last ~10 seconds, for the windowed recent rate in
+    /// STATS and METRICS. Always maintained (one relaxed atomic add per
+    /// awaited batch), independent of the `metrics` switch.
+    recent: WindowedRate,
+    /// The metric bundle, present when built with
+    /// [`EngineConfig::metrics`] on.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl ShardedEngine {
@@ -138,6 +162,7 @@ impl ShardedEngine {
             config,
             |prefs| spec.build(prefs),
             spec.compacts_history(),
+            &spec.to_string(),
         )
     }
 
@@ -153,7 +178,7 @@ impl ShardedEngine {
     where
         F: FnMut(&[Preference]) -> BoxedMonitor,
     {
-        Self::build_with_factory(preferences, config, factory, true)
+        Self::build_with_factory(preferences, config, factory, true, "custom")
     }
 
     fn build_with_factory<F>(
@@ -161,11 +186,15 @@ impl ShardedEngine {
         config: &EngineConfig,
         mut factory: F,
         broadcast_observes: bool,
+        backend_label: &str,
     ) -> Self
     where
         F: FnMut(&[Preference]) -> BoxedMonitor,
     {
         assert!(config.shards > 0, "engine needs at least one shard");
+        let metrics = config
+            .metrics
+            .then(|| Arc::new(EngineMetrics::new(backend_label, config.shards)));
         let num_users = preferences.len();
         // Only compacting backends read the full preference list (to seed
         // every shard's universe); skip the deep clone otherwise.
@@ -198,6 +227,11 @@ impl ShardedEngine {
                     monitor.observe_preference(preference);
                 }
             }
+            // Every shard's monitor records into the same engine-wide timer
+            // histograms (recording is lock-free, so sharing beats merging).
+            if let Some(metrics) = &metrics {
+                monitor.set_timers(metrics.timers());
+            }
             let depth = Arc::new(AtomicUsize::new(0));
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
             let worker = ShardWorker {
@@ -205,6 +239,8 @@ impl ShardedEngine {
                 monitor,
                 global_users: shard_users[shard].clone(),
                 queue_depth: Arc::clone(&depth),
+                queue_wait: metrics.as_ref().map(|m| Arc::clone(&m.stage_queue_wait)),
+                apply: metrics.as_ref().map(|m| Arc::clone(&m.stage_shard_apply)),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("pm-shard-{shard}"))
@@ -227,7 +263,25 @@ impl ShardedEngine {
             updates: AtomicU64::new(0),
             broadcast_observes,
             started: Instant::now(),
+            recent: WindowedRate::new(),
+            metrics,
         }
+    }
+
+    /// The engine's metric bundle, when built with
+    /// [`EngineConfig::metrics`] on. The serving layer records its per-verb
+    /// request metrics into the same bundle so one `METRICS` scrape covers
+    /// both layers.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Renders the Prometheus text-format exposition, refreshing the
+    /// gauges from a fresh [`Self::snapshot`] first. `None` when the
+    /// engine was built without metrics.
+    pub fn render_metrics(&self) -> Option<String> {
+        let metrics = self.metrics.as_ref()?;
+        Some(metrics.render(&self.snapshot()))
     }
 
     /// Builds an engine with no initial users; populate it with
@@ -435,22 +489,37 @@ impl ShardedEngine {
     pub fn submit_batch(&self, objects: Vec<Object>) -> BatchTicket<'_> {
         let batch = Arc::new(objects);
         let (reply_tx, reply_rx) = mpsc::channel();
+        let submitted = Instant::now();
+        let mut lock_hold = Duration::ZERO;
         if !batch.is_empty() {
-            let senders = lock_recovering(&self.senders);
-            for (shard, sender) in senders.iter().enumerate() {
-                self.queue_depths[shard].fetch_add(1, Ordering::AcqRel);
-                sender
-                    .send(ShardCmd::Batch {
-                        objects: Arc::clone(&batch),
-                        reply: reply_tx.clone(),
-                    })
-                    .expect("shard worker terminated");
+            let enqueued = Instant::now();
+            {
+                let senders = lock_recovering(&self.senders);
+                for (shard, sender) in senders.iter().enumerate() {
+                    self.queue_depths[shard].fetch_add(1, Ordering::AcqRel);
+                    sender
+                        .send(ShardCmd::Batch {
+                            objects: Arc::clone(&batch),
+                            enqueued,
+                            reply: reply_tx.clone(),
+                        })
+                        .expect("shard worker terminated");
+                }
+            }
+            // The hold time includes any backpressure blocking inside
+            // `send` — that is precisely the time other submitters were
+            // barred from the ordering lock.
+            lock_hold = enqueued.elapsed();
+            if let Some(metrics) = &self.metrics {
+                metrics.stage_lock_hold.record_duration(lock_hold);
             }
         }
         BatchTicket {
             engine: self,
             batch,
             reply_rx,
+            submitted,
+            lock_hold,
         }
     }
 
@@ -578,6 +647,18 @@ impl ShardedEngine {
             .collect();
         let uptime = self.started.elapsed();
         let ingested = self.ingested.load(Ordering::Relaxed);
+        let to_us = |ns: u64| ns as f64 / 1_000.0;
+        let (p50, p95, p99) = match &self.metrics {
+            Some(metrics) => {
+                let hist = metrics.ingest_batch.snapshot();
+                (
+                    to_us(hist.quantile(0.50)),
+                    to_us(hist.quantile(0.95)),
+                    to_us(hist.quantile(0.99)),
+                )
+            }
+            None => (0.0, 0.0, 0.0),
+        };
         EngineSnapshot {
             shards,
             users: users_per_shard.iter().sum(),
@@ -586,6 +667,10 @@ impl ShardedEngine {
             unregistrations: self.unregistrations.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             uptime,
+            recent_arrivals_per_sec: self.recent.rate(),
+            ingest_p50_us: p50,
+            ingest_p95_us: p95,
+            ingest_p99_us: p99,
         }
     }
 }
@@ -598,15 +683,44 @@ pub struct BatchTicket<'a> {
     engine: &'a ShardedEngine,
     batch: Arc<Vec<Object>>,
     reply_rx: mpsc::Receiver<ShardBatchReply>,
+    submitted: Instant,
+    lock_hold: Duration,
+}
+
+/// Stage timings of one awaited ingest batch, as returned by
+/// [`BatchTicket::wait_timed`]. The serving layer uses them for the
+/// slow-op log; the per-stage histograms are recorded engine-side
+/// regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestTiming {
+    /// Time the ordering lock was held while enqueueing (includes any
+    /// backpressure blocking).
+    pub lock_hold: Duration,
+    /// Time spent collecting and merging the per-shard replies.
+    pub fan_in: Duration,
+    /// Submit-to-merged-arrivals latency of the whole batch.
+    pub total: Duration,
 }
 
 impl BatchTicket<'_> {
     /// Blocks until every shard has processed the batch and fans the
     /// disjoint per-shard target-user sets into one [`Arrival`] per object.
     pub fn wait(self) -> Vec<Arrival> {
+        self.wait_timed().0
+    }
+
+    /// Like [`BatchTicket::wait`], but also reports the batch's stage
+    /// timings.
+    pub fn wait_timed(self) -> (Vec<Arrival>, IngestTiming) {
+        let timing = IngestTiming {
+            lock_hold: self.lock_hold,
+            fan_in: Duration::ZERO,
+            total: Duration::ZERO,
+        };
         if self.batch.is_empty() {
-            return Vec::new();
+            return (Vec::new(), timing);
         }
+        let fan_in_start = Instant::now();
         let shards = self.engine.num_shards();
         let mut per_shard: Vec<Option<Vec<Vec<UserId>>>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
@@ -638,7 +752,17 @@ impl BatchTicket<'_> {
         self.engine
             .ingested
             .fetch_add(self.batch.len() as u64, Ordering::Relaxed);
-        arrivals
+        self.engine.recent.record(self.batch.len() as u64);
+        let timing = IngestTiming {
+            lock_hold: self.lock_hold,
+            fan_in: fan_in_start.elapsed(),
+            total: self.submitted.elapsed(),
+        };
+        if let Some(metrics) = &self.engine.metrics {
+            metrics.stage_fan_in.record_duration(timing.fan_in);
+            metrics.ingest_batch.record_duration(timing.total);
+        }
+        (arrivals, timing)
     }
 }
 

@@ -36,7 +36,13 @@
 //!   user-partition skew.
 //! * [`server`] exposes the engine over TCP with a newline-delimited text
 //!   protocol (`INGEST`, `EXPIRE`, `QUERY`, `FRONTIER`, `REGISTER`,
-//!   `UNREGISTER`, `STATS`, `HEALTH`), served by the `pm-server` binary.
+//!   `UNREGISTER`, `STATS`, `METRICS`, `HEALTH`), served by the
+//!   `pm-server` binary.
+//! * [`obs`] wires the `pm-obs` observability layer through every one of
+//!   those paths: per-verb request counters and latency histograms, a
+//!   per-stage split of the ingest pipeline (parse, ordering-lock hold,
+//!   shard queue wait, shard apply, fan-in), monitor-level timers, and the
+//!   `METRICS` verb's Prometheus text-format exposition.
 //!
 //! Everything is `std`-only: threads and channels, no async runtime.
 
@@ -46,13 +52,15 @@
 pub mod backend;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 mod shard;
 
 pub use backend::BackendSpec;
-pub use engine::{shard_of, BatchTicket, EngineConfig, ShardedEngine};
+pub use engine::{shard_of, BatchTicket, EngineConfig, IngestTiming, ShardedEngine};
 pub use metrics::{EngineSnapshot, ShardSnapshot};
+pub use obs::{EngineMetrics, Verb};
 pub use pm_core::HistoryMode;
 pub use protocol::{parse_request, Request};
 pub use server::{EngineService, ServerConfig};

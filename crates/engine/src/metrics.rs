@@ -36,11 +36,24 @@ pub struct EngineSnapshot {
     pub updates: u64,
     /// Time since the engine was built.
     pub uptime: Duration,
+    /// Arrivals per second over the last ~10 seconds (a ring of per-second
+    /// buckets), as opposed to the lifetime average of
+    /// [`EngineSnapshot::arrivals_per_sec`]: an idle engine decays to 0
+    /// here while the lifetime average only dilutes.
+    pub recent_arrivals_per_sec: f64,
+    /// Median submit-to-fan-in latency of ingest batches, in microseconds
+    /// (0 when the engine runs without metrics or nothing was ingested).
+    pub ingest_p50_us: f64,
+    /// 95th-percentile ingest batch latency, in microseconds.
+    pub ingest_p95_us: f64,
+    /// 99th-percentile ingest batch latency, in microseconds.
+    pub ingest_p99_us: f64,
 }
 
 impl EngineSnapshot {
-    /// Ingestion throughput since the engine was built, in arrivals per
-    /// second.
+    /// Lifetime ingestion throughput since the engine was built, in
+    /// arrivals per second. See
+    /// [`EngineSnapshot::recent_arrivals_per_sec`] for the windowed rate.
     pub fn arrivals_per_sec(&self) -> f64 {
         let secs = self.uptime.as_secs_f64();
         if secs <= 0.0 {
@@ -138,12 +151,18 @@ impl fmt::Display for EngineSnapshot {
             .collect();
         write!(
             f,
-            "ingested={} arrivals_per_sec={:.1} users={} shards={} shard_users={} skew={:.2} \
+            "ingested={} arrivals_per_sec={:.1} recent_arrivals_per_sec={:.1} \
+             ingest_p50_us={:.0} ingest_p95_us={:.0} ingest_p99_us={:.0} \
+             users={} shards={} shard_users={} skew={:.2} \
              registrations={} unregistrations={} updates={} \
              comparisons={} notifications={} expirations={} \
              history_objects={} history_saved={} queue_depths={}",
             self.ingested,
             self.arrivals_per_sec(),
+            self.recent_arrivals_per_sec,
+            self.ingest_p50_us,
+            self.ingest_p95_us,
+            self.ingest_p99_us,
             self.users,
             self.shards.len(),
             join(users),
@@ -176,17 +195,26 @@ mod tests {
         }
     }
 
-    #[test]
-    fn skew_of_perfect_split_is_one() {
-        let snap = EngineSnapshot {
-            shards: vec![shard(0, 5, 10), shard(1, 5, 20)],
-            users: 10,
-            ingested: 7,
+    fn snapshot(shards: Vec<ShardSnapshot>, users: usize, ingested: u64) -> EngineSnapshot {
+        EngineSnapshot {
+            shards,
+            users,
+            ingested,
             registrations: 0,
             unregistrations: 0,
             updates: 0,
-            uptime: Duration::from_secs(1),
-        };
+            uptime: Duration::ZERO,
+            recent_arrivals_per_sec: 0.0,
+            ingest_p50_us: 0.0,
+            ingest_p95_us: 0.0,
+            ingest_p99_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn skew_of_perfect_split_is_one() {
+        let mut snap = snapshot(vec![shard(0, 5, 10), shard(1, 5, 20)], 10, 7);
+        snap.uptime = Duration::from_secs(1);
         assert!((snap.shard_skew() - 1.0).abs() < 1e-9);
         assert_eq!(snap.total_comparisons(), 30);
         assert!((snap.arrivals_per_sec() - 7.0).abs() < 1e-9);
@@ -194,32 +222,30 @@ mod tests {
 
     #[test]
     fn skew_grows_with_imbalance() {
-        let snap = EngineSnapshot {
-            shards: vec![shard(0, 9, 0), shard(1, 1, 0)],
-            users: 10,
-            ingested: 0,
-            registrations: 0,
-            unregistrations: 0,
-            updates: 0,
-            uptime: Duration::ZERO,
-        };
+        let snap = snapshot(vec![shard(0, 9, 0), shard(1, 1, 0)], 10, 0);
         assert!((snap.shard_skew() - 1.8).abs() < 1e-9);
         assert_eq!(snap.arrivals_per_sec(), 0.0);
     }
 
     #[test]
     fn empty_engine_snapshot_is_well_defined() {
-        let snap = EngineSnapshot {
-            shards: vec![],
-            users: 0,
-            ingested: 0,
-            registrations: 0,
-            unregistrations: 0,
-            updates: 0,
-            uptime: Duration::ZERO,
-        };
+        let snap = snapshot(vec![], 0, 0);
         assert_eq!(snap.shard_skew(), 0.0);
         assert_eq!(snap.expirations(), 0);
         assert!(snap.to_string().contains("ingested=0"));
+    }
+
+    #[test]
+    fn display_reports_latency_percentiles_and_recent_rate() {
+        let mut snap = snapshot(vec![shard(0, 1, 0)], 1, 100);
+        snap.recent_arrivals_per_sec = 12.34;
+        snap.ingest_p50_us = 150.0;
+        snap.ingest_p95_us = 900.0;
+        snap.ingest_p99_us = 2048.4;
+        let text = snap.to_string();
+        assert!(text.contains("recent_arrivals_per_sec=12.3"), "{text}");
+        assert!(text.contains("ingest_p50_us=150"), "{text}");
+        assert!(text.contains("ingest_p95_us=900"), "{text}");
+        assert!(text.contains("ingest_p99_us=2048"), "{text}");
     }
 }

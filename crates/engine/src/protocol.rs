@@ -18,9 +18,14 @@
 //!                             is touched
 //! UNREGISTER <user>           remove a registered user
 //! STATS                       engine metrics snapshot
+//! METRICS                     Prometheus text-format exposition
 //! HEALTH                      liveness + engine identity
 //! QUIT                        close the connection
 //! ```
+//!
+//! Every response is a single `OK`/`ERR` line except `METRICS`, whose `OK
+//! METRICS <bytes>` header line is followed by `<bytes>` bytes of
+//! Prometheus text-format 0.0.4 exposition and one terminating blank line.
 //!
 //! Ids may be written bare (`QUERY 17`) or with the display prefix of the
 //! id type (`QUERY o17`, `FRONTIER c3`, `REGISTER c9 ...`). Responses are
@@ -60,6 +65,8 @@ pub enum Request {
     Unregister(UserId),
     /// Report an engine metrics snapshot.
     Stats,
+    /// Report the Prometheus text-format metrics exposition.
+    Metrics,
     /// Liveness check.
     Health,
     /// Close the connection.
@@ -171,16 +178,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Update { user, rows })
         }
         "UNREGISTER" => parse_user(rest).map(Request::Unregister),
-        "STATS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
+        "STATS" | "METRICS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
             Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
         }
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
         "HEALTH" => Ok(Request::Health),
         "QUIT" => Ok(Request::Quit),
         "" => Err("empty request".to_owned()),
         other => Err(format!(
             "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
-             UPDATE, UNREGISTER, STATS, HEALTH or QUIT)"
+             UPDATE, UNREGISTER, STATS, METRICS, HEALTH or QUIT)"
         )),
     }
 }
@@ -253,11 +261,14 @@ mod tests {
     #[test]
     fn parses_nullary_verbs() {
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("health"), Ok(Request::Health));
         assert_eq!(parse_request("  QUIT  "), Ok(Request::Quit));
         assert_eq!(parse_request("EXPIRE"), Ok(Request::Expire));
         assert!(parse_request("EXPIRE now").is_err());
         assert!(parse_request("STATS verbose").is_err());
+        assert!(parse_request("METRICS 0.0.4").is_err());
         assert!(parse_request("HEALTH ?").is_err());
         assert!(parse_request("QUIT QUIT").is_err());
         assert!(parse_request("").is_err());

@@ -6,6 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use pm_core::Arrival;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
@@ -13,6 +14,7 @@ use pm_porder::Preference;
 
 use crate::backend::BackendSpec;
 use crate::engine::{shard_of, ShardedEngine};
+use crate::obs::{EngineMetrics, Verb};
 use crate::protocol::{format_objects, format_users, parse_request, Request};
 
 /// Configuration of the serving layer (see `pm-server --help`).
@@ -22,6 +24,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// How many recently ingested objects `QUERY` can look up.
     pub history: usize,
+    /// Ingest batches slower than this are logged at `warn` level with
+    /// their stage breakdown (and counted in `pm_slow_ops_total`). `None`
+    /// disables the slow-op log.
+    pub slow_op: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +35,7 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:7878".to_owned(),
             history: 4096,
+            slow_op: Some(Duration::from_millis(100)),
         }
     }
 }
@@ -49,6 +56,12 @@ pub struct EngineService {
     arity: usize,
     history: usize,
     ingest: Mutex<IngestState>,
+    /// The engine's metric bundle, shared so the serving layer records its
+    /// per-verb request metrics into the same registry `METRICS` renders.
+    /// `None` when the engine was built without metrics.
+    metrics: Option<Arc<EngineMetrics>>,
+    /// Slow-op threshold (see [`ServerConfig::slow_op`]).
+    slow_op: Option<Duration>,
 }
 
 /// Locks the ingest state, recovering from poisoning: one connection
@@ -64,6 +77,7 @@ impl EngineService {
     /// object must carry; `history` bounds how many recent arrivals `QUERY`
     /// can see.
     pub fn new(engine: ShardedEngine, backend: BackendSpec, arity: usize, history: usize) -> Self {
+        let metrics = engine.metrics().map(Arc::clone);
         Self {
             engine,
             backend,
@@ -74,7 +88,15 @@ impl EngineService {
                 order: VecDeque::new(),
                 targets: HashMap::new(),
             }),
+            metrics,
+            slow_op: ServerConfig::default().slow_op,
         }
+    }
+
+    /// Overrides the slow-op threshold (`None` disables the slow-op log).
+    pub fn with_slow_op(mut self, slow_op: Option<Duration>) -> Self {
+        self.slow_op = slow_op;
+        self
     }
 
     /// The wrapped engine.
@@ -113,7 +135,23 @@ impl EngineService {
                 .collect();
             self.engine.submit_batch(objects)
         };
-        let arrivals = ticket.wait();
+        let (arrivals, timing) = ticket.wait_timed();
+        if let Some(threshold) = self.slow_op {
+            if timing.total >= threshold {
+                if let Some(metrics) = &self.metrics {
+                    metrics.slow_ops.inc();
+                }
+                pm_obs::warn!(
+                    "pm_engine::server",
+                    "slow ingest batch",
+                    objects = arrivals.len(),
+                    total_us = timing.total.as_micros(),
+                    lock_hold_us = timing.lock_hold.as_micros(),
+                    fan_in_us = timing.fan_in.as_micros(),
+                    threshold_us = threshold.as_micros(),
+                );
+            }
+        }
         // Concurrent batches may record their history slightly out of id
         // order; the eviction bound still holds and each object is recorded
         // exactly once.
@@ -194,9 +232,26 @@ impl EngineService {
         Ok(shard_of(user, self.engine.num_shards()))
     }
 
-    /// Handles one parsed request, returning the response line (without the
-    /// trailing newline).
+    /// Handles one parsed request, returning the response (without the
+    /// trailing newline). Single-line except `METRICS` (see
+    /// [`crate::protocol`]). Records the per-verb request counter and
+    /// latency histogram when the engine carries metrics.
     pub fn respond(&self, request: Request) -> String {
+        let verb = Verb::of(&request);
+        let start = Instant::now();
+        let response = self.respond_inner(request);
+        if let Some(metrics) = &self.metrics {
+            if let Some(verb) = verb {
+                metrics.record_request(verb, start.elapsed());
+            }
+            if response.starts_with("ERR") {
+                metrics.record_error();
+            }
+        }
+        response
+    }
+
+    fn respond_inner(&self, request: Request) -> String {
         match request {
             Request::Ingest(rows) => match self.ingest(rows) {
                 Ok(arrivals) => {
@@ -249,6 +304,13 @@ impl EngineService {
                 let snapshot = self.engine.snapshot();
                 format!("OK STATS {snapshot}")
             }
+            Request::Metrics => match self.engine.render_metrics() {
+                // The header names the body's byte length so clients can
+                // read the multi-line exposition exactly; the connection
+                // loop's trailing newline yields the blank-line terminator.
+                Some(body) => format!("OK METRICS {}\n{body}", body.len()),
+                None => "ERR metrics are disabled on this engine".to_owned(),
+            },
             Request::Health => format!(
                 "OK HEALTH pm-server backend={} shards={} users={} uptime_ms={}",
                 self.backend,
@@ -260,9 +322,25 @@ impl EngineService {
         }
     }
 
+    /// Parses one request line, recording the ingest `parse` stage
+    /// histogram and counting unparseable lines as request errors.
+    fn parse_line(&self, line: &str) -> Result<Request, String> {
+        let start = Instant::now();
+        let parsed = parse_request(line);
+        if let Some(metrics) = &self.metrics {
+            if matches!(parsed, Ok(Request::Ingest(_))) {
+                metrics.stage_parse.record_duration(start.elapsed());
+            }
+            if parsed.is_err() {
+                metrics.record_error();
+            }
+        }
+        parsed
+    }
+
     /// Parses and handles one request line.
     pub fn respond_line(&self, line: &str) -> String {
-        match parse_request(line) {
+        match self.parse_line(line) {
             Ok(request) => self.respond(request),
             Err(e) => format!("ERR {e}"),
         }
@@ -283,7 +361,7 @@ pub fn handle_connection(stream: TcpStream, service: &EngineService) -> std::io:
         if line.trim().is_empty() {
             continue;
         }
-        let parsed = parse_request(&line);
+        let parsed = service.parse_line(&line);
         let quit = matches!(parsed, Ok(Request::Quit));
         let response = match parsed {
             Ok(request) => service.respond(request),
@@ -316,18 +394,34 @@ pub fn serve(listener: TcpListener, service: Arc<EngineService>) -> std::io::Res
             }
             Err(e) => {
                 consecutive_failures += 1;
-                eprintln!("pm-server: accept failed ({consecutive_failures} in a row): {e}");
+                pm_obs::warn!(
+                    "pm_engine::server",
+                    "accept failed",
+                    consecutive = consecutive_failures,
+                    error = e,
+                );
                 if consecutive_failures >= 16 {
+                    pm_obs::error!(
+                        "pm_engine::server",
+                        "giving up on listener after repeated accept failures",
+                        failures = consecutive_failures,
+                    );
                     return Err(e);
                 }
                 continue;
             }
         };
+        if let Some(metrics) = &service.metrics {
+            metrics.connections.inc();
+        }
+        if let Ok(peer) = stream.peer_addr() {
+            pm_obs::debug!("pm_engine::server", "connection accepted", peer = peer);
+        }
         let service = Arc::clone(&service);
         std::thread::spawn(move || {
             if let Err(e) = handle_connection(stream, &service) {
                 // Read/write failure on one connection: log and drop it.
-                eprintln!("pm-server: connection error: {e}");
+                pm_obs::warn!("pm_engine::server", "connection error", error = e);
             }
         });
     }

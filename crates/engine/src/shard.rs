@@ -12,9 +12,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pm_core::{ContinuousMonitor, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
+use pm_obs::LogHistogram;
 use pm_porder::Preference;
 
 /// A monitor that can be moved onto a shard worker thread.
@@ -30,6 +32,9 @@ pub(crate) enum ShardCmd {
     Batch {
         /// The batch, shared by all shards.
         objects: Arc<Vec<Object>>,
+        /// When the batch was enqueued, so the worker can report how long
+        /// it sat in the inbox (the `queue_wait` stage histogram).
+        enqueued: Instant,
         /// Where to send the per-shard reply.
         reply: Sender<ShardBatchReply>,
     },
@@ -88,6 +93,12 @@ pub(crate) struct ShardWorker {
     pub global_users: Vec<UserId>,
     /// Number of batches enqueued but not yet fully processed.
     pub queue_depth: Arc<AtomicUsize>,
+    /// Inbox dwell time of batches (`queue_wait` stage), shared with every
+    /// other shard; `None` when the engine runs without metrics.
+    pub queue_wait: Option<Arc<LogHistogram>>,
+    /// Per-batch monitor application time (`shard_apply` stage), shared
+    /// with every other shard; `None` when the engine runs without metrics.
+    pub apply: Option<Arc<LogHistogram>>,
 }
 
 impl ShardWorker {
@@ -102,7 +113,15 @@ impl ShardWorker {
             .collect();
         while let Ok(cmd) = inbox.recv() {
             match cmd {
-                ShardCmd::Batch { objects, reply } => {
+                ShardCmd::Batch {
+                    objects,
+                    enqueued,
+                    reply,
+                } => {
+                    if let Some(queue_wait) = &self.queue_wait {
+                        queue_wait.record_duration(enqueued.elapsed());
+                    }
+                    let apply_start = self.apply.as_ref().map(|_| Instant::now());
                     let targets = objects
                         .iter()
                         .map(|object| {
@@ -114,6 +133,9 @@ impl ShardWorker {
                                 .collect()
                         })
                         .collect();
+                    if let (Some(apply), Some(start)) = (&self.apply, apply_start) {
+                        apply.record_duration(start.elapsed());
+                    }
                     self.queue_depth.fetch_sub(1, Ordering::AcqRel);
                     let _ = reply.send(ShardBatchReply {
                         shard: self.shard,

@@ -1,0 +1,309 @@
+//! A leveled structured logger on stderr.
+//!
+//! One line per event, in either a human text format:
+//!
+//! ```text
+//! [1722960000.123 INFO pm_engine::server] accepted connection peer=127.0.0.1:9999
+//! ```
+//!
+//! or JSON lines (`{"ts":...,"level":"info","target":"...","msg":"...",...}`).
+//!
+//! Configuration comes from the `PM_LOG` environment variable, read once on
+//! first use: `PM_LOG=<level>` or `PM_LOG=<level>,json`, where `<level>` is
+//! one of `error`, `warn`, `info` (the default), `debug`, or `off`.
+//!
+//! Use through the macros:
+//!
+//! ```
+//! pm_obs::info!("pm_engine::server", "listening", addr = "127.0.0.1:7878");
+//! pm_obs::warn!("pm_core::history", "cap reached", evicted = 12);
+//! ```
+//!
+//! Field values go through `Display`. A level that is disabled costs one
+//! relaxed atomic load and never evaluates its field expressions.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; the server keeps running but work was lost.
+    Error = 1,
+    /// Something surprising that merits attention (slow ops, rejected input).
+    Warn = 2,
+    /// Lifecycle events: startup, shutdown, connections. The default level.
+    Info = 3,
+    /// Per-request detail; off unless explicitly enabled.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn as_json_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Packed config: low 3 bits = max enabled level (0 = off), bit 3 = JSON,
+/// bit 7 = initialized.
+static CONFIG: AtomicU8 = AtomicU8::new(0);
+const INIT_BIT: u8 = 0x80;
+const JSON_BIT: u8 = 0x08;
+const LEVEL_MASK: u8 = 0x07;
+
+fn parse_config(spec: &str) -> u8 {
+    let mut max_level = Level::Info as u8;
+    let mut json = false;
+    for part in spec.split(',') {
+        match part.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => max_level = 0,
+            "error" => max_level = Level::Error as u8,
+            "warn" => max_level = Level::Warn as u8,
+            "info" => max_level = Level::Info as u8,
+            "debug" => max_level = Level::Debug as u8,
+            "json" => json = true,
+            "text" | "" => {}
+            other => {
+                // Mis-spelled PM_LOG should not silently swallow logs.
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "pm_obs: ignoring unknown PM_LOG token `{other}`"
+                );
+            }
+        }
+    }
+    INIT_BIT | (if json { JSON_BIT } else { 0 }) | (max_level & LEVEL_MASK)
+}
+
+fn config() -> u8 {
+    let current = CONFIG.load(Ordering::Relaxed);
+    if current & INIT_BIT != 0 {
+        return current;
+    }
+    let parsed = match std::env::var("PM_LOG") {
+        Ok(spec) => parse_config(&spec),
+        Err(_) => INIT_BIT | Level::Info as u8,
+    };
+    // Racing initializers parse the same env var to the same value.
+    CONFIG.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Applies a `PM_LOG`-syntax spec (e.g. the value of a `--log` CLI flag),
+/// overriding any environment-derived configuration.
+pub fn set_config_spec(spec: &str) {
+    CONFIG.store(parse_config(spec), Ordering::Relaxed);
+}
+
+/// Overrides the `PM_LOG`-derived configuration (e.g. from a CLI flag).
+pub fn set_config(max_level: Option<Level>, json: bool) {
+    let level = max_level.map_or(0, |l| l as u8);
+    CONFIG.store(
+        INIT_BIT | (if json { JSON_BIT } else { 0 }) | level,
+        Ordering::Relaxed,
+    );
+}
+
+/// Whether `level` is currently enabled. Cheap: one atomic load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (config() & LEVEL_MASK) >= level as u8
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats one log line (without trailing newline). Pure — exposed so tests
+/// can pin the format without capturing stderr. `ts_millis` is milliseconds
+/// since the Unix epoch.
+pub fn format_line(
+    ts_millis: u64,
+    json: bool,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, String)],
+) -> String {
+    let mut line = String::with_capacity(64 + msg.len());
+    if json {
+        let _ = write!(
+            line,
+            "{{\"ts\":{}.{:03},\"level\":\"{}\",\"target\":\"",
+            ts_millis / 1000,
+            ts_millis % 1000,
+            level.as_json_str()
+        );
+        escape_json_into(&mut line, target);
+        line.push_str("\",\"msg\":\"");
+        escape_json_into(&mut line, msg);
+        line.push('"');
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_json_into(&mut line, key);
+            line.push_str("\":\"");
+            escape_json_into(&mut line, value);
+            line.push('"');
+        }
+        line.push('}');
+    } else {
+        let _ = write!(
+            line,
+            "[{}.{:03} {} {}] {}",
+            ts_millis / 1000,
+            ts_millis % 1000,
+            level.as_str(),
+            target,
+            msg
+        );
+        for (key, value) in fields {
+            let _ = write!(line, " {key}={value}");
+        }
+    }
+    line
+}
+
+/// Emits one log line to stderr if `level` is enabled. Called by the
+/// macros; prefer those.
+pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    let cfg = config();
+    if (cfg & LEVEL_MASK) < level as u8 {
+        return;
+    }
+    let ts_millis = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let line = format_line(ts_millis, cfg & JSON_BIT != 0, level, target, msg, fields);
+    // One locked write per line keeps concurrent lines intact.
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = writeln!(handle, "{line}");
+}
+
+/// Logs at an explicit [`Level`]:
+/// `log!(Level::Info, "target", "message", key = value, ...)`.
+/// Field expressions are not evaluated when the level is disabled.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::emit(
+                $level,
+                $target,
+                $msg,
+                &[$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Error`]. See [`log!`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log!($crate::Level::Error, $($arg)*) };
+}
+
+/// Logs at [`Level::Warn`]. See [`log!`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log!($crate::Level::Warn, $($arg)*) };
+}
+
+/// Logs at [`Level::Info`]. See [`log!`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log!($crate::Level::Info, $($arg)*) };
+}
+
+/// Logs at [`Level::Debug`]. See [`log!`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log!($crate::Level::Debug, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_is_stable() {
+        let line = format_line(
+            1_722_960_000_123,
+            false,
+            Level::Info,
+            "pm_engine::server",
+            "listening",
+            &[
+                ("addr", "127.0.0.1:7878".to_owned()),
+                ("shards", "4".to_owned()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "[1722960000.123 INFO pm_engine::server] listening addr=127.0.0.1:7878 shards=4"
+        );
+    }
+
+    #[test]
+    fn json_format_is_stable_and_escaped() {
+        let line = format_line(
+            7_001,
+            true,
+            Level::Warn,
+            "pm_core",
+            "bad \"input\"",
+            &[("raw", "a\nb".to_owned())],
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":7.001,\"level\":\"warn\",\"target\":\"pm_core\",\
+             \"msg\":\"bad \\\"input\\\"\",\"raw\":\"a\\nb\"}"
+        );
+    }
+
+    #[test]
+    fn parse_config_handles_level_and_json() {
+        assert_eq!(parse_config("debug") & LEVEL_MASK, Level::Debug as u8);
+        assert_eq!(parse_config("off") & LEVEL_MASK, 0);
+        assert_eq!(parse_config("warn,json") & JSON_BIT, JSON_BIT);
+        assert_eq!(parse_config("warn,json") & LEVEL_MASK, Level::Warn as u8);
+        // Unknown tokens keep the default level.
+        assert_eq!(parse_config("verbose") & LEVEL_MASK, Level::Info as u8);
+    }
+
+    #[test]
+    fn levels_order_from_severe_to_chatty() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

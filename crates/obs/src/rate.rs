@@ -1,0 +1,168 @@
+//! A windowed events-per-second rate.
+//!
+//! The engine's lifetime `arrivals_per_sec` (total ingested / uptime) keeps
+//! averaging over idle periods, so a server that ingested a burst an hour
+//! ago still "has throughput". [`WindowedRate`] fixes that with a ring of
+//! per-second counters: recording bumps the current second's slot, and the
+//! rate is the sum over the last ten seconds divided by the window length —
+//! it decays to zero within ten seconds of the last event.
+//!
+//! Lock-free: slots are `AtomicU64` pairs (stamp, count). A recorder that
+//! finds a stale slot swaps the stamp and resets the count; racing
+//! recorders on a second boundary can drop a handful of events from the
+//! closing second, which is acceptable for a monitoring rate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Ring size. Must exceed [`WINDOW_SECS`] so a just-expired slot is not
+/// confused with the current second.
+const SLOTS: usize = 16;
+/// The averaging window, in seconds.
+const WINDOW_SECS: u64 = 10;
+
+struct Slot {
+    /// Second index + 1 (0 = never written).
+    stamp: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A ring of per-second counters giving a recent events/sec rate (see the
+/// module docs).
+pub struct WindowedRate {
+    slots: Vec<Slot>,
+    epoch: Instant,
+}
+
+impl WindowedRate {
+    /// A new rate with an empty window. Seconds are measured from creation.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, || Slot {
+            stamp: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        });
+        Self {
+            slots,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records `n` events now.
+    #[inline]
+    pub fn record(&self, n: u64) {
+        self.record_at(self.now_sec(), n);
+    }
+
+    /// Records `n` events in second `sec` (seconds since creation).
+    /// Exposed for deterministic tests; production code uses [`Self::record`].
+    pub fn record_at(&self, sec: u64, n: u64) {
+        let slot = &self.slots[(sec as usize) % SLOTS];
+        let stamp = sec + 1;
+        if slot.stamp.swap(stamp, Ordering::Relaxed) != stamp {
+            // First writer of this second claims the slot. A racing writer
+            // from the previous lap may lose its reset — bounded error, see
+            // the module docs.
+            slot.count.store(0, Ordering::Relaxed);
+        }
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events/sec over the recent window (shorter if the
+    /// rate was created more recently).
+    pub fn rate(&self) -> f64 {
+        self.rate_at(self.now_sec())
+    }
+
+    /// The rate as of second `now_sec`. Exposed for deterministic tests.
+    pub fn rate_at(&self, now_sec: u64) -> f64 {
+        let oldest = now_sec.saturating_sub(WINDOW_SECS - 1);
+        let mut total = 0u64;
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp == 0 {
+                continue;
+            }
+            let sec = stamp - 1;
+            if sec >= oldest && sec <= now_sec {
+                total += slot.count.load(Ordering::Relaxed);
+            }
+        }
+        // Early in life the window is shorter than WINDOW_SECS.
+        let window = (now_sec + 1).min(WINDOW_SECS);
+        total as f64 / window as f64
+    }
+}
+
+impl Default for WindowedRate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WindowedRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedRate")
+            .field("rate", &self.rate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_reports_its_rate() {
+        let r = WindowedRate::new();
+        for sec in 0..20 {
+            r.record_at(sec, 100);
+        }
+        let rate = r.rate_at(19);
+        assert!((rate - 100.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn rate_decays_after_idle() {
+        let r = WindowedRate::new();
+        r.record_at(0, 5_000);
+        // Burst visible immediately...
+        assert!(r.rate_at(0) >= 5_000.0);
+        // ...still partially visible inside the window...
+        assert!(r.rate_at(5) > 0.0);
+        // ...gone once the window has passed.
+        assert_eq!(r.rate_at(50), 0.0);
+    }
+
+    #[test]
+    fn short_lifetimes_use_a_short_window() {
+        let r = WindowedRate::new();
+        r.record_at(0, 30);
+        r.record_at(1, 30);
+        // Two seconds of life: divide by 2, not by 10.
+        assert!((r.rate_at(1) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_laps_do_not_leak_into_the_window() {
+        let r = WindowedRate::new();
+        r.record_at(3, 77);
+        // Second 3 + SLOTS maps to the same slot; its count must be
+        // reclaimed, not added to the stale 77.
+        let lapped = 3 + SLOTS as u64;
+        r.record_at(lapped, 10);
+        let expected = 10.0 / WINDOW_SECS as f64;
+        assert!((r.rate_at(lapped) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_path_smoke() {
+        let r = WindowedRate::new();
+        r.record(50);
+        assert!(r.rate() >= 50.0 / WINDOW_SECS as f64);
+    }
+}

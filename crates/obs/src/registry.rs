@@ -1,0 +1,354 @@
+//! A small metrics registry with Prometheus text-format exposition.
+//!
+//! Metric families are registered once (name, help, kind) and then grow
+//! labeled series; handles ([`Counter`], [`Gauge`],
+//! [`crate::LogHistogram`]) are `Arc`s the hot path updates without ever
+//! touching the registry again — the registry's mutex is taken only at
+//! registration and render time.
+//!
+//! [`Registry::render`] produces text-format **0.0.4** exposition:
+//! `# HELP`/`# TYPE` headers, families sorted by name, series sorted by
+//! label values, histograms as cumulative `_bucket{le=...}` samples plus
+//! `_sum`/`_count`. Durations are recorded in nanoseconds
+//! ([`crate::LogHistogram::record_duration`]) and rendered in **seconds**,
+//! per Prometheus convention.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::hist::LogHistogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for counters mirrored from an authoritative
+    /// lifetime counter elsewhere (e.g. an engine snapshot) at scrape time.
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The three exposition kinds the registry knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing counter (`# TYPE ... counter`).
+    Counter,
+    /// A settable gauge (`# TYPE ... gauge`).
+    Gauge,
+    /// A duration histogram in nanoseconds, rendered in seconds
+    /// (`# TYPE ... histogram`).
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+struct Series {
+    /// Pre-rendered `{k="v",...}` label block (empty for unlabeled).
+    labels: String,
+    handle: Handle,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A collection of metric families (see the module docs).
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn lock_families(mutex: &Mutex<Vec<Family>>) -> MutexGuard<'_, Vec<Family>> {
+    // Registration and rendering only append/read; a panicked holder
+    // leaves the vector consistent.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, kind: MetricKind, labels: &[(&str, &str)]) -> usize {
+        let mut families = lock_families(&self.families);
+        let family = match families.iter().position(|f| f.name == name) {
+            Some(index) => {
+                assert_eq!(
+                    families[index].kind, kind,
+                    "metric family `{name}` re-registered with a different kind"
+                );
+                index
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.len() - 1
+            }
+        };
+        let rendered = render_labels(labels);
+        assert!(
+            !families[family].series.iter().any(|s| s.labels == rendered),
+            "metric series `{name}{rendered}` registered twice"
+        );
+        families[family].series.push(Series {
+            labels: rendered,
+            handle: Handle::Counter(Arc::new(Counter::default())), // placeholder
+        });
+        family
+    }
+
+    /// Registers (or extends) a counter family and returns the new series'
+    /// handle.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let family = self.register(name, help, MetricKind::Counter, labels);
+        let handle = Arc::new(Counter::default());
+        let mut families = lock_families(&self.families);
+        families[family].series.last_mut().unwrap().handle = Handle::Counter(Arc::clone(&handle));
+        handle
+    }
+
+    /// Registers (or extends) a gauge family and returns the new series'
+    /// handle.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let family = self.register(name, help, MetricKind::Gauge, labels);
+        let handle = Arc::new(Gauge::default());
+        let mut families = lock_families(&self.families);
+        families[family].series.last_mut().unwrap().handle = Handle::Gauge(Arc::clone(&handle));
+        handle
+    }
+
+    /// Registers (or extends) a histogram family and returns the new
+    /// series' handle. Record durations in nanoseconds; exposition is in
+    /// seconds.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<LogHistogram> {
+        let family = self.register(name, help, MetricKind::Histogram, labels);
+        let handle = Arc::new(LogHistogram::new());
+        let mut families = lock_families(&self.families);
+        families[family].series.last_mut().unwrap().handle = Handle::Histogram(Arc::clone(&handle));
+        handle
+    }
+
+    /// Renders the whole registry as Prometheus text-format 0.0.4
+    /// exposition. Families are sorted by name and series by label block,
+    /// so the output layout is deterministic.
+    pub fn render(&self) -> String {
+        let families = lock_families(&self.families);
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+        let mut out = String::new();
+        for index in order {
+            let family = &families[index];
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(
+                out,
+                "# TYPE {} {}",
+                family.name,
+                family.kind.exposition_name()
+            );
+            let mut series: Vec<&Series> = family.series.iter().collect();
+            series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            for s in series {
+                match &s.handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, s.labels, c.get());
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, s.labels, g.get());
+                    }
+                    Handle::Histogram(h) => render_histogram(&mut out, &family.name, &s.labels, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders one histogram series: cumulative buckets over the non-empty
+/// edges, a `+Inf` bucket, `_sum` and `_count`. Edges and the sum are
+/// converted from nanoseconds to seconds.
+fn render_histogram(out: &mut String, name: &str, labels: &str, histogram: &LogHistogram) {
+    let snapshot = histogram.snapshot();
+    // Splice `le` into a possibly present label block.
+    let with_le = |le: &str| -> String {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+        }
+    };
+    let mut cumulative = 0u64;
+    for (upper, count) in snapshot.nonzero_buckets() {
+        cumulative += count;
+        let le = upper as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            with_le(&le.to_string())
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", with_le("+Inf"), snapshot.count());
+    let _ = writeln!(out, "{name}_sum{labels} {}", snapshot.sum() as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count{labels} {}", snapshot.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_sorted() {
+        let r = Registry::new();
+        let c = r.counter("zz_total", "Last family.", &[]);
+        c.inc_by(3);
+        let g0 = r.gauge("aa_users", "First family.", &[("shard", "0")]);
+        let g1 = r.gauge("aa_users", "First family.", &[("shard", "1")]);
+        g0.set(2.0);
+        g1.set(5.0);
+        let text = r.render();
+        let expected = "# HELP aa_users First family.\n\
+                        # TYPE aa_users gauge\n\
+                        aa_users{shard=\"0\"} 2\n\
+                        aa_users{shard=\"1\"} 5\n\
+                        # HELP zz_total Last family.\n\
+                        # TYPE zz_total counter\n\
+                        zz_total 3\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_in_seconds() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "Latency.", &[("verb", "ingest")]);
+        h.record(1_000_000_000); // exactly 1s falls in a bucket whose edge >= 1s
+        h.record(5);
+        let text = r.render();
+        assert!(text.contains("# TYPE lat_seconds histogram"), "{text}");
+        assert!(
+            text.contains("lat_seconds_bucket{verb=\"ingest\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_seconds_count{verb=\"ingest\"} 2"),
+            "{text}"
+        );
+        // Cumulative: the +Inf line equals the count; earlier lines ascend.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("c_total", "Help.", &[("path", "a\"b\\c\nd")]);
+        let text = r.render();
+        assert!(
+            text.contains("c_total{path=\"a\\\"b\\\\c\\nd\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_series_panic() {
+        let r = Registry::new();
+        r.counter("dup_total", "Help.", &[("a", "1")]);
+        r.counter("dup_total", "Help.", &[("a", "1")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("kind_total", "Help.", &[]);
+        r.gauge("kind_total", "Help.", &[]);
+    }
+}

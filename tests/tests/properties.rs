@@ -11,6 +11,7 @@ use pm_core::{
 };
 use pm_integration_tests::one_cluster;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
+use pm_obs::LogHistogram;
 use pm_porder::{
     naive_pareto_frontier, CompiledPreference, CompiledRelation, Dominance, HasseDiagram,
     Preference, Relation,
@@ -558,6 +559,53 @@ proptest! {
                 );
             }
             prop_assert_eq!(seen.len(), prefs.len());
+        }
+    }
+
+    /// The lock-free log-bucket histogram honours its documented contract
+    /// against an exact sorted reference, through record, snapshot *and*
+    /// merge: counts and sums are exact, and every reported quantile is an
+    /// upper bound on the true order statistic within the documented ≤2%
+    /// relative error (1/64 bucket width; values below 64 are exact).
+    #[test]
+    fn log_histogram_quantiles_stay_within_relative_error_bound(
+        // Right-shifting by a random amount spreads values across the whole
+        // magnitude range instead of clustering near u64::MAX.
+        left in proptest::collection::vec(
+            (0..=u64::MAX, 0..64u32).prop_map(|(v, s)| v >> s), 1..200),
+        right in proptest::collection::vec(
+            (0..=u64::MAX, 0..64u32).prop_map(|(v, s)| v >> s), 0..200),
+    ) {
+        let (a, b) = (LogHistogram::new(), LogHistogram::new());
+        for &v in &left {
+            a.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let mut exact: Vec<u64> = left.iter().chain(&right).copied().collect();
+        exact.sort_unstable();
+        prop_assert_eq!(merged.count(), exact.len() as u64);
+        let true_sum = exact.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(merged.sum(), true_sum);
+
+        for q in [0.0f64, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            // Same rank rule the histogram documents: the ceil(q*n)-th
+            // smallest observation, clamped into 1..=n.
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1];
+            let reported = merged.quantile(q);
+            prop_assert!(
+                reported >= truth,
+                "q={q}: reported {reported} below exact {truth}"
+            );
+            prop_assert!(
+                (reported - truth) as f64 <= truth as f64 * 0.02 + 1.0,
+                "q={q}: reported {reported} beyond 2% of exact {truth}"
+            );
         }
     }
 }
