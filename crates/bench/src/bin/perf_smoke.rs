@@ -34,10 +34,17 @@
 //!    a relaxed atomic op, so the gate requires the on/off throughput gap
 //!    to stay within `max_instrumentation_overhead` (5%) — a larger gap
 //!    means someone put real work on the hot path. The metrics-on run also
-//!    yields the ingest-batch latency percentiles the report carries.
+//!    yields the ingest-batch latency percentiles the report carries, and
+//! 7. **subscriber fan-out** through the full serving stack: the ingest
+//!    stream is driven over TCP through the readiness reactor while ~1k
+//!    subscriber connections (spread across every user) receive their
+//!    `EVENT` delta streams. The clock covers ingestion *and* delivery —
+//!    it stops only once every subscriber has drained its events behind a
+//!    `HEALTH` barrier — so the per-arrival delta diff, the per-mode
+//!    render cache, and the outbox writes are all on the measured path.
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_6.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_7.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
 //! the checked-in baseline, when the compiled dominance path is less than
 //! 2x the hash-map path, when compaction retains too much, or when the
@@ -45,7 +52,7 @@
 //! CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_6.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_7.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -84,6 +91,13 @@ const OVERHEAD_OBJECTS: usize = 3_000;
 const OVERHEAD_ROUNDS: usize = 2;
 /// Overhead ceiling used when the baseline lacks the key.
 const MAX_OVERHEAD: f64 = 0.05;
+/// Subscriber connections of the fan-out phase (phase 7). Scaled down if
+/// the file-descriptor limit cannot accommodate ~2 fds per connection.
+const FANOUT_SUBSCRIBERS: usize = 1_000;
+/// Stream length of the fan-out phase: shorter than [`ENGINE_OBJECTS`]
+/// because every arrival is also rendered and delivered ~[`FANOUT_SUBSCRIBERS`]
+/// / users times.
+const FANOUT_OBJECTS: usize = 1_500;
 
 struct Report {
     prefers_hash: f64,
@@ -103,6 +117,9 @@ struct Report {
     ingest_latency_p50_us: f64,
     ingest_latency_p95_us: f64,
     ingest_latency_p99_us: f64,
+    engine_fanout_objects_per_sec: f64,
+    fanout_subscribers: usize,
+    fanout_events_delivered: u64,
 }
 
 impl Report {
@@ -129,7 +146,7 @@ impl Report {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v5\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v6\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
@@ -146,7 +163,11 @@ impl Report {
              \"instrumentation_overhead_ratio\": {:.4},\n  \
              \"ingest_latency_p50_us\": {:.1},\n  \
              \"ingest_latency_p95_us\": {:.1},\n  \
-             \"ingest_latency_p99_us\": {:.1}\n}}\n",
+             \"ingest_latency_p99_us\": {:.1},\n  \
+             \"engine_fanout_objects_per_sec\": {:.0},\n  \
+             \"fanout_objects\": {},\n  \
+             \"fanout_subscribers\": {},\n  \
+             \"fanout_events_delivered\": {}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -170,6 +191,10 @@ impl Report {
             self.ingest_latency_p50_us,
             self.ingest_latency_p95_us,
             self.ingest_latency_p99_us,
+            self.engine_fanout_objects_per_sec,
+            FANOUT_OBJECTS,
+            self.fanout_subscribers,
+            self.fanout_events_delivered,
         )
     }
 }
@@ -382,6 +407,103 @@ fn measure_instrumentation_overhead(dataset: &Dataset) -> (f64, f64, f64, f64, f
     (best_on, best_off, p50, p95, p99)
 }
 
+/// Phase 7: the serving stack under subscriber fan-out. One control
+/// connection drives [`FANOUT_OBJECTS`] objects through the wire `INGEST`
+/// verb of a reactor-served engine while subscriber connections — spread
+/// round-robin over every user — hold live `SUBSCRIBE` streams. The clock
+/// runs from the first ingest write until every subscriber has drained its
+/// `EVENT` backlog behind a pipelined `HEALTH` barrier (per-connection
+/// outboxes are FIFO), so delta diffing, rendering, and delivery are all
+/// inside the measurement. Returns `(objects_per_sec, subscribers,
+/// events_delivered)`.
+fn measure_subscriber_fanout(dataset: &Dataset) -> (f64, usize, u64) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    // Each subscriber costs two descriptors in this one process (client
+    // and server end); raise the soft limit and scale down if refused.
+    let limit = pm_reactor::raise_nofile_limit(8_192).unwrap_or(1_024);
+    let subscribers = FANOUT_SUBSCRIBERS.min((limit.saturating_sub(300) / 2) as usize);
+
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(dataset.preferences.clone(), &EngineConfig::new(1), &spec);
+    // Slow-op warnings are disabled: a bench batch is *supposed* to be
+    // saturated, and the log writes would perturb the measurement.
+    let service = Arc::new(
+        pm_engine::EngineService::new(engine, spec, dataset.dimensions(), 16).with_slow_op(None),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    // The bench measures throughput, not the eviction policy: a roomy
+    // outbox bound keeps slow-reader eviction out of the picture.
+    let config = pm_engine::ReactorConfig {
+        max_outbox: 32 << 20,
+        ..pm_engine::ReactorConfig::default()
+    };
+    std::thread::spawn(move || pm_engine::serve_with(listener, service, config));
+
+    let connect = |request: &str| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        assert!(line.starts_with("OK "), "unexpected reply: {line}");
+        (stream, reader)
+    };
+    let (mut control, mut control_reader) = connect("HEALTH\n");
+    let users = dataset.num_users();
+    let mut subs: Vec<(TcpStream, BufReader<TcpStream>)> = (0..subscribers)
+        .map(|i| connect(&format!("SUBSCRIBE {}\n", i % users)))
+        .collect();
+
+    // The wire form of the same recycled object stream the other engine
+    // phases ingest (ids are assigned server-side in arrival order).
+    let rows: Vec<String> = (0..FANOUT_OBJECTS)
+        .map(|i| {
+            let base = &dataset.objects[i % dataset.objects.len()];
+            base.values()
+                .iter()
+                .map(|v| v.raw().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut line = String::new();
+    for chunk in rows.chunks(ENGINE_BATCH) {
+        control
+            .write_all(format!("INGEST {}\n", chunk.join(";")).as_bytes())
+            .expect("ingest");
+        line.clear();
+        control_reader.read_line(&mut line).expect("ingest reply");
+        assert!(line.starts_with("OK INGESTED"), "unexpected reply: {line}");
+    }
+    // Barrier: every subscriber answers HEALTH only after its event
+    // backlog; writes first so the drains overlap server-side.
+    for (stream, _) in &mut subs {
+        stream.write_all(b"HEALTH\n").expect("barrier");
+    }
+    let mut events = 0u64;
+    for (_, reader) in &mut subs {
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("drain");
+            if line.starts_with("OK HEALTH") {
+                break;
+            }
+            assert!(line.starts_with("EVENT "), "unexpected line: {line}");
+            events += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(events > 0, "fan-out must deliver events");
+    (FANOUT_OBJECTS as f64 / elapsed, subscribers, events)
+}
+
 /// Minimal parser for the flat JSON this harness itself writes: returns the
 /// numeric fields as (key, value) pairs.
 fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
@@ -422,6 +544,10 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         (
             "engine_compact_churn_objects_per_sec",
             report.engine_compact_churn_objects_per_sec,
+        ),
+        (
+            "engine_fanout_objects_per_sec",
+            report.engine_fanout_objects_per_sec,
         ),
     ];
     for (key, current) in gates {
@@ -504,7 +630,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_6.json".to_owned();
+    let mut out_path = "BENCH_7.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -596,6 +722,15 @@ fn main() {
          (per {ENGINE_BATCH}-object batch)"
     );
 
+    // Phase 7: the same engine behind the readiness reactor, fanning event
+    // deltas out to ~1k live subscriber connections.
+    let (engine_fanout_objects_per_sec, fanout_subscribers, fanout_events_delivered) =
+        measure_subscriber_fanout(&dataset);
+    println!(
+        "engine + fan-out:    {engine_fanout_objects_per_sec:>12.0} objects/sec \
+         ({fanout_subscribers} subscribers, {fanout_events_delivered} events delivered)"
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
@@ -614,6 +749,9 @@ fn main() {
         ingest_latency_p50_us,
         ingest_latency_p95_us,
         ingest_latency_p99_us,
+        engine_fanout_objects_per_sec,
+        fanout_subscribers,
+        fanout_events_delivered,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

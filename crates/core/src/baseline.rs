@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::{CompiledPreference, Dominance, Preference};
 
+use crate::delta::DeltaLog;
 use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
@@ -22,6 +23,16 @@ use crate::timers::{timed, MonitorTimers};
 /// eagerly.
 pub(crate) type Frontier = HashMap<ObjectId, Object>;
 
+/// The traced outcome of [`update_pareto_frontier_traced`]: whether the
+/// object was Pareto-optimal, whether its insert created a *new* frontier
+/// entry, and which existing entries it evicted — exactly the information
+/// a delta log needs.
+pub(crate) struct FrontierUpdate {
+    pub(crate) is_pareto: bool,
+    pub(crate) newly_inserted: bool,
+    pub(crate) evicted: Vec<ObjectId>,
+}
+
 /// The outcome of updating one user's frontier with a new object
 /// (Procedure `updateParetoFrontier` of Alg. 1). Runs on the compiled
 /// (bitset) preference form: every dominance test is word-indexed bit math.
@@ -31,6 +42,19 @@ pub(crate) fn update_pareto_frontier(
     object: &Object,
     stats: &mut MonitorStats,
 ) -> bool {
+    update_pareto_frontier_traced(preference, frontier, object, stats).is_pareto
+}
+
+/// Like [`update_pareto_frontier`], but reports which frontier entries the
+/// update evicted and whether the insert was genuinely new, for callers
+/// that log frontier deltas (replay paths use the untraced wrapper: replay
+/// reports no deltas, just as it reports no notifications).
+pub(crate) fn update_pareto_frontier_traced(
+    preference: &CompiledPreference,
+    frontier: &mut Frontier,
+    object: &Object,
+    stats: &mut MonitorStats,
+) -> FrontierUpdate {
     let mut is_pareto = true;
     let mut dominated: Vec<ObjectId> = Vec::new();
     for existing in frontier.values() {
@@ -50,13 +74,18 @@ pub(crate) fn update_pareto_frontier(
             Dominance::Incomparable => {}
         }
     }
+    let mut evicted = Vec::new();
     for id in dominated {
-        frontier.remove(&id);
+        if frontier.remove(&id).is_some() {
+            evicted.push(id);
+        }
     }
-    if is_pareto {
-        frontier.insert(object.id(), object.clone());
+    let newly_inserted = is_pareto && frontier.insert(object.id(), object.clone()).is_none();
+    FrontierUpdate {
+        is_pareto,
+        newly_inserted,
+        evicted,
     }
-    is_pareto
 }
 
 /// Rebuilds one user's frontier by replaying the retained history under
@@ -185,10 +214,23 @@ impl ContinuousMonitor for BaselineMonitor {
         let timer = self.timers.arrival.clone();
         timed(timer.as_ref(), || {
             let mut targets = Vec::new();
+            let mut deltas = DeltaLog::new();
             for (idx, pref) in self.compiled.iter().enumerate() {
-                if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats)
-                {
-                    targets.push(UserId::from(idx));
+                let user = UserId::from(idx);
+                let update = update_pareto_frontier_traced(
+                    pref,
+                    &mut self.frontiers[idx],
+                    &object,
+                    &mut self.stats,
+                );
+                for evicted in &update.evicted {
+                    deltas.leave(user, *evicted);
+                }
+                if update.newly_inserted {
+                    deltas.enter(user, object.id());
+                }
+                if update.is_pareto {
+                    targets.push(user);
                 }
             }
             self.stats.record_arrival(targets.len());
@@ -197,6 +239,7 @@ impl ContinuousMonitor for BaselineMonitor {
             Arrival {
                 object: id,
                 target_users: targets,
+                deltas: deltas.finish(),
             }
         })
     }

@@ -17,7 +17,8 @@ use pm_cluster::{
     approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal, Update,
 };
 
-use crate::baseline::{backfill_frontier, update_pareto_frontier, Frontier};
+use crate::baseline::{backfill_frontier, update_pareto_frontier_traced, Frontier};
+use crate::delta::DeltaLog;
 use crate::history::{History, HistoryMode};
 use crate::monitor::{Arrival, ContinuousMonitor};
 use crate::stats::MonitorStats;
@@ -461,6 +462,7 @@ impl FilterThenVerifyMonitor {
         user_frontiers: &mut [Frontier],
         object: &Object,
         stats: &mut MonitorStats,
+        deltas: &mut DeltaLog,
     ) -> bool {
         let mut is_pareto = true;
         let mut dominated: Vec<ObjectId> = Vec::new();
@@ -483,7 +485,9 @@ impl FilterThenVerifyMonitor {
             // o ≻_U o' implies o ≻_c o' for every member (Def. 4.1), so o'
             // leaves every member's frontier too (Alg. 2, lines 4–6).
             for member in &cluster.members {
-                user_frontiers[member.index()].remove(id);
+                if user_frontiers[member.index()].remove(id).is_some() {
+                    deltas.leave(*member, *id);
+                }
             }
         }
         if is_pareto {
@@ -498,12 +502,14 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         let timer = self.timers.arrival.clone();
         timed(timer.as_ref(), || {
             let mut targets = Vec::new();
+            let mut deltas = DeltaLog::new();
             for cluster in &mut self.clusters {
                 let survives = Self::update_cluster_frontier(
                     cluster,
                     &mut self.user_frontiers,
                     &object,
                     &mut self.stats,
+                    &mut deltas,
                 );
                 if !survives {
                     continue;
@@ -511,12 +517,19 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
                 // Verify against each member's own preference (Alg. 2, line 6).
                 for member in &cluster.members {
                     let pref = &self.compiled[member.index()];
-                    if update_pareto_frontier(
+                    let update = update_pareto_frontier_traced(
                         pref,
                         &mut self.user_frontiers[member.index()],
                         &object,
                         &mut self.stats,
-                    ) {
+                    );
+                    for evicted in &update.evicted {
+                        deltas.leave(*member, *evicted);
+                    }
+                    if update.newly_inserted {
+                        deltas.enter(*member, object.id());
+                    }
+                    if update.is_pareto {
                         targets.push(*member);
                     }
                 }
@@ -528,6 +541,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
             Arrival {
                 object: id,
                 target_users: targets,
+                deltas: deltas.finish(),
             }
         })
     }

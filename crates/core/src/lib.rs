@@ -27,6 +27,7 @@
 
 pub mod accuracy;
 pub mod baseline;
+pub mod delta;
 pub mod filter_then_verify;
 pub mod history;
 pub mod monitor;
@@ -36,6 +37,7 @@ pub mod timers;
 
 pub use accuracy::{AccuracyReport, ConfusionMatrix};
 pub use baseline::BaselineMonitor;
+pub use delta::FrontierDelta;
 pub use filter_then_verify::FilterThenVerifyMonitor;
 pub use history::{History, HistoryMode};
 pub use monitor::{Arrival, ContinuousMonitor};

@@ -3,6 +3,7 @@
 use pm_model::{Object, ObjectId, UserId};
 use pm_porder::Preference;
 
+use crate::delta::FrontierDelta;
 use crate::stats::MonitorStats;
 use crate::timers::MonitorTimers;
 
@@ -14,6 +15,12 @@ pub struct Arrival {
     /// The target users `C_o`: every user for whom the object is
     /// Pareto-optimal at arrival time, in ascending user-id order.
     pub target_users: Vec<UserId>,
+    /// The net frontier membership changes this arrival caused (the arriving
+    /// object entering target users' frontiers, dominated objects leaving,
+    /// and — for sliding-window monitors — the expiry and Def. 7.4 mending
+    /// that ride on the same arrival), in canonical `(user, object)` order.
+    /// See [`crate::delta`] for the canonical-form guarantees.
+    pub deltas: Vec<FrontierDelta>,
 }
 
 impl Arrival {
@@ -136,11 +143,13 @@ mod tests {
         let a = Arrival {
             object: ObjectId::new(1),
             target_users: vec![UserId::new(0)],
+            deltas: vec![FrontierDelta::enter(UserId::new(0), ObjectId::new(1))],
         };
         assert!(a.has_targets());
         let b = Arrival {
             object: ObjectId::new(2),
             target_users: vec![],
+            deltas: vec![],
         };
         assert!(!b.has_targets());
     }

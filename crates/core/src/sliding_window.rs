@@ -22,7 +22,8 @@ use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Placement};
 
-use crate::baseline::{update_pareto_frontier, Frontier};
+use crate::baseline::{update_pareto_frontier, update_pareto_frontier_traced, Frontier};
+use crate::delta::DeltaLog;
 use crate::filter_then_verify::{
     plan_detach, plan_update, renumber_member, resolve_virtual_preference, ClusterRepair,
     UpdateRepair,
@@ -125,13 +126,15 @@ impl BaselineSwMonitor {
         ids
     }
 
-    fn expire(&mut self, expired: &Object) {
+    fn expire(&mut self, expired: &Object, deltas: &mut DeltaLog) {
         self.stats.record_expiration();
         for (idx, pref) in self.compiled.iter().enumerate() {
+            let user = UserId::from(idx);
             let frontier = &mut self.frontiers[idx];
             let buffer = &mut self.buffers[idx];
             let was_pareto = frontier.remove(&expired.id()).is_some();
             if was_pareto {
+                deltas.leave(user, expired.id());
                 // Objects the expired frontier member dominated may now be
                 // Pareto-optimal (Alg. 4, lines 2–5).
                 for candidate in buffer_in_arrival_order(buffer) {
@@ -140,7 +143,10 @@ impl BaselineSwMonitor {
                     }
                     self.stats.record_comparison();
                     if pref.compare(expired, &candidate) == Dominance::Dominates {
-                        mend_frontier(pref, frontier, &candidate, &mut self.stats);
+                        let present = frontier.contains_key(&candidate.id());
+                        if mend_frontier(pref, frontier, &candidate, &mut self.stats) && !present {
+                            deltas.enter(user, candidate.id());
+                        }
                     }
                 }
             }
@@ -153,15 +159,28 @@ impl ContinuousMonitor for BaselineSwMonitor {
     fn process(&mut self, object: Object) -> Arrival {
         let timer = self.timers.arrival.clone();
         timed(timer.as_ref(), || {
+            let mut deltas = DeltaLog::new();
             let event = self.window.push(object.clone());
             if let Some(expired) = &event.expired {
-                self.expire(expired);
+                self.expire(expired, &mut deltas);
             }
             let mut targets = Vec::new();
             for (idx, pref) in self.compiled.iter().enumerate() {
-                if update_pareto_frontier(pref, &mut self.frontiers[idx], &object, &mut self.stats)
-                {
-                    targets.push(UserId::from(idx));
+                let user = UserId::from(idx);
+                let update = update_pareto_frontier_traced(
+                    pref,
+                    &mut self.frontiers[idx],
+                    &object,
+                    &mut self.stats,
+                );
+                for evicted in &update.evicted {
+                    deltas.leave(user, *evicted);
+                }
+                if update.newly_inserted {
+                    deltas.enter(user, object.id());
+                }
+                if update.is_pareto {
+                    targets.push(user);
                 }
                 refresh_buffer(pref, &mut self.buffers[idx], &object, &mut self.stats);
             }
@@ -169,6 +188,7 @@ impl ContinuousMonitor for BaselineSwMonitor {
             Arrival {
                 object: object.id(),
                 target_users: targets,
+                deltas: deltas.finish(),
             }
         })
     }
@@ -492,12 +512,17 @@ impl FilterThenVerifySwMonitor {
         }
     }
 
-    fn expire(&mut self, expired: &Object) {
+    fn expire(&mut self, expired: &Object, deltas: &mut DeltaLog) {
         self.stats.record_expiration();
         for cluster in &mut self.clusters {
             let was_cluster_pareto = cluster.frontier.remove(&expired.id()).is_some();
             for member in &cluster.members {
-                self.user_frontiers[member.index()].remove(&expired.id());
+                if self.user_frontiers[member.index()]
+                    .remove(&expired.id())
+                    .is_some()
+                {
+                    deltas.leave(*member, expired.id());
+                }
             }
             if was_cluster_pareto {
                 // Alg. 5, lines 2–8: promote buffered objects the expired
@@ -519,12 +544,17 @@ impl FilterThenVerifySwMonitor {
                     );
                     if promoted {
                         for member in &cluster.members {
-                            mend_frontier(
+                            let frontier = &mut self.user_frontiers[member.index()];
+                            let present = frontier.contains_key(&candidate.id());
+                            if mend_frontier(
                                 &self.compiled[member.index()],
-                                &mut self.user_frontiers[member.index()],
+                                frontier,
                                 &candidate,
                                 &mut self.stats,
-                            );
+                            ) && !present
+                            {
+                                deltas.enter(*member, candidate.id());
+                            }
                         }
                     }
                 }
@@ -542,6 +572,7 @@ impl FilterThenVerifySwMonitor {
         cluster: &mut SwClusterState,
         object: &Object,
         stats: &mut MonitorStats,
+        deltas: &mut DeltaLog,
     ) -> Vec<UserId> {
         let mut targets = Vec::new();
         let mut is_pareto = true;
@@ -561,15 +592,28 @@ impl FilterThenVerifySwMonitor {
         for id in &dominated {
             cluster.frontier.remove(id);
             for member in &cluster.members {
-                user_frontiers[member.index()].remove(id);
+                if user_frontiers[member.index()].remove(id).is_some() {
+                    deltas.leave(*member, *id);
+                }
             }
         }
         if is_pareto {
             cluster.frontier.insert(object.id(), object.clone());
             for member in &cluster.members {
                 let pref = &preferences[member.index()];
-                if update_pareto_frontier(pref, &mut user_frontiers[member.index()], object, stats)
-                {
+                let update = update_pareto_frontier_traced(
+                    pref,
+                    &mut user_frontiers[member.index()],
+                    object,
+                    stats,
+                );
+                for evicted in &update.evicted {
+                    deltas.leave(*member, *evicted);
+                }
+                if update.newly_inserted {
+                    deltas.enter(*member, object.id());
+                }
+                if update.is_pareto {
                     targets.push(*member);
                 }
             }
@@ -585,9 +629,10 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
     fn process(&mut self, object: Object) -> Arrival {
         let timer = self.timers.arrival.clone();
         timed(timer.as_ref(), || {
+            let mut deltas = DeltaLog::new();
             let event = self.window.push(object.clone());
             if let Some(expired) = &event.expired {
-                self.expire(expired);
+                self.expire(expired, &mut deltas);
             }
             let mut targets = Vec::new();
             for cluster in &mut self.clusters {
@@ -597,6 +642,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
                     cluster,
                     &object,
                     &mut self.stats,
+                    &mut deltas,
                 ));
             }
             targets.sort_unstable();
@@ -604,6 +650,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             Arrival {
                 object: object.id(),
                 target_users: targets,
+                deltas: deltas.finish(),
             }
         })
     }

@@ -4,7 +4,7 @@
 //! pm-server [--addr HOST:PORT] [--shards N] [--queue BATCHES]
 //!           [--backend SPEC] [--profile movie|publication]
 //!           [--users N] [--interactions N] [--seed N] [--history N]
-//!           [--no-metrics] [--slow-op-ms MS] [--log SPEC]
+//!           [--no-metrics] [--slow-op-ms MS] [--outbox BYTES] [--log SPEC]
 //! ```
 //!
 //! The user population (preferences) is simulated with `pm-datagen`; objects
@@ -22,11 +22,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pm_datagen::{Dataset, DatasetProfile};
-use pm_engine::{BackendSpec, EngineConfig, EngineService, ServerConfig, ShardedEngine};
+use pm_engine::{
+    BackendSpec, EngineConfig, EngineService, ReactorConfig, ServerConfig, ShardedEngine,
+};
 
 struct Options {
     server: ServerConfig,
     engine: EngineConfig,
+    reactor: ReactorConfig,
     backend: BackendSpec,
     profile: DatasetProfile,
     users: usize,
@@ -40,6 +43,7 @@ impl Default for Options {
         Self {
             server: ServerConfig::default(),
             engine: EngineConfig::default(),
+            reactor: ReactorConfig::default(),
             backend: BackendSpec::baseline(),
             profile: DatasetProfile::movie(),
             users: 200,
@@ -83,6 +87,9 @@ OPTIONS:
     --slow-op-ms MS      warn-log ingest batches slower than MS
                          milliseconds with their stage breakdown; 0
                          disables the slow-op log  [default: 100]
+    --outbox BYTES       per-connection outbox bound; a subscriber whose
+                         unsent event backlog exceeds it is evicted with a
+                         terminal `ERR lagged`  [default: 1048576]
     --log SPEC           log filter, same syntax as PM_LOG: a level
                          (off|error|warn|info|debug) optionally followed
                          by `,json` for JSON-lines output; overrides the
@@ -140,6 +147,13 @@ fn parse_args() -> Result<Options, String> {
             "--slow-op-ms" => {
                 let ms: u64 = value.parse().map_err(|e| format!("--slow-op-ms: {e}"))?;
                 opts.server.slow_op = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--outbox" => {
+                let bytes: usize = value.parse().map_err(|e| format!("--outbox: {e}"))?;
+                if bytes == 0 {
+                    return Err("--outbox must be at least 1 byte".into());
+                }
+                opts.reactor.max_outbox = bytes;
             }
             "--log" => pm_obs::log::set_config_spec(&value),
             other => return Err(format!("unknown flag `{other}` (see --help)")),
@@ -205,10 +219,11 @@ fn main() -> ExitCode {
     // printed unconditionally rather than behind the info level.
     eprintln!(
         "pm-server: listening on {} ({} attributes per object; \
-         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UPDATE/UNREGISTER/STATS/METRICS/HEALTH/QUIT)",
+         INGEST/EXPIRE/QUERY/FRONTIER/REGISTER/UPDATE/UNREGISTER/\
+         SUBSCRIBE/UNSUBSCRIBE/HELLO/STATS/METRICS/HEALTH/QUIT)",
         opts.server.addr, arity
     );
-    if let Err(e) = pm_engine::server::serve(listener, service) {
+    if let Err(e) = pm_engine::serve_with(listener, service, opts.reactor) {
         pm_obs::error!("pm_server", "accept loop failed", error = e);
         return ExitCode::FAILURE;
     }

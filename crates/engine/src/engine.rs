@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pm_core::{Arrival, MonitorStats};
+use pm_core::{Arrival, FrontierDelta, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
 use pm_obs::WindowedRate;
 use pm_porder::Preference;
@@ -722,13 +722,15 @@ impl BatchTicket<'_> {
         }
         let fan_in_start = Instant::now();
         let shards = self.engine.num_shards();
-        let mut per_shard: Vec<Option<Vec<Vec<UserId>>>> = (0..shards).map(|_| None).collect();
+        // Per-object target-user and frontier-delta columns, one per shard.
+        type ShardColumns = (Vec<Vec<UserId>>, Vec<Vec<FrontierDelta>>);
+        let mut per_shard: Vec<Option<ShardColumns>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
             let reply = self
                 .reply_rx
                 .recv()
                 .expect("shard worker dropped its reply");
-            per_shard[reply.shard] = Some(reply.targets);
+            per_shard[reply.shard] = Some((reply.targets, reply.deltas));
         }
 
         let arrivals = self
@@ -737,15 +739,19 @@ impl BatchTicket<'_> {
             .enumerate()
             .map(|(i, object)| {
                 let mut target_users: Vec<UserId> = Vec::new();
-                for targets in per_shard.iter().flatten() {
+                let mut deltas: Vec<FrontierDelta> = Vec::new();
+                for (targets, shard_deltas) in per_shard.iter().flatten() {
                     target_users.extend_from_slice(&targets[i]);
+                    deltas.extend_from_slice(&shard_deltas[i]);
                 }
                 // Per-shard sets are sorted and pairwise disjoint; one sort
                 // merges them into the monitors' canonical ascending order.
                 target_users.sort_unstable();
+                deltas.sort_unstable();
                 Arrival {
                     object: object.id(),
                     target_users,
+                    deltas,
                 }
             })
             .collect();

@@ -34,10 +34,16 @@
 //! * [`EngineSnapshot`] rolls the per-shard [`pm_core::MonitorStats`] up
 //!   into engine-level metrics: arrivals/sec, per-shard queue depths and
 //!   user-partition skew.
-//! * [`server`] exposes the engine over TCP with a newline-delimited text
-//!   protocol (`INGEST`, `EXPIRE`, `QUERY`, `FRONTIER`, `REGISTER`,
-//!   `UNREGISTER`, `STATS`, `METRICS`, `HEALTH`), served by the
-//!   `pm-server` binary.
+//! * [`server`] exposes the engine over TCP (`INGEST`, `EXPIRE`, `QUERY`,
+//!   `FRONTIER`, `REGISTER`, `UPDATE`, `UNREGISTER`, `SUBSCRIBE`,
+//!   `UNSUBSCRIBE`, `HELLO`, `STATS`, `METRICS`, `HEALTH`), served by the
+//!   `pm-server` binary. Verb handlers return a typed [`response::Response`]
+//!   with two negotiated wire renderings — newline-delimited text lines and
+//!   length-prefixed binary frames.
+//! * [`reactor`] drives every connection — request/response *and* the
+//!   `SUBSCRIBE` event streams — from one readiness-reactor thread over
+//!   nonblocking sockets (via `pm-reactor`), with bounded per-connection
+//!   outboxes and `ERR lagged` eviction as backpressure.
 //! * [`obs`] wires the `pm-obs` observability layer through every one of
 //!   those paths: per-verb request counters and latency histograms, a
 //!   per-stage split of the ingest pipeline (parse, ordering-lock hold,
@@ -54,6 +60,8 @@ pub mod engine;
 pub mod metrics;
 pub mod obs;
 pub mod protocol;
+pub mod reactor;
+pub mod response;
 pub mod server;
 mod shard;
 
@@ -63,5 +71,7 @@ pub use metrics::{EngineSnapshot, ShardSnapshot};
 pub use obs::{EngineMetrics, Verb};
 pub use pm_core::HistoryMode;
 pub use protocol::{parse_request, Request};
+pub use reactor::{serve_with, ReactorConfig};
+pub use response::{render_frame, render_text, Response, WireMode};
 pub use server::{EngineService, ServerConfig};
 pub use shard::BoxedMonitor;

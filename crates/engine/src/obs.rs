@@ -22,16 +22,19 @@ use crate::protocol::Request;
 ///
 /// `QUIT` is excluded: it does no engine work and closes the connection, so
 /// a latency series for it would only ever record channel teardown noise.
-pub const VERBS: [Verb; 10] = [
+pub const VERBS: [Verb; 13] = [
     Verb::Expire,
     Verb::Frontier,
     Verb::Health,
+    Verb::Hello,
     Verb::Ingest,
     Verb::Metrics,
     Verb::Query,
     Verb::Register,
     Verb::Stats,
+    Verb::Subscribe,
     Verb::Unregister,
+    Verb::Unsubscribe,
     Verb::Update,
 ];
 
@@ -44,6 +47,8 @@ pub enum Verb {
     Frontier,
     /// `HEALTH`
     Health,
+    /// `HELLO`
+    Hello,
     /// `INGEST`
     Ingest,
     /// `METRICS`
@@ -54,8 +59,12 @@ pub enum Verb {
     Register,
     /// `STATS`
     Stats,
+    /// `SUBSCRIBE`
+    Subscribe,
     /// `UNREGISTER`
     Unregister,
+    /// `UNSUBSCRIBE`
+    Unsubscribe,
     /// `UPDATE`
     Update,
 }
@@ -67,12 +76,15 @@ impl Verb {
             Verb::Expire => "expire",
             Verb::Frontier => "frontier",
             Verb::Health => "health",
+            Verb::Hello => "hello",
             Verb::Ingest => "ingest",
             Verb::Metrics => "metrics",
             Verb::Query => "query",
             Verb::Register => "register",
             Verb::Stats => "stats",
+            Verb::Subscribe => "subscribe",
             Verb::Unregister => "unregister",
+            Verb::Unsubscribe => "unsubscribe",
             Verb::Update => "update",
         }
     }
@@ -87,6 +99,9 @@ impl Verb {
             Request::Register { .. } => Some(Verb::Register),
             Request::Update { .. } => Some(Verb::Update),
             Request::Unregister(_) => Some(Verb::Unregister),
+            Request::Subscribe(_) => Some(Verb::Subscribe),
+            Request::Unsubscribe(_) => Some(Verb::Unsubscribe),
+            Request::Hello(_) => Some(Verb::Hello),
             Request::Stats => Some(Verb::Stats),
             Request::Metrics => Some(Verb::Metrics),
             Request::Health => Some(Verb::Health),
@@ -131,6 +146,11 @@ pub struct EngineMetrics {
     monitor_sweep: Arc<LogHistogram>,
     pub(crate) slow_ops: Arc<Counter>,
     pub(crate) connections: Arc<Counter>,
+    // Reactor-maintained gauges; the single-threaded reactor owns the true
+    // counts and mirrors them here on every change.
+    pub(crate) connections_open: Arc<Gauge>,
+    pub(crate) subscribers: Arc<Gauge>,
+    pub(crate) subscriber_outbox: Arc<Gauge>,
     // Gauges and mirrored lifetime counters, refreshed at scrape time from
     // an `EngineSnapshot`.
     users: Arc<Gauge>,
@@ -241,6 +261,21 @@ impl EngineMetrics {
                 &[],
             ),
             connections: registry.counter("pm_connections_total", "TCP connections accepted.", &[]),
+            connections_open: registry.gauge(
+                "pm_connections_open",
+                "TCP connections currently open.",
+                &[],
+            ),
+            subscribers: registry.gauge(
+                "pm_subscribers",
+                "Active frontier subscriptions across all connections.",
+                &[],
+            ),
+            subscriber_outbox: registry.gauge(
+                "pm_subscriber_outbox_depth",
+                "Bytes buffered for subscribers, summed across connections.",
+                &[],
+            ),
             users: registry.gauge("pm_users", "Registered users.", &[]),
             uptime: registry.gauge("pm_uptime_seconds", "Time since the engine was built.", &[]),
             recent_rate: registry.gauge(
@@ -416,6 +451,9 @@ mod tests {
             "pm_history_objects",
             "pm_slow_ops_total",
             "pm_connections_total",
+            "pm_connections_open",
+            "pm_subscribers",
+            "pm_subscriber_outbox_depth",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family} ")),

@@ -17,6 +17,15 @@
 //!                             user keeps its id and shard, no other user
 //!                             is touched
 //! UNREGISTER <user>           remove a registered user
+//! SUBSCRIBE <user>            push this user's frontier deltas to this
+//!                             connection as EVENT lines; the OK response
+//!                             carries the frontier snapshot the deltas
+//!                             apply to
+//! UNSUBSCRIBE <user>          stop pushing this user's frontier deltas
+//! HELLO [capability ...]      negotiate the wire format: `text` (default)
+//!                             or `frame` (length-prefixed binary);
+//!                             unknown capabilities answer ERR and leave
+//!                             the connection (and its mode) untouched
 //! STATS                       engine metrics snapshot
 //! METRICS                     Prometheus text-format exposition
 //! HEALTH                      liveness + engine identity
@@ -26,6 +35,8 @@
 //! Every response is a single `OK`/`ERR` line except `METRICS`, whose `OK
 //! METRICS <bytes>` header line is followed by `<bytes>` bytes of
 //! Prometheus text-format 0.0.4 exposition and one terminating blank line.
+//! Connections with active subscriptions additionally receive asynchronous
+//! `EVENT <user> +<obj>/-<obj>,...` push lines (see [`crate::response`]).
 //!
 //! Ids may be written bare (`QUERY 17`) or with the display prefix of the
 //! id type (`QUERY o17`, `FRONTIER c3`, `REGISTER c9 ...`). Responses are
@@ -63,6 +74,13 @@ pub enum Request {
     },
     /// Remove a registered user.
     Unregister(UserId),
+    /// Subscribe this connection to a user's frontier deltas.
+    Subscribe(UserId),
+    /// Unsubscribe this connection from a user's frontier deltas.
+    Unsubscribe(UserId),
+    /// Negotiate connection capabilities (wire format); the raw capability
+    /// tokens are validated by the service.
+    Hello(Vec<String>),
     /// Report an engine metrics snapshot.
     Stats,
     /// Report the Prometheus text-format metrics exposition.
@@ -178,6 +196,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Update { user, rows })
         }
         "UNREGISTER" => parse_user(rest).map(Request::Unregister),
+        "SUBSCRIBE" => parse_user(rest).map(Request::Subscribe),
+        "UNSUBSCRIBE" => parse_user(rest).map(Request::Unsubscribe),
+        "HELLO" => Ok(Request::Hello(
+            rest.split_whitespace().map(str::to_owned).collect(),
+        )),
         "STATS" | "METRICS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
             Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
         }
@@ -188,7 +211,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "" => Err("empty request".to_owned()),
         other => Err(format!(
             "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
-             UPDATE, UNREGISTER, STATS, METRICS, HEALTH or QUIT)"
+             UPDATE, UNREGISTER, SUBSCRIBE, UNSUBSCRIBE, HELLO, STATS, METRICS, HEALTH or QUIT)"
         )),
     }
 }
@@ -341,6 +364,33 @@ mod tests {
         ] {
             assert!(parse_request(line).is_err(), "{line:?} should fail");
         }
+    }
+
+    #[test]
+    fn parses_subscribe_unsubscribe_and_hello() {
+        assert_eq!(
+            parse_request("SUBSCRIBE 4"),
+            Ok(Request::Subscribe(UserId::new(4)))
+        );
+        assert_eq!(
+            parse_request("subscribe c4"),
+            Ok(Request::Subscribe(UserId::new(4)))
+        );
+        assert_eq!(
+            parse_request("UNSUBSCRIBE c9"),
+            Ok(Request::Unsubscribe(UserId::new(9)))
+        );
+        assert!(parse_request("SUBSCRIBE").is_err());
+        assert!(parse_request("UNSUBSCRIBE x").is_err());
+        assert_eq!(parse_request("HELLO"), Ok(Request::Hello(vec![])));
+        assert_eq!(
+            parse_request("hello frame"),
+            Ok(Request::Hello(vec!["frame".to_owned()]))
+        );
+        assert_eq!(
+            parse_request("HELLO text v2"),
+            Ok(Request::Hello(vec!["text".to_owned(), "v2".to_owned()]))
+        );
     }
 
     #[test]

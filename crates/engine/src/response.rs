@@ -1,0 +1,453 @@
+//! Typed responses and the two wire renderings.
+//!
+//! Every verb handler returns a [`Response`]; nothing above the renderers
+//! builds wire strings. The same value renders as either of two negotiated
+//! wire formats (see `HELLO` in [`crate::protocol`]):
+//!
+//! - **text** ([`render_text`]): the classic newline-delimited `OK`/`ERR`
+//!   lines, byte-identical to the pre-typed protocol.
+//! - **frame** ([`render_frame`]): a length-prefixed binary frame
+//!   `[u32 BE length][u8 kind][payload]` where `length` counts the kind
+//!   byte plus the payload. Integers are big-endian and fixed-width: user
+//!   ids are `u32`, object ids `u64`, counts `u32`, strings are UTF-8
+//!   (`u16 BE` length-prefixed when embedded mid-payload, trailing
+//!   otherwise). The kind byte is the variant's wire tag listed below.
+//!
+//! | kind | variant |
+//! |------|---------|
+//! | 0 | `Err` |
+//! | 1 | `Ingested` |
+//! | 2 | `Expired` |
+//! | 3 | `Query` |
+//! | 4 | `Frontier` |
+//! | 5 | `Registered` |
+//! | 6 | `Updated` |
+//! | 7 | `Unregistered` |
+//! | 8 | `Stats` |
+//! | 9 | `Metrics` |
+//! | 10 | `Health` |
+//! | 11 | `Hello` |
+//! | 12 | `Subscribed` |
+//! | 13 | `Unsubscribed` |
+//! | 14 | `Bye` |
+//! | 15 | `Event` |
+
+use pm_core::{Arrival, FrontierDelta};
+use pm_model::{ObjectId, UserId};
+
+use crate::protocol::{format_objects, format_users};
+
+/// The negotiated wire format of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Newline-delimited text lines (the default).
+    #[default]
+    Text,
+    /// Length-prefixed binary frames.
+    Frame,
+}
+
+impl WireMode {
+    /// The capability token naming this mode (`text` / `frame`).
+    pub fn token(self) -> &'static str {
+        match self {
+            WireMode::Text => "text",
+            WireMode::Frame => "frame",
+        }
+    }
+}
+
+/// A typed server response — one per request, plus the asynchronous
+/// [`Response::Event`] pushes a subscription produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `INGEST` succeeded: the processed arrivals, in id order. Carries the
+    /// full [`Arrival`]s (deltas included) so the serving layer can fan
+    /// frontier events out to subscribers from the same value it renders.
+    Ingested(Vec<Arrival>),
+    /// `EXPIRE`: cumulative window expirations.
+    Expired {
+        /// Lifetime expiration count.
+        expirations: u64,
+        /// Whether the backend is sliding-window (append-only backends
+        /// answer with a clarifying suffix).
+        sliding: bool,
+    },
+    /// `QUERY`: the recorded target users of a recent arrival.
+    Query {
+        /// The queried object.
+        object: ObjectId,
+        /// Its recorded target users, ascending.
+        users: Vec<UserId>,
+    },
+    /// `FRONTIER`: a user's current Pareto frontier.
+    Frontier {
+        /// The queried user.
+        user: UserId,
+        /// Frontier object ids, ascending.
+        objects: Vec<ObjectId>,
+    },
+    /// `REGISTER` succeeded.
+    Registered {
+        /// The registered user.
+        user: UserId,
+        /// The shard that owns it.
+        shard: usize,
+    },
+    /// `UPDATE` succeeded.
+    Updated {
+        /// The updated user.
+        user: UserId,
+        /// The shard that owns it.
+        shard: usize,
+    },
+    /// `UNREGISTER` succeeded.
+    Unregistered(UserId),
+    /// `STATS`: the rendered engine snapshot.
+    Stats(String),
+    /// `METRICS`: the Prometheus text-format exposition body.
+    Metrics(String),
+    /// `HEALTH`: liveness and engine identity.
+    Health {
+        /// Backend spec string.
+        backend: String,
+        /// Shard count.
+        shards: usize,
+        /// Registered user count.
+        users: usize,
+        /// Engine uptime in milliseconds.
+        uptime_ms: u128,
+    },
+    /// `HELLO` succeeded: the negotiated capabilities. The connection
+    /// renders this response in its *old* mode, then switches to `proto`.
+    Hello {
+        /// The negotiated wire mode.
+        proto: WireMode,
+        /// Server version (crate version).
+        version: String,
+        /// Backend spec string.
+        backend: String,
+        /// Shard count.
+        shards: usize,
+        /// Attributes per object.
+        arity: usize,
+    },
+    /// `SUBSCRIBE` succeeded: the frontier snapshot subsequent
+    /// [`Response::Event`] deltas apply to (snapshot and subscription are
+    /// atomic — no delta between them can be missed).
+    Subscribed {
+        /// The subscribed user.
+        user: UserId,
+        /// The user's frontier at subscription time, ascending.
+        snapshot: Vec<ObjectId>,
+    },
+    /// `UNSUBSCRIBE` succeeded.
+    Unsubscribed(UserId),
+    /// Asynchronous push: one user's frontier deltas from one arrival (or
+    /// membership change), in ascending object order.
+    Event {
+        /// The subscribed user whose frontier changed.
+        user: UserId,
+        /// The net membership changes, ascending by object id.
+        deltas: Vec<FrontierDelta>,
+    },
+    /// `QUIT`: goodbye, the connection closes after this response.
+    Bye,
+    /// Any failed request; the message is relayed verbatim after `ERR `.
+    Err(String),
+}
+
+impl Response {
+    /// Whether this response reports a failure.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Response::Err(_))
+    }
+}
+
+/// Renders a response as its single text-protocol line (without the
+/// trailing newline), byte-identical to the historical `format!` strings.
+/// `METRICS` embeds interior newlines (header line + exposition body).
+pub fn render_text(response: &Response) -> String {
+    match response {
+        Response::Ingested(arrivals) => {
+            let body = arrivals
+                .iter()
+                .map(|a| format!("{}:{}", a.object.raw(), format_users(&a.target_users)))
+                .collect::<Vec<_>>()
+                .join(";");
+            format!("OK INGESTED {} {body}", arrivals.len())
+        }
+        Response::Expired {
+            expirations,
+            sliding,
+        } => {
+            if *sliding {
+                format!("OK EXPIRED {expirations}")
+            } else {
+                format!("OK EXPIRED {expirations} (append-only backend, nothing expires)")
+            }
+        }
+        Response::Query { object, users } => {
+            format!("OK QUERY {} {}", object.raw(), format_users(users))
+        }
+        Response::Frontier { user, objects } => {
+            format!("OK FRONTIER {} {}", user.raw(), format_objects(objects))
+        }
+        Response::Registered { user, shard } => {
+            format!("OK REGISTERED {} shard={shard}", user.raw())
+        }
+        Response::Updated { user, shard } => format!("OK UPDATED {} shard={shard}", user.raw()),
+        Response::Unregistered(user) => format!("OK UNREGISTERED {}", user.raw()),
+        Response::Stats(snapshot) => format!("OK STATS {snapshot}"),
+        // The header names the body's byte length so clients can read the
+        // multi-line exposition exactly; the connection's trailing newline
+        // yields the blank-line terminator.
+        Response::Metrics(body) => format!("OK METRICS {}\n{body}", body.len()),
+        Response::Health {
+            backend,
+            shards,
+            users,
+            uptime_ms,
+        } => format!(
+            "OK HEALTH pm-server backend={backend} shards={shards} users={users} \
+             uptime_ms={uptime_ms}"
+        ),
+        Response::Hello {
+            proto,
+            version,
+            backend,
+            shards,
+            arity,
+        } => format!(
+            "OK HELLO pm-server proto={} version={version} backend={backend} \
+             shards={shards} arity={arity}",
+            proto.token()
+        ),
+        Response::Subscribed { user, snapshot } => {
+            format!("OK SUBSCRIBED {} {}", user.raw(), format_objects(snapshot))
+        }
+        Response::Unsubscribed(user) => format!("OK UNSUBSCRIBED {}", user.raw()),
+        Response::Event { user, deltas } => {
+            let body = deltas
+                .iter()
+                .map(|d| format!("{}{}", if d.entered { '+' } else { '-' }, d.object.raw()))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("EVENT {} {body}", user.raw())
+        }
+        Response::Bye => "OK BYE".to_owned(),
+        Response::Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&s.as_bytes()[..len as usize]);
+}
+
+fn put_users(buf: &mut Vec<u8>, users: &[UserId]) {
+    buf.extend_from_slice(&(users.len() as u32).to_be_bytes());
+    for user in users {
+        buf.extend_from_slice(&user.raw().to_be_bytes());
+    }
+}
+
+fn put_objects(buf: &mut Vec<u8>, objects: &[ObjectId]) {
+    buf.extend_from_slice(&(objects.len() as u32).to_be_bytes());
+    for object in objects {
+        buf.extend_from_slice(&object.raw().to_be_bytes());
+    }
+}
+
+/// Renders a response as one binary frame (see the module docs for the
+/// layout): `[u32 BE length][u8 kind][payload]`.
+pub fn render_frame(response: &Response) -> Vec<u8> {
+    let mut body: Vec<u8> = vec![0];
+    body[0] = match response {
+        Response::Err(e) => {
+            body.extend_from_slice(e.as_bytes());
+            0
+        }
+        Response::Ingested(arrivals) => {
+            body.extend_from_slice(&(arrivals.len() as u32).to_be_bytes());
+            for arrival in arrivals {
+                body.extend_from_slice(&arrival.object.raw().to_be_bytes());
+                put_users(&mut body, &arrival.target_users);
+            }
+            1
+        }
+        Response::Expired {
+            expirations,
+            sliding,
+        } => {
+            body.extend_from_slice(&expirations.to_be_bytes());
+            body.push(u8::from(*sliding));
+            2
+        }
+        Response::Query { object, users } => {
+            body.extend_from_slice(&object.raw().to_be_bytes());
+            put_users(&mut body, users);
+            3
+        }
+        Response::Frontier { user, objects } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            put_objects(&mut body, objects);
+            4
+        }
+        Response::Registered { user, shard } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            body.extend_from_slice(&(*shard as u32).to_be_bytes());
+            5
+        }
+        Response::Updated { user, shard } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            body.extend_from_slice(&(*shard as u32).to_be_bytes());
+            6
+        }
+        Response::Unregistered(user) => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            7
+        }
+        Response::Stats(snapshot) => {
+            body.extend_from_slice(snapshot.as_bytes());
+            8
+        }
+        Response::Metrics(exposition) => {
+            body.extend_from_slice(exposition.as_bytes());
+            9
+        }
+        Response::Health {
+            backend,
+            shards,
+            users,
+            uptime_ms,
+        } => {
+            put_str(&mut body, backend);
+            body.extend_from_slice(&(*shards as u32).to_be_bytes());
+            body.extend_from_slice(&(*users as u32).to_be_bytes());
+            body.extend_from_slice(&(*uptime_ms as u64).to_be_bytes());
+            10
+        }
+        Response::Hello {
+            proto,
+            version,
+            backend,
+            shards,
+            arity,
+        } => {
+            body.push(match proto {
+                WireMode::Text => 0,
+                WireMode::Frame => 1,
+            });
+            put_str(&mut body, version);
+            put_str(&mut body, backend);
+            body.extend_from_slice(&(*shards as u32).to_be_bytes());
+            body.extend_from_slice(&(*arity as u32).to_be_bytes());
+            11
+        }
+        Response::Subscribed { user, snapshot } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            put_objects(&mut body, snapshot);
+            12
+        }
+        Response::Unsubscribed(user) => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            13
+        }
+        Response::Bye => 14,
+        Response::Event { user, deltas } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            body.extend_from_slice(&(deltas.len() as u32).to_be_bytes());
+            for delta in deltas {
+                body.push(u8::from(delta.entered));
+                body.extend_from_slice(&delta.object.raw().to_be_bytes());
+            }
+            15
+        }
+    };
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_matches_the_historical_strings() {
+        assert_eq!(
+            render_text(&Response::Ingested(vec![Arrival {
+                object: ObjectId::new(0),
+                target_users: vec![UserId::new(1), UserId::new(2)],
+                deltas: vec![],
+            }])),
+            "OK INGESTED 1 0:1,2"
+        );
+        assert_eq!(
+            render_text(&Response::Expired {
+                expirations: 6,
+                sliding: true
+            }),
+            "OK EXPIRED 6"
+        );
+        assert_eq!(
+            render_text(&Response::Expired {
+                expirations: 0,
+                sliding: false
+            }),
+            "OK EXPIRED 0 (append-only backend, nothing expires)"
+        );
+        assert_eq!(
+            render_text(&Response::Registered {
+                user: UserId::new(9),
+                shard: 1
+            }),
+            "OK REGISTERED 9 shard=1"
+        );
+        assert_eq!(render_text(&Response::Bye), "OK BYE");
+        assert_eq!(render_text(&Response::Err("nope".to_owned())), "ERR nope");
+    }
+
+    #[test]
+    fn event_lines_render_signed_object_lists() {
+        let user = UserId::new(3);
+        assert_eq!(
+            render_text(&Response::Event {
+                user,
+                deltas: vec![
+                    FrontierDelta::enter(user, ObjectId::new(7)),
+                    FrontierDelta::leave(user, ObjectId::new(9)),
+                ],
+            }),
+            "EVENT 3 +7,-9"
+        );
+    }
+
+    #[test]
+    fn frames_are_length_prefixed_and_tagged() {
+        let frame = render_frame(&Response::Bye);
+        assert_eq!(frame, vec![0, 0, 0, 1, 14]);
+
+        let frame = render_frame(&Response::Event {
+            user: UserId::new(3),
+            deltas: vec![FrontierDelta::enter(UserId::new(3), ObjectId::new(7))],
+        });
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        assert_eq!(frame[4], 15);
+        assert_eq!(&frame[5..9], &3u32.to_be_bytes());
+        assert_eq!(&frame[9..13], &1u32.to_be_bytes());
+        assert_eq!(frame[13], 1);
+        assert_eq!(&frame[14..22], &7u64.to_be_bytes());
+    }
+
+    #[test]
+    fn err_frames_carry_the_message() {
+        let frame = render_frame(&Response::Err("lagged".to_owned()));
+        assert_eq!(frame[4], 0);
+        assert_eq!(&frame[5..], b"lagged");
+    }
+}

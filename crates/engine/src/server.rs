@@ -1,10 +1,10 @@
 //! TCP serving layer: an [`EngineService`] wraps a [`ShardedEngine`] with
-//! object-id assignment and a bounded arrival history, and [`serve`] exposes
-//! it over a [`TcpListener`] with one thread per connection.
+//! object-id assignment and a bounded arrival history, and [`serve`]
+//! (implemented by [`crate::reactor`]) exposes it over a [`TcpListener`]
+//! with a single readiness-reactor thread driving every connection.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -15,7 +15,9 @@ use pm_porder::Preference;
 use crate::backend::BackendSpec;
 use crate::engine::{shard_of, ShardedEngine};
 use crate::obs::{EngineMetrics, Verb};
-use crate::protocol::{format_objects, format_users, parse_request, Request};
+use crate::protocol::{parse_request, Request};
+use crate::reactor::ReactorConfig;
+use crate::response::{render_text, Response, WireMode};
 
 /// Configuration of the serving layer (see `pm-server --help`).
 #[derive(Debug, Clone)]
@@ -232,99 +234,134 @@ impl EngineService {
         Ok(shard_of(user, self.engine.num_shards()))
     }
 
-    /// Handles one parsed request, returning the response (without the
-    /// trailing newline). Single-line except `METRICS` (see
-    /// [`crate::protocol`]). Records the per-verb request counter and
-    /// latency histogram when the engine carries metrics.
-    pub fn respond(&self, request: Request) -> String {
+    /// Handles one parsed request, returning the typed [`Response`] a wire
+    /// renderer (or the reactor's event fan-out) consumes. Records the
+    /// per-verb request counter and latency histogram when the engine
+    /// carries metrics.
+    pub fn handle(&self, request: Request) -> Response {
         let verb = Verb::of(&request);
         let start = Instant::now();
-        let response = self.respond_inner(request);
+        let response = self.handle_inner(request);
         if let Some(metrics) = &self.metrics {
             if let Some(verb) = verb {
                 metrics.record_request(verb, start.elapsed());
             }
-            if response.starts_with("ERR") {
+            if response.is_err() {
                 metrics.record_error();
             }
         }
         response
     }
 
-    fn respond_inner(&self, request: Request) -> String {
+    fn handle_inner(&self, request: Request) -> Response {
         match request {
             Request::Ingest(rows) => match self.ingest(rows) {
-                Ok(arrivals) => {
-                    let body = arrivals
-                        .iter()
-                        .map(|a| format!("{}:{}", a.object.raw(), format_users(&a.target_users)))
-                        .collect::<Vec<_>>()
-                        .join(";");
-                    format!("OK INGESTED {} {body}", arrivals.len())
-                }
-                Err(e) => format!("ERR {e}"),
+                Ok(arrivals) => Response::Ingested(arrivals),
+                Err(e) => Response::Err(e),
             },
-            Request::Expire => {
-                let expirations = self.engine.stats().expirations;
-                if self.backend.is_sliding() {
-                    format!("OK EXPIRED {expirations}")
-                } else {
-                    format!("OK EXPIRED {expirations} (append-only backend, nothing expires)")
-                }
-            }
+            Request::Expire => Response::Expired {
+                expirations: self.engine.stats().expirations,
+                sliding: self.backend.is_sliding(),
+            },
             Request::Query(object) => match self.lookup(object) {
-                Some(targets) => format!("OK QUERY {} {}", object.raw(), format_users(&targets)),
-                None => format!(
-                    "ERR object {} not in the last {} arrivals",
+                Some(users) => Response::Query { object, users },
+                None => Response::Err(format!(
+                    "object {} not in the last {} arrivals",
                     object.raw(),
                     self.history
-                ),
+                )),
             },
             Request::Frontier(user) => {
                 if !self.engine.is_registered(user) {
-                    format!("ERR unknown user {}", user.raw())
+                    Response::Err(format!("unknown user {}", user.raw()))
                 } else {
-                    let frontier = self.engine.frontier(user);
-                    format!("OK FRONTIER {} {}", user.raw(), format_objects(&frontier))
+                    Response::Frontier {
+                        user,
+                        objects: self.engine.frontier(user),
+                    }
                 }
             }
             Request::Register { user, rows } => match self.register(user, rows) {
-                Ok(shard) => format!("OK REGISTERED {} shard={shard}", user.raw()),
-                Err(e) => format!("ERR {e}"),
+                Ok(shard) => Response::Registered { user, shard },
+                Err(e) => Response::Err(e),
             },
             Request::Update { user, rows } => match self.update(user, rows) {
-                Ok(shard) => format!("OK UPDATED {} shard={shard}", user.raw()),
-                Err(e) => format!("ERR {e}"),
+                Ok(shard) => Response::Updated { user, shard },
+                Err(e) => Response::Err(e),
             },
             Request::Unregister(user) => match self.engine.unregister(user) {
-                Ok(()) => format!("OK UNREGISTERED {}", user.raw()),
-                Err(e) => format!("ERR {e}"),
+                Ok(()) => Response::Unregistered(user),
+                Err(e) => Response::Err(e),
             },
-            Request::Stats => {
-                let snapshot = self.engine.snapshot();
-                format!("OK STATS {snapshot}")
+            Request::Subscribe(user) => {
+                if !self.engine.is_registered(user) {
+                    Response::Err(format!("unknown user {}", user.raw()))
+                } else {
+                    // Snapshot and subscription registration are atomic in
+                    // the single-threaded reactor: no delta between them
+                    // can be missed by the subscriber.
+                    Response::Subscribed {
+                        user,
+                        snapshot: self.engine.frontier(user),
+                    }
+                }
             }
+            // The reactor owns per-connection subscription state and
+            // rejects an UNSUBSCRIBE without a matching subscription
+            // before it ever reaches the service.
+            Request::Unsubscribe(user) => Response::Unsubscribed(user),
+            Request::Hello(capabilities) => self.hello(&capabilities),
+            Request::Stats => Response::Stats(self.engine.snapshot().to_string()),
             Request::Metrics => match self.engine.render_metrics() {
-                // The header names the body's byte length so clients can
-                // read the multi-line exposition exactly; the connection
-                // loop's trailing newline yields the blank-line terminator.
-                Some(body) => format!("OK METRICS {}\n{body}", body.len()),
-                None => "ERR metrics are disabled on this engine".to_owned(),
+                Some(body) => Response::Metrics(body),
+                None => Response::Err("metrics are disabled on this engine".to_owned()),
             },
-            Request::Health => format!(
-                "OK HEALTH pm-server backend={} shards={} users={} uptime_ms={}",
-                self.backend,
-                self.engine.num_shards(),
-                self.engine.num_users(),
-                self.engine.snapshot().uptime.as_millis()
-            ),
-            Request::Quit => "OK BYE".to_owned(),
+            Request::Health => Response::Health {
+                backend: self.backend.to_string(),
+                shards: self.engine.num_shards(),
+                users: self.engine.num_users(),
+                uptime_ms: self.engine.snapshot().uptime.as_millis(),
+            },
+            Request::Quit => Response::Bye,
         }
+    }
+
+    /// Negotiates `HELLO` capabilities: `text` and `frame` pick the wire
+    /// mode (the last one wins; a bare `HELLO` means `text`), anything else
+    /// is an error that leaves the connection and its current mode
+    /// untouched.
+    fn hello(&self, capabilities: &[String]) -> Response {
+        let mut proto = WireMode::Text;
+        for capability in capabilities {
+            match capability.to_ascii_lowercase().as_str() {
+                "text" => proto = WireMode::Text,
+                "frame" => proto = WireMode::Frame,
+                other => {
+                    return Response::Err(format!(
+                        "unknown capability `{other}` (expected text or frame)"
+                    ))
+                }
+            }
+        }
+        Response::Hello {
+            proto,
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            backend: self.backend.to_string(),
+            shards: self.engine.num_shards(),
+            arity: self.arity,
+        }
+    }
+
+    /// Handles one parsed request and renders the response as its text
+    /// line (without the trailing newline) — the typed path with the
+    /// classic string surface.
+    pub fn respond(&self, request: Request) -> String {
+        render_text(&self.handle(request))
     }
 
     /// Parses one request line, recording the ingest `parse` stage
     /// histogram and counting unparseable lines as request errors.
-    fn parse_line(&self, line: &str) -> Result<Request, String> {
+    pub(crate) fn parse_line(&self, line: &str) -> Result<Request, String> {
         let start = Instant::now();
         let parsed = parse_request(line);
         if let Some(metrics) = &self.metrics {
@@ -345,87 +382,27 @@ impl EngineService {
             Err(e) => format!("ERR {e}"),
         }
     }
+
+    /// The engine's metric bundle, for the reactor's connection gauges.
+    pub(crate) fn metrics_bundle(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
 }
 
-/// Serves one established connection until `QUIT`, EOF or an I/O error.
+/// Serves the listener with a single-threaded readiness reactor (see
+/// [`crate::reactor`]): every connection — request/response *and*
+/// subscription pushes — is driven by one event-loop thread over
+/// nonblocking sockets, so idle subscribers cost a socket and a few hundred
+/// bytes, not a thread.
 ///
 /// Failure policy (audited): parse failures answer `ERR` and keep serving;
-/// read/write failures end *this* connection only — the error propagates to
-/// the per-connection thread in [`serve`], which logs it and drops the
-/// socket without disturbing the engine or any other connection.
-pub fn handle_connection(stream: TcpStream, service: &EngineService) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed = service.parse_line(&line);
-        let quit = matches!(parsed, Ok(Request::Quit));
-        let response = match parsed {
-            Ok(request) => service.respond(request),
-            Err(e) => format!("ERR {e}"),
-        };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if quit {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Accept loop: one thread per connection.
-///
-/// Accept failures are logged and *skipped* — transient conditions
-/// (`ECONNABORTED`, `EMFILE` after a burst, a peer resetting mid-handshake)
-/// must not take the whole server down. Only a closed/invalid listener
-/// (which `incoming` surfaces as an unending error stream) ends the loop,
-/// after a bounded number of consecutive failures.
+/// read/write failures end *that* connection only. Accept failures are
+/// logged and skipped — transient conditions (`ECONNABORTED`, `EMFILE`
+/// after a burst, a peer resetting mid-handshake) must not take the whole
+/// server down; only a persistently failing listener ends the loop, after a
+/// bounded number of consecutive failures.
 pub fn serve(listener: TcpListener, service: Arc<EngineService>) -> std::io::Result<()> {
-    let mut consecutive_failures = 0u32;
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(stream) => {
-                consecutive_failures = 0;
-                stream
-            }
-            Err(e) => {
-                consecutive_failures += 1;
-                pm_obs::warn!(
-                    "pm_engine::server",
-                    "accept failed",
-                    consecutive = consecutive_failures,
-                    error = e,
-                );
-                if consecutive_failures >= 16 {
-                    pm_obs::error!(
-                        "pm_engine::server",
-                        "giving up on listener after repeated accept failures",
-                        failures = consecutive_failures,
-                    );
-                    return Err(e);
-                }
-                continue;
-            }
-        };
-        if let Some(metrics) = &service.metrics {
-            metrics.connections.inc();
-        }
-        if let Ok(peer) = stream.peer_addr() {
-            pm_obs::debug!("pm_engine::server", "connection accepted", peer = peer);
-        }
-        let service = Arc::clone(&service);
-        std::thread::spawn(move || {
-            if let Err(e) = handle_connection(stream, &service) {
-                // Read/write failure on one connection: log and drop it.
-                pm_obs::warn!("pm_engine::server", "connection error", error = e);
-            }
-        });
-    }
-    Ok(())
+    crate::reactor::serve_with(listener, service, ReactorConfig::default())
 }
 
 #[cfg(test)]
@@ -433,7 +410,8 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use pm_porder::Preference;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
 
     fn service(shards: usize, backend: &str) -> EngineService {
         // Three users with simple chain preferences over 2 attributes.

@@ -14,7 +14,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pm_core::{ContinuousMonitor, MonitorStats};
+use pm_core::{ContinuousMonitor, FrontierDelta, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
 use pm_obs::LogHistogram;
 use pm_porder::Preference;
@@ -83,6 +83,11 @@ pub(crate) struct ShardBatchReply {
     /// as global ids. Per-shard sets are pairwise disjoint across shards;
     /// the engine sorts the merged set, so no per-shard order is promised.
     pub targets: Vec<Vec<UserId>>,
+    /// For each object of the batch, the frontier deltas of the users owned
+    /// by this shard, with global user ids. Disjoint across shards (a user
+    /// lives on exactly one shard); the engine sorts the merged list back
+    /// into canonical `(user, object)` order.
+    pub deltas: Vec<Vec<FrontierDelta>>,
 }
 
 /// The state moved onto a shard's worker thread.
@@ -122,17 +127,28 @@ impl ShardWorker {
                         queue_wait.record_duration(enqueued.elapsed());
                     }
                     let apply_start = self.apply.as_ref().map(|_| Instant::now());
-                    let targets = objects
-                        .iter()
-                        .map(|object| {
-                            let arrival = self.monitor.process(object.clone());
+                    let mut targets = Vec::with_capacity(objects.len());
+                    let mut deltas = Vec::with_capacity(objects.len());
+                    for object in objects.iter() {
+                        let arrival = self.monitor.process(object.clone());
+                        targets.push(
                             arrival
                                 .target_users
                                 .iter()
                                 .map(|local| self.global_users[local.index()])
-                                .collect()
-                        })
-                        .collect();
+                                .collect::<Vec<UserId>>(),
+                        );
+                        deltas.push(
+                            arrival
+                                .deltas
+                                .iter()
+                                .map(|d| FrontierDelta {
+                                    user: self.global_users[d.user.index()],
+                                    ..*d
+                                })
+                                .collect::<Vec<FrontierDelta>>(),
+                        );
+                    }
                     if let (Some(apply), Some(start)) = (&self.apply, apply_start) {
                         apply.record_duration(start.elapsed());
                     }
@@ -140,6 +156,7 @@ impl ShardWorker {
                     let _ = reply.send(ShardBatchReply {
                         shard: self.shard,
                         targets,
+                        deltas,
                     });
                 }
                 ShardCmd::Frontier { user, reply } => {
