@@ -41,18 +41,28 @@
 //!    `EVENT` delta streams. The clock covers ingestion *and* delivery —
 //!    it stops only once every subscriber has drained its events behind a
 //!    `HEALTH` barrier — so the per-arrival delta diff, the per-mode
-//!    render cache, and the outbox writes are all on the measured path.
+//!    render cache, and the outbox writes are all on the measured path,
+//!    and
+//! 8. the **durability tax and recovery time**: the plain ingest stream
+//!    runs with a write-ahead log attached under the group-commit policy
+//!    (`--wal-sync=batch`) and detached, interleaved like phase 6, and the
+//!    `--check` gate requires the WAL-on throughput to stay within
+//!    `max_wal_overhead` (15%) of WAL-off. The WAL directory the last
+//!    on-round leaves behind is then recovered — genesis snapshot plus a
+//!    full log-tail replay, the worst case for this stream — and the
+//!    wall-clock recovery time must stay under the baseline's
+//!    `max_recovery_ms` ceiling.
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_7.json` by default). With `--check <baseline.json>` the run
+//! (`BENCH_8.json` by default). With `--check <baseline.json>` the run
 //! fails (exit 1) when a throughput metric regresses more than 30% against
 //! the checked-in baseline, when the compiled dominance path is less than
 //! 2x the hash-map path, when compaction retains too much, or when the
-//! instrumentation overhead exceeds its ceiling — this is the `perf-smoke`
-//! CI gate.
+//! instrumentation, durability or recovery overheads exceed their
+//! ceilings — this is the `perf-smoke` CI gate.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_7.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_8.json] [--check bench-baseline.json]
 //! ```
 
 use std::time::Instant;
@@ -98,6 +108,11 @@ const FANOUT_SUBSCRIBERS: usize = 1_000;
 /// because every arrival is also rendered and delivered ~[`FANOUT_SUBSCRIBERS`]
 /// / users times.
 const FANOUT_OBJECTS: usize = 1_500;
+/// Interleaved (off, on) round pairs of the durability phase (phase 8).
+const WAL_ROUNDS: usize = 2;
+/// WAL-on vs WAL-off throughput-gap ceiling when the baseline lacks the
+/// `max_wal_overhead` key.
+const MAX_WAL_OVERHEAD: f64 = 0.15;
 
 struct Report {
     prefers_hash: f64,
@@ -120,6 +135,10 @@ struct Report {
     engine_fanout_objects_per_sec: f64,
     fanout_subscribers: usize,
     fanout_events_delivered: u64,
+    engine_wal_ingest_objects_per_sec: f64,
+    engine_wal_off_objects_per_sec: f64,
+    recovery_ms: f64,
+    recovery_replayed: u64,
 }
 
 impl Report {
@@ -144,9 +163,16 @@ impl Report {
             .max(0.0)
     }
 
+    /// Relative throughput cost of the attached WAL under group commit:
+    /// how much slower the WAL-on stream ran than the WAL-off stream.
+    fn wal_overhead(&self) -> f64 {
+        (self.engine_wal_off_objects_per_sec / self.engine_wal_ingest_objects_per_sec - 1.0)
+            .max(0.0)
+    }
+
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v6\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v7\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
@@ -167,7 +193,12 @@ impl Report {
              \"engine_fanout_objects_per_sec\": {:.0},\n  \
              \"fanout_objects\": {},\n  \
              \"fanout_subscribers\": {},\n  \
-             \"fanout_events_delivered\": {}\n}}\n",
+             \"fanout_events_delivered\": {},\n  \
+             \"engine_wal_ingest_objects_per_sec\": {:.0},\n  \
+             \"engine_wal_off_objects_per_sec\": {:.0},\n  \
+             \"wal_overhead_ratio\": {:.4},\n  \
+             \"recovery_ms\": {:.1},\n  \
+             \"recovery_replayed\": {}\n}}\n",
             self.prefers_hash,
             self.prefers_compiled,
             self.dominance_hash,
@@ -195,6 +226,11 @@ impl Report {
             FANOUT_OBJECTS,
             self.fanout_subscribers,
             self.fanout_events_delivered,
+            self.engine_wal_ingest_objects_per_sec,
+            self.engine_wal_off_objects_per_sec,
+            self.wal_overhead(),
+            self.recovery_ms,
+            self.recovery_replayed,
         )
     }
 }
@@ -504,6 +540,86 @@ fn measure_subscriber_fanout(dataset: &Dataset) -> (f64, usize, u64) {
     (FANOUT_OBJECTS as f64 / elapsed, subscribers, events)
 }
 
+/// One WAL-attached run of the plain ingest stream: builds the service
+/// through `recover_or_create` on a fresh directory (which attaches the
+/// log under `--wal-sync=batch` semantics) and times the identical stream
+/// the WAL-off rounds process. Every batch is appended to the log inside
+/// the shard-dispatch critical section, so the measured gap is the full
+/// durability tax: encoding, the page-cache write, and the group-commit
+/// fsyncs.
+fn timed_wal_stream(dataset: &Dataset, dir: &std::path::Path) -> f64 {
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let durability = pm_engine::DurabilityConfig {
+        dir: dir.to_path_buf(),
+        sync: pm_wal::SyncPolicy::Batch,
+        snapshot_every: 0,
+    };
+    let (service, report) = pm_engine::durability::recover_or_create(
+        dataset.preferences.clone(),
+        &EngineConfig::new(1),
+        &spec,
+        dataset.dimensions(),
+        16,
+        &durability,
+    )
+    .expect("open WAL dir");
+    assert!(
+        report.is_none(),
+        "the WAL round must start from a fresh dir"
+    );
+    let stream = engine_stream(&dataset.objects);
+    let start = Instant::now();
+    let mut processed = 0usize;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        processed += service.engine().process_batch(chunk.to_vec()).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(processed, ENGINE_OBJECTS, "every object must be processed");
+    processed as f64 / elapsed
+}
+
+/// Phase 8: interleaved (off, on) rounds of the plain stream — WAL-off
+/// rounds run the bare engine, WAL-on rounds append every ingest batch to
+/// a fresh log under group commit; each mode keeps its best round. The
+/// directory the last on-round leaves behind (genesis snapshot + the full
+/// ingest tail) is then recovered and timed. Returns
+/// `(best_on, best_off, recovery_ms, recovery_replayed)`.
+fn measure_durability(dataset: &Dataset) -> (f64, f64, f64, u64) {
+    let dir = std::env::temp_dir().join(format!("pm-perf-smoke-wal-{}", std::process::id()));
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for _ in 0..WAL_ROUNDS {
+        let off = measure_engine(dataset.preferences.clone(), &dataset.objects);
+        best_off = best_off.max(off);
+        let _ = std::fs::remove_dir_all(&dir);
+        best_on = best_on.max(timed_wal_stream(dataset, &dir));
+    }
+
+    let spec = BackendSpec::parse(ENGINE_BACKEND).expect("valid backend spec");
+    let durability = pm_engine::DurabilityConfig {
+        dir: dir.clone(),
+        sync: pm_wal::SyncPolicy::Batch,
+        snapshot_every: 0,
+    };
+    let (_service, report) = pm_engine::durability::recover_or_create(
+        dataset.preferences.clone(),
+        &EngineConfig::new(1),
+        &spec,
+        dataset.dimensions(),
+        16,
+        &durability,
+    )
+    .expect("recover WAL dir");
+    let report = report.expect("an ingested WAL dir must produce a recovery report");
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        best_on,
+        best_off,
+        report.elapsed.as_secs_f64() * 1_000.0,
+        report.replayed,
+    )
+}
+
 /// Minimal parser for the flat JSON this harness itself writes: returns the
 /// numeric fields as (key, value) pairs.
 fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
@@ -548,6 +664,10 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         (
             "engine_fanout_objects_per_sec",
             report.engine_fanout_objects_per_sec,
+        ),
+        (
+            "engine_wal_ingest_objects_per_sec",
+            report.engine_wal_ingest_objects_per_sec,
         ),
     ];
     for (key, current) in gates {
@@ -622,6 +742,45 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         );
     }
 
+    // Durability-tax gate: the attached WAL under group commit must stay
+    // within its documented throughput cost on the identical stream.
+    let max_wal_overhead = lookup("max_wal_overhead").unwrap_or(MAX_WAL_OVERHEAD);
+    if report.wal_overhead() > max_wal_overhead {
+        failures.push(format!(
+            "WAL overhead {:.1}% above the {:.1}% ceiling \
+             (WAL on {:.0} vs off {:.0} objects/sec)",
+            report.wal_overhead() * 100.0,
+            max_wal_overhead * 100.0,
+            report.engine_wal_ingest_objects_per_sec,
+            report.engine_wal_off_objects_per_sec,
+        ));
+    } else {
+        println!(
+            "gate ok: wal_overhead = {:.1}% (<= {:.1}%)",
+            report.wal_overhead() * 100.0,
+            max_wal_overhead * 100.0
+        );
+    }
+
+    // Recovery-time gate: genesis snapshot + full log-tail replay of this
+    // fixed stream must finish under the baseline ceiling.
+    if let Some(max_recovery_ms) = lookup("max_recovery_ms") {
+        if report.recovery_ms > max_recovery_ms {
+            failures.push(format!(
+                "recovery took {:.1} ms ({} records replayed), above the \
+                 {max_recovery_ms:.0} ms ceiling",
+                report.recovery_ms, report.recovery_replayed
+            ));
+        } else {
+            println!(
+                "gate ok: recovery_ms = {:.1} (<= {max_recovery_ms:.0})",
+                report.recovery_ms
+            );
+        }
+    } else {
+        failures.push("baseline is missing `max_recovery_ms`".to_owned());
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
@@ -630,7 +789,7 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
 }
 
 fn main() {
-    let mut out_path = "BENCH_7.json".to_owned();
+    let mut out_path = "BENCH_8.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -731,6 +890,24 @@ fn main() {
          ({fanout_subscribers} subscribers, {fanout_events_delivered} events delivered)"
     );
 
+    // Phase 8: the durability tax of the attached WAL, and the wall-clock
+    // cost of recovering the directory it leaves behind.
+    let (
+        engine_wal_ingest_objects_per_sec,
+        engine_wal_off_objects_per_sec,
+        recovery_ms,
+        recovery_replayed,
+    ) = measure_durability(&dataset);
+    println!(
+        "engine WAL on:       {engine_wal_ingest_objects_per_sec:>12.0} objects/sec \
+         (off: {engine_wal_off_objects_per_sec:.0}, overhead {:.1}%, wal-sync=batch)",
+        (engine_wal_off_objects_per_sec / engine_wal_ingest_objects_per_sec - 1.0).max(0.0) * 100.0
+    );
+    println!(
+        "recovery:            {recovery_ms:>12.1} ms \
+         (genesis snapshot + {recovery_replayed} records replayed)"
+    );
+
     let report = Report {
         prefers_hash,
         prefers_compiled,
@@ -752,6 +929,10 @@ fn main() {
         engine_fanout_objects_per_sec,
         fanout_subscribers,
         fanout_events_delivered,
+        engine_wal_ingest_objects_per_sec,
+        engine_wal_off_objects_per_sec,
+        recovery_ms,
+        recovery_replayed,
     };
     std::fs::write(&out_path, report.to_json()).expect("write report");
     println!("wrote {out_path}");

@@ -14,7 +14,7 @@ use pm_porder::{CompiledPreference, Dominance, Preference};
 
 use crate::delta::DeltaLog;
 use crate::history::{History, HistoryMode};
-use crate::monitor::{Arrival, ContinuousMonitor};
+use crate::monitor::{Arrival, ContinuousMonitor, MonitorState};
 use crate::stats::MonitorStats;
 use crate::timers::{timed, MonitorTimers};
 
@@ -309,6 +309,31 @@ impl ContinuousMonitor for BaselineMonitor {
         stats.history_evicted = self.history.evicted();
         stats.history_bytes = self.history.approx_bytes();
         stats
+    }
+
+    fn export_state(&self) -> MonitorState {
+        MonitorState {
+            history: Some(self.history.export_state()),
+            window: None,
+            stats: self.stats,
+        }
+    }
+
+    fn import_state(&mut self, state: MonitorState) {
+        if let Some(history) = state.history {
+            self.history.import_state(history);
+        }
+    }
+
+    fn restore_stats(&mut self, stats: MonitorStats) {
+        self.stats.arrivals = stats.arrivals;
+        self.stats.expirations = stats.expirations;
+        self.stats.comparisons = stats.comparisons;
+        self.stats.notifications = stats.notifications;
+    }
+
+    fn member_preferences(&self) -> Vec<Preference> {
+        self.preferences.clone()
     }
 }
 

@@ -65,6 +65,8 @@ use pm_model::{Object, ObjectId, ValueId};
 use pm_obs::LogHistogram;
 use pm_porder::{Preference, PreferenceUniverse};
 
+use crate::monitor::HistoryState;
+
 /// How often the compacting history sweeps, in pushes. Sweeps are O(G²)
 /// union pre-filters plus per-member confirmations over the G retained
 /// groups, so a few hundred pushes amortize one sweep comfortably.
@@ -126,6 +128,13 @@ pub struct History {
     groups: HashMap<Vec<ValueId>, VecDeque<ObjectId>>,
     /// Every distinct preference ever observed; gates eviction.
     universe: PreferenceUniverse,
+    /// The raw preferences behind the universe members, in first-observation
+    /// order. The universe keeps only compiled members, so snapshots persist
+    /// this list and recovery re-absorbs it to reconstruct the universe
+    /// (absorb order does not affect eviction decisions — the criterion
+    /// quantifies over all members — but a deterministic order keeps
+    /// exports comparable).
+    observed: Vec<Preference>,
     /// Retained ids across all groups (compact mode).
     retained: usize,
     /// Min-heap of `(group head id, group key)` eviction candidates,
@@ -152,6 +161,7 @@ impl History {
             linear: VecDeque::new(),
             groups: HashMap::new(),
             universe: PreferenceUniverse::new(),
+            observed: Vec::new(),
             retained: 0,
             cap_heap: BinaryHeap::new(),
             pending: 0,
@@ -181,7 +191,13 @@ impl History {
     /// `false`.
     pub fn observe(&mut self, preference: &Preference) -> bool {
         match self.mode {
-            HistoryMode::Compact { .. } => self.universe.absorb(preference),
+            HistoryMode::Compact { .. } => {
+                let novel = self.universe.absorb(preference);
+                if novel {
+                    self.observed.push(preference.clone());
+                }
+                novel
+            }
             _ => false,
         }
     }
@@ -254,22 +270,37 @@ impl History {
     /// mode pays each distinct value vector exactly once (the map key *is*
     /// the group) plus one id per retained object — which is where most of
     /// the memory reduction comes from on streams that repeat value
-    /// vectors, on top of skyline-union eviction. An estimate of the
-    /// payload allocations, not a precise allocator measurement.
+    /// vectors, on top of skyline-union eviction — plus, when a hard cap
+    /// is configured, the cap heap's clone of each tracked group key (the
+    /// heap is part of the retained-history footprint, and the CI
+    /// retention-ratio gate compares this figure against the linear
+    /// branch, so it must not be undercounted). An estimate of the payload
+    /// allocations, not a precise allocator measurement.
     pub fn approx_bytes(&self) -> u64 {
         use std::mem::size_of;
         match self.mode {
-            HistoryMode::Compact { .. } => self
-                .groups
-                .iter()
-                .map(|(values, ids)| {
-                    (size_of::<Vec<ValueId>>()
-                        + values.len() * size_of::<ValueId>()
-                        + size_of::<VecDeque<ObjectId>>()
-                        + ids.len() * size_of::<ObjectId>()
-                        + size_of::<u64>()) as u64
-                })
-                .sum(),
+            HistoryMode::Compact { .. } => {
+                let groups: u64 = self
+                    .groups
+                    .iter()
+                    .map(|(values, ids)| {
+                        (size_of::<Vec<ValueId>>()
+                            + values.len() * size_of::<ValueId>()
+                            + size_of::<VecDeque<ObjectId>>()
+                            + ids.len() * size_of::<ObjectId>()
+                            + size_of::<u64>()) as u64
+                    })
+                    .sum();
+                let cap_heap: u64 = self
+                    .cap_heap
+                    .iter()
+                    .map(|Reverse((_, values))| {
+                        (size_of::<Reverse<(ObjectId, Vec<ValueId>)>>()
+                            + values.len() * size_of::<ValueId>()) as u64
+                    })
+                    .sum();
+                groups + cap_heap
+            }
             _ => self
                 .linear
                 .iter()
@@ -324,6 +355,70 @@ impl History {
             ),
             _ => None,
         }
+    }
+
+    /// Exports the durable state: observed preferences (first-observation
+    /// order), retained objects and the sweep/eviction counters. Compact
+    /// histories flatten their groups to objects in ascending-id order so
+    /// id-list multiplicity round-trips; linear histories keep arrival
+    /// order.
+    pub fn export_state(&self) -> HistoryState {
+        let mut objects: Vec<Object> = self.iter().map(Cow::into_owned).collect();
+        if self.mode.is_compacting() {
+            objects.sort_by_key(Object::id);
+        }
+        HistoryState {
+            observed: self.observed.clone(),
+            objects,
+            pending: self.pending as u64,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Restores state exported by [`History::export_state`] verbatim,
+    /// replacing any current content. No sweep runs during import and the
+    /// pushes-since-last-sweep counter is restored, so the retained set
+    /// and every subsequent sweep decision evolve exactly as they would
+    /// have in an uninterrupted run. The retention mode is the receiver's
+    /// (construct with the same mode as the exporter for a faithful
+    /// restore).
+    pub fn import_state(&mut self, state: HistoryState) {
+        self.linear.clear();
+        self.groups.clear();
+        self.universe = PreferenceUniverse::new();
+        self.observed.clear();
+        self.retained = 0;
+        self.cap_heap.clear();
+        for preference in &state.observed {
+            self.observe(preference);
+        }
+        match self.mode {
+            HistoryMode::Compact { cap } => {
+                for object in state.objects {
+                    match self.groups.get_mut(object.values()) {
+                        Some(ids) => ids.push_back(object.id()),
+                        None => {
+                            self.groups
+                                .insert(object.values().to_vec(), VecDeque::from([object.id()]));
+                        }
+                    }
+                    self.retained += 1;
+                }
+                // Group heads are the minimum ids (export sorts ascending),
+                // so rebuilding from heads reproduces oldest-first cap
+                // eviction order exactly.
+                if cap.is_some() {
+                    self.cap_heap = self
+                        .groups
+                        .iter()
+                        .map(|(values, ids)| Reverse((ids[0], values.clone())))
+                        .collect();
+                }
+            }
+            _ => self.linear = state.objects.into(),
+        }
+        self.pending = usize::try_from(state.pending).unwrap_or(usize::MAX);
+        self.evicted = state.evicted;
     }
 
     /// Runs a compaction sweep immediately (no-op for non-compacting
@@ -771,6 +866,108 @@ mod tests {
             2 * super::SWEEP_EVERY
         );
         assert!(h.retained_ids().iter().all(|id| id.raw() % 2 == 0));
+    }
+
+    #[test]
+    fn approx_bytes_counts_cap_heap_key_clones() {
+        use std::mem::size_of;
+        // Identical streams; only the hard cap differs. The capped history
+        // clones every group key into its eviction heap, and that memory
+        // must show up in the estimate (the CI retention-ratio gate
+        // compares compact and linear footprints like with like).
+        let mut capped = History::new(HistoryMode::Compact { cap: Some(100) });
+        let mut uncapped = History::new(HistoryMode::Compact { cap: None });
+        for i in 0..4u64 {
+            capped.push(obj(i, &[i as u32, 0]));
+            uncapped.push(obj(i, &[i as u32, 0]));
+        }
+        assert_eq!(capped.retained_ids(), uncapped.retained_ids());
+        let per_entry = |values: usize| {
+            (size_of::<Reverse<(ObjectId, Vec<ValueId>)>>() + values * size_of::<ValueId>()) as u64
+        };
+        assert_eq!(
+            capped.approx_bytes(),
+            uncapped.approx_bytes() + 4 * per_entry(2),
+            "one heap entry (tuple + cloned 2-value key) per group"
+        );
+        // Without a cap the heap is empty and both estimates agree.
+        assert_eq!(
+            uncapped.approx_bytes(),
+            {
+                let mut h = History::new(HistoryMode::Compact { cap: None });
+                for i in 0..4u64 {
+                    h.push(obj(i, &[i as u32, 0]));
+                }
+                h.approx_bytes()
+            },
+            "uncapped estimate is unchanged by the fix"
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_verbatim() {
+        let up = chain_pref(0, &[0, 1, 2]);
+        let down = chain_pref(0, &[2, 1, 0]);
+        let mut h = History::new(HistoryMode::Compact { cap: None });
+        h.observe(&up);
+        h.push(obj(0, &[0, 7]));
+        h.push(obj(1, &[1, 7]));
+        h.push(obj(2, &[2, 7]));
+        h.push(obj(3, &[0, 7]));
+        h.compact_now();
+        h.observe(&down);
+        h.push(obj(4, &[1, 7]));
+        let exported = h.export_state();
+        assert_eq!(exported.evicted, h.evicted());
+        let mut restored = History::new(HistoryMode::Compact { cap: None });
+        restored.import_state(exported.clone());
+        assert_eq!(restored.retained_ids(), h.retained_ids());
+        assert_eq!(restored.num_groups(), h.num_groups());
+        assert_eq!(restored.evicted(), h.evicted());
+        assert_eq!(restored.approx_bytes(), h.approx_bytes());
+        assert_eq!(
+            restored.export_state(),
+            exported,
+            "a second export is identical — import was verbatim"
+        );
+        // The restored history keeps evolving exactly like the original:
+        // same pushes, same sweep outcome.
+        h.push(obj(5, &[2, 8]));
+        restored.push(obj(5, &[2, 8]));
+        h.compact_now();
+        restored.compact_now();
+        assert_eq!(restored.retained_ids(), h.retained_ids());
+        assert_eq!(restored.evicted(), h.evicted());
+    }
+
+    #[test]
+    fn export_import_roundtrip_linear_modes() {
+        let mut h = History::new(HistoryMode::Truncate(3));
+        for i in 0..5 {
+            h.push(obj(i, &[i as u32, 0]));
+        }
+        let mut restored = History::new(HistoryMode::Truncate(3));
+        restored.import_state(h.export_state());
+        assert_eq!(restored.retained_ids(), h.retained_ids());
+        assert_eq!(restored.evicted(), h.evicted());
+        assert_eq!(restored.export_state(), h.export_state());
+    }
+
+    #[test]
+    fn import_restores_cap_heap_for_capped_histories() {
+        let mut h = History::new(HistoryMode::Compact { cap: Some(2) });
+        for i in 0..4 {
+            h.push(obj(i, &[i as u32, 0]));
+        }
+        assert_eq!(h.retained_ids(), vec![ObjectId::new(2), ObjectId::new(3)]);
+        let mut restored = History::new(HistoryMode::Compact { cap: Some(2) });
+        restored.import_state(h.export_state());
+        // The rebuilt heap must keep enforcing oldest-first eviction.
+        restored.push(obj(4, &[9, 9]));
+        assert_eq!(
+            restored.retained_ids(),
+            vec![ObjectId::new(3), ObjectId::new(4)]
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use baseline::BaselineMonitor;
 pub use delta::FrontierDelta;
 pub use filter_then_verify::FilterThenVerifyMonitor;
 pub use history::{History, HistoryMode};
-pub use monitor::{Arrival, ContinuousMonitor};
+pub use monitor::{Arrival, ContinuousMonitor, HistoryState, MonitorState};
 pub use sliding_window::{BaselineSwMonitor, FilterThenVerifySwMonitor};
 pub use stats::MonitorStats;
 pub use timers::MonitorTimers;

@@ -30,6 +30,46 @@ impl Arrival {
     }
 }
 
+/// The portion of a compacting (or linear) ingested history that must
+/// survive a crash: the retained objects, the preferences whose frontiers
+/// gate eviction, and the lazy-sweep bookkeeping counters.
+///
+/// Exported by [`crate::History::export_state`] and restored verbatim by
+/// [`crate::History::import_state`] — no sweep runs during import, so the
+/// retained set (and therefore every later sweep decision) evolves exactly
+/// as it would have in an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoryState {
+    /// Every preference absorbed into the eviction universe, in the order
+    /// it was first observed (empty for non-compacting histories).
+    pub observed: Vec<Preference>,
+    /// The retained objects in ascending object-id order. For a compacting
+    /// history this is the flattened group content — duplicates appear once
+    /// per retaining id, so id-list multiplicity round-trips.
+    pub objects: Vec<Object>,
+    /// Pushes since the last lazy sweep (compact mode only).
+    pub pending: u64,
+    /// Objects dropped by sweeps or caps since construction.
+    pub evicted: u64,
+}
+
+/// A monitor's durable state, exported for snapshots and restored on
+/// recovery. Exactly one of `history` / `window` is populated: append-only
+/// monitors persist their ingested [`crate::History`], sliding-window
+/// monitors persist the window content (their state is a pure function of
+/// the preferences and the last `W` objects in arrival order).
+#[derive(Debug, Clone, Default)]
+pub struct MonitorState {
+    /// Ingested-history state (append-only monitors).
+    pub history: Option<HistoryState>,
+    /// Window content, oldest first (sliding-window monitors).
+    pub window: Option<Vec<Object>>,
+    /// Work counters at export time. Only the four stream counters
+    /// (arrivals, expirations, comparisons, notifications) are meaningful;
+    /// history gauges are recomputed live after import.
+    pub stats: MonitorStats,
+}
+
 /// A continuous Pareto-frontier monitor.
 ///
 /// Implementations differ in how much computation they share across users
@@ -112,6 +152,38 @@ pub trait ContinuousMonitor {
 
     /// Work counters accumulated so far.
     fn stats(&self) -> MonitorStats;
+
+    /// Exports the monitor's durable state for a snapshot. The default
+    /// returns an empty [`MonitorState`] for monitors without durable
+    /// state.
+    fn export_state(&self) -> MonitorState {
+        MonitorState::default()
+    }
+
+    /// Restores durable state exported by [`Self::export_state`] into a
+    /// monitor that has **no users yet**: the history (or window) is
+    /// installed verbatim, after which members are re-registered through
+    /// [`Self::add_user`] so their frontiers backfill from the restored
+    /// alive objects. Work counters are *not* restored here — call
+    /// [`Self::restore_stats`] after re-registration so backfill replay
+    /// does not pollute them. The default ignores the call.
+    fn import_state(&mut self, state: MonitorState) {
+        let _ = state;
+    }
+
+    /// Overwrites the four stream work counters (arrivals, expirations,
+    /// comparisons, notifications) with snapshot-time values; history
+    /// gauges keep being computed live. The default ignores the call.
+    fn restore_stats(&mut self, stats: MonitorStats) {
+        let _ = stats;
+    }
+
+    /// The registered preferences in local-user-id order, so a snapshot
+    /// can pair each member with its preference. The default (for monitors
+    /// that do not retain build preferences) returns an empty vector.
+    fn member_preferences(&self) -> Vec<Preference> {
+        Vec::new()
+    }
 
     /// Convenience: processes a whole sequence of arrivals, returning one
     /// [`Arrival`] per object.

@@ -28,7 +28,7 @@ use crate::filter_then_verify::{
     plan_detach, plan_update, renumber_member, resolve_virtual_preference, ClusterRepair,
     UpdateRepair,
 };
-use crate::monitor::{Arrival, ContinuousMonitor};
+use crate::monitor::{Arrival, ContinuousMonitor, MonitorState};
 use crate::stats::MonitorStats;
 use crate::timers::{timed, MonitorTimers};
 
@@ -264,6 +264,33 @@ impl ContinuousMonitor for BaselineSwMonitor {
 
     fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    fn export_state(&self) -> MonitorState {
+        MonitorState {
+            history: None,
+            window: Some(self.window.iter().cloned().collect()),
+            stats: self.stats,
+        }
+    }
+
+    fn import_state(&mut self, state: MonitorState) {
+        if let Some(objects) = state.window {
+            for object in objects {
+                let _ = self.window.push(object);
+            }
+        }
+    }
+
+    fn restore_stats(&mut self, stats: MonitorStats) {
+        self.stats.arrivals = stats.arrivals;
+        self.stats.expirations = stats.expirations;
+        self.stats.comparisons = stats.comparisons;
+        self.stats.notifications = stats.notifications;
+    }
+
+    fn member_preferences(&self) -> Vec<Preference> {
+        self.preferences.clone()
     }
 }
 
@@ -804,6 +831,33 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
 
     fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    fn export_state(&self) -> MonitorState {
+        MonitorState {
+            history: None,
+            window: Some(self.window.iter().cloned().collect()),
+            stats: self.stats,
+        }
+    }
+
+    fn import_state(&mut self, state: MonitorState) {
+        if let Some(objects) = state.window {
+            for object in objects {
+                let _ = self.window.push(object);
+            }
+        }
+    }
+
+    fn restore_stats(&mut self, stats: MonitorStats) {
+        self.stats.arrivals = stats.arrivals;
+        self.stats.expirations = stats.expirations;
+        self.stats.comparisons = stats.comparisons;
+        self.stats.notifications = stats.notifications;
+    }
+
+    fn member_preferences(&self) -> Vec<Preference> {
+        self.preferences.clone()
     }
 }
 

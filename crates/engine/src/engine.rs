@@ -7,10 +7,11 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pm_core::{Arrival, FrontierDelta, MonitorStats};
+use pm_core::{Arrival, FrontierDelta, MonitorState, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
 use pm_obs::WindowedRate;
 use pm_porder::Preference;
+use pm_wal::{encode_ingest_batch, encode_register, encode_unregister, encode_update, Wal};
 
 use crate::backend::BackendSpec;
 use crate::metrics::{EngineSnapshot, ShardSnapshot};
@@ -149,6 +150,14 @@ pub struct ShardedEngine {
     /// The metric bundle, present when built with
     /// [`EngineConfig::metrics`] on.
     metrics: Option<Arc<EngineMetrics>>,
+    /// The attached write-ahead log, if durability is on. Appends happen
+    /// inside the `senders` critical sections (after validation, before the
+    /// enqueue), so WAL order is exactly the order every shard applies
+    /// mutations in. `None` until [`ShardedEngine::set_wal`] — recovery
+    /// replay runs *before* attachment so replayed mutations are not
+    /// re-appended — and reset to `None` if an append ever fails (log and
+    /// degrade: a full disk must not take the serving path down).
+    wal: Mutex<Option<Arc<Wal>>>,
 }
 
 impl ShardedEngine {
@@ -265,6 +274,35 @@ impl ShardedEngine {
             started: Instant::now(),
             recent: WindowedRate::new(),
             metrics,
+            wal: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a write-ahead log: every later mutation (ingest batches and
+    /// user churn) is appended before it is enqueued to the shards, under
+    /// the same ordering lock, so the log replays in exactly the engine's
+    /// apply order. Call this *after* any recovery replay — mutations
+    /// applied before attachment are not logged.
+    pub fn set_wal(&self, wal: Arc<Wal>) {
+        *lock_recovering(&self.wal) = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        lock_recovering(&self.wal).clone()
+    }
+
+    /// Appends one encoded mutation payload to the attached WAL, if any.
+    /// Must be called while holding the `senders` ordering lock. An append
+    /// failure detaches the log (serving continues undurable) instead of
+    /// panicking the request path.
+    fn log_mutation(&self, encode: impl FnOnce() -> Vec<u8>) {
+        let mut wal = lock_recovering(&self.wal);
+        if let Some(attached) = wal.as_ref() {
+            if let Err(e) = attached.append_payload(&encode()) {
+                eprintln!("pm-engine: WAL append failed, durability disabled: {e}");
+                *wal = None;
+            }
         }
     }
 
@@ -281,6 +319,9 @@ impl ShardedEngine {
     /// engine was built without metrics.
     pub fn render_metrics(&self) -> Option<String> {
         let metrics = self.metrics.as_ref()?;
+        if let Some(wal) = self.wal() {
+            metrics.record_wal(wal.stats());
+        }
         Some(metrics.render(&self.snapshot()))
     }
 
@@ -358,6 +399,7 @@ impl ShardedEngine {
             if membership[shard].contains(&user) {
                 return Err(format!("user {} is already registered", user.raw()));
             }
+            self.log_mutation(|| encode_register(user, &preference));
             // Non-owning shards only widen their compaction universe
             // (fire-and-forget; FIFO per shard keeps it ordered before any
             // later registration that might land there). Skipped entirely
@@ -402,6 +444,7 @@ impl ShardedEngine {
             let Some(pos) = membership[shard].iter().position(|&u| u == user) else {
                 return Err(format!("user {} is not registered", user.raw()));
             };
+            self.log_mutation(|| encode_unregister(user));
             senders[shard]
                 .send(ShardCmd::RemoveUser {
                     user,
@@ -449,6 +492,7 @@ impl ShardedEngine {
             if !membership[shard].contains(&user) {
                 return Err(format!("user {} is not registered", user.raw()));
             }
+            self.log_mutation(|| encode_update(user, &preference));
             // Every other shard's compaction universe learns the new
             // preference too (see `register`).
             self.broadcast_observe(&senders, shard, &preference);
@@ -495,6 +539,7 @@ impl ShardedEngine {
             let enqueued = Instant::now();
             {
                 let senders = lock_recovering(&self.senders);
+                self.log_mutation(|| encode_ingest_batch(&batch));
                 for (shard, sender) in senders.iter().enumerate() {
                     self.queue_depths[shard].fetch_add(1, Ordering::AcqRel);
                     sender
@@ -673,6 +718,139 @@ impl ShardedEngine {
             ingest_p99_us: p99,
         }
     }
+
+    /// Captures the engine's durable state at one consistent cut of the
+    /// command stream: the `Export` command is enqueued to every shard
+    /// while holding the ordering lock, so the exported histories reflect
+    /// exactly the mutations logged before `last_lsn` and none after.
+    pub fn export_durable(&self) -> DurableEngineState {
+        let mut receivers = Vec::with_capacity(self.num_shards());
+        let last_lsn = {
+            let senders = lock_recovering(&self.senders);
+            let lsn = lock_recovering(&self.wal)
+                .as_ref()
+                .map(|wal| wal.next_lsn())
+                .unwrap_or(0);
+            for sender in senders.iter() {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                sender
+                    .send(ShardCmd::Export { reply: reply_tx })
+                    .expect("shard worker terminated");
+                receivers.push(reply_rx);
+            }
+            lsn
+        };
+        let mut members = Vec::with_capacity(receivers.len());
+        let mut monitors = Vec::with_capacity(receivers.len());
+        for rx in receivers {
+            let export = rx.recv().expect("shard worker dropped its reply");
+            members.push(export.users.into_iter().zip(export.preferences).collect());
+            monitors.push(export.state);
+        }
+        DurableEngineState {
+            last_lsn,
+            members,
+            monitors,
+            ingested: self.ingested.load(Ordering::Relaxed),
+            registrations: self.registrations.load(Ordering::Relaxed),
+            unregistrations: self.unregistrations.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs per-shard monitor state (histories or windows, verbatim)
+    /// into a freshly built **empty** engine, one [`MonitorState`] per
+    /// shard. Members must be re-registered afterwards (in shard-local
+    /// order) so their frontiers backfill from the installed state; see
+    /// [`ShardedEngine::restore_shard_stats`] for the counters.
+    pub fn import_shard_states(&self, states: Vec<MonitorState>) {
+        assert_eq!(states.len(), self.num_shards(), "one state per shard");
+        assert_eq!(self.num_users(), 0, "import requires an empty engine");
+        let mut receivers = Vec::with_capacity(states.len());
+        {
+            let senders = lock_recovering(&self.senders);
+            for (sender, state) in senders.iter().zip(states) {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                sender
+                    .send(ShardCmd::Import {
+                        state,
+                        reply: reply_tx,
+                    })
+                    .expect("shard worker terminated");
+                receivers.push(reply_rx);
+            }
+        }
+        for rx in receivers {
+            rx.recv().expect("shard worker dropped its reply");
+        }
+    }
+
+    /// Overwrites every shard's stream work counters with snapshot-time
+    /// values. Call *after* recovery re-registration: backfill replay
+    /// records comparisons that the snapshot already accounts for.
+    pub fn restore_shard_stats(&self, stats: Vec<MonitorStats>) {
+        assert_eq!(stats.len(), self.num_shards(), "one stats set per shard");
+        let mut receivers = Vec::with_capacity(stats.len());
+        {
+            let senders = lock_recovering(&self.senders);
+            for (sender, stats) in senders.iter().zip(stats) {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                sender
+                    .send(ShardCmd::RestoreStats {
+                        stats,
+                        reply: reply_tx,
+                    })
+                    .expect("shard worker terminated");
+                receivers.push(reply_rx);
+            }
+        }
+        for rx in receivers {
+            rx.recv().expect("shard worker dropped its reply");
+        }
+    }
+
+    /// Overwrites the engine's lifetime counters with snapshot-time values
+    /// (recovery re-registration incremented `registrations` once per
+    /// restored member; this puts the true lifetime counts back). The
+    /// engine-level ingest counter also feeds `STATS` arrivals.
+    pub fn restore_counters(
+        &self,
+        ingested: u64,
+        registrations: u64,
+        unregistrations: u64,
+        updates: u64,
+    ) {
+        self.ingested.store(ingested, Ordering::Relaxed);
+        self.registrations.store(registrations, Ordering::Relaxed);
+        self.unregistrations
+            .store(unregistrations, Ordering::Relaxed);
+        self.updates.store(updates, Ordering::Relaxed);
+    }
+}
+
+/// The engine's share of a snapshot, as captured by
+/// [`ShardedEngine::export_durable`]: everything except the serving
+/// layer's ingest bookkeeping (which the service adds before encoding an
+/// [`pm_wal::EngineState`]).
+#[derive(Debug)]
+pub struct DurableEngineState {
+    /// WAL records `< last_lsn` are reflected in this export; replay
+    /// resumes here. Zero when no WAL is attached.
+    pub last_lsn: u64,
+    /// Per-shard members as `(global id, preference)` in shard-local
+    /// registration order (swap-remove churned) — re-registering in this
+    /// order reproduces every shard's local ids.
+    pub members: Vec<Vec<(UserId, Preference)>>,
+    /// Per-shard monitor state (history or window, plus work counters).
+    pub monitors: Vec<MonitorState>,
+    /// Lifetime objects ingested.
+    pub ingested: u64,
+    /// Lifetime successful registrations.
+    pub registrations: u64,
+    /// Lifetime successful unregistrations.
+    pub unregistrations: u64,
+    /// Lifetime successful in-place updates.
+    pub updates: u64,
 }
 
 /// A batch that has been enqueued on every shard but whose results have

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod durability;
 pub mod engine;
 pub mod metrics;
 pub mod obs;
@@ -66,7 +67,10 @@ pub mod server;
 mod shard;
 
 pub use backend::BackendSpec;
-pub use engine::{shard_of, BatchTicket, EngineConfig, IngestTiming, ShardedEngine};
+pub use durability::{DurabilityConfig, RecoveryReport};
+pub use engine::{
+    shard_of, BatchTicket, DurableEngineState, EngineConfig, IngestTiming, ShardedEngine,
+};
 pub use metrics::{EngineSnapshot, ShardSnapshot};
 pub use obs::{EngineMetrics, Verb};
 pub use pm_core::HistoryMode;

@@ -22,7 +22,7 @@ use crate::protocol::Request;
 ///
 /// `QUIT` is excluded: it does no engine work and closes the connection, so
 /// a latency series for it would only ever record channel teardown noise.
-pub const VERBS: [Verb; 13] = [
+pub const VERBS: [Verb; 14] = [
     Verb::Expire,
     Verb::Frontier,
     Verb::Health,
@@ -31,6 +31,7 @@ pub const VERBS: [Verb; 13] = [
     Verb::Metrics,
     Verb::Query,
     Verb::Register,
+    Verb::Snapshot,
     Verb::Stats,
     Verb::Subscribe,
     Verb::Unregister,
@@ -57,6 +58,8 @@ pub enum Verb {
     Query,
     /// `REGISTER`
     Register,
+    /// `SNAPSHOT`
+    Snapshot,
     /// `STATS`
     Stats,
     /// `SUBSCRIBE`
@@ -81,6 +84,7 @@ impl Verb {
             Verb::Metrics => "metrics",
             Verb::Query => "query",
             Verb::Register => "register",
+            Verb::Snapshot => "snapshot",
             Verb::Stats => "stats",
             Verb::Subscribe => "subscribe",
             Verb::Unregister => "unregister",
@@ -102,6 +106,7 @@ impl Verb {
             Request::Subscribe(_) => Some(Verb::Subscribe),
             Request::Unsubscribe(_) => Some(Verb::Unsubscribe),
             Request::Hello(_) => Some(Verb::Hello),
+            Request::Snapshot => Some(Verb::Snapshot),
             Request::Stats => Some(Verb::Stats),
             Request::Metrics => Some(Verb::Metrics),
             Request::Health => Some(Verb::Health),
@@ -166,6 +171,15 @@ pub struct EngineMetrics {
     notifications: Arc<Counter>,
     expirations: Arc<Counter>,
     history_objects: Arc<Gauge>,
+    // Durability: mirrored WAL counters (refreshed at scrape time from
+    // `pm_wal::WalStats`) and snapshot bookkeeping (pushed by the service
+    // after each snapshot). All stay 0 without `--wal-dir`.
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    wal_next_lsn: Arc<Gauge>,
+    wal_snapshots: Arc<Counter>,
+    wal_last_snapshot_lsn: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -321,8 +335,55 @@ impl EngineMetrics {
                 "Retained backfill-history objects (per-shard maximum).",
                 &[],
             ),
+            wal_records: registry.counter(
+                "pm_wal_records_total",
+                "WAL records appended since the log was opened.",
+                &[],
+            ),
+            wal_bytes: registry.counter(
+                "pm_wal_bytes_total",
+                "WAL bytes appended since open (payload plus framing).",
+                &[],
+            ),
+            wal_fsyncs: registry.counter(
+                "pm_wal_fsyncs_total",
+                "WAL fsync calls issued since open.",
+                &[],
+            ),
+            wal_next_lsn: registry.gauge(
+                "pm_wal_next_lsn",
+                "The next WAL LSN to be assigned.",
+                &[],
+            ),
+            wal_snapshots: registry.counter(
+                "pm_wal_snapshots_total",
+                "Durable snapshots written since startup.",
+                &[],
+            ),
+            wal_last_snapshot_lsn: registry.gauge(
+                "pm_wal_last_snapshot_lsn",
+                "The WAL LSN covered by the most recent snapshot.",
+                &[],
+            ),
             registry,
         }
+    }
+
+    /// Mirrors the WAL's own counters into the exposition; called at
+    /// scrape time by [`crate::ShardedEngine::render_metrics`] when a WAL
+    /// is attached.
+    pub fn record_wal(&self, stats: pm_wal::WalStats) {
+        self.wal_records.store(stats.records);
+        self.wal_bytes.store(stats.bytes);
+        self.wal_fsyncs.store(stats.fsyncs);
+        self.wal_next_lsn.set(stats.next_lsn as f64);
+    }
+
+    /// Records snapshot bookkeeping; pushed by the serving layer after
+    /// every successful snapshot.
+    pub fn record_snapshot(&self, snapshots: u64, last_lsn: u64) {
+        self.wal_snapshots.store(snapshots);
+        self.wal_last_snapshot_lsn.set(last_lsn as f64);
     }
 
     /// The monitor-level timer bundle handed to every shard's monitor via
@@ -454,6 +515,12 @@ mod tests {
             "pm_connections_open",
             "pm_subscribers",
             "pm_subscriber_outbox_depth",
+            "pm_wal_records_total",
+            "pm_wal_bytes_total",
+            "pm_wal_fsyncs_total",
+            "pm_wal_next_lsn",
+            "pm_wal_snapshots_total",
+            "pm_wal_last_snapshot_lsn",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family} ")),

@@ -26,6 +26,9 @@
 //!                             or `frame` (length-prefixed binary);
 //!                             unknown capabilities answer ERR and leave
 //!                             the connection (and its mode) untouched
+//! SNAPSHOT                    write a durable snapshot now (requires the
+//!                             server to run with --wal-dir); the OK
+//!                             response carries the covered WAL LSN
 //! STATS                       engine metrics snapshot
 //! METRICS                     Prometheus text-format exposition
 //! HEALTH                      liveness + engine identity
@@ -81,6 +84,8 @@ pub enum Request {
     /// Negotiate connection capabilities (wire format); the raw capability
     /// tokens are validated by the service.
     Hello(Vec<String>),
+    /// Write a durable snapshot now (`ERR` when durability is disabled).
+    Snapshot,
     /// Report an engine metrics snapshot.
     Stats,
     /// Report the Prometheus text-format metrics exposition.
@@ -201,9 +206,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "HELLO" => Ok(Request::Hello(
             rest.split_whitespace().map(str::to_owned).collect(),
         )),
-        "STATS" | "METRICS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
+        "SNAPSHOT" | "STATS" | "METRICS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
             Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
         }
+        "SNAPSHOT" => Ok(Request::Snapshot),
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
         "HEALTH" => Ok(Request::Health),
@@ -211,7 +217,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "" => Err("empty request".to_owned()),
         other => Err(format!(
             "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
-             UPDATE, UNREGISTER, SUBSCRIBE, UNSUBSCRIBE, HELLO, STATS, METRICS, HEALTH or QUIT)"
+             UPDATE, UNREGISTER, SUBSCRIBE, UNSUBSCRIBE, HELLO, SNAPSHOT, STATS, METRICS, \
+             HEALTH or QUIT)"
         )),
     }
 }
@@ -284,6 +291,9 @@ mod tests {
     #[test]
     fn parses_nullary_verbs() {
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(parse_request("snapshot"), Ok(Request::Snapshot));
+        assert!(parse_request("SNAPSHOT now").is_err());
         assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("health"), Ok(Request::Health));

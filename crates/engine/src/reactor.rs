@@ -820,6 +820,33 @@ mod tests {
             extract_message(&mut conn, &config),
             Extracted::Terminal(_)
         ));
+        assert!(conn.inbuf.is_empty(), "rejected frame must not linger");
+    }
+
+    #[test]
+    fn overlong_inputs_are_rejected_before_buffering_unboundedly() {
+        // A line that never terminates must not grow the input buffer past
+        // `max_line`: the connection is closed with a terminal error the
+        // moment the bound is exceeded, in both wire modes.
+        let config = ReactorConfig {
+            max_line: 8,
+            ..ReactorConfig::default()
+        };
+        let mut conn = conn_with(WireMode::Text, b"NEWLINE-FREE GARBAGE");
+        assert!(matches!(
+            extract_message(&mut conn, &config),
+            Extracted::Terminal(e) if e.contains("exceeds 8 bytes")
+        ));
+        assert!(conn.inbuf.is_empty(), "rejected input must not linger");
+
+        let mut framed = Vec::from(9u32.to_be_bytes());
+        framed.extend_from_slice(b"123456789");
+        let mut conn = conn_with(WireMode::Frame, &framed);
+        assert!(matches!(
+            extract_message(&mut conn, &config),
+            Extracted::Terminal(e) if e.contains("frame length 9 exceeds 8 bytes")
+        ));
+        assert!(conn.inbuf.is_empty(), "rejected frame must not linger");
     }
 
     fn conn_with(mode: WireMode, input: &[u8]) -> Conn {

@@ -31,6 +31,13 @@
 //! | 13 | `Unsubscribed` |
 //! | 14 | `Bye` |
 //! | 15 | `Event` |
+//! | 16 | `Snapshot` |
+//!
+//! Wire limits are enforced by saturation, never by wrapping: embedded
+//! strings are truncated to the longest UTF-8 prefix that fits their
+//! `u16 BE` length prefix, and id-list counts saturate at `u32::MAX` with
+//! the encoded elements capped to the encoded count — a frame always
+//! parses to exactly what its prefixes announce.
 
 use pm_core::{Arrival, FrontierDelta};
 use pm_model::{ObjectId, UserId};
@@ -103,6 +110,11 @@ pub enum Response {
     },
     /// `UNREGISTER` succeeded.
     Unregistered(UserId),
+    /// `SNAPSHOT` succeeded: a durable snapshot was written.
+    Snapshot {
+        /// The WAL LSN the snapshot covers (records `< lsn` need no replay).
+        lsn: u64,
+    },
     /// `STATS`: the rendered engine snapshot.
     Stats(String),
     /// `METRICS`: the Prometheus text-format exposition body.
@@ -198,6 +210,7 @@ pub fn render_text(response: &Response) -> String {
         }
         Response::Updated { user, shard } => format!("OK UPDATED {} shard={shard}", user.raw()),
         Response::Unregistered(user) => format!("OK UNREGISTERED {}", user.raw()),
+        Response::Snapshot { lsn } => format!("OK SNAPSHOT lsn={lsn}"),
         Response::Stats(snapshot) => format!("OK STATS {snapshot}"),
         // The header names the body's byte length so clients can read the
         // multi-line exposition exactly; the connection's trailing newline
@@ -240,22 +253,44 @@ pub fn render_text(response: &Response) -> String {
     }
 }
 
+/// Narrows a `usize` scalar (shard index, shard count, user count, arity)
+/// to its `u32` wire field, saturating instead of wrapping.
+fn saturating_u32(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Writes a `u16 BE` length-prefixed string, truncating an oversized value
+/// to the longest prefix that both fits the prefix and ends on a UTF-8
+/// character boundary — a raw byte cut could split a multi-byte character
+/// and hand frame clients invalid UTF-8.
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
-    buf.extend_from_slice(&len.to_be_bytes());
-    buf.extend_from_slice(&s.as_bytes()[..len as usize]);
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    buf.extend_from_slice(&(len as u16).to_be_bytes());
+    buf.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+/// Writes a `u32 BE` element count, saturating at `u32::MAX`, and returns
+/// how many elements the caller may encode — a plain `as u32` cast would
+/// wrap for oversized collections and desynchronize count and payload.
+fn put_count(buf: &mut Vec<u8>, len: usize) -> usize {
+    let count = u32::try_from(len).unwrap_or(u32::MAX);
+    buf.extend_from_slice(&count.to_be_bytes());
+    count as usize
 }
 
 fn put_users(buf: &mut Vec<u8>, users: &[UserId]) {
-    buf.extend_from_slice(&(users.len() as u32).to_be_bytes());
-    for user in users {
+    let count = put_count(buf, users.len());
+    for user in &users[..count] {
         buf.extend_from_slice(&user.raw().to_be_bytes());
     }
 }
 
 fn put_objects(buf: &mut Vec<u8>, objects: &[ObjectId]) {
-    buf.extend_from_slice(&(objects.len() as u32).to_be_bytes());
-    for object in objects {
+    let count = put_count(buf, objects.len());
+    for object in &objects[..count] {
         buf.extend_from_slice(&object.raw().to_be_bytes());
     }
 }
@@ -270,8 +305,8 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
             0
         }
         Response::Ingested(arrivals) => {
-            body.extend_from_slice(&(arrivals.len() as u32).to_be_bytes());
-            for arrival in arrivals {
+            let count = put_count(&mut body, arrivals.len());
+            for arrival in &arrivals[..count] {
                 body.extend_from_slice(&arrival.object.raw().to_be_bytes());
                 put_users(&mut body, &arrival.target_users);
             }
@@ -297,17 +332,21 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
         }
         Response::Registered { user, shard } => {
             body.extend_from_slice(&user.raw().to_be_bytes());
-            body.extend_from_slice(&(*shard as u32).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*shard).to_be_bytes());
             5
         }
         Response::Updated { user, shard } => {
             body.extend_from_slice(&user.raw().to_be_bytes());
-            body.extend_from_slice(&(*shard as u32).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*shard).to_be_bytes());
             6
         }
         Response::Unregistered(user) => {
             body.extend_from_slice(&user.raw().to_be_bytes());
             7
+        }
+        Response::Snapshot { lsn } => {
+            body.extend_from_slice(&lsn.to_be_bytes());
+            16
         }
         Response::Stats(snapshot) => {
             body.extend_from_slice(snapshot.as_bytes());
@@ -324,9 +363,10 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
             uptime_ms,
         } => {
             put_str(&mut body, backend);
-            body.extend_from_slice(&(*shards as u32).to_be_bytes());
-            body.extend_from_slice(&(*users as u32).to_be_bytes());
-            body.extend_from_slice(&(*uptime_ms as u64).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*shards).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*users).to_be_bytes());
+            let uptime = u64::try_from(*uptime_ms).unwrap_or(u64::MAX);
+            body.extend_from_slice(&uptime.to_be_bytes());
             10
         }
         Response::Hello {
@@ -342,8 +382,8 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
             });
             put_str(&mut body, version);
             put_str(&mut body, backend);
-            body.extend_from_slice(&(*shards as u32).to_be_bytes());
-            body.extend_from_slice(&(*arity as u32).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*shards).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*arity).to_be_bytes());
             11
         }
         Response::Subscribed { user, snapshot } => {
@@ -358,14 +398,22 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
         Response::Bye => 14,
         Response::Event { user, deltas } => {
             body.extend_from_slice(&user.raw().to_be_bytes());
-            body.extend_from_slice(&(deltas.len() as u32).to_be_bytes());
-            for delta in deltas {
+            let count = put_count(&mut body, deltas.len());
+            for delta in &deltas[..count] {
                 body.push(u8::from(delta.entered));
                 body.extend_from_slice(&delta.object.raw().to_be_bytes());
             }
             15
         }
     };
+    // The outer length prefix is a u32 too: a body that cannot be framed
+    // (>4 GiB, practically unreachable) becomes a protocol error instead of
+    // a wrapped length that would desynchronize the stream.
+    if u32::try_from(body.len()).is_err() {
+        body.clear();
+        body.push(0);
+        body.extend_from_slice(b"response too large for one frame");
+    }
     let mut frame = Vec::with_capacity(4 + body.len());
     frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
     frame.extend_from_slice(&body);
@@ -449,5 +497,55 @@ mod tests {
         let frame = render_frame(&Response::Err("lagged".to_owned()));
         assert_eq!(frame[4], 0);
         assert_eq!(&frame[5..], b"lagged");
+    }
+
+    #[test]
+    fn snapshot_renders_in_both_wire_modes() {
+        assert_eq!(
+            render_text(&Response::Snapshot { lsn: 42 }),
+            "OK SNAPSHOT lsn=42"
+        );
+        let frame = render_frame(&Response::Snapshot { lsn: 42 });
+        assert_eq!(frame[4], 16);
+        assert_eq!(&frame[5..], &42u64.to_be_bytes());
+    }
+
+    #[test]
+    fn put_str_truncates_on_a_char_boundary() {
+        // 65,534 ASCII bytes followed by a 3-byte character: the u16::MAX
+        // byte cap falls mid-character, so the encoder must back up to the
+        // boundary instead of emitting invalid UTF-8.
+        let mut s = "a".repeat(u16::MAX as usize - 1);
+        s.push('€');
+        let mut buf = Vec::new();
+        put_str(&mut buf, &s);
+        let len = u16::from_be_bytes(buf[..2].try_into().unwrap()) as usize;
+        assert_eq!(len, u16::MAX as usize - 1);
+        assert_eq!(buf.len(), 2 + len);
+        assert!(std::str::from_utf8(&buf[2..]).is_ok());
+
+        // A short string is untouched.
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo");
+        assert_eq!(&buf[..2], &(6u16).to_be_bytes());
+        assert_eq!(&buf[2..], "héllo".as_bytes());
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        // A count one past u32::MAX would wrap to 0 under `as u32`; the
+        // saturating encoder pins it to u32::MAX and tells the caller to
+        // encode exactly that many elements.
+        let mut buf = Vec::new();
+        let count = put_count(&mut buf, u32::MAX as usize + 1);
+        assert_eq!(&buf, &u32::MAX.to_be_bytes());
+        assert_eq!(count, u32::MAX as usize);
+
+        let mut buf = Vec::new();
+        assert_eq!(put_count(&mut buf, 3), 3);
+        assert_eq!(&buf, &3u32.to_be_bytes());
+
+        assert_eq!(saturating_u32(7), 7);
+        assert_eq!(saturating_u32(u32::MAX as usize + 1), u32::MAX);
     }
 }

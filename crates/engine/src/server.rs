@@ -5,14 +5,17 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::TcpListener;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use pm_core::Arrival;
 use pm_model::{AttrId, Object, ObjectId, UserId, ValueId};
 use pm_porder::Preference;
+use pm_wal::{write_snapshot, EngineState, WalRecord};
 
 use crate::backend::BackendSpec;
+use crate::durability::Durability;
 use crate::engine::{shard_of, ShardedEngine};
 use crate::obs::{EngineMetrics, Verb};
 use crate::protocol::{parse_request, Request};
@@ -64,6 +67,10 @@ pub struct EngineService {
     metrics: Option<Arc<EngineMetrics>>,
     /// Slow-op threshold (see [`ServerConfig::slow_op`]).
     slow_op: Option<Duration>,
+    /// The attached durability runtime (open WAL + snapshot scheduling);
+    /// `None` until `attach_durability`, i.e. when the server runs without
+    /// `--wal-dir`.
+    durability: Mutex<Option<Arc<Durability>>>,
 }
 
 /// Locks the ingest state, recovering from poisoning: one connection
@@ -71,6 +78,15 @@ pub struct EngineService {
 /// `PoisonError` panics. The state is monotonic (id counter + bounded
 /// history), so it stays usable even if a holder panicked between writes.
 fn lock_ingest(mutex: &Mutex<IngestState>) -> MutexGuard<'_, IngestState> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks the durability slot with the same poison-recovery policy as
+/// [`lock_ingest`]: the slot only ever holds an [`Arc`] swap, so a holder
+/// dying mid-clone cannot leave it inconsistent.
+fn lock_durability(
+    mutex: &Mutex<Option<Arc<Durability>>>,
+) -> MutexGuard<'_, Option<Arc<Durability>>> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -92,6 +108,7 @@ impl EngineService {
             }),
             metrics,
             slow_op: ServerConfig::default().slow_op,
+            durability: Mutex::new(None),
         }
     }
 
@@ -157,8 +174,14 @@ impl EngineService {
         // Concurrent batches may record their history slightly out of id
         // order; the eviction bound still holds and each object is recorded
         // exactly once.
+        self.record_history(&arrivals);
+        Ok(arrivals)
+    }
+
+    /// Records processed arrivals in the bounded `QUERY` cache.
+    fn record_history(&self, arrivals: &[Arrival]) {
         let mut state = lock_ingest(&self.ingest);
-        for arrival in &arrivals {
+        for arrival in arrivals {
             state.order.push_back(arrival.object);
             state
                 .targets
@@ -169,13 +192,145 @@ impl EngineService {
                 }
             }
         }
-        Ok(arrivals)
     }
 
     /// The recorded target users of a recently ingested object.
     pub fn lookup(&self, object: ObjectId) -> Option<Vec<UserId>> {
         let state = lock_ingest(&self.ingest);
         state.targets.get(&object).cloned()
+    }
+
+    /// Seeds the ingest bookkeeping from a restored snapshot: the next
+    /// object id to assign and the `QUERY` cache contents.
+    pub(crate) fn seed_ingest(
+        &self,
+        next_id: u64,
+        order: Vec<ObjectId>,
+        targets: Vec<(ObjectId, Vec<UserId>)>,
+    ) {
+        let mut state = lock_ingest(&self.ingest);
+        state.next_id = next_id;
+        state.order = order.into();
+        state.targets = targets.into_iter().collect();
+    }
+
+    /// Installs the durability runtime: attaches the WAL to the engine (so
+    /// every mutation is appended from here on) and arms periodic
+    /// snapshots. Called once at startup, after recovery replay — replayed
+    /// mutations must not be re-appended.
+    pub(crate) fn attach_durability(&self, durability: Durability) {
+        self.engine.set_wal(Arc::clone(&durability.wal));
+        *lock_durability(&self.durability) = Some(Arc::new(durability));
+    }
+
+    /// Applies one recovered WAL record through the ordinary serving
+    /// paths. Ingest batches carry their originally assigned object ids,
+    /// so replay re-mints the identical arrival stream (and advances the
+    /// id counter past them); churn records go straight to the engine —
+    /// their preferences were validated before they were ever logged.
+    pub(crate) fn replay_record(&self, record: WalRecord) -> Result<(), String> {
+        match record {
+            WalRecord::IngestBatch { objects } => {
+                if objects.is_empty() {
+                    return Ok(());
+                }
+                let ticket = {
+                    let mut state = lock_ingest(&self.ingest);
+                    if let Some(last) = objects.last() {
+                        state.next_id = state.next_id.max(last.id().raw() + 1);
+                    }
+                    self.engine.submit_batch(objects)
+                };
+                let (arrivals, _) = ticket.wait_timed();
+                self.record_history(&arrivals);
+                Ok(())
+            }
+            WalRecord::Register { user, preference } => self.engine.register(user, preference),
+            WalRecord::Update { user, preference } => self.engine.update(user, preference),
+            WalRecord::Unregister { user } => self.engine.unregister(user),
+        }
+    }
+
+    /// Writes a snapshot now: captures a consistent cut (the ingest lock
+    /// freezes id assignment while [`ShardedEngine::export_durable`] takes
+    /// its shard-ordered cut), syncs the WAL, writes the snapshot file
+    /// durably, and prunes log segments the snapshot fully covers. Returns
+    /// the covered LSN. Backs the `SNAPSHOT` wire verb.
+    pub fn snapshot_now(&self) -> Result<u64, String> {
+        let Some(durability) = lock_durability(&self.durability).clone() else {
+            return Err("durability is disabled (no --wal-dir)".to_owned());
+        };
+        let state = {
+            let ingest = lock_ingest(&self.ingest);
+            let export = self.engine.export_durable();
+            let query_targets = ingest
+                .order
+                .iter()
+                .map(|id| (*id, ingest.targets.get(id).cloned().unwrap_or_default()))
+                .collect();
+            EngineState {
+                backend: self.backend.to_string(),
+                shards: self.engine.num_shards() as u32,
+                arity: self.arity as u32,
+                last_lsn: export.last_lsn,
+                next_id: ingest.next_id,
+                ingested: export.ingested,
+                registrations: export.registrations,
+                unregistrations: export.unregistrations,
+                updates: export.updates,
+                members: export.members,
+                monitors: export.monitors,
+                query_order: ingest.order.iter().copied().collect(),
+                query_targets,
+            }
+        };
+        durability
+            .wal
+            .sync()
+            .map_err(|e| format!("wal sync failed: {e}"))?;
+        write_snapshot(&durability.dir, &state)
+            .map_err(|e| format!("snapshot write failed: {e}"))?;
+        if let Err(e) = durability.wal.prune_up_to(state.last_lsn) {
+            // The snapshot is durable; stale segments only cost disk.
+            pm_obs::warn!("pm_engine::server", "WAL prune failed", error = e);
+        }
+        durability
+            .last_snapshot_lsn
+            .store(state.last_lsn, Ordering::Relaxed);
+        let written = durability.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_snapshot(written, state.last_lsn);
+        }
+        Ok(state.last_lsn)
+    }
+
+    /// Snapshot bookkeeping for `pm_wal_*` gauges: `(snapshots written,
+    /// LSN covered by the latest)`; `None` without durability.
+    pub fn snapshot_stats(&self) -> Option<(u64, u64)> {
+        let durability = lock_durability(&self.durability).clone()?;
+        Some((
+            durability.snapshots.load(Ordering::Relaxed),
+            durability.last_snapshot_lsn.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// Writes a periodic snapshot if enough WAL records accumulated since
+    /// the last one. Failures are logged, never fatal: the WAL alone still
+    /// recovers, it just replays a longer tail.
+    fn maybe_snapshot(&self) {
+        let Some(durability) = lock_durability(&self.durability).clone() else {
+            return;
+        };
+        if durability.snapshot_every == 0 {
+            return;
+        }
+        let covered = durability.last_snapshot_lsn.load(Ordering::Relaxed);
+        if durability.wal.next_lsn().saturating_sub(covered) < durability.snapshot_every {
+            return;
+        }
+        if let Err(e) = self.snapshot_now() {
+            pm_obs::warn!("pm_engine::server", "periodic snapshot failed", error = e);
+        }
     }
 
     /// Validates wire-format preference rows against the schema arity and
@@ -250,6 +405,16 @@ impl EngineService {
                 metrics.record_error();
             }
         }
+        // Mutating verbs advance the WAL; check the periodic-snapshot
+        // schedule after they succeed.
+        if !response.is_err()
+            && matches!(
+                verb,
+                Some(Verb::Ingest | Verb::Register | Verb::Update | Verb::Unregister)
+            )
+        {
+            self.maybe_snapshot();
+        }
         response
     }
 
@@ -311,6 +476,10 @@ impl EngineService {
             // before it ever reaches the service.
             Request::Unsubscribe(user) => Response::Unsubscribed(user),
             Request::Hello(capabilities) => self.hello(&capabilities),
+            Request::Snapshot => match self.snapshot_now() {
+                Ok(lsn) => Response::Snapshot { lsn },
+                Err(e) => Response::Err(e),
+            },
             Request::Stats => Response::Stats(self.engine.snapshot().to_string()),
             Request::Metrics => match self.engine.render_metrics() {
                 Some(body) => Response::Metrics(body),

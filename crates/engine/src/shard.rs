@@ -14,7 +14,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pm_core::{ContinuousMonitor, FrontierDelta, MonitorStats};
+use pm_core::{ContinuousMonitor, FrontierDelta, MonitorState, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
 use pm_obs::LogHistogram;
 use pm_porder::Preference;
@@ -71,8 +71,36 @@ pub(crate) enum ShardCmd {
     },
     /// Report the monitor's work counters.
     Stats { reply: Sender<MonitorStats> },
+    /// Export the shard's durable state for a snapshot: the members (global
+    /// ids with their preferences, in local order) and the monitor's
+    /// history/window plus work counters.
+    Export { reply: Sender<ShardExport> },
+    /// Install durable state into a monitor that has **no users yet** (the
+    /// history or window verbatim); members are re-registered afterwards
+    /// through [`ShardCmd::AddUser`] so frontiers backfill from it.
+    Import {
+        state: MonitorState,
+        reply: Sender<()>,
+    },
+    /// Overwrite the monitor's stream work counters with snapshot-time
+    /// values, after recovery re-registration (whose backfill replay would
+    /// otherwise pollute them).
+    RestoreStats {
+        stats: MonitorStats,
+        reply: Sender<()>,
+    },
     /// Terminate the worker.
     Shutdown,
+}
+
+/// One shard's contribution to an engine snapshot.
+pub(crate) struct ShardExport {
+    /// Global user ids in shard-local order (swap-remove churned).
+    pub users: Vec<UserId>,
+    /// The members' preferences, index-aligned with `users`.
+    pub preferences: Vec<Preference>,
+    /// The monitor's durable state (history or window, work counters).
+    pub state: MonitorState,
 }
 
 /// One shard's answer for one batch.
@@ -213,6 +241,27 @@ impl ShardWorker {
                 }
                 ShardCmd::Stats { reply } => {
                     let _ = reply.send(self.monitor.stats());
+                }
+                ShardCmd::Export { reply } => {
+                    let preferences = self.monitor.member_preferences();
+                    debug_assert_eq!(preferences.len(), self.global_users.len());
+                    let _ = reply.send(ShardExport {
+                        users: self.global_users.clone(),
+                        preferences,
+                        state: self.monitor.export_state(),
+                    });
+                }
+                ShardCmd::Import { state, reply } => {
+                    debug_assert!(
+                        self.global_users.is_empty(),
+                        "import into a populated shard"
+                    );
+                    self.monitor.import_state(state);
+                    let _ = reply.send(());
+                }
+                ShardCmd::RestoreStats { stats, reply } => {
+                    self.monitor.restore_stats(stats);
+                    let _ = reply.send(());
                 }
                 ShardCmd::Shutdown => break,
             }

@@ -36,7 +36,7 @@ impl Dominance {
 /// A *virtual user* (a cluster `U`, Def. 4.1) is represented by the same
 /// type: its relations are the common (or approximate common) preference
 /// relations of the member users.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Preference {
     relations: Vec<Relation>,
 }

@@ -1,0 +1,630 @@
+//! The append-only segmented log: writer with fsync policy and size-based
+//! rotation, and a scanning reader that stops at the first corruption.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::crc::crc32;
+use crate::record::WalRecord;
+
+/// Magic leading every segment file.
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"PMWAL001";
+/// Segment header: magic + little-endian base LSN.
+const SEGMENT_HEADER: u64 = 16;
+/// Per-record framing: `[u32 len][u32 crc]`.
+const FRAME_HEADER: u64 = 8;
+/// Rotate to a fresh segment once the current one exceeds this.
+const SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+/// `batch` policy: group-commit fsync once this many unsynced bytes pile up.
+const BATCH_SYNC_BYTES: u64 = 256 * 1024;
+/// Sanity bound on a single record payload; larger lengths are treated as
+/// corruption (the engine's own frames are far smaller).
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// When the log fsyncs, mirroring the server's `--wal-sync` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every record: an acknowledged mutation is never lost.
+    Always,
+    /// Group commit: fsync after ~256 KiB of unsynced records, on segment
+    /// rotation and on shutdown. Bounded loss, near-zero overhead.
+    Batch,
+    /// Never fsync; the OS page cache decides when bytes hit disk.
+    Off,
+}
+
+impl SyncPolicy {
+    /// Parses the `--wal-sync` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "batch" => Ok(SyncPolicy::Batch),
+            "off" => Ok(SyncPolicy::Off),
+            other => Err(format!(
+                "unknown --wal-sync policy '{other}' (expected always|batch|off)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncPolicy::Always => "always",
+            SyncPolicy::Batch => "batch",
+            SyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// Counters the engine exposes as `pm_wal_*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub records: u64,
+    /// Payload + framing bytes appended since open.
+    pub bytes: u64,
+    /// fsync calls issued since open.
+    pub fsyncs: u64,
+    /// The next LSN to be assigned.
+    pub next_lsn: u64,
+}
+
+/// A torn or corrupt tail found while scanning: everything from
+/// `valid_len` onwards in `path` (and any later segment) is garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The segment holding the first corrupt frame.
+    pub path: PathBuf,
+    /// Byte offset of the last valid frame end in that segment.
+    pub valid_len: u64,
+    /// Human-readable reason (CRC mismatch, short frame, bad header…).
+    pub reason: String,
+}
+
+/// The result of scanning a WAL directory.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// The decoded valid records as `(lsn, record)`, ascending.
+    pub records: Vec<(u64, WalRecord)>,
+    /// One past the last valid record's LSN.
+    pub next_lsn: u64,
+    /// The first corruption found, if any (scan stops there).
+    pub torn: Option<TornTail>,
+}
+
+fn segment_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base:020}.pmwal"))
+}
+
+/// Lists the segment files of `dir` sorted by base LSN (taken from the
+/// file name; the header is validated during the scan).
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(base) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".pmwal"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((base, entry.path()));
+        }
+    }
+    segments.sort_unstable();
+    Ok(segments)
+}
+
+/// Scans every segment of `dir`, decoding records with `lsn >= from_lsn`.
+/// Stops at the first ill-formed frame and reports it as [`ScanOutcome::torn`];
+/// records before the corruption point are still returned. A missing
+/// directory scans as empty.
+pub fn scan(dir: &Path, from_lsn: u64) -> io::Result<ScanOutcome> {
+    let mut out = ScanOutcome::default();
+    let segments = match list_segments(dir) {
+        Ok(segments) => segments,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for (file_base, path) in segments {
+        let mut file = File::open(&path)?;
+        let mut header = [0u8; SEGMENT_HEADER as usize];
+        if let Err(e) = file.read_exact(&mut header) {
+            out.torn = Some(TornTail {
+                path,
+                valid_len: 0,
+                reason: format!("truncated segment header: {e}"),
+            });
+            return Ok(out);
+        }
+        if &header[..8] != SEGMENT_MAGIC {
+            out.torn = Some(TornTail {
+                path,
+                valid_len: 0,
+                reason: "bad segment magic".into(),
+            });
+            return Ok(out);
+        }
+        let base = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        if base != file_base
+            || (out.next_lsn != 0 || !out.records.is_empty()) && base != out.next_lsn
+        {
+            out.torn = Some(TornTail {
+                path,
+                valid_len: 0,
+                reason: format!(
+                    "segment base {base} does not continue the log at {}",
+                    out.next_lsn
+                ),
+            });
+            return Ok(out);
+        }
+        let mut lsn = base;
+        if out.records.is_empty() && out.next_lsn == 0 {
+            out.next_lsn = base;
+        }
+        let mut offset = SEGMENT_HEADER;
+        let mut frame = [0u8; FRAME_HEADER as usize];
+        loop {
+            match file.read_exact(&mut frame) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    // A clean end-of-segment lands exactly on a frame
+                    // boundary; a partial frame header is a torn record.
+                    let actual = file.seek(SeekFrom::End(0))?;
+                    if actual != offset {
+                        out.torn = Some(TornTail {
+                            path,
+                            valid_len: offset,
+                            reason: "torn frame header at segment tail".into(),
+                        });
+                        return Ok(out);
+                    }
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+            if len == 0 || len > MAX_RECORD_BYTES {
+                out.torn = Some(TornTail {
+                    path,
+                    valid_len: offset,
+                    reason: format!("implausible record length {len}"),
+                });
+                return Ok(out);
+            }
+            let mut payload = vec![0u8; len as usize];
+            if let Err(e) = file.read_exact(&mut payload) {
+                out.torn = Some(TornTail {
+                    path,
+                    valid_len: offset,
+                    reason: format!("torn record payload: {e}"),
+                });
+                return Ok(out);
+            }
+            if crc32(&payload) != crc {
+                out.torn = Some(TornTail {
+                    path,
+                    valid_len: offset,
+                    reason: "record CRC mismatch".into(),
+                });
+                return Ok(out);
+            }
+            let record = match WalRecord::decode(&payload) {
+                Ok(record) => record,
+                Err(e) => {
+                    out.torn = Some(TornTail {
+                        path,
+                        valid_len: offset,
+                        reason: format!("undecodable record: {e}"),
+                    });
+                    return Ok(out);
+                }
+            };
+            offset += FRAME_HEADER + len as u64;
+            if lsn >= from_lsn {
+                out.records.push((lsn, record));
+            }
+            lsn += 1;
+            out.next_lsn = lsn;
+        }
+    }
+    Ok(out)
+}
+
+struct Writer {
+    file: File,
+    segment_bytes: u64,
+    next_lsn: u64,
+    unsynced: u64,
+}
+
+/// The append side of the log. Appends are internally serialized; the
+/// engine additionally calls [`Wal::append`] under its batch ordering
+/// lock, so WAL order equals apply order.
+pub struct Wal {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    writer: Mutex<Writer>,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    truncated_bytes: u64,
+}
+
+impl Wal {
+    /// Opens `dir` for appending: scans existing segments, truncates any
+    /// torn tail (deleting segments past the corruption point) and
+    /// positions the writer after the last valid record. Creates the
+    /// directory if needed. Returns the log and the number of corrupt
+    /// bytes discarded.
+    pub fn open(dir: &Path, policy: SyncPolicy) -> io::Result<Wal> {
+        fs::create_dir_all(dir)?;
+        let outcome = scan(dir, u64::MAX)?; // decode-validate, keep no records
+        let mut truncated_bytes = 0u64;
+        if let Some(torn) = &outcome.torn {
+            truncated_bytes = Self::truncate_torn(dir, torn)?;
+        }
+        let segments = list_segments(dir)?;
+        let writer = match segments.last() {
+            Some((_, path)) => {
+                let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+                let len = file.seek(SeekFrom::End(0))?;
+                Writer {
+                    file,
+                    segment_bytes: len,
+                    next_lsn: outcome.next_lsn,
+                    unsynced: 0,
+                }
+            }
+            None => Self::fresh_segment(dir, outcome.next_lsn)?,
+        };
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            policy,
+            writer: Mutex::new(writer),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            truncated_bytes,
+        })
+    }
+
+    /// Drops the torn suffix reported by a scan: truncates the corrupt
+    /// segment to its valid prefix (removing it entirely when not even the
+    /// header survived) and deletes every later segment. Returns the bytes
+    /// discarded.
+    fn truncate_torn(dir: &Path, torn: &TornTail) -> io::Result<u64> {
+        let mut discarded = 0u64;
+        let len = fs::metadata(&torn.path)?.len();
+        if torn.valid_len < SEGMENT_HEADER {
+            discarded += len;
+            fs::remove_file(&torn.path)?;
+        } else if len > torn.valid_len {
+            discarded += len - torn.valid_len;
+            let file = OpenOptions::new().write(true).open(&torn.path)?;
+            file.set_len(torn.valid_len)?;
+            file.sync_all()?;
+        }
+        // Everything after the corrupt segment is unreachable garbage.
+        let torn_base = torn
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("wal-"))
+            .and_then(|n| n.strip_suffix(".pmwal"))
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(u64::MAX);
+        for (base, path) in list_segments(dir)? {
+            if base > torn_base {
+                discarded += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(discarded)
+    }
+
+    fn fresh_segment(dir: &Path, base: u64) -> io::Result<Writer> {
+        let path = segment_path(dir, base);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(&base.to_le_bytes())?;
+        Ok(Writer {
+            file,
+            segment_bytes: SEGMENT_HEADER,
+            next_lsn: base,
+            unsynced: 0,
+        })
+    }
+
+    /// Appends one record and returns its LSN, fsyncing per policy.
+    pub fn append(&self, record: &WalRecord) -> io::Result<u64> {
+        self.append_payload(&record.encode())
+    }
+
+    /// Appends one pre-encoded record payload (see
+    /// [`crate::record::encode_ingest_batch`] and friends) and returns its
+    /// LSN, fsyncing per policy. The payload must be a valid
+    /// [`WalRecord`] encoding — the scanner decodes it on recovery.
+    pub fn append_payload(&self, payload: &[u8]) -> io::Result<u64> {
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+
+        let mut w = self.writer.lock().expect("wal writer poisoned");
+        w.file.write_all(&frame)?;
+        let lsn = w.next_lsn;
+        w.next_lsn += 1;
+        w.segment_bytes += frame.len() as u64;
+        w.unsynced += frame.len() as u64;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+        let rotate = w.segment_bytes >= SEGMENT_BYTES;
+        let sync_now = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::Batch => rotate || w.unsynced >= BATCH_SYNC_BYTES,
+            SyncPolicy::Off => false,
+        };
+        if sync_now {
+            w.file.sync_data()?;
+            w.unsynced = 0;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        if rotate {
+            let base = w.next_lsn;
+            *w = Self::fresh_segment(&self.dir, base)?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces everything appended so far to disk (used at snapshot time
+    /// and on shutdown, regardless of policy — except `off`, which never
+    /// syncs).
+    pub fn sync(&self) -> io::Result<()> {
+        if self.policy == SyncPolicy::Off {
+            return Ok(());
+        }
+        let mut w = self.writer.lock().expect("wal writer poisoned");
+        if w.unsynced > 0 {
+            w.file.sync_data()?;
+            w.unsynced = 0;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// The LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.writer.lock().expect("wal writer poisoned").next_lsn
+    }
+
+    /// Corrupt bytes discarded when the log was opened.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Deletes segments every record of which is `< lsn` (covered by a
+    /// snapshot). The segment containing `lsn` survives, so replay from
+    /// `lsn` keeps working.
+    pub fn prune_up_to(&self, lsn: u64) -> io::Result<u64> {
+        let _w = self.writer.lock().expect("wal writer poisoned");
+        let segments = list_segments(&self.dir)?;
+        let mut removed = 0u64;
+        // A segment is fully covered iff the *next* segment starts at or
+        // below `lsn` (its own records then all precede it).
+        for pair in segments.windows(2) {
+            if pair[1].0 <= lsn {
+                fs::remove_file(&pair[0].1)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Counter snapshot for metrics export.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.records.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            next_lsn: self.next_lsn(),
+        }
+    }
+
+    /// The directory this log appends to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_model::{Object, ObjectId, UserId, ValueId};
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pm-wal-test-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ingest(id: u64) -> WalRecord {
+        WalRecord::IngestBatch {
+            objects: vec![Object::new(ObjectId::new(id), vec![ValueId::new(1)])],
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = test_dir("roundtrip");
+        let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        for i in 0..10 {
+            assert_eq!(wal.append(&ingest(i)).unwrap(), i);
+        }
+        assert_eq!(wal.next_lsn(), 10);
+        drop(wal);
+        let outcome = scan(&dir, 0).unwrap();
+        assert!(outcome.torn.is_none());
+        assert_eq!(outcome.next_lsn, 10);
+        assert_eq!(outcome.records.len(), 10);
+        assert_eq!(outcome.records[3], (3, ingest(3)));
+        // A tail scan skips the covered prefix.
+        let tail = scan(&dir, 7).unwrap();
+        assert_eq!(tail.records.len(), 3);
+        assert_eq!(tail.records[0].0, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_lsn_sequence() {
+        let dir = test_dir("reopen");
+        {
+            let wal = Wal::open(&dir, SyncPolicy::Batch).unwrap();
+            wal.append(&ingest(0)).unwrap();
+            wal.append(&ingest(1)).unwrap();
+        }
+        let wal = Wal::open(&dir, SyncPolicy::Batch).unwrap();
+        assert_eq!(wal.next_lsn(), 2);
+        assert_eq!(wal.append(&ingest(2)).unwrap(), 2);
+        drop(wal);
+        let outcome = scan(&dir, 0).unwrap();
+        assert_eq!(outcome.records.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_record_is_detected_and_truncated() {
+        let dir = test_dir("torn");
+        {
+            let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..5 {
+                wal.append(&ingest(i)).unwrap();
+            }
+        }
+        // Chop ten bytes off the tail: the last record is torn.
+        let (base, path) = list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(base, 0);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 10)
+            .unwrap();
+        let outcome = scan(&dir, 0).unwrap();
+        assert_eq!(outcome.records.len(), 4, "first four records survive");
+        assert!(outcome.torn.is_some());
+        assert_eq!(outcome.next_lsn, 4);
+        // Re-open truncates and appends cleanly after the valid prefix.
+        let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        assert!(wal.truncated_bytes() > 0);
+        assert_eq!(wal.append(&ingest(4)).unwrap(), 4);
+        drop(wal);
+        let healed = scan(&dir, 0).unwrap();
+        assert!(healed.torn.is_none());
+        assert_eq!(healed.records.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_crc_stops_the_scan() {
+        let dir = test_dir("bitflip");
+        {
+            let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                wal.append(&ingest(i)).unwrap();
+            }
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit in the middle record's payload.
+        let victim = bytes.len() / 2;
+        bytes[victim] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let outcome = scan(&dir, 0).unwrap();
+        assert!(outcome.torn.is_some(), "corruption must be detected");
+        assert!(outcome.records.len() < 3);
+        // Recovery still opens and can append after the valid prefix.
+        let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        let lsn = wal.append(&ingest(99)).unwrap();
+        assert_eq!(lsn, outcome.next_lsn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_header_is_survivable() {
+        let dir = test_dir("header");
+        {
+            let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+            wal.append(&ingest(0)).unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(5)
+            .unwrap();
+        let outcome = scan(&dir, 0).unwrap();
+        assert_eq!(outcome.records.len(), 0);
+        assert!(outcome.torn.is_some());
+        let wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        // The unreadable segment was removed; the log restarts at LSN 0.
+        assert_eq!(wal.append(&ingest(0)).unwrap(), 0);
+        drop(wal);
+        assert!(scan(&dir, 0).unwrap().torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn register_records_roundtrip_through_the_log() {
+        let dir = test_dir("register");
+        let mut p = pm_porder::Preference::new(1);
+        p.relation_mut(pm_model::AttrId::new(0))
+            .insert(ValueId::new(0), ValueId::new(1))
+            .unwrap();
+        let record = WalRecord::Register {
+            user: UserId::new(7),
+            preference: p,
+        };
+        {
+            let wal = Wal::open(&dir, SyncPolicy::Batch).unwrap();
+            wal.append(&record).unwrap();
+            wal.sync().unwrap();
+        }
+        let outcome = scan(&dir, 0).unwrap();
+        assert_eq!(outcome.records, vec![(0, record)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
