@@ -51,29 +51,51 @@
 //!    on-round leaves behind is then recovered — genesis snapshot plus a
 //!    full log-tail replay, the worst case for this stream — and the
 //!    wall-clock recovery time must stay under the baseline's
-//!    `max_recovery_ms` ceiling.
+//!    `max_recovery_ms` ceiling, and
+//! 9. **population scale**: 100,000 users are registered one by one from a
+//!    512-prototype Zipf preference pool (the shared-preference premise of
+//!    Sec. 4 at scale), measuring registration build time, the interner's
+//!    bytes-per-user footprint, churn throughput on the big population,
+//!    and — via two direct `cluster_users` probes at a fixed user count —
+//!    that clustering build time scales with the *distinct-preference*
+//!    count, not the population. Set `PM_SCALE_USERS=1000000` for the 1M
+//!    run on capable hosts; the chosen population is always logged and
+//!    written to the report, never silently capped. This phase writes its
+//!    own report (`BENCH_9.json` by default).
 //!
 //! Results are printed as one line per metric and written to a JSON report
-//! (`BENCH_8.json` by default). With `--check <baseline.json>` the run
-//! fails (exit 1) when a throughput metric regresses more than 30% against
-//! the checked-in baseline, when the compiled dominance path is less than
-//! 2x the hash-map path, when compaction retains too much, or when the
-//! instrumentation, durability or recovery overheads exceed their
-//! ceilings — this is the `perf-smoke` CI gate.
+//! (`BENCH_8.json` by default; phase 9 additionally writes `BENCH_9.json`).
+//! With `--check <baseline.json>` the run fails (exit 1) when a throughput
+//! metric regresses more than 30% against the checked-in baseline, when the
+//! compiled dominance path is less than 2x the hash-map path, when
+//! compaction retains too much, when the instrumentation, durability or
+//! recovery overheads exceed their ceilings, or when the scale phase blows
+//! its registration-time or bytes-per-user ceiling — this is the
+//! `perf-smoke` CI gate.
+//!
+//! `--phases <list>` (e.g. `--phases 1,2,9`) runs a subset; every phase
+//! not in the list is logged as SKIPPED (nothing is capped silently) and
+//! its gates are skipped with an explicit message. Phase 5 compares
+//! against phase 3's history figures, so requesting 5 pulls in 3.
 //!
 //! ```text
-//! perf_smoke [--out BENCH_8.json] [--check bench-baseline.json]
+//! perf_smoke [--out BENCH_8.json] [--scale-out BENCH_9.json]
+//!            [--check bench-baseline.json] [--phases 1,2,...]
 //! ```
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
-use pm_bench::setup::generate_dataset;
+use pm_bench::setup::{cluster_dataset, generate_dataset};
 use pm_bench::workload::{object_pair_indices, value_pair, WORKLOAD_PREFS};
 use pm_bench::Scale;
-use pm_datagen::{Dataset, DatasetProfile};
+use pm_cluster::ExactMeasure;
+use pm_datagen::{Dataset, DatasetProfile, ZipfSampler};
 use pm_engine::{BackendSpec, EngineConfig, ShardedEngine};
 use pm_model::{Object, UserId};
 use pm_porder::{CompiledPreference, Preference};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Comparisons per dominance measurement.
 const DOMINANCE_OPS: usize = 2_000_000;
@@ -113,6 +135,56 @@ const WAL_ROUNDS: usize = 2;
 /// WAL-on vs WAL-off throughput-gap ceiling when the baseline lacks the
 /// `max_wal_overhead` key.
 const MAX_WAL_OVERHEAD: f64 = 0.15;
+/// Population of the scale phase (phase 9). Overridable via
+/// `PM_SCALE_USERS` (e.g. `1000000` on capable hosts); the scale ceilings
+/// of the `--check` gate only apply at this calibrated default.
+const SCALE_USERS: usize = 100_000;
+/// Distinct preference prototypes the scale population draws from. The
+/// paper's shared-preference premise (Sec. 4) at scale: many users, few
+/// distinct preferences, Zipf-assigned.
+const SCALE_POOL: usize = 512;
+/// Zipf exponent of the prototype assignment (mild head-heavy skew).
+const SCALE_SKEW: f64 = 1.1;
+/// Backend of the scale phase. Baseline serves every distinct fingerprint
+/// exactly once per arrival, so it isolates the interner's population
+/// independence without a clustering pass over 100k+ users.
+const SCALE_BACKEND: &str = "baseline";
+/// Stream length of the scale churn measurement. Shorter than
+/// [`ENGINE_OBJECTS`]: each arrival fans over ~[`SCALE_POOL`] bucket
+/// frontiers instead of the quick-scale population's handful.
+const SCALE_OBJECTS: usize = 2_000;
+/// Fixed user count of the two clustering probes of phase 9. Held
+/// constant while the distinct-preference count varies, so the probe
+/// pair shows clustering cost tracking *distinct* preferences.
+const SCALE_CLUSTER_USERS: usize = 2_000;
+/// Distinct-preference count of the small clustering probe.
+const SCALE_CLUSTER_SMALL: usize = 16;
+/// Distinct-preference count of the large clustering probe.
+const SCALE_CLUSTER_LARGE: usize = 512;
+
+/// Display names, indexed by phase number - 1, used by the `--phases`
+/// skip logs so nothing is ever silently omitted.
+const PHASE_NAMES: [&str; 9] = [
+    "dominance",
+    "engine ingest",
+    "registration churn",
+    "update churn",
+    "compacting-history churn",
+    "instrumentation overhead",
+    "subscriber fan-out",
+    "durability & recovery",
+    "population scale",
+];
+
+/// `a / b`, or 0 when the denominator is unset (a skipped phase leaves
+/// its inputs zeroed; the report must stay valid JSON — no NaN).
+fn ratio(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
 
 struct Report {
     prefers_hash: f64,
@@ -143,7 +215,7 @@ struct Report {
 
 impl Report {
     fn speedup(&self) -> f64 {
-        self.dominance_compiled / self.dominance_hash
+        ratio(self.dominance_compiled, self.dominance_hash)
     }
 
     /// Retained-history memory relative to the full history an unlimited
@@ -152,27 +224,42 @@ impl Report {
     /// id list, which is most of the win on a stream that repeats vectors —
     /// skyline-union eviction then trims the id lists themselves.
     fn retention_ratio(&self) -> f64 {
-        self.compact_retained_bytes as f64 / self.compact_full_bytes as f64
+        ratio(
+            self.compact_retained_bytes as f64,
+            self.compact_full_bytes as f64,
+        )
     }
 
     /// Relative throughput cost of the metrics bundle: how much slower the
     /// metrics-on stream ran than the metrics-off stream (0 when it ran at
     /// least as fast — noise can swing either way).
     fn instrumentation_overhead(&self) -> f64 {
-        (self.engine_metrics_off_objects_per_sec / self.engine_metrics_on_objects_per_sec - 1.0)
+        (ratio(
+            self.engine_metrics_off_objects_per_sec,
+            self.engine_metrics_on_objects_per_sec,
+        ) - 1.0)
             .max(0.0)
     }
 
     /// Relative throughput cost of the attached WAL under group commit:
     /// how much slower the WAL-on stream ran than the WAL-off stream.
     fn wal_overhead(&self) -> f64 {
-        (self.engine_wal_off_objects_per_sec / self.engine_wal_ingest_objects_per_sec - 1.0)
+        (ratio(
+            self.engine_wal_off_objects_per_sec,
+            self.engine_wal_ingest_objects_per_sec,
+        ) - 1.0)
             .max(0.0)
     }
 
-    fn to_json(&self) -> String {
+    fn to_json(&self, phases: &BTreeSet<usize>) -> String {
+        let phase_list = phases
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\n  \"schema\": \"pm-perf-smoke/v7\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+            "{{\n  \"schema\": \"pm-perf-smoke/v8\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+             \"phases\": \"{phase_list}\",\n  \
              \"prefers_hash_ops_per_sec\": {:.0},\n  \"prefers_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_hash_ops_per_sec\": {:.0},\n  \"dominance_compiled_ops_per_sec\": {:.0},\n  \
              \"dominance_speedup\": {:.3},\n  \"engine_backend\": \"{}\",\n  \
@@ -620,6 +707,185 @@ fn measure_durability(dataset: &Dataset) -> (f64, f64, f64, u64) {
     )
 }
 
+/// Phase 9 measurements, written to their own report (`BENCH_9.json`).
+struct ScaleReport {
+    /// Registered population; [`SCALE_USERS`] unless `PM_SCALE_USERS`
+    /// overrode it (always logged and recorded — never silently capped).
+    users: usize,
+    /// Wall-clock time of registering the whole population.
+    register_ms: f64,
+    /// Distinct fingerprints the interner holds after registration.
+    distinct_preferences: u64,
+    /// Estimated preference bytes across the whole population.
+    preference_bytes: u64,
+    /// Ingest throughput with 10% registration churn on the big population.
+    churn_objects_per_sec: f64,
+    /// Wall-clock of `cluster_users` over [`SCALE_CLUSTER_USERS`] users
+    /// drawn from [`SCALE_CLUSTER_SMALL`] distinct preferences.
+    cluster_small_ms: f64,
+    /// Same population size, [`SCALE_CLUSTER_LARGE`] distinct preferences.
+    cluster_large_ms: f64,
+}
+
+impl ScaleReport {
+    /// Estimated preference bytes per registered user — the headline
+    /// number of the interning refactor: it *falls* as the population
+    /// grows, because distinct preferences are stored once.
+    fn bytes_per_user(&self) -> f64 {
+        ratio(self.preference_bytes as f64, self.users as f64)
+    }
+
+    /// Clustering-time ratio of the large probe over the small one at the
+    /// identical user count: > 1 shows the build cost tracking the
+    /// distinct-preference count, not the population.
+    fn cluster_scaling_ratio(&self) -> f64 {
+        ratio(self.cluster_large_ms, self.cluster_small_ms)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"pm-scale-smoke/v1\",\n  \"profile\": \"movie\",\n  \"seed\": 42,\n  \
+             \"scale_backend\": \"{}\",\n  \
+             \"scale_users\": {},\n  \"scale_pool\": {},\n  \
+             \"scale_register_ms\": {:.1},\n  \
+             \"scale_distinct_preferences\": {},\n  \
+             \"scale_preference_bytes\": {},\n  \
+             \"scale_bytes_per_user\": {:.1},\n  \
+             \"scale_churn_objects_per_sec\": {:.0},\n  \
+             \"cluster_probe_users\": {},\n  \
+             \"cluster_small_distinct\": {},\n  \"cluster_small_ms\": {:.1},\n  \
+             \"cluster_large_distinct\": {},\n  \"cluster_large_ms\": {:.1},\n  \
+             \"cluster_scaling_ratio\": {:.2}\n}}\n",
+            SCALE_BACKEND,
+            self.users,
+            SCALE_POOL,
+            self.register_ms,
+            self.distinct_preferences,
+            self.preference_bytes,
+            self.bytes_per_user(),
+            self.churn_objects_per_sec,
+            SCALE_CLUSTER_USERS,
+            SCALE_CLUSTER_SMALL,
+            self.cluster_small_ms,
+            SCALE_CLUSTER_LARGE,
+            self.cluster_large_ms,
+            self.cluster_scaling_ratio(),
+        )
+    }
+}
+
+/// Phase 9: the interning refactor at population scale. Registers
+/// [`SCALE_USERS`] users (or `PM_SCALE_USERS`) one at a time — never
+/// materialising the population's preferences up front, which at ~25KB per
+/// distinct preference would cost gigabytes — from a [`SCALE_POOL`]-
+/// prototype pool under a Zipf assignment, then measures churn throughput
+/// on the big population and runs the two fixed-population clustering
+/// probes that show build time tracking the distinct-preference count.
+fn measure_scale() -> ScaleReport {
+    let users = match std::env::var("PM_SCALE_USERS") {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0 && n <= 16_000_000)
+            .unwrap_or_else(|| panic!("PM_SCALE_USERS must be in 1..=16000000, got `{v}`")),
+        Err(_) => SCALE_USERS,
+    };
+    println!(
+        "scale population:    {users} users, {SCALE_POOL} prototypes, zipf {SCALE_SKEW} \
+         (PM_SCALE_USERS=1000000 for the 1M run)"
+    );
+
+    // The prototype pool is itself a generated dataset: its users' derived
+    // preferences become the pool, its objects feed the churn stream.
+    let pool_profile = DatasetProfile::movie()
+        .with_users(SCALE_POOL)
+        .with_objects(1_200)
+        .with_interactions(60);
+    let pool = Dataset::generate(&pool_profile, 42);
+    let sampler = ZipfSampler::new(SCALE_POOL, SCALE_SKEW);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let spec = BackendSpec::parse(SCALE_BACKEND).expect("valid backend spec");
+    let engine = ShardedEngine::new(Vec::new(), &EngineConfig::new(1), &spec);
+    let start = Instant::now();
+    for i in 0..users {
+        let proto = sampler.sample(&mut rng);
+        engine
+            .register(UserId::new(i as u32), pool.preferences[proto].clone())
+            .expect("register");
+    }
+    let register_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(engine.num_users(), users, "every user must be registered");
+    let (distinct_preferences, preference_bytes) = engine.preference_footprint();
+    assert!(
+        distinct_preferences <= SCALE_POOL as u64,
+        "the interner must collapse the population onto the prototype pool"
+    );
+
+    // The standard churn mix (one REGISTER+UNREGISTER pair per
+    // [`CHURN_PERIOD`] objects) on the big population: each arrival is
+    // served per distinct fingerprint, not per user, which is what makes
+    // this population size tractable at all.
+    let stream: Vec<Object> = (0..SCALE_OBJECTS)
+        .map(|i| {
+            let base = &pool.objects[i % pool.objects.len()];
+            Object::new(pm_model::ObjectId::from(i), base.values().to_vec())
+        })
+        .collect();
+    let churn_per_batch = ENGINE_BATCH / CHURN_PERIOD;
+    let mut next = 0u32;
+    let start = Instant::now();
+    let mut processed = 0usize;
+    for chunk in stream.chunks(ENGINE_BATCH) {
+        processed += engine.process_batch(chunk.to_vec()).len();
+        for _ in 0..churn_per_batch {
+            let pref = pool.preferences[(next as usize) % SCALE_POOL].clone();
+            engine
+                .register(UserId::new(users as u32 + next), pref)
+                .expect("register");
+            if next >= CHURN_LAG {
+                engine
+                    .unregister(UserId::new(users as u32 + next - CHURN_LAG))
+                    .expect("unregister");
+            }
+            next += 1;
+        }
+    }
+    let churn_objects_per_sec = processed as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(processed, SCALE_OBJECTS, "every object must be processed");
+    drop(engine);
+
+    // Clustering probes: the user count is pinned while the distinct-
+    // preference count varies 16x, so the timing pair isolates what the
+    // agglomerative build actually scales with after the fingerprint
+    // bucketing — the number of *distinct* preferences.
+    let probe = |distinct: usize| {
+        let profile = DatasetProfile::movie()
+            .with_users(SCALE_CLUSTER_USERS)
+            .with_objects(1_200)
+            .with_interactions(60)
+            .with_distinct_preferences(distinct, SCALE_SKEW);
+        let data = Dataset::generate(&profile, 42);
+        let start = Instant::now();
+        let (_, summary) = cluster_dataset(&data, ExactMeasure::Jaccard, 0.4);
+        let ms = start.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(summary.users, SCALE_CLUSTER_USERS);
+        ms
+    };
+    let cluster_small_ms = probe(SCALE_CLUSTER_SMALL);
+    let cluster_large_ms = probe(SCALE_CLUSTER_LARGE);
+
+    ScaleReport {
+        users,
+        register_ms,
+        distinct_preferences,
+        preference_bytes,
+        churn_objects_per_sec,
+        cluster_small_ms,
+        cluster_large_ms,
+    }
+}
+
 /// Minimal parser for the flat JSON this harness itself writes: returns the
 /// numeric fields as (key, value) pairs.
 fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
@@ -637,7 +903,15 @@ fn parse_flat_json_numbers(text: &str) -> Vec<(String, f64)> {
     fields
 }
 
-fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Vec<String>> {
+/// Checks the run against the checked-in baseline. Gates whose phase was
+/// not run are skipped with an explicit line — a filtered run can never
+/// silently pass a gate its phases didn't exercise.
+fn check_against_baseline(
+    report: &Report,
+    scale: Option<&ScaleReport>,
+    phases: &BTreeSet<usize>,
+    baseline_path: &str,
+) -> Result<(), Vec<String>> {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => text,
         Err(e) => return Err(vec![format!("cannot read baseline {baseline_path}: {e}")]),
@@ -645,32 +919,51 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
     let baseline = parse_flat_json_numbers(&text);
     let lookup = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
     let mut failures = Vec::new();
+    let skipped = |key: &str, phase: usize| {
+        println!(
+            "gate skipped: {key} (phase {phase}, {}, not run)",
+            PHASE_NAMES[phase - 1]
+        );
+    };
 
     let gates = [
-        ("dominance_compiled_ops_per_sec", report.dominance_compiled),
-        ("engine_objects_per_sec", report.engine_objects_per_sec),
         (
+            1,
+            "dominance_compiled_ops_per_sec",
+            report.dominance_compiled,
+        ),
+        (2, "engine_objects_per_sec", report.engine_objects_per_sec),
+        (
+            3,
             "engine_churn_objects_per_sec",
             report.engine_churn_objects_per_sec,
         ),
         (
+            4,
             "engine_update_objects_per_sec",
             report.engine_update_objects_per_sec,
         ),
         (
+            5,
             "engine_compact_churn_objects_per_sec",
             report.engine_compact_churn_objects_per_sec,
         ),
         (
+            7,
             "engine_fanout_objects_per_sec",
             report.engine_fanout_objects_per_sec,
         ),
         (
+            8,
             "engine_wal_ingest_objects_per_sec",
             report.engine_wal_ingest_objects_per_sec,
         ),
     ];
-    for (key, current) in gates {
+    for (phase, key, current) in gates {
+        if !phases.contains(&phase) {
+            skipped(key, phase);
+            continue;
+        }
         let Some(expected) = lookup(key) else {
             failures.push(format!("baseline is missing `{key}`"));
             continue;
@@ -687,98 +980,170 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
         }
     }
 
-    let min_speedup = lookup("min_dominance_speedup").unwrap_or(MIN_SPEEDUP);
-    if report.speedup() < min_speedup {
-        failures.push(format!(
-            "dominance speedup {:.2}x below required {min_speedup:.2}x",
-            report.speedup()
-        ));
+    if phases.contains(&1) {
+        let min_speedup = lookup("min_dominance_speedup").unwrap_or(MIN_SPEEDUP);
+        if report.speedup() < min_speedup {
+            failures.push(format!(
+                "dominance speedup {:.2}x below required {min_speedup:.2}x",
+                report.speedup()
+            ));
+        } else {
+            println!(
+                "gate ok: dominance_speedup = {:.2}x (>= {min_speedup:.2}x)",
+                report.speedup()
+            );
+        }
     } else {
-        println!(
-            "gate ok: dominance_speedup = {:.2}x (>= {min_speedup:.2}x)",
-            report.speedup()
-        );
+        skipped("dominance_speedup", 1);
     }
 
     // Memory-reduction gate: the compacted retained set must stay under the
     // baseline ratio of the full history on this fixed-seed workload.
-    if let Some(max_ratio) = lookup("max_compact_retention_ratio") {
-        if report.retention_ratio() > max_ratio {
-            failures.push(format!(
-                "compaction retained {} of {} history bytes ({:.1}%), above \
-                 the {:.1}% ceiling",
-                report.compact_retained_bytes,
-                report.compact_full_bytes,
-                report.retention_ratio() * 100.0,
-                max_ratio * 100.0
-            ));
+    if phases.contains(&5) {
+        if let Some(max_ratio) = lookup("max_compact_retention_ratio") {
+            if report.retention_ratio() > max_ratio {
+                failures.push(format!(
+                    "compaction retained {} of {} history bytes ({:.1}%), above \
+                     the {:.1}% ceiling",
+                    report.compact_retained_bytes,
+                    report.compact_full_bytes,
+                    report.retention_ratio() * 100.0,
+                    max_ratio * 100.0
+                ));
+            } else {
+                println!(
+                    "gate ok: compact_retention_ratio = {:.3} (<= {max_ratio:.3})",
+                    report.retention_ratio()
+                );
+            }
         } else {
-            println!(
-                "gate ok: compact_retention_ratio = {:.3} (<= {max_ratio:.3})",
-                report.retention_ratio()
-            );
+            failures.push("baseline is missing `max_compact_retention_ratio`".to_owned());
         }
     } else {
-        failures.push("baseline is missing `max_compact_retention_ratio`".to_owned());
+        skipped("max_compact_retention_ratio", 5);
     }
 
     // Instrumentation-overhead gate: the metrics bundle must stay within
     // its documented throughput cost on the identical interleaved stream.
-    let max_overhead = lookup("max_instrumentation_overhead").unwrap_or(MAX_OVERHEAD);
-    if report.instrumentation_overhead() > max_overhead {
-        failures.push(format!(
-            "instrumentation overhead {:.1}% above the {:.1}% ceiling \
-             (metrics on {:.0} vs off {:.0} objects/sec)",
-            report.instrumentation_overhead() * 100.0,
-            max_overhead * 100.0,
-            report.engine_metrics_on_objects_per_sec,
-            report.engine_metrics_off_objects_per_sec,
-        ));
-    } else {
-        println!(
-            "gate ok: instrumentation_overhead = {:.1}% (<= {:.1}%)",
-            report.instrumentation_overhead() * 100.0,
-            max_overhead * 100.0
-        );
-    }
-
-    // Durability-tax gate: the attached WAL under group commit must stay
-    // within its documented throughput cost on the identical stream.
-    let max_wal_overhead = lookup("max_wal_overhead").unwrap_or(MAX_WAL_OVERHEAD);
-    if report.wal_overhead() > max_wal_overhead {
-        failures.push(format!(
-            "WAL overhead {:.1}% above the {:.1}% ceiling \
-             (WAL on {:.0} vs off {:.0} objects/sec)",
-            report.wal_overhead() * 100.0,
-            max_wal_overhead * 100.0,
-            report.engine_wal_ingest_objects_per_sec,
-            report.engine_wal_off_objects_per_sec,
-        ));
-    } else {
-        println!(
-            "gate ok: wal_overhead = {:.1}% (<= {:.1}%)",
-            report.wal_overhead() * 100.0,
-            max_wal_overhead * 100.0
-        );
-    }
-
-    // Recovery-time gate: genesis snapshot + full log-tail replay of this
-    // fixed stream must finish under the baseline ceiling.
-    if let Some(max_recovery_ms) = lookup("max_recovery_ms") {
-        if report.recovery_ms > max_recovery_ms {
+    if phases.contains(&6) {
+        let max_overhead = lookup("max_instrumentation_overhead").unwrap_or(MAX_OVERHEAD);
+        if report.instrumentation_overhead() > max_overhead {
             failures.push(format!(
-                "recovery took {:.1} ms ({} records replayed), above the \
-                 {max_recovery_ms:.0} ms ceiling",
-                report.recovery_ms, report.recovery_replayed
+                "instrumentation overhead {:.1}% above the {:.1}% ceiling \
+                 (metrics on {:.0} vs off {:.0} objects/sec)",
+                report.instrumentation_overhead() * 100.0,
+                max_overhead * 100.0,
+                report.engine_metrics_on_objects_per_sec,
+                report.engine_metrics_off_objects_per_sec,
             ));
         } else {
             println!(
-                "gate ok: recovery_ms = {:.1} (<= {max_recovery_ms:.0})",
-                report.recovery_ms
+                "gate ok: instrumentation_overhead = {:.1}% (<= {:.1}%)",
+                report.instrumentation_overhead() * 100.0,
+                max_overhead * 100.0
             );
         }
     } else {
-        failures.push("baseline is missing `max_recovery_ms`".to_owned());
+        skipped("max_instrumentation_overhead", 6);
+    }
+
+    if phases.contains(&8) {
+        // Durability-tax gate: the attached WAL under group commit must
+        // stay within its documented throughput cost on the identical
+        // stream.
+        let max_wal_overhead = lookup("max_wal_overhead").unwrap_or(MAX_WAL_OVERHEAD);
+        if report.wal_overhead() > max_wal_overhead {
+            failures.push(format!(
+                "WAL overhead {:.1}% above the {:.1}% ceiling \
+                 (WAL on {:.0} vs off {:.0} objects/sec)",
+                report.wal_overhead() * 100.0,
+                max_wal_overhead * 100.0,
+                report.engine_wal_ingest_objects_per_sec,
+                report.engine_wal_off_objects_per_sec,
+            ));
+        } else {
+            println!(
+                "gate ok: wal_overhead = {:.1}% (<= {:.1}%)",
+                report.wal_overhead() * 100.0,
+                max_wal_overhead * 100.0
+            );
+        }
+
+        // Recovery-time gate: genesis snapshot + full log-tail replay of
+        // this fixed stream must finish under the baseline ceiling.
+        if let Some(max_recovery_ms) = lookup("max_recovery_ms") {
+            if report.recovery_ms > max_recovery_ms {
+                failures.push(format!(
+                    "recovery took {:.1} ms ({} records replayed), above the \
+                     {max_recovery_ms:.0} ms ceiling",
+                    report.recovery_ms, report.recovery_replayed
+                ));
+            } else {
+                println!(
+                    "gate ok: recovery_ms = {:.1} (<= {max_recovery_ms:.0})",
+                    report.recovery_ms
+                );
+            }
+        } else {
+            failures.push("baseline is missing `max_recovery_ms`".to_owned());
+        }
+    } else {
+        skipped("max_wal_overhead", 8);
+        skipped("max_recovery_ms", 8);
+    }
+
+    // Scale gates: the 100k-user registration must finish under the build
+    // ceiling and the interner must hold bytes-per-user down. Calibrated
+    // at the default population only — a PM_SCALE_USERS override changes
+    // what the numbers mean, so the ceilings are skipped (loudly).
+    match scale {
+        Some(scale) if scale.users == SCALE_USERS => {
+            if let Some(max_register_ms) = lookup("max_scale_register_ms") {
+                if scale.register_ms > max_register_ms {
+                    failures.push(format!(
+                        "scale registration took {:.0} ms for {} users, above the \
+                         {max_register_ms:.0} ms ceiling",
+                        scale.register_ms, scale.users
+                    ));
+                } else {
+                    println!(
+                        "gate ok: scale_register_ms = {:.0} (<= {max_register_ms:.0})",
+                        scale.register_ms
+                    );
+                }
+            } else {
+                failures.push("baseline is missing `max_scale_register_ms`".to_owned());
+            }
+            if let Some(max_bytes_per_user) = lookup("max_scale_bytes_per_user") {
+                if scale.bytes_per_user() > max_bytes_per_user {
+                    failures.push(format!(
+                        "scale footprint is {:.1} bytes/user ({} distinct preferences, \
+                         {} bytes), above the {max_bytes_per_user:.0} bytes/user ceiling",
+                        scale.bytes_per_user(),
+                        scale.distinct_preferences,
+                        scale.preference_bytes
+                    ));
+                } else {
+                    println!(
+                        "gate ok: scale_bytes_per_user = {:.1} (<= {max_bytes_per_user:.0})",
+                        scale.bytes_per_user()
+                    );
+                }
+            } else {
+                failures.push("baseline is missing `max_scale_bytes_per_user`".to_owned());
+            }
+        }
+        Some(scale) => {
+            println!(
+                "gate skipped: scale ceilings (PM_SCALE_USERS={} differs from the \
+                 calibrated {SCALE_USERS})",
+                scale.users
+            );
+        }
+        None => {
+            skipped("max_scale_register_ms", 9);
+            skipped("max_scale_bytes_per_user", 9);
+        }
     }
 
     if failures.is_empty() {
@@ -788,20 +1153,66 @@ fn check_against_baseline(report: &Report, baseline_path: &str) -> Result<(), Ve
     }
 }
 
+/// Parses the `--phases` list: comma-separated phase numbers in 1..=9.
+fn parse_phases(spec: &str) -> Result<BTreeSet<usize>, String> {
+    let mut phases = BTreeSet::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let n: usize = part
+            .parse()
+            .map_err(|_| format!("bad phase `{part}` (expected a number in 1..=9)"))?;
+        if !(1..=9).contains(&n) {
+            return Err(format!("phase {n} out of range 1..=9"));
+        }
+        phases.insert(n);
+    }
+    if phases.is_empty() {
+        return Err("empty phase list".to_owned());
+    }
+    Ok(phases)
+}
+
 fn main() {
     let mut out_path = "BENCH_8.json".to_owned();
+    let mut scale_out_path = "BENCH_9.json".to_owned();
     let mut check_path: Option<String> = None;
+    let mut phases: BTreeSet<usize> = (1..=9).collect();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scale-out" => scale_out_path = args.next().expect("--scale-out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--phases" => {
+                let spec = args.next().expect("--phases needs a comma-separated list");
+                phases = parse_phases(&spec).unwrap_or_else(|e| {
+                    eprintln!("--phases: {e}");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown argument `{other}` (expected --out/--check)");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (expected --out/--scale-out/--check/--phases)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // Phase 5's retention ratio compares against the full history the
+    // unlimited backend retains over the identical stream, which phase 3
+    // measures.
+    if phases.contains(&5) && !phases.contains(&3) {
+        phases.insert(3);
+        println!("phase 3 (registration churn): enabled (phase 5 compares against its history)");
+    }
+    let enabled = |n: usize| {
+        let on = phases.contains(&n);
+        if !on {
+            println!("phase {n} ({}): SKIPPED (--phases)", PHASE_NAMES[n - 1]);
+        }
+        on
+    };
 
     println!("perf-smoke: movie profile, seed 42, fixed workload");
     let dataset = generate_dataset(&DatasetProfile::movie(), &Scale::quick());
@@ -812,133 +1223,199 @@ fn main() {
         dataset.dimensions()
     );
 
-    let (prefers_hash, prefers_compiled, dominance_hash, dominance_compiled) =
-        measure_dominance(&dataset.preferences, &dataset.objects);
-    println!("prefers/hash:        {prefers_hash:>12.0} ops/sec");
-    println!("prefers/compiled:    {prefers_compiled:>12.0} ops/sec");
-    println!("dominance/hash:      {dominance_hash:>12.0} ops/sec");
-    println!("dominance/compiled:  {dominance_compiled:>12.0} ops/sec");
-    println!(
-        "dominance speedup:   {:>12.2}x (compiled vs hash)",
-        dominance_compiled / dominance_hash
-    );
+    // Skipped phases leave their report fields zeroed; the gate skips the
+    // matching checks (loudly), and a zero in the JSON marks "not run".
+    let mut report = Report {
+        prefers_hash: 0.0,
+        prefers_compiled: 0.0,
+        dominance_hash: 0.0,
+        dominance_compiled: 0.0,
+        engine_objects_per_sec: 0.0,
+        engine_churn_objects_per_sec: 0.0,
+        engine_update_objects_per_sec: 0.0,
+        engine_compact_churn_objects_per_sec: 0.0,
+        compact_retained_objects: 0,
+        compact_full_objects: 0,
+        compact_retained_bytes: 0,
+        compact_full_bytes: 0,
+        engine_metrics_on_objects_per_sec: 0.0,
+        engine_metrics_off_objects_per_sec: 0.0,
+        ingest_latency_p50_us: 0.0,
+        ingest_latency_p95_us: 0.0,
+        ingest_latency_p99_us: 0.0,
+        engine_fanout_objects_per_sec: 0.0,
+        fanout_subscribers: 0,
+        fanout_events_delivered: 0,
+        engine_wal_ingest_objects_per_sec: 0.0,
+        engine_wal_off_objects_per_sec: 0.0,
+        recovery_ms: 0.0,
+        recovery_replayed: 0,
+    };
 
-    let engine_objects_per_sec = measure_engine(dataset.preferences.clone(), &dataset.objects);
-    println!("engine ({ENGINE_BACKEND}, 1 shard): {engine_objects_per_sec:>12.0} objects/sec");
+    if enabled(1) {
+        let (prefers_hash, prefers_compiled, dominance_hash, dominance_compiled) =
+            measure_dominance(&dataset.preferences, &dataset.objects);
+        println!("prefers/hash:        {prefers_hash:>12.0} ops/sec");
+        println!("prefers/compiled:    {prefers_compiled:>12.0} ops/sec");
+        println!("dominance/hash:      {dominance_hash:>12.0} ops/sec");
+        println!("dominance/compiled:  {dominance_compiled:>12.0} ops/sec");
+        println!(
+            "dominance speedup:   {:>12.2}x (compiled vs hash)",
+            dominance_compiled / dominance_hash
+        );
+        report.prefers_hash = prefers_hash;
+        report.prefers_compiled = prefers_compiled;
+        report.dominance_hash = dominance_hash;
+        report.dominance_compiled = dominance_compiled;
+    }
+
+    if enabled(2) {
+        report.engine_objects_per_sec =
+            measure_engine(dataset.preferences.clone(), &dataset.objects);
+        println!(
+            "engine ({ENGINE_BACKEND}, 1 shard): {:>12.0} objects/sec",
+            report.engine_objects_per_sec
+        );
+    }
 
     // The unlimited backend's retained-history bytes double as the "full
     // history" yardstick of the compaction phase (identical stream).
-    let (engine_churn_objects_per_sec, full_stats) = run_churn_workload(&dataset, ENGINE_BACKEND);
-    let compact_full_bytes = full_stats.history_bytes;
-    println!(
-        "engine + 10% churn:  {engine_churn_objects_per_sec:>12.0} objects/sec \
-         (1 REGISTER+UNREGISTER per {CHURN_PERIOD} objects)"
-    );
+    let mut full_stats: Option<pm_core::MonitorStats> = None;
+    if enabled(3) {
+        let (engine_churn_objects_per_sec, stats) = run_churn_workload(&dataset, ENGINE_BACKEND);
+        println!(
+            "engine + 10% churn:  {engine_churn_objects_per_sec:>12.0} objects/sec \
+             (1 REGISTER+UNREGISTER per {CHURN_PERIOD} objects)"
+        );
+        report.engine_churn_objects_per_sec = engine_churn_objects_per_sec;
+        full_stats = Some(stats);
+    }
 
-    let engine_update_objects_per_sec = measure_engine_update_churn(&dataset);
-    println!(
-        "engine + 10% update: {engine_update_objects_per_sec:>12.0} objects/sec \
-         (1 in-place UPDATE per {CHURN_PERIOD} objects)"
-    );
+    if enabled(4) {
+        report.engine_update_objects_per_sec = measure_engine_update_churn(&dataset);
+        println!(
+            "engine + 10% update: {:>12.0} objects/sec \
+             (1 in-place UPDATE per {CHURN_PERIOD} objects)",
+            report.engine_update_objects_per_sec
+        );
+    }
 
     // Phase 5: the identical churn workload on the compacting-history
     // backend — every REGISTER backfill replays the skyline-union retained
     // set instead of the full stream; churn preferences come from the base
     // population, so backfill stays exact while the history shrinks.
-    let (engine_compact_churn_objects_per_sec, compact_stats) =
-        run_churn_workload(&dataset, ENGINE_BACKEND_COMPACT);
-    let compact_retained_objects = compact_stats.history_objects;
-    let compact_retained_bytes = compact_stats.history_bytes;
-    let compact_full_objects = full_stats.history_objects;
-    println!(
-        "engine compact+churn ({ENGINE_BACKEND_COMPACT}): \
-         {engine_compact_churn_objects_per_sec:>12.0} objects/sec"
-    );
-    println!(
-        "compacted history:   {compact_retained_objects:>12} of {compact_full_objects} \
-         objects, {compact_retained_bytes} of {compact_full_bytes} bytes retained ({:.1}%)",
-        100.0 * compact_retained_bytes as f64 / compact_full_bytes as f64
-    );
+    if enabled(5) {
+        let full = full_stats.as_ref().expect("phase 3 runs whenever 5 does");
+        let (engine_compact_churn_objects_per_sec, compact_stats) =
+            run_churn_workload(&dataset, ENGINE_BACKEND_COMPACT);
+        report.engine_compact_churn_objects_per_sec = engine_compact_churn_objects_per_sec;
+        report.compact_retained_objects = compact_stats.history_objects;
+        report.compact_retained_bytes = compact_stats.history_bytes;
+        report.compact_full_objects = full.history_objects;
+        report.compact_full_bytes = full.history_bytes;
+        println!(
+            "engine compact+churn ({ENGINE_BACKEND_COMPACT}): \
+             {engine_compact_churn_objects_per_sec:>12.0} objects/sec"
+        );
+        println!(
+            "compacted history:   {:>12} of {} objects, {} of {} bytes retained ({:.1}%)",
+            report.compact_retained_objects,
+            report.compact_full_objects,
+            report.compact_retained_bytes,
+            report.compact_full_bytes,
+            100.0 * report.retention_ratio()
+        );
+    }
 
     // Phase 6: instrumentation overhead of the observability layer, plus
     // the ingest-latency percentiles seen through the metrics bundle.
-    let (
-        engine_metrics_on_objects_per_sec,
-        engine_metrics_off_objects_per_sec,
-        ingest_latency_p50_us,
-        ingest_latency_p95_us,
-        ingest_latency_p99_us,
-    ) = measure_instrumentation_overhead(&dataset);
-    println!(
-        "engine metrics on:   {engine_metrics_on_objects_per_sec:>12.0} objects/sec \
-         (off: {engine_metrics_off_objects_per_sec:.0}, overhead {:.1}%)",
-        (engine_metrics_off_objects_per_sec / engine_metrics_on_objects_per_sec - 1.0).max(0.0)
-            * 100.0
-    );
-    println!(
-        "ingest latency:      p50 {ingest_latency_p50_us:.0}us, \
-         p95 {ingest_latency_p95_us:.0}us, p99 {ingest_latency_p99_us:.0}us \
-         (per {ENGINE_BATCH}-object batch)"
-    );
+    if enabled(6) {
+        let (on, off, p50, p95, p99) = measure_instrumentation_overhead(&dataset);
+        report.engine_metrics_on_objects_per_sec = on;
+        report.engine_metrics_off_objects_per_sec = off;
+        report.ingest_latency_p50_us = p50;
+        report.ingest_latency_p95_us = p95;
+        report.ingest_latency_p99_us = p99;
+        println!(
+            "engine metrics on:   {on:>12.0} objects/sec \
+             (off: {off:.0}, overhead {:.1}%)",
+            report.instrumentation_overhead() * 100.0
+        );
+        println!(
+            "ingest latency:      p50 {p50:.0}us, p95 {p95:.0}us, p99 {p99:.0}us \
+             (per {ENGINE_BATCH}-object batch)"
+        );
+    }
 
     // Phase 7: the same engine behind the readiness reactor, fanning event
     // deltas out to ~1k live subscriber connections.
-    let (engine_fanout_objects_per_sec, fanout_subscribers, fanout_events_delivered) =
-        measure_subscriber_fanout(&dataset);
-    println!(
-        "engine + fan-out:    {engine_fanout_objects_per_sec:>12.0} objects/sec \
-         ({fanout_subscribers} subscribers, {fanout_events_delivered} events delivered)"
-    );
+    if enabled(7) {
+        let (engine_fanout_objects_per_sec, fanout_subscribers, fanout_events_delivered) =
+            measure_subscriber_fanout(&dataset);
+        report.engine_fanout_objects_per_sec = engine_fanout_objects_per_sec;
+        report.fanout_subscribers = fanout_subscribers;
+        report.fanout_events_delivered = fanout_events_delivered;
+        println!(
+            "engine + fan-out:    {engine_fanout_objects_per_sec:>12.0} objects/sec \
+             ({fanout_subscribers} subscribers, {fanout_events_delivered} events delivered)"
+        );
+    }
 
     // Phase 8: the durability tax of the attached WAL, and the wall-clock
     // cost of recovering the directory it leaves behind.
-    let (
-        engine_wal_ingest_objects_per_sec,
-        engine_wal_off_objects_per_sec,
-        recovery_ms,
-        recovery_replayed,
-    ) = measure_durability(&dataset);
-    println!(
-        "engine WAL on:       {engine_wal_ingest_objects_per_sec:>12.0} objects/sec \
-         (off: {engine_wal_off_objects_per_sec:.0}, overhead {:.1}%, wal-sync=batch)",
-        (engine_wal_off_objects_per_sec / engine_wal_ingest_objects_per_sec - 1.0).max(0.0) * 100.0
-    );
-    println!(
-        "recovery:            {recovery_ms:>12.1} ms \
-         (genesis snapshot + {recovery_replayed} records replayed)"
-    );
+    if enabled(8) {
+        let (wal_on, wal_off, recovery_ms, recovery_replayed) = measure_durability(&dataset);
+        report.engine_wal_ingest_objects_per_sec = wal_on;
+        report.engine_wal_off_objects_per_sec = wal_off;
+        report.recovery_ms = recovery_ms;
+        report.recovery_replayed = recovery_replayed;
+        println!(
+            "engine WAL on:       {wal_on:>12.0} objects/sec \
+             (off: {wal_off:.0}, overhead {:.1}%, wal-sync=batch)",
+            report.wal_overhead() * 100.0
+        );
+        println!(
+            "recovery:            {recovery_ms:>12.1} ms \
+             (genesis snapshot + {recovery_replayed} records replayed)"
+        );
+    }
 
-    let report = Report {
-        prefers_hash,
-        prefers_compiled,
-        dominance_hash,
-        dominance_compiled,
-        engine_objects_per_sec,
-        engine_churn_objects_per_sec,
-        engine_update_objects_per_sec,
-        engine_compact_churn_objects_per_sec,
-        compact_retained_objects,
-        compact_full_objects,
-        compact_retained_bytes,
-        compact_full_bytes,
-        engine_metrics_on_objects_per_sec,
-        engine_metrics_off_objects_per_sec,
-        ingest_latency_p50_us,
-        ingest_latency_p95_us,
-        ingest_latency_p99_us,
-        engine_fanout_objects_per_sec,
-        fanout_subscribers,
-        fanout_events_delivered,
-        engine_wal_ingest_objects_per_sec,
-        engine_wal_off_objects_per_sec,
-        recovery_ms,
-        recovery_replayed,
-    };
-    std::fs::write(&out_path, report.to_json()).expect("write report");
+    // Phase 9: the interning refactor at population scale; writes its own
+    // report so the scale figures version independently of the per-phase
+    // throughput schema.
+    let mut scale: Option<ScaleReport> = None;
+    if enabled(9) {
+        let s = measure_scale();
+        println!(
+            "scale registration:  {:>12.0} ms ({} users, {} distinct preferences)",
+            s.register_ms, s.users, s.distinct_preferences
+        );
+        println!(
+            "scale footprint:     {:>12.1} bytes/user ({} preference bytes total)",
+            s.bytes_per_user(),
+            s.preference_bytes
+        );
+        println!(
+            "scale + 10% churn:   {:>12.0} objects/sec ({SCALE_BACKEND}, {} users)",
+            s.churn_objects_per_sec, s.users
+        );
+        println!(
+            "scale clustering:    {:>12.1} ms at {SCALE_CLUSTER_LARGE} distinct vs {:.1} ms \
+             at {SCALE_CLUSTER_SMALL} ({:.1}x, {SCALE_CLUSTER_USERS} users both)",
+            s.cluster_large_ms,
+            s.cluster_small_ms,
+            s.cluster_scaling_ratio()
+        );
+        std::fs::write(&scale_out_path, s.to_json()).expect("write scale report");
+        println!("wrote {scale_out_path}");
+        scale = Some(s);
+    }
+
+    std::fs::write(&out_path, report.to_json(&phases)).expect("write report");
     println!("wrote {out_path}");
 
     if let Some(baseline) = check_path {
-        match check_against_baseline(&report, &baseline) {
+        match check_against_baseline(&report, scale.as_ref(), &phases, &baseline) {
             Ok(()) => println!("perf-smoke gate: PASS"),
             Err(failures) => {
                 for failure in &failures {

@@ -21,10 +21,10 @@
 //!   the output, while the *approximate* common relation (Alg. 3) is built
 //!   later by [`crate::approx::approx_common_preference`].
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use pm_model::{AttrId, UserId, ValueId};
-use pm_porder::{CompiledRelation, Preference, Relation};
+use pm_porder::{CompiledRelation, Fingerprint, Preference, Relation};
 
 use crate::approx_similarity::{ApproxMeasure, FrequencyVectors};
 use crate::similarity::ExactMeasure;
@@ -225,29 +225,56 @@ struct Working {
 /// Clusters `preferences` (indexed by user id) under `config`.
 ///
 /// The returned clusters partition the users; singleton clusters are kept
-/// as-is. The algorithm is the textbook O(n³) agglomerative procedure,
-/// which is ample for the user populations used in the paper's experiments
-/// (the cost is dominated by Pareto maintenance, not clustering).
+/// as-is. Users are first bucketed by preference [`Fingerprint`] (with a
+/// full equality check on collision), so the agglomerative loop runs over
+/// *distinct* preferences weighted by multiplicity — identical users are
+/// free, and build cost scales with the distinct-preference count rather
+/// than the population size (the paper's Sec. 4 shared-preference premise).
+/// The loop itself is the textbook O(d³) agglomerative procedure in the
+/// distinct count `d`.
 pub fn cluster_users(preferences: &[Preference], config: ClusteringConfig) -> ClusteringOutcome {
     let arity = preferences.iter().map(Preference::arity).max().unwrap_or(0);
     let universes = match config {
         ClusteringConfig::Exact { .. } => attribute_universes(preferences, arity),
         ClusteringConfig::Approx { .. } => Vec::new(),
     };
-    let mut working: Vec<Working> = preferences
-        .iter()
-        .enumerate()
-        .map(|(idx, pref)| Working {
-            members: vec![UserId::from(idx)],
-            member_idx: vec![idx],
-            state: match config {
-                ClusteringConfig::Exact { .. } => {
-                    State::Exact(ExactState::of_user(pref, &universes))
-                }
-                ClusteringConfig::Approx { measure, .. } => {
-                    State::Approx(FrequencyVectors::of_user(pref, measure))
-                }
-            },
+    // Group user indices by distinct preference, first occurrence first.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_fp: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+    for (idx, pref) in preferences.iter().enumerate() {
+        let slot = by_fp.entry(pref.fingerprint()).or_default();
+        match slot.iter().find(|&&g| &preferences[groups[g][0]] == pref) {
+            Some(&g) => groups[g].push(idx),
+            None => {
+                slot.push(groups.len());
+                groups.push(vec![idx]);
+            }
+        }
+    }
+    let mut working: Vec<Working> = groups
+        .into_iter()
+        .map(|member_idx| {
+            let pref = &preferences[member_idx[0]];
+            Working {
+                members: member_idx.iter().map(|&i| UserId::from(i)).collect(),
+                state: match config {
+                    ClusteringConfig::Exact { .. } => {
+                        // The exact measures are multiplicity-invariant
+                        // (intersection is idempotent): one state per
+                        // distinct preference suffices.
+                        State::Exact(ExactState::of_user(pref, &universes))
+                    }
+                    ClusteringConfig::Approx { measure, .. } => {
+                        // Frequency vectors are *not* multiplicity-invariant:
+                        // weight the distinct preference by its member count.
+                        State::Approx(FrequencyVectors::of_users(
+                            std::iter::repeat(pref).take(member_idx.len()),
+                            measure,
+                        ))
+                    }
+                },
+                member_idx,
+            }
         })
         .collect();
     let mut merges = Vec::new();
@@ -516,6 +543,87 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out.clusters[0].members, vec![UserId::new(0)]);
+    }
+
+    /// Many users sharing few distinct preferences must cluster exactly as
+    /// the distinct set does — the dedup pass only changes the work done,
+    /// never the outcome (Lemma 4.6: twins are maximally similar, so they
+    /// always travel together).
+    #[test]
+    fn duplicated_population_clusters_like_its_distinct_preferences() {
+        let distinct = table3_users();
+        let copies = 5usize;
+        // Interleave the copies so twins are not adjacent in user-id order.
+        let users: Vec<Preference> = (0..distinct.len() * copies)
+            .map(|i| distinct[i % distinct.len()].clone())
+            .collect();
+        let config = ClusteringConfig::Exact {
+            measure: ExactMeasure::WeightedJaccard,
+            branch_cut: 0.2,
+        };
+        let base = cluster_users(&distinct, config);
+        let out = cluster_users(&users, config);
+        assert_eq!(out.len(), base.len());
+        // Pairwise merges happen between distinct groups only, so the merge
+        // log is bounded by the distinct count, not the user count.
+        assert!(
+            out.merges.len() < distinct.len(),
+            "{} merges for {} distinct preferences",
+            out.merges.len(),
+            distinct.len()
+        );
+        for cluster in &out.clusters {
+            // Which distinct preference each member holds (user i % 6).
+            let kinds: HashSet<usize> = cluster
+                .members
+                .iter()
+                .map(|u| u.index() % distinct.len())
+                .collect();
+            // Every twin of those kinds is present …
+            assert_eq!(cluster.members.len(), kinds.len() * copies);
+            // … and the kinds form exactly one cluster of the distinct run.
+            let twin = base
+                .clusters
+                .iter()
+                .find(|c| c.members.iter().map(|u| u.index()).collect::<HashSet<_>>() == kinds)
+                .unwrap_or_else(|| panic!("no base cluster with kinds {kinds:?}"));
+            let want: HashSet<_> = twin.common.relation(AttrId::new(0)).pairs().collect();
+            let got: HashSet<_> = cluster.common.relation(AttrId::new(0)).pairs().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    /// The approx path weights its frequency vectors by multiplicity: a
+    /// duplicated population still partitions every user and reports the
+    /// exact common relation per cluster.
+    #[test]
+    fn approx_path_weights_duplicates_by_multiplicity() {
+        let distinct = table3_users();
+        let users: Vec<Preference> = (0..distinct.len() * 4)
+            .map(|i| distinct[i % distinct.len()].clone())
+            .collect();
+        let out = cluster_users(
+            &users,
+            ClusteringConfig::Approx {
+                measure: ApproxMeasure::Jaccard,
+                branch_cut: 0.3,
+            },
+        );
+        let mut seen: Vec<UserId> = out
+            .clusters
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        seen.sort();
+        let expected: Vec<UserId> = (0..users.len()).map(UserId::from).collect();
+        assert_eq!(seen, expected);
+        for cluster in &out.clusters {
+            let expected =
+                Preference::common_of(cluster.members.iter().map(|&m| &users[m.index()]));
+            let want: HashSet<_> = expected.relation(AttrId::new(0)).pairs().collect();
+            let got: HashSet<_> = cluster.common.relation(AttrId::new(0)).pairs().collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

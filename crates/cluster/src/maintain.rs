@@ -22,16 +22,27 @@
 //!   cluster's common relation is re-AND-folded; otherwise the cluster is
 //!   locally repaired and the user re-inserted as if newly registered.
 //!
-//! No other cluster is touched, so churn costs O(k) compiled similarity
-//! passes plus one AND-fold instead of a full O(n³) agglomerative rebuild.
+//! State is keyed by **distinct preference**, not by user: users are
+//! bucketed by preference [`Fingerprint`] (full equality check on
+//! collision) into slab entries, each holding one compiled `ExactState`
+//! and a member list. A user whose preference already exists joins its
+//! twin's entry — and therefore its twin's cluster — in O(1), with no
+//! similarity scan and no state change (intersection is idempotent);
+//! AND-folds and universe recompiles run over distinct entries only. Churn
+//! and memory thus scale with the distinct-preference count, cashing in the
+//! paper's Sec. 4 premise that real users share preferences. The one
+//! deliberate exception: a user alone in its cluster never moves on update
+//! (callers rely on updates never dissolving a cluster), so two entries
+//! with the same fingerprint may coexist in different clusters.
+//!
 //! All states live on shared per-attribute value universes; a registered
 //! user mentioning a never-seen value triggers the one slow path: the
-//! universes grow and every stored state is recompiled.
+//! universes grow and every stored entry is recompiled.
 
 use std::collections::HashMap;
 
 use pm_model::{UserId, ValueId};
-use pm_porder::Preference;
+use pm_porder::{Fingerprint, Preference};
 
 use crate::agglomerative::{attribute_universes, cluster_users, Cluster, ExactState};
 use crate::{ClusteringConfig, ExactMeasure};
@@ -41,7 +52,8 @@ use crate::{ClusteringConfig, ExactMeasure};
 pub enum Placement {
     /// The user joined existing cluster `cluster`, whose common preference
     /// relation shrank to `common` (the old common relation intersected
-    /// with the user's relations).
+    /// with the user's relations — unchanged when the user joined an
+    /// identical-preference twin).
     Joined {
         /// Index of the joined cluster.
         cluster: usize,
@@ -69,7 +81,8 @@ impl Placement {
 #[derive(Debug, Clone)]
 pub enum Removal {
     /// Cluster `cluster` lost the user; its common preference relation was
-    /// recomputed from the remaining members as `common`.
+    /// recomputed from the remaining members as `common` (unchanged when an
+    /// identical-preference twin remains).
     Shrunk {
         /// Index of the shrunk cluster.
         cluster: usize,
@@ -114,18 +127,25 @@ pub enum Update {
     },
 }
 
+/// One distinct preference: its compiled state plus every user holding it.
+/// An entry belongs to exactly one cluster; its members are a subset of
+/// that cluster's members.
 #[derive(Debug, Clone)]
-struct UserEntry {
+struct DistinctEntry {
+    fingerprint: Fingerprint,
     preference: Preference,
     state: ExactState,
-    /// Index of the cluster this user belongs to, kept in sync with
-    /// `clusters` so removal never scans the member lists.
+    members: Vec<UserId>,
     cluster: usize,
 }
 
 #[derive(Debug, Clone)]
 struct MaintainedCluster {
+    /// Member users in insertion order (the caller-facing view).
     members: Vec<UserId>,
+    /// Distinct-preference entries making up this cluster; the state fold
+    /// runs over these, not over users.
+    entries: Vec<u32>,
     state: ExactState,
 }
 
@@ -140,7 +160,15 @@ pub struct Clustering {
     measure: ExactMeasure,
     branch_cut: f64,
     universes: Vec<Vec<ValueId>>,
-    users: HashMap<UserId, UserEntry>,
+    /// Slab of distinct-preference entries; freed slots are recycled.
+    entries: Vec<Option<DistinctEntry>>,
+    free: Vec<u32>,
+    /// Fingerprint → live entry ids (more than one only on hash collision
+    /// or for same-preference entries pinned in different clusters by the
+    /// singleton stay-put rule).
+    by_fp: HashMap<Fingerprint, Vec<u32>>,
+    /// User → entry id holding its preference.
+    users: HashMap<UserId, u32>,
     clusters: Vec<MaintainedCluster>,
 }
 
@@ -158,41 +186,29 @@ impl Clustering {
         );
         let arity = preferences.iter().map(Preference::arity).max().unwrap_or(0);
         let universes = attribute_universes(preferences, arity);
-        let mut cluster_of = vec![0usize; preferences.len()];
-        for (idx, cluster) in outcome.clusters.iter().enumerate() {
-            for member in &cluster.members {
-                cluster_of[member.index()] = idx;
-            }
-        }
-        let users = preferences
-            .iter()
-            .enumerate()
-            .map(|(idx, pref)| {
-                (
-                    UserId::from(idx),
-                    UserEntry {
-                        preference: pref.clone(),
-                        state: ExactState::of_user(pref, &universes),
-                        cluster: cluster_of[idx],
-                    },
-                )
-            })
-            .collect();
-        let clusters = outcome
-            .clusters
-            .iter()
-            .map(|cluster| MaintainedCluster {
-                members: cluster.members.clone(),
-                state: ExactState::of_user(&cluster.common, &universes),
-            })
-            .collect();
-        Self {
+        let mut this = Self {
             measure,
             branch_cut,
             universes,
-            users,
-            clusters,
+            entries: Vec::new(),
+            free: Vec::new(),
+            by_fp: HashMap::new(),
+            users: HashMap::new(),
+            clusters: Vec::new(),
+        };
+        for cluster in &outcome.clusters {
+            let cidx = this.clusters.len();
+            let state = ExactState::of_user(&cluster.common, &this.universes);
+            this.clusters.push(MaintainedCluster {
+                members: cluster.members.clone(),
+                entries: Vec::new(),
+                state,
+            });
+            for &member in &cluster.members {
+                this.attach_in_cluster(member, &preferences[member.index()], None, cidx);
+            }
         }
+        this
     }
 
     /// The similarity measure merges are judged by.
@@ -220,6 +236,13 @@ impl Clustering {
         self.clusters.len()
     }
 
+    /// Number of distinct preferences across the population (live slab
+    /// entries). Entries pinned in different clusters by the singleton
+    /// stay-put rule count separately.
+    pub fn distinct_preferences(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
     /// Whether `user` is currently clustered.
     pub fn contains(&self, user: UserId) -> bool {
         self.users.contains_key(&user)
@@ -227,13 +250,15 @@ impl Clustering {
 
     /// The stored preference of `user`, if clustered.
     pub fn preference_of(&self, user: UserId) -> Option<&Preference> {
-        self.users.get(&user).map(|entry| &entry.preference)
+        self.users
+            .get(&user)
+            .map(|&eid| &self.entry(eid).preference)
     }
 
     /// The index of the cluster containing `user`, if any. O(1): the
-    /// per-user entry tracks its cluster index.
+    /// user's distinct-preference entry tracks its cluster index.
     pub fn cluster_of(&self, user: UserId) -> Option<usize> {
-        self.users.get(&user).map(|entry| entry.cluster)
+        self.users.get(&user).map(|&eid| self.entry(eid).cluster)
     }
 
     /// The members of cluster `cluster`, in insertion order.
@@ -259,9 +284,22 @@ impl Clustering {
             .collect()
     }
 
+    fn entry(&self, eid: u32) -> &DistinctEntry {
+        self.entries[eid as usize]
+            .as_ref()
+            .expect("entry id points at a live slot")
+    }
+
+    fn entry_mut(&mut self, eid: u32) -> &mut DistinctEntry {
+        self.entries[eid as usize]
+            .as_mut()
+            .expect("entry id points at a live slot")
+    }
+
     /// Extends the shared universes to cover `pref`, recompiling every
     /// stored state when they grow — the rare slow path taken when a
     /// registered user mentions a value (or attribute) never seen before.
+    /// Recompilation touches each *distinct* preference once.
     fn ensure_covered(&mut self, pref: &Preference) {
         let covered = pref.arity() <= self.universes.len()
             && pref.relations().all(|(attr, rel)| {
@@ -274,37 +312,126 @@ impl Clustering {
             return;
         }
         let all: Vec<Preference> = self
-            .users
-            .values()
+            .entries
+            .iter()
+            .flatten()
             .map(|entry| entry.preference.clone())
             .chain([pref.clone()])
             .collect();
         let arity = all.iter().map(Preference::arity).max().unwrap_or(0);
         self.universes = attribute_universes(&all, arity);
-        for entry in self.users.values_mut() {
+        for entry in self.entries.iter_mut().flatten() {
             entry.state = ExactState::of_user(&entry.preference, &self.universes);
         }
         for idx in 0..self.clusters.len() {
-            let members = self.clusters[idx].members.clone();
-            self.clusters[idx].state = self.common_state(&members);
+            let entry_ids = self.clusters[idx].entries.clone();
+            self.clusters[idx].state = self.fold_entries(&entry_ids);
         }
     }
 
-    /// The AND-fold of the members' compiled relations: the cluster's
-    /// common preference relation per Def. 4.1 / Theorem 4.2.
-    fn common_state(&self, members: &[UserId]) -> ExactState {
-        let mut iter = members.iter();
-        let first = iter.next().expect("a cluster has at least one member");
-        let mut state = self.users[first].state.clone();
-        for member in iter {
-            state = state.merge(&self.users[member].state);
+    /// The AND-fold of the entries' compiled relations: the cluster's
+    /// common preference relation per Def. 4.1 / Theorem 4.2. Folding over
+    /// distinct entries equals folding over users because intersection is
+    /// idempotent.
+    fn fold_entries(&self, entry_ids: &[u32]) -> ExactState {
+        let mut iter = entry_ids.iter();
+        let first = iter.next().expect("a cluster has at least one entry");
+        let mut state = self.entry(*first).state.clone();
+        for &eid in iter {
+            state = state.merge(&self.entry(eid).state);
         }
         state
     }
 
-    /// Inserts `user` with `preference`: joins the most similar cluster if
-    /// that similarity reaches the branch cut, otherwise creates a new
-    /// singleton cluster.
+    /// Finds the entry holding exactly `preference` (fingerprint bucket +
+    /// full equality), optionally restricted to one cluster.
+    fn find_entry(
+        &self,
+        fingerprint: Fingerprint,
+        preference: &Preference,
+        cluster: Option<usize>,
+    ) -> Option<u32> {
+        self.by_fp.get(&fingerprint).and_then(|ids| {
+            ids.iter().copied().find(|&eid| {
+                let entry = self.entry(eid);
+                cluster.map_or(true, |c| entry.cluster == c) && entry.preference == *preference
+            })
+        })
+    }
+
+    /// Adds `user` to cluster `cidx`'s entry for `preference`, allocating a
+    /// fresh slab entry (compiling `state` if not supplied) when the
+    /// cluster holds no identical-preference twin. Maintains `users`,
+    /// `by_fp`, and the cluster's entry list — but not the cluster's member
+    /// list or state, which the caller owns.
+    fn attach_in_cluster(
+        &mut self,
+        user: UserId,
+        preference: &Preference,
+        state: Option<ExactState>,
+        cidx: usize,
+    ) -> u32 {
+        let fingerprint = preference.fingerprint();
+        let eid = match self.find_entry(fingerprint, preference, Some(cidx)) {
+            Some(eid) => eid,
+            None => {
+                let state =
+                    state.unwrap_or_else(|| ExactState::of_user(preference, &self.universes));
+                let entry = DistinctEntry {
+                    fingerprint,
+                    preference: preference.clone(),
+                    state,
+                    members: Vec::new(),
+                    cluster: cidx,
+                };
+                let eid = match self.free.pop() {
+                    Some(eid) => {
+                        self.entries[eid as usize] = Some(entry);
+                        eid
+                    }
+                    None => {
+                        self.entries.push(Some(entry));
+                        (self.entries.len() - 1) as u32
+                    }
+                };
+                self.by_fp.entry(fingerprint).or_default().push(eid);
+                self.clusters[cidx].entries.push(eid);
+                eid
+            }
+        };
+        self.entry_mut(eid).members.push(user);
+        self.users.insert(user, eid);
+        eid
+    }
+
+    /// Removes `user` from its entry's member list, freeing the entry (and
+    /// unlinking it from its cluster's entry list) when it empties. Does
+    /// not touch `users` or the cluster's member list/state.
+    fn detach_from_entry(&mut self, user: UserId, eid: u32) {
+        let entry = self.entry_mut(eid);
+        entry.members.retain(|&member| member != user);
+        if entry.members.is_empty() {
+            let fingerprint = entry.fingerprint;
+            let cidx = entry.cluster;
+            self.entries[eid as usize] = None;
+            self.free.push(eid);
+            if let Some(ids) = self.by_fp.get_mut(&fingerprint) {
+                ids.retain(|&other| other != eid);
+                if ids.is_empty() {
+                    self.by_fp.remove(&fingerprint);
+                }
+            }
+            self.clusters[cidx].entries.retain(|&other| other != eid);
+        }
+    }
+
+    /// Inserts `user` with `preference`. A user whose exact preference is
+    /// already clustered joins its twin's entry — and cluster — in O(1):
+    /// identical preferences are maximally similar by construction, and the
+    /// common relation is unchanged (AND with itself). Otherwise the
+    /// ordinary rule applies: join the most similar cluster if that
+    /// similarity reaches the branch cut, else create a new singleton
+    /// cluster.
     ///
     /// # Panics
     /// Panics if `user` is already clustered.
@@ -314,6 +441,17 @@ impl Clustering {
             "user {user} is already clustered"
         );
         self.ensure_covered(preference);
+        let fingerprint = preference.fingerprint();
+        if let Some(eid) = self.find_entry(fingerprint, preference, None) {
+            let cidx = self.entry(eid).cluster;
+            self.entry_mut(eid).members.push(user);
+            self.users.insert(user, eid);
+            self.clusters[cidx].members.push(user);
+            return Placement::Joined {
+                cluster: cidx,
+                common: self.clusters[cidx].state.to_preference(),
+            };
+        }
         let state = ExactState::of_user(preference, &self.universes);
         let mut best: Option<(usize, f64)> = None;
         for (idx, cluster) in self.clusters.iter().enumerate() {
@@ -322,67 +460,63 @@ impl Clustering {
                 best = Some((idx, sim));
             }
         }
-        let placement = match best {
+        match best {
             Some((idx, sim)) if sim >= self.branch_cut => {
-                let cluster = &mut self.clusters[idx];
-                cluster.members.push(user);
-                cluster.state = cluster.state.merge(&state);
+                self.clusters[idx].members.push(user);
+                self.clusters[idx].state = self.clusters[idx].state.merge(&state);
+                self.attach_in_cluster(user, preference, Some(state), idx);
                 Placement::Joined {
                     cluster: idx,
-                    common: cluster.state.to_preference(),
+                    common: self.clusters[idx].state.to_preference(),
                 }
             }
             _ => {
+                let idx = self.clusters.len();
                 self.clusters.push(MaintainedCluster {
                     members: vec![user],
+                    entries: Vec::new(),
                     state: state.clone(),
                 });
-                Placement::Singleton {
-                    cluster: self.clusters.len() - 1,
-                }
+                self.attach_in_cluster(user, preference, Some(state), idx);
+                Placement::Singleton { cluster: idx }
             }
-        };
-        self.users.insert(
-            user,
-            UserEntry {
-                preference: preference.clone(),
-                state,
-                cluster: placement.cluster(),
-            },
-        );
-        placement
+        }
     }
 
-    /// Removes `user`, repairing only its own cluster.
+    /// Removes `user`, repairing only its own cluster. When an
+    /// identical-preference twin remains, the cluster's common relation is
+    /// unchanged and no fold runs at all.
     ///
     /// # Panics
     /// Panics if `user` is not clustered.
     pub fn remove_user(&mut self, user: UserId) -> Removal {
-        let entry = self
+        let eid = self
             .users
             .remove(&user)
             .unwrap_or_else(|| panic!("user {user} is not clustered"));
-        let idx = entry.cluster;
-        self.clusters[idx].members.retain(|&member| member != user);
-        if self.clusters[idx].members.is_empty() {
-            self.clusters.swap_remove(idx);
-            // The previously-last cluster moved into slot `idx`: repoint
-            // its members' entries.
-            if idx < self.clusters.len() {
-                for member in self.clusters[idx].members.clone() {
-                    self.users
-                        .get_mut(&member)
-                        .expect("member has an entry")
-                        .cluster = idx;
+        let cidx = self.entry(eid).cluster;
+        let entry_survives = self.entry(eid).members.len() > 1;
+        self.detach_from_entry(user, eid);
+        self.clusters[cidx].members.retain(|&member| member != user);
+        if self.clusters[cidx].members.is_empty() {
+            self.clusters.swap_remove(cidx);
+            // The previously-last cluster moved into slot `cidx`: repoint
+            // its entries.
+            if cidx < self.clusters.len() {
+                let moved = self.clusters[cidx].entries.clone();
+                for other in moved {
+                    self.entry_mut(other).cluster = cidx;
                 }
             }
-            return Removal::Dissolved { cluster: idx };
+            return Removal::Dissolved { cluster: cidx };
         }
-        let members = self.clusters[idx].members.clone();
-        self.clusters[idx].state = self.common_state(&members);
+        if !entry_survives {
+            let entry_ids = self.clusters[cidx].entries.clone();
+            self.clusters[cidx].state = self.fold_entries(&entry_ids);
+        }
         Removal::Shrunk {
-            cluster: idx,
-            common: self.clusters[idx].state.to_preference(),
+            cluster: cidx,
+            common: self.clusters[cidx].state.to_preference(),
         }
     }
 
@@ -392,12 +526,12 @@ impl Clustering {
     /// When the new relations still clear the branch cut against the
     /// AND-fold of the *other* members' relations, the user stays in its
     /// cluster and only that cluster's common relation is recomputed (one
-    /// AND-fold — no membership change anywhere). A singleton trivially
-    /// stays put: its common relation just becomes the new preference.
-    /// Otherwise the old cluster is repaired exactly as by
-    /// [`Self::remove_user`] and the user re-inserted exactly as by
-    /// [`Self::insert_user`] — but the user id never changes, so callers
-    /// need no renumbering.
+    /// AND-fold over the cluster's distinct entries — no membership change
+    /// anywhere). A singleton trivially stays put: its common relation just
+    /// becomes the new preference. Otherwise the old cluster is repaired
+    /// exactly as by [`Self::remove_user`] and the user re-inserted exactly
+    /// as by [`Self::insert_user`] — but the user id never changes, so
+    /// callers need no renumbering.
     ///
     /// # Panics
     /// Panics if `user` is not clustered.
@@ -407,51 +541,63 @@ impl Clustering {
             "user {user} is not clustered"
         );
         self.ensure_covered(preference);
-        let state = ExactState::of_user(preference, &self.universes);
-        let idx = self.users[&user].cluster;
-        let others: Vec<UserId> = self.clusters[idx]
-            .members
-            .iter()
-            .copied()
-            .filter(|&m| m != user)
-            .collect();
-        if others.is_empty() {
-            // A singleton is always at least as similar to itself as the
-            // branch cut requires: stay put, the common relation IS the
-            // user's new relations.
-            self.clusters[idx].state = state.clone();
-            let entry = self.users.get_mut(&user).expect("user is clustered");
-            entry.preference = preference.clone();
-            entry.state = state;
+        let old_eid = self.users[&user];
+        let cidx = self.entry(old_eid).cluster;
+        if self.entry(old_eid).preference == *preference {
+            // The preference didn't actually change: nothing to re-fold.
             return Update::Stayed {
-                cluster: idx,
-                common: self.clusters[idx].state.to_preference(),
+                cluster: cidx,
+                common: self.clusters[cidx].state.to_preference(),
             };
         }
-        let rest = self.common_state(&others);
+        if self.clusters[cidx].members.len() == 1 {
+            // A singleton is always at least as similar to itself as the
+            // branch cut requires: stay put, the common relation IS the
+            // user's new relations. (Deliberately no twin-join across
+            // clusters here — callers rely on updates never dissolving a
+            // cluster.)
+            let state = ExactState::of_user(preference, &self.universes);
+            self.detach_from_entry(user, old_eid);
+            self.attach_in_cluster(user, preference, Some(state.clone()), cidx);
+            self.clusters[cidx].state = state;
+            return Update::Stayed {
+                cluster: cidx,
+                common: self.clusters[cidx].state.to_preference(),
+            };
+        }
+        // The AND-fold of the cluster *without* this user: its old entry
+        // still participates iff a twin remains in it.
+        let rest_entries: Vec<u32> = self.clusters[cidx]
+            .entries
+            .iter()
+            .copied()
+            .filter(|&eid| eid != old_eid || self.entry(old_eid).members.len() > 1)
+            .collect();
+        let state = ExactState::of_user(preference, &self.universes);
+        let rest = self.fold_entries(&rest_entries);
         let sim = state.similarity(&rest, self.measure);
         if sim >= self.branch_cut {
-            self.clusters[idx].state = rest.merge(&state);
-            let entry = self.users.get_mut(&user).expect("user is clustered");
-            entry.preference = preference.clone();
-            entry.state = state;
+            self.detach_from_entry(user, old_eid);
+            self.attach_in_cluster(user, preference, Some(state.clone()), cidx);
+            self.clusters[cidx].state = rest.merge(&state);
             return Update::Stayed {
-                cluster: idx,
-                common: self.clusters[idx].state.to_preference(),
+                cluster: cidx,
+                common: self.clusters[cidx].state.to_preference(),
             };
         }
         // The changed preference no longer fits: local repair + re-insertion.
-        // `others` is non-empty, so the old cluster always shrinks (never
+        // The cluster has other members, so it always shrinks (never
         // dissolves) and no cluster index shifts before the insertion. The
-        // AND-fold of the remaining members was already computed for the
+        // AND-fold of the remaining entries was already computed for the
         // branch-cut test, so the repair reuses it instead of re-folding.
-        self.clusters[idx].members.retain(|&member| member != user);
-        self.clusters[idx].state = rest;
-        let from_common = self.clusters[idx].state.to_preference();
+        self.detach_from_entry(user, old_eid);
+        self.clusters[cidx].members.retain(|&member| member != user);
+        self.clusters[cidx].state = rest;
+        let from_common = self.clusters[cidx].state.to_preference();
         self.users.remove(&user);
         let to = self.insert_user(user, preference);
         Update::Moved {
-            from_cluster: idx,
+            from_cluster: cidx,
             from_common,
             to,
         }
@@ -470,16 +616,20 @@ impl Clustering {
             !self.users.contains_key(&new),
             "user {new} is already clustered"
         );
-        let entry = self
+        let eid = self
             .users
             .remove(&old)
             .unwrap_or_else(|| panic!("user {old} is not clustered"));
-        self.users.insert(new, entry);
-        for cluster in &mut self.clusters {
-            for member in &mut cluster.members {
-                if *member == old {
-                    *member = new;
-                }
+        self.users.insert(new, eid);
+        let cidx = self.entry(eid).cluster;
+        for member in &mut self.entry_mut(eid).members {
+            if *member == old {
+                *member = new;
+            }
+        }
+        for member in &mut self.clusters[cidx].members {
+            if *member == old {
+                *member = new;
             }
         }
     }
@@ -540,6 +690,41 @@ mod tests {
         }
     }
 
+    /// Entry bookkeeping invariants: members partition across entries,
+    /// entry member lists agree with cluster member lists, `users` points
+    /// at the right slots.
+    fn assert_entries_consistent(clustering: &Clustering) {
+        let mut seen = 0usize;
+        for k in 0..clustering.num_clusters() {
+            let cluster_members: std::collections::HashSet<UserId> =
+                clustering.members(k).iter().copied().collect();
+            let mut entry_members: std::collections::HashSet<UserId> = Default::default();
+            for entry in clustering.clusters[k]
+                .entries
+                .iter()
+                .map(|&eid| clustering.entry(eid))
+            {
+                assert_eq!(entry.cluster, k, "entry points at its cluster");
+                assert!(!entry.members.is_empty(), "no dead entries in clusters");
+                assert_eq!(entry.fingerprint, entry.preference.fingerprint());
+                for &m in &entry.members {
+                    assert!(entry_members.insert(m), "user {m} in two entries");
+                    assert_eq!(
+                        clustering.users.get(&m),
+                        clustering.clusters[k]
+                            .entries
+                            .iter()
+                            .find(|&&eid| clustering.entry(eid).members.contains(&m)),
+                        "users map points at the member's entry"
+                    );
+                }
+            }
+            assert_eq!(entry_members, cluster_members, "cluster {k} partition");
+            seen += cluster_members.len();
+        }
+        assert_eq!(seen, clustering.num_users());
+    }
+
     #[test]
     fn build_matches_agglomerative_outcome() {
         let users = table3_users();
@@ -553,7 +738,9 @@ mod tests {
         );
         assert_eq!(clustering.num_clusters(), outcome.len());
         assert_eq!(clustering.num_users(), users.len());
+        assert_eq!(clustering.distinct_preferences(), users.len());
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -569,6 +756,7 @@ mod tests {
         );
         assert_common_matches(&clustering);
         assert_eq!(clustering.num_users(), 5);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -589,6 +777,66 @@ mod tests {
     }
 
     #[test]
+    fn twin_insert_joins_its_twins_cluster_without_a_scan() {
+        let users = table3_users();
+        // Even under an impossible branch cut, an *identical* preference
+        // joins its twin: identical preferences are maximally similar by
+        // construction, and sharing the entry is what makes churn scale
+        // with distinct preferences.
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let clusters_before = clustering.num_clusters();
+        let placement = clustering.insert_user(UserId::new(10), &users[2]);
+        match placement {
+            Placement::Joined {
+                cluster,
+                ref common,
+            } => {
+                assert_eq!(Some(cluster), clustering.cluster_of(UserId::new(2)));
+                // Common relation unchanged: AND with itself.
+                assert_eq!(common, &clustering.common_preference(cluster));
+            }
+            ref other => panic!("twin must join, got {other:?}"),
+        }
+        assert_eq!(clustering.num_clusters(), clusters_before);
+        assert_eq!(clustering.distinct_preferences(), users.len());
+        assert_eq!(clustering.num_users(), users.len() + 1);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+
+        // Removing one twin keeps the entry (and the common) intact …
+        let removal = clustering.remove_user(UserId::new(2));
+        assert!(matches!(removal, Removal::Shrunk { .. }), "{removal:?}");
+        assert_eq!(clustering.distinct_preferences(), users.len());
+        // … removing the last twin dissolves the now-empty cluster.
+        let removal = clustering.remove_user(UserId::new(10));
+        assert!(matches!(removal, Removal::Dissolved { .. }), "{removal:?}");
+        assert_eq!(clustering.distinct_preferences(), users.len() - 1);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+    }
+
+    #[test]
+    fn update_coalesces_and_splits_distinct_entries() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::IntersectionSize, 0.0);
+        assert_eq!(clustering.num_clusters(), 1);
+        assert_eq!(clustering.distinct_preferences(), 6);
+        // User 1 adopts user 0's preference: their entries coalesce.
+        let update = clustering.update_user(UserId::new(1), &users[0]);
+        assert!(matches!(update, Update::Stayed { .. }), "{update:?}");
+        assert_eq!(clustering.distinct_preferences(), 5);
+        assert_eq!(clustering.num_users(), 6);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+        // A later update diverges again: the shared entry splits.
+        let update = clustering.update_user(UserId::new(1), &users[1]);
+        assert!(matches!(update, Update::Stayed { .. }), "{update:?}");
+        assert_eq!(clustering.distinct_preferences(), 6);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+    }
+
+    #[test]
     fn insert_with_unseen_values_extends_universes() {
         let users = table3_users();
         let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 0.2);
@@ -601,6 +849,7 @@ mod tests {
         wide.prefer(AttrId::new(1), v(0), v(1));
         clustering.insert_user(UserId::new(43), &wide);
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -612,6 +861,7 @@ mod tests {
         assert!(matches!(removal, Removal::Shrunk { .. }), "{removal:?}");
         assert_eq!(clustering.num_users(), 5);
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -624,6 +874,7 @@ mod tests {
         assert_eq!(clustering.num_clusters(), k - 1);
         assert!(!clustering.contains(UserId::new(3)));
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -635,6 +886,7 @@ mod tests {
         assert_eq!(clustering.cluster_of(UserId::new(50)), Some(before));
         assert!(!clustering.contains(UserId::new(5)));
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -678,6 +930,30 @@ mod tests {
         assert_eq!(clustering.num_clusters(), clusters_before);
         assert_eq!(clustering.num_users(), users.len());
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+    }
+
+    #[test]
+    fn singleton_update_to_an_existing_preference_stays_put() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::Jaccard, 100.0);
+        let cluster_before = clustering.cluster_of(UserId::new(2)).unwrap();
+        // User 2 (alone in its cluster) adopts user 3's preference. The
+        // stay-put rule pins it in place: a second entry with the same
+        // fingerprint now exists in a different cluster.
+        let update = clustering.update_user(UserId::new(2), &users[3]);
+        assert!(
+            matches!(update, Update::Stayed { cluster, .. } if cluster == cluster_before),
+            "{update:?}"
+        );
+        assert_eq!(clustering.num_users(), users.len());
+        assert_eq!(clustering.distinct_preferences(), users.len());
+        assert_ne!(
+            clustering.cluster_of(UserId::new(2)),
+            clustering.cluster_of(UserId::new(3))
+        );
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -702,6 +978,7 @@ mod tests {
             new_pref.total_pairs()
         );
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -730,6 +1007,7 @@ mod tests {
         assert_ne!(clustering.cluster_of(victim), Some(old_cluster));
         assert_eq!(clustering.num_users(), users.len());
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -747,6 +1025,7 @@ mod tests {
         // A later plain insert still works on the extended universes.
         clustering.insert_user(UserId::new(99), &pref(&[(40, 0)]));
         assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 
     #[test]
@@ -754,5 +1033,27 @@ mod tests {
     fn update_of_unknown_user_panics() {
         let mut clustering = Clustering::new(&table3_users(), ExactMeasure::Jaccard, 0.2);
         clustering.update_user(UserId::new(77), &pref(&[(0, 1)]));
+    }
+
+    #[test]
+    fn heavy_twin_churn_keeps_entry_count_small() {
+        let users = table3_users();
+        let mut clustering = Clustering::new(&users, ExactMeasure::WeightedJaccard, 0.2);
+        // 60 twins of the six distinct preferences arrive …
+        for i in 0..60u32 {
+            clustering.insert_user(UserId::new(100 + i), &users[(i % 6) as usize]);
+        }
+        assert_eq!(clustering.num_users(), 66);
+        assert_eq!(clustering.distinct_preferences(), 6);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
+        // … and half leave again; distinct state never grew.
+        for i in (0..60u32).step_by(2) {
+            clustering.remove_user(UserId::new(100 + i));
+        }
+        assert_eq!(clustering.num_users(), 36);
+        assert_eq!(clustering.distinct_preferences(), 6);
+        assert_common_matches(&clustering);
+        assert_entries_consistent(&clustering);
     }
 }

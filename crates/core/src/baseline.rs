@@ -8,9 +8,10 @@
 //! removes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pm_model::{Object, ObjectId, UserId};
-use pm_porder::{CompiledPreference, Dominance, Preference};
+use pm_porder::{CompiledPreference, Dominance, Fingerprint, Preference};
 
 use crate::delta::DeltaLog;
 use crate::history::{History, HistoryMode};
@@ -122,14 +123,37 @@ pub(crate) fn backfill_frontier(
     frontier
 }
 
+/// One distinct preference and everything derived from it: identical
+/// preferences induce identical frontiers (Def. 3.2 depends only on the
+/// preference relations), so all users holding this preference share one
+/// compiled form and one maintained frontier.
+#[derive(Debug, Clone)]
+struct Bucket {
+    fingerprint: Fingerprint,
+    preference: Arc<Preference>,
+    compiled: Arc<CompiledPreference>,
+    /// Users holding this preference, in registration order.
+    members: Vec<UserId>,
+    frontier: Frontier,
+}
+
 /// Algorithm 1: the per-user baseline monitor.
+///
+/// Internally the monitor is bucketed by preference [`Fingerprint`] (full
+/// equality check on collision): each distinct preference is compiled once
+/// and its Pareto frontier maintained once, with arrivals expanded to every
+/// member for notification and delta purposes. Per-user observable behavior
+/// is unchanged; the work and memory per arrival scale with the number of
+/// *distinct* preferences (the paper's Sec. 4 shared-preference premise).
 #[derive(Debug, Clone)]
 pub struct BaselineMonitor {
-    /// Build-time preferences, kept for introspection and reconfiguration.
-    preferences: Vec<Preference>,
-    /// The bitset-compiled preferences every arrival is tested against.
-    compiled: Vec<CompiledPreference>,
-    frontiers: Vec<Frontier>,
+    buckets: Vec<Bucket>,
+    /// User index → bucket index.
+    user_bucket: Vec<usize>,
+    /// Fingerprint → bucket indices. More than one bucket per fingerprint
+    /// only on hash collision or for twins deliberately kept apart under a
+    /// truncating history (see [`Self::add_user`]).
+    by_fp: HashMap<Fingerprint, Vec<usize>>,
     /// Retained object history for mid-stream registration/update backfill
     /// (see [`History`] for the cap semantics).
     history: History,
@@ -141,8 +165,8 @@ pub struct BaselineMonitor {
 
 impl BaselineMonitor {
     /// Creates a monitor for the given users (indexed by [`UserId`]),
-    /// compiling every preference to its bitset form up front. The object
-    /// history is unlimited; see [`Self::with_history`].
+    /// compiling every distinct preference to its bitset form up front. The
+    /// object history is unlimited; see [`Self::with_history`].
     pub fn new(preferences: Vec<Preference>) -> Self {
         Self::with_history(preferences, HistoryMode::Unlimited)
     }
@@ -164,25 +188,127 @@ impl BaselineMonitor {
     /// skyline union (see [`crate::history`] for the full contract and the
     /// novel-preference caveat).
     pub fn with_history(preferences: Vec<Preference>, mode: HistoryMode) -> Self {
-        let compiled = preferences.iter().map(Preference::compile).collect();
-        let frontiers = vec![Frontier::new(); preferences.len()];
-        let mut history = History::new(mode);
-        for preference in &preferences {
-            history.observe(preference);
-        }
-        Self {
-            preferences,
-            compiled,
-            frontiers,
-            history,
+        let mut this = Self {
+            buckets: Vec::new(),
+            user_bucket: Vec::new(),
+            by_fp: HashMap::new(),
+            history: History::new(mode),
             stats: MonitorStats::new(),
             timers: MonitorTimers::disabled(),
+        };
+        for (idx, preference) in preferences.into_iter().enumerate() {
+            let user = UserId::from(idx);
+            let fingerprint = preference.fingerprint();
+            match this.find_bucket(fingerprint, &preference) {
+                Some(bucket) => {
+                    this.buckets[bucket].members.push(user);
+                    this.user_bucket.push(bucket);
+                }
+                None => {
+                    // Compile (and widen the compaction universe) once per
+                    // distinct preference, not once per user.
+                    this.history.observe(&preference);
+                    let bucket =
+                        this.push_bucket(fingerprint, preference, vec![user], Frontier::new());
+                    this.user_bucket.push(bucket);
+                }
+            }
         }
+        this
+    }
+
+    /// The bucket holding exactly `preference`, if any (fingerprint lookup
+    /// plus full equality check; first match wins).
+    fn find_bucket(&self, fingerprint: Fingerprint, preference: &Preference) -> Option<usize> {
+        self.by_fp.get(&fingerprint).and_then(|buckets| {
+            buckets
+                .iter()
+                .copied()
+                .find(|&b| self.buckets[b].preference.as_ref() == preference)
+        })
+    }
+
+    /// Appends a new bucket (compiling the preference) and indexes it.
+    fn push_bucket(
+        &mut self,
+        fingerprint: Fingerprint,
+        preference: Preference,
+        members: Vec<UserId>,
+        frontier: Frontier,
+    ) -> usize {
+        let bucket = self.buckets.len();
+        let compiled = Arc::new(preference.compile());
+        self.buckets.push(Bucket {
+            fingerprint,
+            preference: Arc::new(preference),
+            compiled,
+            members,
+            frontier,
+        });
+        self.by_fp.entry(fingerprint).or_default().push(bucket);
+        bucket
+    }
+
+    /// Removes `user_idx` from its bucket, dropping the bucket when its
+    /// last member leaves (swap-remove; the moved bucket's members and
+    /// fingerprint index are repointed). `user_bucket[user_idx]` is stale
+    /// afterwards — the caller either reassigns or discards it.
+    fn detach_user(&mut self, user_idx: usize) {
+        let b = self.user_bucket[user_idx];
+        let user = UserId::from(user_idx);
+        let bucket = &mut self.buckets[b];
+        bucket.members.retain(|&member| member != user);
+        if !bucket.members.is_empty() {
+            return;
+        }
+        let fingerprint = bucket.fingerprint;
+        if let Some(buckets) = self.by_fp.get_mut(&fingerprint) {
+            buckets.retain(|&other| other != b);
+            if buckets.is_empty() {
+                self.by_fp.remove(&fingerprint);
+            }
+        }
+        let last = self.buckets.len() - 1;
+        self.buckets.swap_remove(b);
+        if b < last {
+            let moved_fp = self.buckets[b].fingerprint;
+            if let Some(buckets) = self.by_fp.get_mut(&moved_fp) {
+                for other in buckets {
+                    if *other == last {
+                        *other = b;
+                    }
+                }
+            }
+            let members = self.buckets[b].members.clone();
+            for member in members {
+                self.user_bucket[member.index()] = b;
+            }
+        }
+    }
+
+    /// Whether twins may share a bucket on registration/update: replaying
+    /// the retained history must provably reproduce the live twin frontier.
+    /// True for unlimited and uncapped compacting histories (compaction
+    /// never drops an object any *observed* preference's frontier needs);
+    /// false under a truncating cap — including a compacting history's hard
+    /// cap — where backfill is best-effort over the retained set and may
+    /// legitimately differ from the live twin.
+    fn lossless_history(&self) -> bool {
+        matches!(
+            self.history.mode(),
+            HistoryMode::Unlimited | HistoryMode::Compact { cap: None }
+        )
     }
 
     /// The preference of `user`.
     pub fn preference(&self, user: UserId) -> &Preference {
-        &self.preferences[user.index()]
+        &self.buckets[self.user_bucket[user.index()]].preference
+    }
+
+    /// Number of distinct preferences currently monitored (= maintained
+    /// frontiers).
+    pub fn distinct_preferences(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Number of retained history objects (for cap observability).
@@ -215,24 +341,29 @@ impl ContinuousMonitor for BaselineMonitor {
         timed(timer.as_ref(), || {
             let mut targets = Vec::new();
             let mut deltas = DeltaLog::new();
-            for (idx, pref) in self.compiled.iter().enumerate() {
-                let user = UserId::from(idx);
+            for bucket in &mut self.buckets {
+                // One frontier update per *distinct* preference, expanded
+                // to every member: identical preferences have identical
+                // frontiers, so the per-user outcome is exactly Alg. 1's.
                 let update = update_pareto_frontier_traced(
-                    pref,
-                    &mut self.frontiers[idx],
+                    &bucket.compiled,
+                    &mut bucket.frontier,
                     &object,
                     &mut self.stats,
                 );
-                for evicted in &update.evicted {
-                    deltas.leave(user, *evicted);
-                }
-                if update.newly_inserted {
-                    deltas.enter(user, object.id());
-                }
-                if update.is_pareto {
-                    targets.push(user);
+                for &member in &bucket.members {
+                    for evicted in &update.evicted {
+                        deltas.leave(member, *evicted);
+                    }
+                    if update.newly_inserted {
+                        deltas.enter(member, object.id());
+                    }
+                    if update.is_pareto {
+                        targets.push(member);
+                    }
                 }
             }
+            targets.sort_unstable();
             self.stats.record_arrival(targets.len());
             let id = object.id();
             self.history.push(object);
@@ -245,53 +376,95 @@ impl ContinuousMonitor for BaselineMonitor {
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self.frontiers[user.index()].keys().copied().collect();
+        let bucket = &self.buckets[self.user_bucket[user.index()]];
+        let mut ids: Vec<ObjectId> = bucket.frontier.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
     fn num_users(&self) -> usize {
-        self.preferences.len()
+        self.user_bucket.len()
     }
 
     fn add_user(&mut self, preference: Preference) -> UserId {
-        // Widen the compaction universe *before* the replay: from this
+        let user = UserId::from(self.user_bucket.len());
+        // Widen the compaction universe *before* any replay: from this
         // point on no sweep may evict an object this preference's frontier
         // needs (objects evicted before a genuinely novel preference
         // arrived are the documented caveat — see `crate::history`).
         self.history.observe(&preference);
+        let fingerprint = preference.fingerprint();
+        if self.lossless_history() {
+            // A twin's live frontier IS what the replay would produce:
+            // join its bucket in O(1) instead of backfilling.
+            if let Some(bucket) = self.find_bucket(fingerprint, &preference) {
+                self.buckets[bucket].members.push(user);
+                self.user_bucket.push(bucket);
+                return user;
+            }
+        }
         let compiled = preference.compile();
         let timer = self.timers.backfill.clone();
         let frontier = timed(timer.as_ref(), || {
             backfill_frontier(&self.history, &compiled, &mut self.stats)
         });
-        self.preferences.push(preference);
-        self.compiled.push(compiled);
-        self.frontiers.push(frontier);
-        UserId::from(self.preferences.len() - 1)
+        let bucket = self.push_bucket(fingerprint, preference, vec![user], frontier);
+        self.user_bucket.push(bucket);
+        user
     }
 
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
+        assert!(idx < self.user_bucket.len(), "user {user} out of range");
         self.history.observe(&preference);
+        let fingerprint = preference.fingerprint();
+        let lossless = self.lossless_history();
+        if lossless {
+            let current = &self.buckets[self.user_bucket[idx]];
+            if current.preference.as_ref() == &preference {
+                // Unchanged preference: the shared frontier is already the
+                // exact replay outcome, nothing to do.
+                return;
+            }
+        }
+        // Leave the old bucket first — it may die, shifting bucket indices
+        // — then join a twin bucket (lossless only) or backfill a new one.
+        self.detach_user(idx);
+        if lossless {
+            if let Some(bucket) = self.find_bucket(fingerprint, &preference) {
+                self.buckets[bucket].members.push(UserId::from(idx));
+                self.user_bucket[idx] = bucket;
+                return;
+            }
+        }
         let compiled = preference.compile();
         let timer = self.timers.backfill.clone();
-        self.frontiers[idx] = timed(timer.as_ref(), || {
+        let frontier = timed(timer.as_ref(), || {
             backfill_frontier(&self.history, &compiled, &mut self.stats)
         });
-        self.preferences[idx] = preference;
-        self.compiled[idx] = compiled;
+        let bucket = self.push_bucket(fingerprint, preference, vec![UserId::from(idx)], frontier);
+        self.user_bucket[idx] = bucket;
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
-        let last = self.preferences.len() - 1;
-        self.preferences.swap_remove(idx);
-        self.compiled.swap_remove(idx);
-        self.frontiers.swap_remove(idx);
-        (idx != last).then(|| UserId::from(last))
+        assert!(idx < self.user_bucket.len(), "user {user} out of range");
+        self.detach_user(idx);
+        let last = self.user_bucket.len() - 1;
+        self.user_bucket.swap_remove(idx);
+        if idx == last {
+            return None;
+        }
+        // The previously-last user now answers to `idx`: rename it inside
+        // its bucket's member list.
+        let moved = UserId::from(last);
+        let renamed = UserId::from(idx);
+        for member in &mut self.buckets[self.user_bucket[idx]].members {
+            if *member == moved {
+                *member = renamed;
+            }
+        }
+        Some(moved)
     }
 
     fn observe_preference(&mut self, preference: &Preference) {
@@ -308,6 +481,12 @@ impl ContinuousMonitor for BaselineMonitor {
         stats.history_objects = self.history.len() as u64;
         stats.history_evicted = self.history.evicted();
         stats.history_bytes = self.history.approx_bytes();
+        stats.distinct_preferences = self.buckets.len() as u64;
+        stats.preference_bytes = self
+            .buckets
+            .iter()
+            .map(|b| b.preference.approx_bytes() + b.compiled.approx_bytes())
+            .sum::<usize>() as u64;
         stats
     }
 
@@ -333,7 +512,10 @@ impl ContinuousMonitor for BaselineMonitor {
     }
 
     fn member_preferences(&self) -> Vec<Preference> {
-        self.preferences.clone()
+        self.user_bucket
+            .iter()
+            .map(|&b| self.buckets[b].preference.as_ref().clone())
+            .collect()
     }
 }
 
@@ -708,6 +890,66 @@ mod tests {
         for id in m.frontier(added) {
             assert!(retained.contains(&id));
         }
+    }
+
+    #[test]
+    fn twins_share_one_bucket_and_frontier() {
+        let users = laptop_users();
+        let population = vec![
+            users[0].clone(),
+            users[1].clone(),
+            users[0].clone(),
+            users[1].clone(),
+        ];
+        let mut m = BaselineMonitor::new(population);
+        assert_eq!(m.distinct_preferences(), 2);
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        assert_eq!(m.frontier(UserId::new(0)), m.frontier(UserId::new(2)));
+        assert_eq!(m.frontier(UserId::new(1)), m.frontier(UserId::new(3)));
+        let stats = m.stats();
+        assert_eq!(stats.distinct_preferences, 2);
+        assert!(stats.preference_bytes > 0);
+        // A late twin joins its bucket in O(1) — no new frontier appears.
+        let added = m.add_user(users[0].clone());
+        assert_eq!(m.distinct_preferences(), 2);
+        assert_eq!(m.frontier(added), m.frontier(UserId::new(0)));
+        // An update onto the other existing preference coalesces buckets …
+        m.update_user(UserId::new(2), users[1].clone());
+        assert_eq!(m.distinct_preferences(), 2);
+        assert_eq!(m.frontier(UserId::new(2)), m.frontier(UserId::new(1)));
+        // … and an update onto a novel preference splits one off.
+        m.update_user(UserId::new(3), Preference::new(3));
+        assert_eq!(m.distinct_preferences(), 3);
+        // Targets stay per-user and sorted.
+        let arrival = m.process(obj(15, &[3, 1, 3]));
+        let mut sorted = arrival.target_users.clone();
+        sorted.sort_unstable();
+        assert_eq!(arrival.target_users, sorted);
+        // Removing the last holder of a preference drops its bucket.
+        while m.num_users() > 0 {
+            m.remove_user(UserId::new(0));
+        }
+        assert_eq!(m.distinct_preferences(), 0);
+    }
+
+    #[test]
+    fn truncating_history_keeps_late_twins_exact_to_the_suffix() {
+        let users = laptop_users();
+        let mut m = BaselineMonitor::with_history_limit(vec![users[0].clone()], Some(4));
+        for o in laptop_objects() {
+            m.process(o);
+        }
+        // Under a truncating cap a late twin must NOT inherit the live
+        // frontier: its documented contract is the exact frontier of the
+        // retained suffix (ids 11..=14 here), so it gets its own bucket.
+        let added = m.add_user(users[0].clone());
+        assert_eq!(m.distinct_preferences(), 2);
+        for id in m.frontier(added) {
+            assert!(id.raw() > 10, "backfill invented a truncated object {id}");
+        }
+        assert_ne!(m.frontier(added), m.frontier(UserId::new(0)));
     }
 
     #[test]

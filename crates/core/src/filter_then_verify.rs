@@ -11,7 +11,7 @@
 //! (verify step).
 
 use pm_model::{Object, ObjectId, UserId};
-use pm_porder::{CompiledPreference, Dominance, Preference};
+use pm_porder::{CompiledPreference, Dominance, Interned, Preference, PreferenceInterner};
 
 use pm_cluster::{
     approx_common_preference, ApproxConfig, Cluster, Clustering, Placement, Removal, Update,
@@ -40,11 +40,11 @@ pub(crate) enum ClusterRepair {
 /// approximate common relation (Alg. 3) when the monitor is an approx
 /// variant, else the exact common relation (Def. 4.1).
 pub(crate) fn members_virtual_preference(
-    preferences: &[Preference],
+    users: &[Interned],
     members: &[UserId],
     approx: Option<ApproxConfig>,
 ) -> Preference {
-    let prefs = members.iter().map(|m| &preferences[m.index()]);
+    let prefs = members.iter().map(|m| users[m.index()].preference.as_ref());
     match approx {
         Some(config) => approx_common_preference(prefs, config),
         None => Preference::common_of(prefs),
@@ -59,14 +59,14 @@ pub(crate) fn members_virtual_preference(
 /// both FilterThenVerify monitors so the exact-vs-approx decision lives in
 /// one place.
 pub(crate) fn resolve_virtual_preference(
-    preferences: &[Preference],
+    users: &[Interned],
     members: &[UserId],
     approx: Option<ApproxConfig>,
     exact_common: Option<Preference>,
 ) -> Preference {
     match (approx, exact_common) {
         (None, Some(common)) => common,
-        _ => members_virtual_preference(preferences, members, approx),
+        _ => members_virtual_preference(users, members, approx),
     }
 }
 
@@ -216,10 +216,12 @@ impl ClusterState {
 /// the virtual users' preferences differ.
 #[derive(Debug, Clone)]
 pub struct FilterThenVerifyMonitor {
-    /// Build-time per-user preferences (introspection, approx construction).
-    preferences: Vec<Preference>,
-    /// Bitset form the verify step runs on, indexed like `preferences`.
-    compiled: Vec<CompiledPreference>,
+    /// Per-user interned preference handles: build-time and bitset forms
+    /// are shared `Arc`s, one per *distinct* preference.
+    users: Vec<Interned>,
+    /// Deduplicates the users' preferences so memory and compilation scale
+    /// with the number of distinct preferences, not the population size.
+    interner: PreferenceInterner,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<ClusterState>,
     /// Incrementally maintained clustering driving dynamic membership.
@@ -336,11 +338,12 @@ impl FilterThenVerifyMonitor {
         clustering: Option<Clustering>,
         approx: Option<ApproxConfig>,
     ) -> Self {
-        let compiled = preferences.iter().map(Preference::compile).collect();
-        let user_frontiers = vec![Frontier::new(); preferences.len()];
+        let mut interner = PreferenceInterner::new();
+        let users: Vec<Interned> = preferences.iter().map(|p| interner.intern(p)).collect();
+        let user_frontiers = vec![Frontier::new(); users.len()];
         Self {
-            preferences,
-            compiled,
+            users,
+            interner,
             user_frontiers,
             clusters,
             clustering,
@@ -369,8 +372,8 @@ impl FilterThenVerifyMonitor {
     /// preferences seed the compaction universe.
     pub fn with_history(mut self, mode: HistoryMode) -> Self {
         self.history = History::new(mode);
-        for preference in &self.preferences {
-            self.history.observe(preference);
+        for user in &self.users {
+            self.history.observe(user.preference.as_ref());
         }
         self
     }
@@ -404,7 +407,13 @@ impl FilterThenVerifyMonitor {
 
     /// The preference of `user`.
     pub fn preference(&self, user: UserId) -> &Preference {
-        &self.preferences[user.index()]
+        self.users[user.index()].preference.as_ref()
+    }
+
+    /// Number of distinct preferences across the current users (a gauge;
+    /// users with equal preferences share one compiled bitset).
+    pub fn distinct_preferences(&self) -> usize {
+        self.interner.distinct()
     }
 
     /// The cluster-level ("virtual user") frontier `P_U`, sorted by id.
@@ -436,7 +445,7 @@ impl FilterThenVerifyMonitor {
     /// `P_U` being the exact cluster frontier.
     fn refresh_virtual_preference(&mut self, cluster: usize, exact_common: Option<Preference>) {
         let virtual_preference = resolve_virtual_preference(
-            &self.preferences,
+            &self.users,
             &self.clusters[cluster].members,
             self.approx,
             exact_common,
@@ -449,7 +458,8 @@ impl FilterThenVerifyMonitor {
     /// Appends a new singleton cluster for `user`, whose filter frontier is
     /// exactly the member's own (already backfilled) frontier.
     fn push_singleton(&mut self, user: UserId) {
-        let mut state = ClusterState::new(vec![user], self.preferences[user.index()].clone());
+        let preference = self.users[user.index()].preference.as_ref().clone();
+        let mut state = ClusterState::new(vec![user], preference);
         state.frontier = self.user_frontiers[user.index()].clone();
         self.clusters.push(state);
     }
@@ -516,7 +526,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
                 }
                 // Verify against each member's own preference (Alg. 2, line 6).
                 for member in &cluster.members {
-                    let pref = &self.compiled[member.index()];
+                    let pref = self.users[member.index()].compiled.as_ref();
                     let update = update_pareto_frontier_traced(
                         pref,
                         &mut self.user_frontiers[member.index()],
@@ -553,24 +563,25 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
     }
 
     fn num_users(&self) -> usize {
-        self.preferences.len()
+        self.users.len()
     }
 
     fn add_user(&mut self, preference: Preference) -> UserId {
-        let user = UserId::from(self.preferences.len());
+        let user = UserId::from(self.users.len());
         // Widen the compaction universe before the replay (see
         // `crate::history` for the novel-preference caveat).
         self.history.observe(&preference);
-        let compiled = preference.compile();
+        let interned = self.interner.intern(&preference);
         let timer = self.timers.backfill.clone();
         let frontier = timed(timer.as_ref(), || {
-            backfill_frontier(&self.history, &compiled, &mut self.stats)
+            backfill_frontier(&self.history, &interned.compiled, &mut self.stats)
         });
-        self.preferences.push(preference);
-        self.compiled.push(compiled);
+        self.users.push(interned);
         self.user_frontiers.push(frontier);
         let placement = match self.clustering.as_mut() {
-            Some(clustering) => clustering.insert_user(user, &self.preferences[user.index()]),
+            Some(clustering) => {
+                clustering.insert_user(user, self.users[user.index()].preference.as_ref())
+            }
             None => Placement::Singleton {
                 cluster: self.clusters.len(),
             },
@@ -590,26 +601,28 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
 
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
+        assert!(idx < self.users.len(), "user {user} out of range");
         // Rebuild the user's own frontier by replaying the retained history
         // under the new preference (exact for compacting histories unless
         // the preference is genuinely novel, best-effort once a truncating
         // cap has bitten).
         self.history.observe(&preference);
-        let compiled = preference.compile();
+        // Intern the new preference before releasing the old handle so an
+        // update within the same distinct preference never recompiles.
+        let interned = self.interner.intern(&preference);
         let timer = self.timers.backfill.clone();
         self.user_frontiers[idx] = timed(timer.as_ref(), || {
-            backfill_frontier(&self.history, &compiled, &mut self.stats)
+            backfill_frontier(&self.history, &interned.compiled, &mut self.stats)
         });
-        self.preferences[idx] = preference;
-        self.compiled[idx] = compiled;
+        let old = std::mem::replace(&mut self.users[idx], interned);
+        self.interner.release(old.id);
         // Repair the clustering: stay put with a re-AND-folded common
         // relation, or move via local repair + re-insertion.
         let repair = plan_update(
             self.clustering.as_mut(),
             self.clusters.iter().map(|c| c.members.as_slice()),
             user,
-            &self.preferences[idx],
+            self.users[idx].preference.as_ref(),
         );
         match repair {
             UpdateRepair::Stay(cluster, exact_common) => {
@@ -637,7 +650,7 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
+        assert!(idx < self.users.len(), "user {user} out of range");
         let repair = plan_detach(
             self.clustering.as_mut(),
             self.clusters.iter().map(|c| c.members.as_slice()),
@@ -653,9 +666,9 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
             }
             ClusterRepair::Detached => {}
         }
-        let last = self.preferences.len() - 1;
-        self.preferences.swap_remove(idx);
-        self.compiled.swap_remove(idx);
+        let last = self.users.len() - 1;
+        let old = self.users.swap_remove(idx);
+        self.interner.release(old.id);
         self.user_frontiers.swap_remove(idx);
         if idx == last {
             return None;
@@ -684,6 +697,8 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
         stats.history_objects = self.history.len() as u64;
         stats.history_evicted = self.history.evicted();
         stats.history_bytes = self.history.approx_bytes();
+        stats.distinct_preferences = self.interner.distinct() as u64;
+        stats.preference_bytes = self.interner.approx_bytes() as u64;
         stats
     }
 
@@ -709,7 +724,10 @@ impl ContinuousMonitor for FilterThenVerifyMonitor {
     }
 
     fn member_preferences(&self) -> Vec<Preference> {
-        self.preferences.clone()
+        self.users
+            .iter()
+            .map(|u| u.preference.as_ref().clone())
+            .collect()
     }
 }
 

@@ -17,8 +17,13 @@
 //! the paper accepts for this algorithm family; the baseline `BaselineSW`
 //! has no such loss and serves as ground truth.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use pm_model::{Object, ObjectId, SlidingWindow, UserId};
-use pm_porder::{CompiledPreference, Dominance, Preference};
+use pm_porder::{
+    CompiledPreference, Dominance, Fingerprint, Interned, Preference, PreferenceInterner,
+};
 
 use pm_cluster::{approx_common_preference, ApproxConfig, Cluster, Clustering, Placement};
 
@@ -81,15 +86,36 @@ fn buffer_in_arrival_order(buffer: &Frontier) -> Vec<Object> {
     objects
 }
 
+/// One distinct preference of the sliding-window baseline: identical
+/// preferences induce identical frontiers *and* identical Def. 7.4 buffers
+/// (both depend only on the preference relations and the alive objects), so
+/// all users holding this preference share one of each.
+#[derive(Debug, Clone)]
+struct SwBucket {
+    fingerprint: Fingerprint,
+    preference: Arc<Preference>,
+    compiled: Arc<CompiledPreference>,
+    /// Users holding this preference, in registration order.
+    members: Vec<UserId>,
+    frontier: Frontier,
+    buffer: Frontier,
+}
+
 /// Algorithm 4: per-user sliding-window baseline.
+///
+/// Internally bucketed by preference [`Fingerprint`] (full equality check
+/// on collision), like [`crate::BaselineMonitor`]: one frontier + buffer
+/// per *distinct* preference, arrivals and expiries expanded to every
+/// member. Unlike the append-only baseline there is no lossless-history
+/// caveat — the window is the complete alive set, so a twin's replay always
+/// equals the live twin state and twins share unconditionally.
 #[derive(Debug, Clone)]
 pub struct BaselineSwMonitor {
-    /// Build-time preferences, kept for introspection.
-    preferences: Vec<Preference>,
-    /// Bitset form every arrival, eviction and mend runs on.
-    compiled: Vec<CompiledPreference>,
-    frontiers: Vec<Frontier>,
-    buffers: Vec<Frontier>,
+    buckets: Vec<SwBucket>,
+    /// User index → bucket index.
+    user_bucket: Vec<usize>,
+    /// Fingerprint → bucket indices (more than one only on hash collision).
+    by_fp: HashMap<Fingerprint, Vec<usize>>,
     window: SlidingWindow,
     stats: MonitorStats,
     /// Optional latency histograms (see [`MonitorTimers`]); disabled slots
@@ -99,19 +125,31 @@ pub struct BaselineSwMonitor {
 
 impl BaselineSwMonitor {
     /// Creates a monitor over a window of `window_size` objects, compiling
-    /// every preference to its bitset form up front.
+    /// every distinct preference to its bitset form up front.
     pub fn new(preferences: Vec<Preference>, window_size: usize) -> Self {
-        let n = preferences.len();
-        let compiled = preferences.iter().map(Preference::compile).collect();
-        Self {
-            preferences,
-            compiled,
-            frontiers: vec![Frontier::new(); n],
-            buffers: vec![Frontier::new(); n],
+        let mut this = Self {
+            buckets: Vec::new(),
+            user_bucket: Vec::new(),
+            by_fp: HashMap::new(),
             window: SlidingWindow::new(window_size),
             stats: MonitorStats::new(),
             timers: MonitorTimers::disabled(),
+        };
+        for (idx, preference) in preferences.into_iter().enumerate() {
+            let user = UserId::from(idx);
+            let fingerprint = preference.fingerprint();
+            match this.find_bucket(fingerprint, &preference) {
+                Some(bucket) => {
+                    this.buckets[bucket].members.push(user);
+                    this.user_bucket.push(bucket);
+                }
+                None => {
+                    let bucket = this.push_bucket(fingerprint, preference, vec![user]);
+                    this.user_bucket.push(bucket);
+                }
+            }
         }
+        this
     }
 
     /// The window capacity `W`.
@@ -119,38 +157,136 @@ impl BaselineSwMonitor {
         self.window.capacity()
     }
 
+    /// Number of distinct preferences currently monitored (= maintained
+    /// frontier/buffer pairs).
+    pub fn distinct_preferences(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The preference of `user`.
+    pub fn preference(&self, user: UserId) -> &Preference {
+        &self.buckets[self.user_bucket[user.index()]].preference
+    }
+
     /// The current Pareto frontier buffer `PB_c` of a user, sorted by id.
     pub fn buffer(&self, user: UserId) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self.buffers[user.index()].keys().copied().collect();
+        let bucket = &self.buckets[self.user_bucket[user.index()]];
+        let mut ids: Vec<ObjectId> = bucket.buffer.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
+    /// The bucket holding exactly `preference`, if any.
+    fn find_bucket(&self, fingerprint: Fingerprint, preference: &Preference) -> Option<usize> {
+        self.by_fp.get(&fingerprint).and_then(|buckets| {
+            buckets
+                .iter()
+                .copied()
+                .find(|&b| self.buckets[b].preference.as_ref() == preference)
+        })
+    }
+
+    /// Appends a new bucket, compiling the preference and replaying the
+    /// alive objects oldest-first: the replay rebuilds exactly the frontier
+    /// and Pareto frontier buffer (Def. 7.4) a from-start user would hold
+    /// over the current window.
+    fn push_bucket(
+        &mut self,
+        fingerprint: Fingerprint,
+        preference: Preference,
+        members: Vec<UserId>,
+    ) -> usize {
+        let compiled = preference.compile();
+        let mut frontier = Frontier::new();
+        let mut buffer = Frontier::new();
+        let timer = self.timers.backfill.clone();
+        timed(timer.as_ref(), || {
+            for object in self.window.iter() {
+                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+                refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+            }
+        });
+        let bucket = self.buckets.len();
+        self.buckets.push(SwBucket {
+            fingerprint,
+            preference: Arc::new(preference),
+            compiled: Arc::new(compiled),
+            members,
+            frontier,
+            buffer,
+        });
+        self.by_fp.entry(fingerprint).or_default().push(bucket);
+        bucket
+    }
+
+    /// Removes `user_idx` from its bucket, dropping the bucket when its
+    /// last member leaves (swap-remove with index repointing).
+    fn detach_user(&mut self, user_idx: usize) {
+        let b = self.user_bucket[user_idx];
+        let user = UserId::from(user_idx);
+        let bucket = &mut self.buckets[b];
+        bucket.members.retain(|&member| member != user);
+        if !bucket.members.is_empty() {
+            return;
+        }
+        let fingerprint = bucket.fingerprint;
+        if let Some(buckets) = self.by_fp.get_mut(&fingerprint) {
+            buckets.retain(|&other| other != b);
+            if buckets.is_empty() {
+                self.by_fp.remove(&fingerprint);
+            }
+        }
+        let last = self.buckets.len() - 1;
+        self.buckets.swap_remove(b);
+        if b < last {
+            let moved_fp = self.buckets[b].fingerprint;
+            if let Some(buckets) = self.by_fp.get_mut(&moved_fp) {
+                for other in buckets {
+                    if *other == last {
+                        *other = b;
+                    }
+                }
+            }
+            let members = self.buckets[b].members.clone();
+            for member in members {
+                self.user_bucket[member.index()] = b;
+            }
+        }
+    }
+
     fn expire(&mut self, expired: &Object, deltas: &mut DeltaLog) {
         self.stats.record_expiration();
-        for (idx, pref) in self.compiled.iter().enumerate() {
-            let user = UserId::from(idx);
-            let frontier = &mut self.frontiers[idx];
-            let buffer = &mut self.buffers[idx];
-            let was_pareto = frontier.remove(&expired.id()).is_some();
+        for bucket in &mut self.buckets {
+            let was_pareto = bucket.frontier.remove(&expired.id()).is_some();
             if was_pareto {
-                deltas.leave(user, expired.id());
+                for &member in &bucket.members {
+                    deltas.leave(member, expired.id());
+                }
                 // Objects the expired frontier member dominated may now be
-                // Pareto-optimal (Alg. 4, lines 2–5).
-                for candidate in buffer_in_arrival_order(buffer) {
+                // Pareto-optimal (Alg. 4, lines 2–5) — mended once per
+                // distinct preference.
+                for candidate in buffer_in_arrival_order(&bucket.buffer) {
                     if candidate.id() == expired.id() {
                         continue;
                     }
                     self.stats.record_comparison();
-                    if pref.compare(expired, &candidate) == Dominance::Dominates {
-                        let present = frontier.contains_key(&candidate.id());
-                        if mend_frontier(pref, frontier, &candidate, &mut self.stats) && !present {
-                            deltas.enter(user, candidate.id());
+                    if bucket.compiled.compare(expired, &candidate) == Dominance::Dominates {
+                        let present = bucket.frontier.contains_key(&candidate.id());
+                        if mend_frontier(
+                            &bucket.compiled,
+                            &mut bucket.frontier,
+                            &candidate,
+                            &mut self.stats,
+                        ) && !present
+                        {
+                            for &member in &bucket.members {
+                                deltas.enter(member, candidate.id());
+                            }
                         }
                     }
                 }
             }
-            buffer.remove(&expired.id());
+            bucket.buffer.remove(&expired.id());
         }
     }
 }
@@ -165,25 +301,32 @@ impl ContinuousMonitor for BaselineSwMonitor {
                 self.expire(expired, &mut deltas);
             }
             let mut targets = Vec::new();
-            for (idx, pref) in self.compiled.iter().enumerate() {
-                let user = UserId::from(idx);
+            for bucket in &mut self.buckets {
                 let update = update_pareto_frontier_traced(
-                    pref,
-                    &mut self.frontiers[idx],
+                    &bucket.compiled,
+                    &mut bucket.frontier,
                     &object,
                     &mut self.stats,
                 );
-                for evicted in &update.evicted {
-                    deltas.leave(user, *evicted);
+                for &member in &bucket.members {
+                    for evicted in &update.evicted {
+                        deltas.leave(member, *evicted);
+                    }
+                    if update.newly_inserted {
+                        deltas.enter(member, object.id());
+                    }
+                    if update.is_pareto {
+                        targets.push(member);
+                    }
                 }
-                if update.newly_inserted {
-                    deltas.enter(user, object.id());
-                }
-                if update.is_pareto {
-                    targets.push(user);
-                }
-                refresh_buffer(pref, &mut self.buffers[idx], &object, &mut self.stats);
+                refresh_buffer(
+                    &bucket.compiled,
+                    &mut bucket.buffer,
+                    &object,
+                    &mut self.stats,
+                );
             }
+            targets.sort_unstable();
             self.stats.record_arrival(targets.len());
             Arrival {
                 object: object.id(),
@@ -194,45 +337,51 @@ impl ContinuousMonitor for BaselineSwMonitor {
     }
 
     fn frontier(&self, user: UserId) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self.frontiers[user.index()].keys().copied().collect();
+        let bucket = &self.buckets[self.user_bucket[user.index()]];
+        let mut ids: Vec<ObjectId> = bucket.frontier.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
     fn num_users(&self) -> usize {
-        self.preferences.len()
+        self.user_bucket.len()
     }
 
     fn add_user(&mut self, preference: Preference) -> UserId {
-        let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        let mut buffer = Frontier::new();
-        // Replaying the alive objects oldest-first rebuilds exactly the
-        // frontier and Pareto frontier buffer (Def. 7.4) a from-start user
-        // would hold over the current window.
-        let timer = self.timers.backfill.clone();
-        timed(timer.as_ref(), || {
-            for object in self.window.iter() {
-                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-                refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+        let user = UserId::from(self.user_bucket.len());
+        let fingerprint = preference.fingerprint();
+        // The window is the complete alive set, so a twin's replay always
+        // equals the live twin state: join its bucket in O(1).
+        match self.find_bucket(fingerprint, &preference) {
+            Some(bucket) => {
+                self.buckets[bucket].members.push(user);
+                self.user_bucket.push(bucket);
             }
-        });
-        self.preferences.push(preference);
-        self.compiled.push(compiled);
-        self.frontiers.push(frontier);
-        self.buffers.push(buffer);
-        UserId::from(self.preferences.len() - 1)
+            None => {
+                let bucket = self.push_bucket(fingerprint, preference, vec![user]);
+                self.user_bucket.push(bucket);
+            }
+        }
+        user
     }
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
-        let last = self.preferences.len() - 1;
-        self.preferences.swap_remove(idx);
-        self.compiled.swap_remove(idx);
-        self.frontiers.swap_remove(idx);
-        self.buffers.swap_remove(idx);
-        (idx != last).then(|| UserId::from(last))
+        assert!(idx < self.user_bucket.len(), "user {user} out of range");
+        self.detach_user(idx);
+        let last = self.user_bucket.len() - 1;
+        self.user_bucket.swap_remove(idx);
+        if idx == last {
+            return None;
+        }
+        let moved = UserId::from(last);
+        let renamed = UserId::from(idx);
+        for member in &mut self.buckets[self.user_bucket[idx]].members {
+            if *member == moved {
+                *member = renamed;
+            }
+        }
+        Some(moved)
     }
 
     fn set_timers(&mut self, timers: MonitorTimers) {
@@ -242,28 +391,37 @@ impl ContinuousMonitor for BaselineSwMonitor {
 
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
-        let compiled = preference.compile();
-        let mut frontier = Frontier::new();
-        let mut buffer = Frontier::new();
-        // Replaying the window oldest-first rebuilds exactly the frontier
-        // and Pareto frontier buffer (Def. 7.4) a from-start user with the
-        // new preference would hold over the current window.
-        let timer = self.timers.backfill.clone();
-        timed(timer.as_ref(), || {
-            for object in self.window.iter() {
-                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
-                refresh_buffer(&compiled, &mut buffer, object, &mut self.stats);
+        assert!(idx < self.user_bucket.len(), "user {user} out of range");
+        if self.buckets[self.user_bucket[idx]].preference.as_ref() == &preference {
+            // Unchanged preference: the shared state is already the exact
+            // replay outcome.
+            return;
+        }
+        let fingerprint = preference.fingerprint();
+        // Leave the old bucket first — it may die, shifting bucket indices
+        // — then join a twin bucket or replay a new one.
+        self.detach_user(idx);
+        match self.find_bucket(fingerprint, &preference) {
+            Some(bucket) => {
+                self.buckets[bucket].members.push(UserId::from(idx));
+                self.user_bucket[idx] = bucket;
             }
-        });
-        self.preferences[idx] = preference;
-        self.compiled[idx] = compiled;
-        self.frontiers[idx] = frontier;
-        self.buffers[idx] = buffer;
+            None => {
+                let bucket = self.push_bucket(fingerprint, preference, vec![UserId::from(idx)]);
+                self.user_bucket[idx] = bucket;
+            }
+        }
     }
 
     fn stats(&self) -> MonitorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.distinct_preferences = self.buckets.len() as u64;
+        stats.preference_bytes = self
+            .buckets
+            .iter()
+            .map(|b| b.preference.approx_bytes() + b.compiled.approx_bytes())
+            .sum::<usize>() as u64;
+        stats
     }
 
     fn export_state(&self) -> MonitorState {
@@ -290,7 +448,10 @@ impl ContinuousMonitor for BaselineSwMonitor {
     }
 
     fn member_preferences(&self) -> Vec<Preference> {
-        self.preferences.clone()
+        self.user_bucket
+            .iter()
+            .map(|&b| self.buckets[b].preference.as_ref().clone())
+            .collect()
     }
 }
 
@@ -326,10 +487,12 @@ impl SwClusterState {
 /// variant, depending on how the virtual preferences are built).
 #[derive(Debug, Clone)]
 pub struct FilterThenVerifySwMonitor {
-    /// Build-time per-user preferences (introspection, approx construction).
-    preferences: Vec<Preference>,
-    /// Bitset form the verify and mend steps run on.
-    compiled: Vec<CompiledPreference>,
+    /// Per-user interned preference handles: build-time and bitset forms
+    /// are shared `Arc`s, one per *distinct* preference.
+    users: Vec<Interned>,
+    /// Deduplicates the users' preferences so memory and compilation scale
+    /// with the number of distinct preferences, not the population size.
+    interner: PreferenceInterner,
     user_frontiers: Vec<Frontier>,
     clusters: Vec<SwClusterState>,
     /// Incrementally maintained clustering driving dynamic membership;
@@ -451,11 +614,12 @@ impl FilterThenVerifySwMonitor {
         approx: Option<ApproxConfig>,
         window_size: usize,
     ) -> Self {
-        let compiled = preferences.iter().map(Preference::compile).collect();
-        let user_frontiers = vec![Frontier::new(); preferences.len()];
+        let mut interner = PreferenceInterner::new();
+        let users: Vec<Interned> = preferences.iter().map(|p| interner.intern(p)).collect();
+        let user_frontiers = vec![Frontier::new(); users.len()];
         Self {
-            preferences,
-            compiled,
+            users,
+            interner,
             user_frontiers,
             clusters,
             clustering,
@@ -473,7 +637,13 @@ impl FilterThenVerifySwMonitor {
 
     /// The preference of `user`.
     pub fn preference(&self, user: UserId) -> &Preference {
-        &self.preferences[user.index()]
+        self.users[user.index()].preference.as_ref()
+    }
+
+    /// Number of distinct preferences across the current users (a gauge;
+    /// users with equal preferences share one compiled bitset).
+    pub fn distinct_preferences(&self) -> usize {
+        self.interner.distinct()
     }
 
     /// The window capacity `W`.
@@ -508,7 +678,7 @@ impl FilterThenVerifySwMonitor {
     /// relation the old buffer may be too small to mend future expiries.
     fn refresh_virtual_preference(&mut self, cluster: usize, exact_common: Option<Preference>) {
         let virtual_preference = resolve_virtual_preference(
-            &self.preferences,
+            &self.users,
             &self.clusters[cluster].members,
             self.approx,
             exact_common,
@@ -574,7 +744,7 @@ impl FilterThenVerifySwMonitor {
                             let frontier = &mut self.user_frontiers[member.index()];
                             let present = frontier.contains_key(&candidate.id());
                             if mend_frontier(
-                                &self.compiled[member.index()],
+                                self.users[member.index()].compiled.as_ref(),
                                 frontier,
                                 &candidate,
                                 &mut self.stats,
@@ -594,7 +764,7 @@ impl FilterThenVerifySwMonitor {
     /// (lines 10–14). Returns the members for whom the object is reported
     /// Pareto-optimal.
     fn arrive_cluster(
-        preferences: &[CompiledPreference],
+        users: &[Interned],
         user_frontiers: &mut [Frontier],
         cluster: &mut SwClusterState,
         object: &Object,
@@ -627,7 +797,7 @@ impl FilterThenVerifySwMonitor {
         if is_pareto {
             cluster.frontier.insert(object.id(), object.clone());
             for member in &cluster.members {
-                let pref = &preferences[member.index()];
+                let pref = users[member.index()].compiled.as_ref();
                 let update = update_pareto_frontier_traced(
                     pref,
                     &mut user_frontiers[member.index()],
@@ -664,7 +834,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             let mut targets = Vec::new();
             for cluster in &mut self.clusters {
                 targets.extend(Self::arrive_cluster(
-                    &self.compiled,
+                    &self.users,
                     &mut self.user_frontiers,
                     cluster,
                     &object,
@@ -689,25 +859,26 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
     }
 
     fn num_users(&self) -> usize {
-        self.preferences.len()
+        self.users.len()
     }
 
     fn add_user(&mut self, preference: Preference) -> UserId {
-        let user = UserId::from(self.preferences.len());
-        let compiled = preference.compile();
+        let user = UserId::from(self.users.len());
+        let interned = self.interner.intern(&preference);
         // Backfill the user's own frontier from the alive objects.
         let mut frontier = Frontier::new();
         let timer = self.timers.backfill.clone();
         timed(timer.as_ref(), || {
             for object in self.window.iter() {
-                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+                update_pareto_frontier(&interned.compiled, &mut frontier, object, &mut self.stats);
             }
         });
-        self.preferences.push(preference);
-        self.compiled.push(compiled);
+        self.users.push(interned);
         self.user_frontiers.push(frontier);
         let placement = match self.clustering.as_mut() {
-            Some(clustering) => clustering.insert_user(user, &self.preferences[user.index()]),
+            Some(clustering) => {
+                clustering.insert_user(user, self.users[user.index()].preference.as_ref())
+            }
             None => Placement::Singleton {
                 cluster: self.clusters.len(),
             },
@@ -722,7 +893,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
                 debug_assert_eq!(cluster, self.clusters.len());
                 self.clusters.push(SwClusterState::new(
                     vec![user],
-                    self.preferences[user.index()].clone(),
+                    self.users[user.index()].preference.as_ref().clone(),
                 ));
                 cluster
             }
@@ -733,19 +904,20 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
 
     fn update_user(&mut self, user: UserId, preference: Preference) {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
+        assert!(idx < self.users.len(), "user {user} out of range");
         // Rebuild the user's own frontier by replaying the window under the
-        // new preference.
-        let compiled = preference.compile();
+        // new preference. Intern before releasing the old handle so an
+        // update within the same distinct preference never recompiles.
+        let interned = self.interner.intern(&preference);
         let mut frontier = Frontier::new();
         let timer = self.timers.backfill.clone();
         timed(timer.as_ref(), || {
             for object in self.window.iter() {
-                update_pareto_frontier(&compiled, &mut frontier, object, &mut self.stats);
+                update_pareto_frontier(&interned.compiled, &mut frontier, object, &mut self.stats);
             }
         });
-        self.preferences[idx] = preference;
-        self.compiled[idx] = compiled;
+        let old = std::mem::replace(&mut self.users[idx], interned);
+        self.interner.release(old.id);
         self.user_frontiers[idx] = frontier;
         // Repair the clustering; every cluster whose common relation changed
         // replays the window so its frontier and Def. 7.4 buffer match a
@@ -754,7 +926,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             self.clustering.as_mut(),
             self.clusters.iter().map(|c| c.members.as_slice()),
             user,
-            &self.preferences[idx],
+            self.users[idx].preference.as_ref(),
         );
         match repair {
             UpdateRepair::Stay(cluster, exact_common) => {
@@ -780,7 +952,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
                 self.rebuild_cluster_state(from);
                 self.clusters.push(SwClusterState::new(
                     vec![user],
-                    self.preferences[idx].clone(),
+                    self.users[idx].preference.as_ref().clone(),
                 ));
                 self.rebuild_cluster_state(self.clusters.len() - 1);
             }
@@ -790,7 +962,7 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
 
     fn remove_user(&mut self, user: UserId) -> Option<UserId> {
         let idx = user.index();
-        assert!(idx < self.preferences.len(), "user {user} out of range");
+        assert!(idx < self.users.len(), "user {user} out of range");
         let repair = plan_detach(
             self.clustering.as_mut(),
             self.clusters.iter().map(|c| c.members.as_slice()),
@@ -807,9 +979,9 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
             }
             ClusterRepair::Detached => {}
         }
-        let last = self.preferences.len() - 1;
-        self.preferences.swap_remove(idx);
-        self.compiled.swap_remove(idx);
+        let last = self.users.len() - 1;
+        let old = self.users.swap_remove(idx);
+        self.interner.release(old.id);
         self.user_frontiers.swap_remove(idx);
         if idx == last {
             return None;
@@ -830,7 +1002,10 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
     }
 
     fn stats(&self) -> MonitorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.distinct_preferences = self.interner.distinct() as u64;
+        stats.preference_bytes = self.interner.approx_bytes() as u64;
+        stats
     }
 
     fn export_state(&self) -> MonitorState {
@@ -857,7 +1032,10 @@ impl ContinuousMonitor for FilterThenVerifySwMonitor {
     }
 
     fn member_preferences(&self) -> Vec<Preference> {
-        self.preferences.clone()
+        self.users
+            .iter()
+            .map(|u| u.preference.as_ref().clone())
+            .collect()
     }
 }
 
@@ -1195,7 +1373,10 @@ mod tests {
         }
         let pref = users[0].clone();
         assert_eq!(ftv.add_user(pref.clone()), baseline.add_user(pref));
-        assert_eq!(ftv.num_clusters(), 3);
+        // The newcomer is a twin of user 0 and joins its cluster outright
+        // (twins bypass the branch cut); the cluster's common preference is
+        // the shared preference itself, so the filter stays exact.
+        assert_eq!(ftv.num_clusters(), 2);
         for o in &objects[4..] {
             assert_eq!(
                 ftv.process(o.clone()).target_users,

@@ -35,6 +35,13 @@ pub struct MonitorStats {
     /// id list, so this is the metric that shows the memory reduction on
     /// streams that repeat vectors).
     pub history_bytes: u64,
+    /// Number of distinct preferences across the monitor's users (a gauge;
+    /// users with identical preferences share one compiled state, so this
+    /// is what per-user memory and churn cost actually scale with).
+    pub distinct_preferences: u64,
+    /// Estimated heap bytes of the stored preferences and their compiled
+    /// bitset forms, counted once per distinct preference (a gauge).
+    pub preference_bytes: u64,
 }
 
 impl MonitorStats {
@@ -84,14 +91,17 @@ impl fmt::Display for MonitorStats {
         write!(
             f,
             "arrivals={} expirations={} comparisons={} notifications={} \
-             history_objects={} history_evicted={} history_bytes={}",
+             history_objects={} history_evicted={} history_bytes={} \
+             distinct_preferences={} preference_bytes={}",
             self.arrivals,
             self.expirations,
             self.comparisons,
             self.notifications,
             self.history_objects,
             self.history_evicted,
-            self.history_bytes
+            self.history_bytes,
+            self.distinct_preferences,
+            self.preference_bytes
         )
     }
 }
@@ -127,7 +137,8 @@ mod tests {
         assert_eq!(
             s.to_string(),
             "arrivals=1 expirations=0 comparisons=0 notifications=1 \
-             history_objects=0 history_evicted=0 history_bytes=0"
+             history_objects=0 history_evicted=0 history_bytes=0 \
+             distinct_preferences=0 preference_bytes=0"
         );
     }
 }

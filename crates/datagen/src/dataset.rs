@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use pm_model::{AttrId, Attribute, Domain, Object, ObjectId, ObjectStream, Schema, ValueId};
 use pm_porder::{Preference, Relation};
 
-use crate::profile::DatasetProfile;
+use crate::profile::{DatasetProfile, ProfileError};
 use crate::zipf::ZipfSampler;
 
 /// A fully materialised simulated dataset: schema, objects and one
@@ -29,8 +29,19 @@ pub struct Dataset {
 
 impl Dataset {
     /// Generates a dataset from `profile` with a deterministic `seed`.
+    ///
+    /// # Panics
+    /// Panics on an invalid profile; use [`Dataset::try_generate`] to get
+    /// the [`ProfileError`] instead.
     pub fn generate(profile: &DatasetProfile, seed: u64) -> Self {
         DatasetBuilder::new(profile.clone()).seed(seed).build()
+    }
+
+    /// Generates a dataset, rejecting invalid profiles (zero users, empty
+    /// archetype sets, zero-arity schemas, empty domains) with a clean
+    /// error instead of panicking deep inside the samplers.
+    pub fn try_generate(profile: &DatasetProfile, seed: u64) -> Result<Self, ProfileError> {
+        DatasetBuilder::new(profile.clone()).seed(seed).try_build()
     }
 
     /// Number of users.
@@ -97,8 +108,18 @@ impl DatasetBuilder {
     }
 
     /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics on an invalid profile; see [`DatasetBuilder::try_build`].
     pub fn build(&self) -> Dataset {
+        self.try_build().expect("invalid dataset profile")
+    }
+
+    /// Generates the dataset, validating the profile first
+    /// ([`DatasetProfile::validate`]).
+    pub fn try_build(&self) -> Result<Dataset, ProfileError> {
         let profile = &self.profile;
+        profile.validate()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Schema with anonymous interned domains.
@@ -151,26 +172,35 @@ impl DatasetBuilder {
         // Object popularity for interaction sampling.
         let object_sampler = ZipfSampler::new(profile.num_objects, 1.0);
 
-        let preferences: Vec<Preference> = (0..profile.num_users)
-            .map(|user| {
-                let archetype = &affinities[user % affinities.len()];
-                let interactions = Self::sample_interactions(
-                    profile,
-                    &objects,
-                    archetype,
-                    &object_sampler,
-                    &mut rng,
-                );
-                Self::derive_preference(profile, &objects, archetype, &interactions, &mut rng)
-            })
-            .collect();
+        let derive = |user: usize, rng: &mut StdRng| {
+            let archetype = &affinities[user % affinities.len()];
+            let interactions =
+                Self::sample_interactions(profile, &objects, archetype, &object_sampler, rng);
+            Self::derive_preference(profile, &objects, archetype, &interactions, rng)
+        };
+        let preferences: Vec<Preference> = match profile.distinct_preferences {
+            // Shared-preference pool: derive at most `k` prototypes through
+            // the normal pipeline, then Zipf-assign one to each user — the
+            // distinct-preference count stays bounded by `k` however large
+            // the population grows.
+            Some(k) => {
+                let pool: Vec<Preference> = (0..k).map(|i| derive(i, &mut rng)).collect();
+                let pool_sampler = ZipfSampler::new(k, profile.preference_skew);
+                (0..profile.num_users)
+                    .map(|_| pool[pool_sampler.sample(&mut rng)].clone())
+                    .collect()
+            }
+            None => (0..profile.num_users)
+                .map(|user| derive(user, &mut rng))
+                .collect(),
+        };
 
-        Dataset {
+        Ok(Dataset {
             profile_name: profile.name.clone(),
             schema,
             objects,
             preferences,
-        }
+        })
     }
 
     /// Samples the set of objects a user has interacted with.
@@ -362,6 +392,72 @@ mod tests {
         let s = d.stream(500);
         assert!(s.len() >= 500);
         assert_eq!(s.base_len(), d.num_objects());
+    }
+
+    #[test]
+    fn invalid_profiles_fail_cleanly_not_by_panic() {
+        use crate::profile::ProfileError;
+        let mut p = tiny_profile();
+        p.num_users = 0;
+        assert_eq!(
+            Dataset::try_generate(&p, 1).err(),
+            Some(ProfileError::NoUsers)
+        );
+        let mut p = tiny_profile();
+        p.num_archetypes = 0;
+        assert_eq!(
+            Dataset::try_generate(&p, 1).err(),
+            Some(ProfileError::NoArchetypes)
+        );
+        let mut p = tiny_profile();
+        p.attributes.clear();
+        assert_eq!(
+            Dataset::try_generate(&p, 1).err(),
+            Some(ProfileError::NoAttributes)
+        );
+        let mut p = tiny_profile();
+        p.attributes[0].domain_size = 0;
+        assert!(matches!(
+            Dataset::try_generate(&p, 1),
+            Err(ProfileError::EmptyDomain(_))
+        ));
+    }
+
+    #[test]
+    fn preference_pool_bounds_distinct_preferences() {
+        use std::collections::HashSet;
+        let profile = tiny_profile()
+            .with_users(400)
+            .with_distinct_preferences(6, 1.2);
+        let d = Dataset::try_generate(&profile, 29).unwrap();
+        assert_eq!(d.num_users(), 400);
+        let distinct: HashSet<_> = d.preferences.iter().map(|p| p.fingerprint()).collect();
+        assert!(
+            distinct.len() <= 6,
+            "pool of 6 prototypes, saw {} distinct",
+            distinct.len()
+        );
+        assert!(distinct.len() > 1, "a skewed pool still uses several slots");
+        // Zipf assignment: the most popular prototype covers a large share
+        // of the population.
+        let mut counts: HashMap<pm_porder::Fingerprint, usize> = HashMap::new();
+        for p in &d.preferences {
+            *counts.entry(p.fingerprint()).or_default() += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        assert!(top * 4 > d.num_users(), "head prototype too rare: {top}");
+    }
+
+    #[test]
+    fn preference_pool_is_deterministic() {
+        let profile = tiny_profile()
+            .with_users(50)
+            .with_distinct_preferences(4, 1.0);
+        let a = Dataset::try_generate(&profile, 31).unwrap();
+        let b = Dataset::try_generate(&profile, 31).unwrap();
+        for (pa, pb) in a.preferences.iter().zip(&b.preferences) {
+            assert_eq!(pa.fingerprint(), pb.fingerprint());
+        }
     }
 
     #[test]

@@ -21,5 +21,5 @@ pub mod profile;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetBuilder};
-pub use profile::{AttributeSpec, DatasetProfile};
+pub use profile::{AttributeSpec, DatasetProfile, ProfileError};
 pub use zipf::ZipfSampler;

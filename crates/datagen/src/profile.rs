@@ -1,5 +1,49 @@
 //! Dataset profiles: the shape parameters of the simulated datasets.
 
+use std::fmt;
+
+/// Why a [`DatasetProfile`] cannot generate a dataset. Returned by
+/// [`DatasetProfile::validate`] (and thus by
+/// [`crate::DatasetBuilder::try_build`]) instead of panicking deep inside
+/// the samplers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// `num_users` is zero — there is nobody to derive preferences for.
+    NoUsers,
+    /// `num_archetypes` is zero — the archetype set would be empty and no
+    /// user could be assigned a taste.
+    NoArchetypes,
+    /// The attribute list is empty — objects would have arity zero.
+    NoAttributes,
+    /// The named attribute has an empty value domain.
+    EmptyDomain(String),
+    /// `distinct_preferences` is `Some(0)` — an empty preference pool.
+    EmptyPreferencePool,
+    /// A skew parameter is negative or not finite (attribute name, value).
+    BadSkew(String, f64),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NoUsers => write!(f, "num_users must be at least 1"),
+            ProfileError::NoArchetypes => write!(f, "num_archetypes must be at least 1"),
+            ProfileError::NoAttributes => write!(f, "at least one attribute is required"),
+            ProfileError::EmptyDomain(name) => {
+                write!(f, "attribute {name:?} has an empty value domain")
+            }
+            ProfileError::EmptyPreferencePool => {
+                write!(f, "distinct_preferences must be at least 1 when set")
+            }
+            ProfileError::BadSkew(name, skew) => {
+                write!(f, "skew of {name:?} must be finite and >= 0, got {skew}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// One simulated attribute (e.g. *actor* or *conference*).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttributeSpec {
@@ -56,6 +100,16 @@ pub struct DatasetProfile {
     /// so a higher bias yields denser derived partial orders and more
     /// shared preference tuples across users — mirroring real rating data.
     pub popularity_bias: f64,
+    /// When `Some(k)`, the population draws whole preferences from a pool
+    /// of at most `k` distinct prototypes (derived through the normal
+    /// archetype pipeline) instead of deriving one per user. This is the
+    /// scale knob of the shared-preference premise (Sec. 4): distinct
+    /// preferences stay bounded while `num_users` grows to 100k–1M.
+    pub distinct_preferences: Option<usize>,
+    /// Zipf skew of pool popularity when `distinct_preferences` is set
+    /// (0 = uniform assignment, larger = a few prototypes dominate the
+    /// population, as in real rating data).
+    pub preference_skew: f64,
 }
 
 impl DatasetProfile {
@@ -75,6 +129,8 @@ impl DatasetProfile {
             interactions_per_user: 150,
             rating_noise: 0.05,
             popularity_bias: 0.9,
+            distinct_preferences: None,
+            preference_skew: 1.1,
         }
     }
 
@@ -94,6 +150,8 @@ impl DatasetProfile {
             interactions_per_user: 120,
             rating_noise: 0.05,
             popularity_bias: 0.85,
+            distinct_preferences: None,
+            preference_skew: 1.1,
         }
     }
 
@@ -115,6 +173,8 @@ impl DatasetProfile {
             interactions_per_user: scale(self.interactions_per_user),
             rating_noise: self.rating_noise,
             popularity_bias: self.popularity_bias,
+            distinct_preferences: self.distinct_preferences.map(scale),
+            preference_skew: self.preference_skew,
         }
     }
 
@@ -147,9 +207,56 @@ impl DatasetProfile {
         copy
     }
 
+    /// Returns a copy that draws whole preferences from a pool of at most
+    /// `distinct` prototypes with Zipf skew `skew` (see
+    /// [`DatasetProfile::distinct_preferences`]).
+    pub fn with_distinct_preferences(&self, distinct: usize, skew: f64) -> Self {
+        let mut copy = self.clone();
+        copy.distinct_preferences = Some(distinct.max(1));
+        copy.preference_skew = skew;
+        copy
+    }
+
     /// Dimensionality `d = |D|`.
     pub fn dimensions(&self) -> usize {
         self.attributes.len()
+    }
+
+    /// Checks that the profile can actually generate a dataset, returning
+    /// the first problem found. Generation panics on an invalid profile;
+    /// [`crate::DatasetBuilder::try_build`] surfaces this error instead.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.num_users == 0 {
+            return Err(ProfileError::NoUsers);
+        }
+        if self.num_archetypes == 0 {
+            return Err(ProfileError::NoArchetypes);
+        }
+        if self.attributes.is_empty() {
+            return Err(ProfileError::NoAttributes);
+        }
+        for attr in &self.attributes {
+            if attr.domain_size == 0 {
+                return Err(ProfileError::EmptyDomain(attr.name.clone()));
+            }
+            if attr.popularity_skew < 0.0 || !attr.popularity_skew.is_finite() {
+                return Err(ProfileError::BadSkew(
+                    attr.name.clone(),
+                    attr.popularity_skew,
+                ));
+            }
+        }
+        match self.distinct_preferences {
+            Some(0) => return Err(ProfileError::EmptyPreferencePool),
+            Some(_) if self.preference_skew < 0.0 || !self.preference_skew.is_finite() => {
+                return Err(ProfileError::BadSkew(
+                    "preference pool".to_owned(),
+                    self.preference_skew,
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
     }
 }
 
@@ -194,5 +301,67 @@ mod tests {
         let p = DatasetProfile::movie().with_users(42).with_objects(99);
         assert_eq!(p.num_users, 42);
         assert_eq!(p.num_objects, 99);
+    }
+
+    #[test]
+    fn presets_validate_cleanly() {
+        DatasetProfile::movie().validate().unwrap();
+        DatasetProfile::publication().validate().unwrap();
+        DatasetProfile::movie()
+            .with_distinct_preferences(64, 1.1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn zero_users_are_rejected() {
+        let mut p = DatasetProfile::movie();
+        p.num_users = 0;
+        assert_eq!(p.validate(), Err(ProfileError::NoUsers));
+    }
+
+    #[test]
+    fn empty_archetype_set_is_rejected() {
+        let mut p = DatasetProfile::movie();
+        p.num_archetypes = 0;
+        assert_eq!(p.validate(), Err(ProfileError::NoArchetypes));
+    }
+
+    #[test]
+    fn zero_arity_schema_is_rejected() {
+        let mut p = DatasetProfile::movie();
+        p.attributes.clear();
+        assert_eq!(p.validate(), Err(ProfileError::NoAttributes));
+    }
+
+    #[test]
+    fn empty_value_domain_is_rejected() {
+        let mut p = DatasetProfile::movie();
+        p.attributes[2].domain_size = 0;
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::EmptyDomain("genre".to_owned()))
+        );
+    }
+
+    #[test]
+    fn bad_skews_are_rejected() {
+        let mut p = DatasetProfile::movie();
+        p.attributes[0].popularity_skew = -1.0;
+        assert!(matches!(p.validate(), Err(ProfileError::BadSkew(_, _))));
+        let mut p = DatasetProfile::movie().with_distinct_preferences(8, f64::NAN);
+        assert!(matches!(p.validate(), Err(ProfileError::BadSkew(_, _))));
+        p.preference_skew = 1.0;
+        p.distinct_preferences = Some(0);
+        assert_eq!(p.validate(), Err(ProfileError::EmptyPreferencePool));
+    }
+
+    #[test]
+    fn scaling_preserves_the_preference_pool_knob() {
+        let p = DatasetProfile::movie()
+            .with_distinct_preferences(100, 1.3)
+            .scaled(0.1);
+        assert_eq!(p.distinct_preferences, Some(10));
+        assert_eq!(p.preference_skew, 1.3);
     }
 }

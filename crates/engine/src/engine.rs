@@ -1,6 +1,7 @@
 //! The sharded engine: user partitioning, worker lifecycle, batch
 //! ingestion with backpressure, and fan-in of per-shard results.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -10,7 +11,7 @@ use std::time::{Duration, Instant};
 use pm_core::{Arrival, FrontierDelta, MonitorState, MonitorStats};
 use pm_model::{Object, ObjectId, UserId};
 use pm_obs::WindowedRate;
-use pm_porder::Preference;
+use pm_porder::{Preference, PreferenceInterner};
 use pm_wal::{encode_ingest_batch, encode_register, encode_unregister, encode_update, Wal};
 
 use crate::backend::BackendSpec;
@@ -88,6 +89,46 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The engine-global interned view of the registered population: one
+/// [`PreferenceInterner`] slot per distinct preference plus the slot id
+/// each user holds. Kept at the engine level (not rolled up from the
+/// shards) because a preference shared by users on different shards must
+/// count once, not once per shard.
+#[derive(Debug, Default)]
+struct InternedPopulation {
+    interner: PreferenceInterner,
+    ids: HashMap<UserId, u32>,
+}
+
+impl InternedPopulation {
+    /// Acquires a slot for `preference` without binding it to a user yet;
+    /// pair with [`Self::commit`] on success or [`Self::abort`] on failure.
+    fn acquire(&mut self, preference: &Preference) -> u32 {
+        self.interner.intern(preference).id
+    }
+
+    /// Binds an acquired slot to `user`, releasing any slot the user held
+    /// before (in-place update).
+    fn commit(&mut self, user: UserId, slot: u32) {
+        if let Some(old) = self.ids.insert(user, slot) {
+            self.interner.release(old);
+        }
+    }
+
+    /// Releases an acquired slot that never got bound (the shard worker
+    /// rejected or died mid-command).
+    fn abort(&mut self, slot: u32) {
+        self.interner.release(slot);
+    }
+
+    /// Drops `user`'s binding and releases its slot (unregistration).
+    fn remove(&mut self, user: UserId) {
+        if let Some(slot) = self.ids.remove(&user) {
+            self.interner.release(slot);
+        }
+    }
+}
+
 /// A concurrent monitoring engine that partitions users across shard
 /// threads.
 ///
@@ -136,6 +177,10 @@ pub struct ShardedEngine {
     registrations: AtomicU64,
     unregistrations: AtomicU64,
     updates: AtomicU64,
+    /// Engine-global preference interning for the `distinct_preferences=` /
+    /// `bytes_per_user=` gauges. Locked after `membership` (and always
+    /// innermost) when touched inside the ordering critical sections.
+    population: Mutex<InternedPopulation>,
     /// Whether registered/updated preferences are broadcast to every shard
     /// to keep the history-compaction universe engine-global. `false` for
     /// backends whose monitors ignore `observe_preference` (everything but
@@ -205,6 +250,11 @@ impl ShardedEngine {
             .metrics
             .then(|| Arc::new(EngineMetrics::new(backend_label, config.shards)));
         let num_users = preferences.len();
+        let mut population = InternedPopulation::default();
+        for (idx, preference) in preferences.iter().enumerate() {
+            let slot = population.acquire(preference);
+            population.commit(UserId::from(idx), slot);
+        }
         // Only compacting backends read the full preference list (to seed
         // every shard's universe); skip the deep clone otherwise.
         let all_preferences = broadcast_observes.then(|| preferences.clone());
@@ -270,6 +320,7 @@ impl ShardedEngine {
             registrations: AtomicU64::new(0),
             unregistrations: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            population: Mutex::new(population),
             broadcast_observes,
             started: Instant::now(),
             recent: WindowedRate::new(),
@@ -393,6 +444,7 @@ impl ShardedEngine {
     pub fn register(&self, user: UserId, preference: Preference) -> Result<(), String> {
         let shard = shard_of(user, self.num_shards());
         let (reply_tx, reply_rx) = mpsc::channel();
+        let slot;
         {
             let senders = lock_recovering(&self.senders);
             let mut membership = lock_recovering(&self.membership);
@@ -405,13 +457,18 @@ impl ShardedEngine {
             // later registration that might land there). Skipped entirely
             // when the monitors ignore observes.
             self.broadcast_observe(&senders, shard, &preference);
-            senders[shard]
+            slot = lock_recovering(&self.population).acquire(&preference);
+            if senders[shard]
                 .send(ShardCmd::AddUser {
                     user,
                     preference,
                     reply: reply_tx,
                 })
-                .map_err(|_| format!("shard {shard} worker terminated"))?;
+                .is_err()
+            {
+                lock_recovering(&self.population).abort(slot);
+                return Err(format!("shard {shard} worker terminated"));
+            }
             membership[shard].push(user);
             self.num_users.fetch_add(1, Ordering::AcqRel);
         }
@@ -424,8 +481,10 @@ impl ShardedEngine {
                 membership[shard].swap_remove(pos);
                 self.num_users.fetch_sub(1, Ordering::AcqRel);
             }
+            lock_recovering(&self.population).abort(slot);
             return Err(format!("shard {shard} worker dropped its reply"));
         }
+        lock_recovering(&self.population).commit(user, slot);
         self.registrations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -466,6 +525,7 @@ impl ShardedEngine {
             return Err(format!("shard {shard} worker dropped its reply"));
         };
         debug_assert!(removed, "shard membership diverged from engine view");
+        lock_recovering(&self.population).remove(user);
         self.unregistrations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -486,6 +546,7 @@ impl ShardedEngine {
     pub fn update(&self, user: UserId, preference: Preference) -> Result<(), String> {
         let shard = shard_of(user, self.num_shards());
         let (reply_tx, reply_rx) = mpsc::channel();
+        let slot;
         {
             let senders = lock_recovering(&self.senders);
             let membership = lock_recovering(&self.membership);
@@ -496,27 +557,38 @@ impl ShardedEngine {
             // Every other shard's compaction universe learns the new
             // preference too (see `register`).
             self.broadcast_observe(&senders, shard, &preference);
-            senders[shard]
+            slot = lock_recovering(&self.population).acquire(&preference);
+            if senders[shard]
                 .send(ShardCmd::UpdateUser {
                     user,
                     preference,
                     reply: reply_tx,
                 })
-                .map_err(|_| format!("shard {shard} worker terminated"))?;
+                .is_err()
+            {
+                lock_recovering(&self.population).abort(slot);
+                return Err(format!("shard {shard} worker terminated"));
+            }
         }
-        let updated = reply_rx
-            .recv()
-            .map_err(|_| format!("shard {shard} worker dropped its reply"))?;
+        let updated = match reply_rx.recv() {
+            Ok(updated) => updated,
+            Err(_) => {
+                lock_recovering(&self.population).abort(slot);
+                return Err(format!("shard {shard} worker dropped its reply"));
+            }
+        };
         if !updated {
             // Only reachable if a past membership command failed half-way
             // (worker died between engine-side bookkeeping and the shard
             // applying it): surface the divergence instead of counting a
             // no-op as a successful update.
+            lock_recovering(&self.population).abort(slot);
             return Err(format!(
                 "user {} is not present on shard {shard}",
                 user.raw()
             ));
         }
+        lock_recovering(&self.population).commit(user, slot);
         self.updates.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -669,7 +741,21 @@ impl ShardedEngine {
             .max()
             .unwrap_or(0);
         stats.history_bytes = per_shard.iter().map(|s| s.history_bytes).max().unwrap_or(0);
+        let (distinct, bytes) = self.preference_footprint();
+        stats.distinct_preferences = distinct;
+        stats.preference_bytes = bytes;
         stats
+    }
+
+    /// `(distinct preferences, estimated preference bytes)` across the
+    /// registered population — exact, from the engine-level interner (a
+    /// per-shard roll-up would overcount preferences shared across shards).
+    pub fn preference_footprint(&self) -> (u64, u64) {
+        let population = lock_recovering(&self.population);
+        (
+            population.interner.distinct() as u64,
+            population.interner.approx_bytes() as u64,
+        )
     }
 
     /// A point-in-time snapshot of engine metrics: per-shard stats, queue
@@ -704,6 +790,7 @@ impl ShardedEngine {
             }
             None => (0.0, 0.0, 0.0),
         };
+        let (distinct_preferences, preference_bytes) = self.preference_footprint();
         EngineSnapshot {
             shards,
             users: users_per_shard.iter().sum(),
@@ -711,6 +798,8 @@ impl ShardedEngine {
             registrations: self.registrations.load(Ordering::Relaxed),
             unregistrations: self.unregistrations.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
+            distinct_preferences,
+            preference_bytes,
             uptime,
             recent_arrivals_per_sec: self.recent.rate(),
             ingest_p50_us: p50,
@@ -1289,6 +1378,37 @@ mod tests {
         assert!(err.is_err());
         assert!(err.unwrap_err().contains("not registered"));
         assert_eq!(engine.snapshot().updates, 0);
+    }
+
+    #[test]
+    fn distinct_preferences_track_churn_exactly() {
+        // 12 users drawn from only 3 distinct preferences, spread across
+        // shards: the engine-level count must be 3, not a per-shard sum.
+        let base = population(3);
+        let prefs: Vec<Preference> = (0..12).map(|i| base[i % 3].clone()).collect();
+        let engine = ShardedEngine::new(prefs, &EngineConfig::new(4), &BackendSpec::baseline());
+        assert_eq!(engine.preference_footprint().0, 3);
+        let snap = engine.snapshot();
+        assert_eq!(snap.distinct_preferences, 3);
+        assert!(snap.preference_bytes > 0);
+        assert!(snap.bytes_per_user() > 0.0);
+        assert!(
+            snap.to_string().contains("distinct_preferences=3"),
+            "{snap}"
+        );
+        // An update within the shared set keeps the count; a novel
+        // preference raises it; dropping its last holder lowers it again.
+        engine.update(UserId::new(0), base[1].clone()).unwrap();
+        assert_eq!(engine.preference_footprint().0, 3);
+        let novel = population(5).pop().unwrap();
+        engine.update(UserId::new(1), novel).unwrap();
+        assert_eq!(engine.preference_footprint().0, 4);
+        engine.unregister(UserId::new(1)).unwrap();
+        assert_eq!(engine.preference_footprint().0, 3);
+        // A twin registering mid-stream shares its slot.
+        engine.register(UserId::new(100), base[0].clone()).unwrap();
+        assert_eq!(engine.preference_footprint().0, 3);
+        assert_eq!(engine.stats().distinct_preferences, 3);
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct EngineSnapshot {
     pub unregistrations: u64,
     /// Lifetime count of applied in-place UPDATE commands.
     pub updates: u64,
+    /// Number of distinct preferences across the registered users (exact,
+    /// from the engine-level interner — per-shard sums would overcount
+    /// preferences shared across shards).
+    pub distinct_preferences: u64,
+    /// Estimated heap bytes of the distinct preferences (build-time and
+    /// compiled forms, counted once per distinct preference).
+    pub preference_bytes: u64,
     /// Time since the engine was built.
     pub uptime: Duration,
     /// Arrivals per second over the last ~10 seconds (a ring of per-second
@@ -60,6 +67,18 @@ impl EngineSnapshot {
             0.0
         } else {
             self.ingested as f64 / secs
+        }
+    }
+
+    /// Estimated preference bytes per registered user: the interner's
+    /// distinct-preference bytes spread over the whole population. This is
+    /// the headline number of the shared-preference premise (Sec. 4) — it
+    /// *falls* as the population grows while the distinct count saturates.
+    pub fn bytes_per_user(&self) -> f64 {
+        if self.users == 0 {
+            0.0
+        } else {
+            self.preference_bytes as f64 / self.users as f64
         }
     }
 
@@ -155,6 +174,7 @@ impl fmt::Display for EngineSnapshot {
              ingest_p50_us={:.0} ingest_p95_us={:.0} ingest_p99_us={:.0} \
              users={} shards={} shard_users={} skew={:.2} \
              registrations={} unregistrations={} updates={} \
+             distinct_preferences={} bytes_per_user={:.1} \
              comparisons={} notifications={} expirations={} \
              history_objects={} history_saved={} queue_depths={}",
             self.ingested,
@@ -170,6 +190,8 @@ impl fmt::Display for EngineSnapshot {
             self.registrations,
             self.unregistrations,
             self.updates,
+            self.distinct_preferences,
+            self.bytes_per_user(),
             self.total_comparisons(),
             self.total_notifications(),
             self.expirations(),
@@ -203,6 +225,8 @@ mod tests {
             registrations: 0,
             unregistrations: 0,
             updates: 0,
+            distinct_preferences: 0,
+            preference_bytes: 0,
             uptime: Duration::ZERO,
             recent_arrivals_per_sec: 0.0,
             ingest_p50_us: 0.0,

@@ -171,6 +171,8 @@ pub struct EngineMetrics {
     notifications: Arc<Counter>,
     expirations: Arc<Counter>,
     history_objects: Arc<Gauge>,
+    distinct_preferences: Arc<Gauge>,
+    preference_bytes: Arc<Gauge>,
     // Durability: mirrored WAL counters (refreshed at scrape time from
     // `pm_wal::WalStats`) and snapshot bookkeeping (pushed by the service
     // after each snapshot). All stay 0 without `--wal-dir`.
@@ -335,6 +337,16 @@ impl EngineMetrics {
                 "Retained backfill-history objects (per-shard maximum).",
                 &[],
             ),
+            distinct_preferences: registry.gauge(
+                "pm_distinct_preferences",
+                "Distinct preferences across the registered users.",
+                &[],
+            ),
+            preference_bytes: registry.gauge(
+                "pm_preference_bytes",
+                "Heap bytes of the distinct preferences (counted once each).",
+                &[],
+            ),
             wal_records: registry.counter(
                 "pm_wal_records_total",
                 "WAL records appended since the log was opened.",
@@ -439,6 +451,9 @@ impl EngineMetrics {
             .max()
             .unwrap_or(0);
         self.history_objects.set(history as f64);
+        self.distinct_preferences
+            .set(snapshot.distinct_preferences as f64);
+        self.preference_bytes.set(snapshot.preference_bytes as f64);
         self.registry.render()
     }
 }
@@ -480,6 +495,8 @@ mod tests {
             registrations: 1,
             unregistrations: 0,
             updates: 2,
+            distinct_preferences: 2,
+            preference_bytes: 640,
             uptime: Duration::from_secs(5),
             recent_arrivals_per_sec: 1.5,
             ingest_p50_us: 0.0,
@@ -510,6 +527,8 @@ mod tests {
             "pm_notifications_total",
             "pm_expirations_total",
             "pm_history_objects",
+            "pm_distinct_preferences",
+            "pm_preference_bytes",
             "pm_slow_ops_total",
             "pm_connections_total",
             "pm_connections_open",
@@ -532,6 +551,8 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("pm_objects_ingested_total 9"), "{text}");
+        assert!(text.contains("pm_distinct_preferences 2"), "{text}");
+        assert!(text.contains("pm_preference_bytes 640"), "{text}");
         assert!(
             text.contains("pm_ingest_recent_arrivals_per_sec 1.5"),
             "{text}"

@@ -28,13 +28,44 @@ use crate::relation::Relation;
 /// Sentinel for "value not in this relation's universe".
 const NONE: u32 = u32::MAX;
 
-/// An immutable strict partial order compiled to a dense bit matrix.
+/// Universes at least this large are candidates for the sparse row
+/// representation (below that, the dense matrix is at most a few KiB and
+/// simpler is faster).
+const SPARSE_MIN_UNIVERSE: usize = 128;
+
+/// Sparse is chosen when non-empty rows make up at most `1/SPARSE_ROW_DIV`
+/// of the universe — i.e. it guarantees at least a ~4x row-storage saving.
+const SPARSE_ROW_DIV: usize = 4;
+
+/// Row storage of a [`CompiledRelation`]: either the full dense matrix, or
+/// — when the universe is large and most rows are empty (a single user's
+/// preference compiled over a big shared value domain) — only the non-empty
+/// rows, sorted by row index. The sparse form drops the O(|universe|²) bit
+/// cost of a singleton to O(mentioned · |universe|) bits.
+#[derive(Debug, Clone)]
+enum Rows {
+    /// `universe.len() * words_per_row` words, row-major.
+    Dense(Vec<u64>),
+    /// Non-empty rows only, ascending by row index, plus one shared
+    /// all-zero row handed out for absent indices.
+    Sparse {
+        rows: Vec<(u32, Box<[u64]>)>,
+        zeros: Box<[u64]>,
+    },
+}
+
+/// An immutable strict partial order compiled to a bit matrix.
 ///
 /// Row `i` holds the successor set of the `i`-th interned value: bit `j` of
 /// row `i` is set iff `universe[i] ≻ universe[j]` in the source relation's
 /// transitive closure. Values outside the universe are incomparable to
 /// everything, matching [`Relation::prefers`] on unmentioned values.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Rows are stored dense (one fixed-width bit-row per value) or sparse
+/// (non-empty rows only — see the internal `Rows` enum); the representation is an internal
+/// detail chosen at compile time, and two relations with the same universe
+/// and tuple set compare equal regardless of representation.
+#[derive(Debug, Clone)]
 pub struct CompiledRelation {
     /// `ValueId.raw() → dense index`, or [`NONE`]; indexed directly by raw
     /// id. Shared (`Arc`) so that [`CompiledRelation::intersect`] — called
@@ -45,11 +76,22 @@ pub struct CompiledRelation {
     universe: Arc<[ValueId]>,
     /// Width of each bit-row in 64-bit words: `ceil(universe.len() / 64)`.
     words_per_row: usize,
-    /// `universe.len() * words_per_row` words, row-major.
-    bits: Vec<u64>,
+    /// Row storage (dense matrix or non-empty rows only).
+    rows: Rows,
     /// Number of preference tuples (total popcount), kept for O(1) `len`.
     len: usize,
 }
+
+impl PartialEq for CompiledRelation {
+    /// Representation-independent equality: same universe, same tuple set.
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.len == other.len
+            && (0..self.universe.len()).all(|i| self.row(i) == other.row(i))
+    }
+}
+
+impl Eq for CompiledRelation {}
 
 impl CompiledRelation {
     /// Compiles `relation` over exactly the values it mentions.
@@ -81,26 +123,91 @@ impl CompiledRelation {
         }
         let n = universe.len();
         let words_per_row = n.div_ceil(64);
-        let mut bits = vec![0u64; n * words_per_row];
-        let mut len = 0usize;
-        let dense = |v: ValueId| -> usize {
+        let dense = |v: ValueId| -> u32 {
             match index_of.get(v.index()).copied() {
-                Some(slot) if slot != NONE => slot as usize,
+                Some(slot) if slot != NONE => slot,
                 _ => panic!("universe does not cover value {v} of the relation"),
             }
         };
-        for (x, y) in relation.pairs() {
-            let (ix, iy) = (dense(x), dense(y));
-            bits[ix * words_per_row + iy / 64] |= 1u64 << (iy % 64);
-            len += 1;
+        let mut pairs: Vec<(u32, u32)> = relation
+            .pairs()
+            .map(|(x, y)| (dense(x), dense(y)))
+            .collect();
+        let len = pairs.len();
+        pairs.sort_unstable();
+        // Group the (already sorted) tuples into per-source bit-rows.
+        let mut sparse_rows: Vec<(u32, Box<[u64]>)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let ix = pairs[i].0;
+            let mut row = vec![0u64; words_per_row];
+            while i < pairs.len() && pairs[i].0 == ix {
+                let iy = pairs[i].1 as usize;
+                row[iy / 64] |= 1u64 << (iy % 64);
+                i += 1;
+            }
+            sparse_rows.push((ix, row.into_boxed_slice()));
         }
-        Self {
-            index_of: index_of.into(),
-            universe: universe.to_vec().into(),
+        Self::with_rows(
+            index_of.into(),
+            universe.to_vec().into(),
             words_per_row,
-            bits,
+            sparse_rows,
+            len,
+        )
+    }
+
+    /// Assembles a relation from its non-empty rows, picking the dense or
+    /// sparse representation: sparse only pays off when the universe is
+    /// large ([`SPARSE_MIN_UNIVERSE`]) and most rows are empty
+    /// ([`SPARSE_ROW_DIV`]).
+    fn with_rows(
+        index_of: Arc<[u32]>,
+        universe: Arc<[ValueId]>,
+        words_per_row: usize,
+        sparse_rows: Vec<(u32, Box<[u64]>)>,
+        len: usize,
+    ) -> Self {
+        debug_assert!(sparse_rows.windows(2).all(|w| w[0].0 < w[1].0));
+        let n = universe.len();
+        let rows = if n >= SPARSE_MIN_UNIVERSE && sparse_rows.len() * SPARSE_ROW_DIV <= n {
+            Rows::Sparse {
+                rows: sparse_rows,
+                zeros: vec![0u64; words_per_row].into_boxed_slice(),
+            }
+        } else {
+            let mut bits = vec![0u64; n * words_per_row];
+            for (ix, row) in &sparse_rows {
+                let start = *ix as usize * words_per_row;
+                bits[start..start + words_per_row].copy_from_slice(row);
+            }
+            Rows::Dense(bits)
+        };
+        Self {
+            index_of,
+            universe,
+            words_per_row,
+            rows,
             len,
         }
+    }
+
+    /// Whether this relation currently uses the sparse row representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.rows, Rows::Sparse { .. })
+    }
+
+    /// Approximate heap bytes of this compiled relation (interning tables
+    /// plus row storage). The `Arc`-shared tables are counted here even
+    /// though relations compiled over one shared universe share them, so
+    /// sums over many relations are an upper bound.
+    pub fn approx_bytes(&self) -> usize {
+        let tables = self.index_of.len() * 4 + self.universe.len() * 4;
+        let rows = match &self.rows {
+            Rows::Dense(bits) => bits.len() * 8,
+            Rows::Sparse { rows, zeros } => (rows.len() + 1) * zeros.len() * 8 + rows.len() * 16,
+        };
+        std::mem::size_of::<Self>() + tables + rows
     }
 
     /// The dense index of `v`, if it belongs to the compiled universe.
@@ -123,15 +230,27 @@ impl CompiledRelation {
     }
 
     /// The bit-row of the `idx`-th interned value: bit `j` set iff
-    /// `universe[idx] ≻ universe[j]`.
+    /// `universe[idx] ≻ universe[j]`. For sparse relations, absent rows
+    /// come back as a shared all-zero row.
     #[inline]
     pub fn row(&self, idx: usize) -> &[u64] {
-        &self.bits[idx * self.words_per_row..(idx + 1) * self.words_per_row]
+        match &self.rows {
+            Rows::Dense(bits) => &bits[idx * self.words_per_row..(idx + 1) * self.words_per_row],
+            Rows::Sparse { rows, zeros } => {
+                match rows.binary_search_by_key(&(idx as u32), |r| r.0) {
+                    Ok(i) => &rows[i].1,
+                    Err(_) => zeros,
+                }
+            }
+        }
     }
 
     #[inline]
     fn bit(&self, ix: usize, iy: usize) -> bool {
-        (self.bits[ix * self.words_per_row + iy / 64] >> (iy % 64)) & 1 == 1
+        match &self.rows {
+            Rows::Dense(bits) => (bits[ix * self.words_per_row + iy / 64] >> (iy % 64)) & 1 == 1,
+            Rows::Sparse { .. } => (self.row(ix)[iy / 64] >> (iy % 64)) & 1 == 1,
+        }
     }
 
     /// Whether `x ≻ y` holds: two interning loads and one shift-and-mask.
@@ -174,11 +293,33 @@ impl CompiledRelation {
     /// Panics (debug builds) unless both relations share a universe.
     pub fn intersection_size(&self, other: &CompiledRelation) -> usize {
         debug_assert!(self.same_universe(other), "universes must match");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        match (&self.rows, &other.rows) {
+            (Rows::Dense(a), Rows::Dense(b)) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+            // AND against an absent (all-zero) row is zero, so it suffices
+            // to walk whichever side is sparse.
+            (Rows::Sparse { rows, .. }, _) => rows
+                .iter()
+                .map(|(ix, row)| {
+                    row.iter()
+                        .zip(other.row(*ix as usize))
+                        .map(|(x, y)| (x & y).count_ones() as usize)
+                        .sum::<usize>()
+                })
+                .sum(),
+            (_, Rows::Sparse { rows, .. }) => rows
+                .iter()
+                .map(|(ix, row)| {
+                    row.iter()
+                        .zip(self.row(*ix as usize))
+                        .map(|(x, y)| (x & y).count_ones() as usize)
+                        .sum::<usize>()
+                })
+                .sum(),
+        }
     }
 
     /// `|≻ᵈ_1 ∪ ≻ᵈ_2|` (denominator of the Jaccard measure, Eq. 3).
@@ -197,24 +338,40 @@ impl CompiledRelation {
     /// Panics (debug builds) unless both relations share a universe.
     pub fn intersect(&self, other: &CompiledRelation) -> CompiledRelation {
         debug_assert!(self.same_universe(other), "universes must match");
+        let mut sparse_rows: Vec<(u32, Box<[u64]>)> = Vec::new();
         let mut len = 0usize;
-        let bits: Vec<u64> = self
-            .bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| {
-                let word = a & b;
-                len += word.count_ones() as usize;
-                word
-            })
-            .collect();
-        CompiledRelation {
-            index_of: self.index_of.clone(),
-            universe: self.universe.clone(),
-            words_per_row: self.words_per_row,
-            bits,
-            len,
+        let mut and_row = |ix: usize| {
+            let a = self.row(ix);
+            let b = other.row(ix);
+            let mut count = 0usize;
+            let row: Box<[u64]> = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let word = x & y;
+                    count += word.count_ones() as usize;
+                    word
+                })
+                .collect();
+            if count > 0 {
+                len += count;
+                sparse_rows.push((ix as u32, row));
+            }
+        };
+        // A row absent on either side ANDs to zero, so walk the sparser
+        // side when one exists.
+        match (&self.rows, &other.rows) {
+            (Rows::Sparse { rows, .. }, _) => rows.iter().for_each(|(ix, _)| and_row(*ix as usize)),
+            (_, Rows::Sparse { rows, .. }) => rows.iter().for_each(|(ix, _)| and_row(*ix as usize)),
+            _ => (0..self.universe.len()).for_each(&mut and_row),
         }
+        Self::with_rows(
+            self.index_of.clone(),
+            self.universe.clone(),
+            self.words_per_row,
+            sparse_rows,
+            len,
+        )
     }
 
     /// Iterates over all preference tuples of the closure.
@@ -414,6 +571,17 @@ impl CompiledPreference {
             .collect()
     }
 
+    /// Approximate heap bytes across all attribute relations (see
+    /// [`CompiledRelation::approx_bytes`] for the sharing caveat).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .relations
+                .iter()
+                .map(CompiledRelation::approx_bytes)
+                .sum::<usize>()
+    }
+
     /// Restricts the compiled preference to its first `k` attributes.
     pub fn project(&self, k: usize) -> CompiledPreference {
         CompiledPreference {
@@ -531,6 +699,84 @@ mod tests {
         let c = CompiledRelation::compile_with_universe(&rel, &universe);
         let weights = c.value_weights();
         assert_eq!(weights, vec![1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn big_universe_few_rows_goes_sparse_and_stays_equivalent() {
+        // A 300-value universe with only two source rows: sparse kicks in.
+        let universe: Vec<ValueId> = (0..300).map(v).collect();
+        let rel = Relation::from_pairs([(v(7), v(250)), (v(7), v(3)), (v(299), v(0))]).unwrap();
+        let sparse = CompiledRelation::compile_with_universe(&rel, &universe);
+        assert!(sparse.is_sparse());
+        // The same relation compiled over just its own values stays dense.
+        let dense = CompiledRelation::compile(&rel);
+        assert!(!dense.is_sparse());
+        for x in [0, 3, 7, 250, 299, 42] {
+            for y in [0, 3, 7, 250, 299, 42] {
+                assert_eq!(sparse.prefers(v(x), v(y)), rel.prefers(v(x), v(y)));
+            }
+        }
+        assert_eq!(sparse.len(), rel.len());
+        assert_eq!(sparse.to_relation(), rel);
+        assert!(
+            sparse.approx_bytes() < 300 * 300 / 8,
+            "sparse rows beat the dense matrix ({} bytes)",
+            sparse.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_of_same_relation_compare_equal() {
+        let universe: Vec<ValueId> = (0..200).map(v).collect();
+        let rel = Relation::from_pairs([(v(1), v(150)), (v(1), v(0))]).unwrap();
+        let sparse = CompiledRelation::compile_with_universe(&rel, &universe);
+        assert!(sparse.is_sparse());
+        // Force a dense sibling over the identical universe: a relation
+        // touching more than universe/SPARSE_ROW_DIV rows stays dense.
+        let mut bulk_pairs: Vec<_> = (100..200).map(|i| (v(i), v(99))).collect();
+        bulk_pairs.extend([(v(1), v(150)), (v(1), v(0))]);
+        let bulk = Relation::from_pairs(bulk_pairs).unwrap();
+        let dense_bulk = CompiledRelation::compile_with_universe(&bulk, &universe);
+        assert!(!dense_bulk.is_sparse());
+        // Intersecting the dense bulk with the sparse relation yields
+        // exactly the sparse relation's tuples — and equality holds across
+        // representations.
+        let inter = dense_bulk.intersect(&sparse);
+        assert_eq!(inter, sparse);
+        assert_eq!(sparse, inter);
+        assert_eq!(inter.to_relation(), rel);
+    }
+
+    #[test]
+    fn sparse_intersection_counts_match_hash_form() {
+        let universe: Vec<ValueId> = (0..256).map(v).collect();
+        let a = Relation::from_pairs([(v(10), v(20)), (v(10), v(30)), (v(200), v(0))]).unwrap();
+        let b = Relation::from_pairs([(v(10), v(20)), (v(200), v(0)), (v(200), v(5))]).unwrap();
+        let ca = CompiledRelation::compile_with_universe(&a, &universe);
+        let cb = CompiledRelation::compile_with_universe(&b, &universe);
+        assert!(ca.is_sparse() && cb.is_sparse());
+        assert_eq!(ca.intersection_size(&cb), a.intersection_size(&b));
+        assert_eq!(cb.intersection_size(&ca), a.intersection_size(&b));
+        assert_eq!(ca.union_size(&cb), a.union_size(&b));
+        assert_eq!(ca.intersect(&cb).to_relation(), a.intersection(&b));
+    }
+
+    #[test]
+    fn sparse_value_weights_match_hasse_diagram() {
+        let universe: Vec<ValueId> = (0..180).map(v).collect();
+        let rel = Relation::from_pairs([(v(2), v(100)), (v(100), v(0)), (v(100), v(3))]).unwrap();
+        let c = CompiledRelation::compile_with_universe(&rel, &universe);
+        assert!(c.is_sparse());
+        let hasse = HasseDiagram::of(&rel);
+        let weights = c.value_weights();
+        for (i, &value) in c.universe().iter().enumerate() {
+            let expected = if rel.values().contains(&value) {
+                hasse.weight(value)
+            } else {
+                1.0
+            };
+            assert!((weights[i] - expected).abs() < 1e-15, "weight of {value}");
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   weighted similarity measures (Eq. 4–5).
 //! * [`Preference`] — a user's (or virtual user's) preferences on all
 //!   attributes, with the object-dominance test of Def. 3.2.
+//! * [`Fingerprint`] / [`PreferenceInterner`] — canonical 128-bit preference
+//!   fingerprints and the reference-counted interner that deduplicates
+//!   compiled preferences across a large user population (Sec. 4's
+//!   shared-preference premise cashed in at the representation layer).
 //! * [`RelationUnion`] / [`PreferenceUniverse`] — the union of every
 //!   observed relation (per attribute, as growable bit rows) and the
 //!   deduplicated set of observed preferences: the dominance kernel behind
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod compiled;
+pub mod fingerprint;
 pub mod frontier;
 pub mod hasse;
 pub mod preference;
@@ -34,6 +39,7 @@ pub mod relation;
 pub mod union;
 
 pub use compiled::{CompiledPreference, CompiledRelation};
+pub use fingerprint::{Fingerprint, Interned, PreferenceInterner};
 pub use frontier::naive_pareto_frontier;
 pub use hasse::HasseDiagram;
 pub use preference::{Dominance, Preference};

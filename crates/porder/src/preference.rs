@@ -100,6 +100,17 @@ impl Preference {
         self.relations.iter().map(Relation::len).sum()
     }
 
+    /// Approximate heap bytes of the build-time hash-map form (see
+    /// [`Relation::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .relations
+                .iter()
+                .map(Relation::approx_bytes)
+                .sum::<usize>()
+    }
+
     /// Whether the preference holds no tuples at all.
     pub fn is_empty(&self) -> bool {
         self.relations.iter().all(Relation::is_empty)

@@ -142,6 +142,15 @@ impl Relation {
         self.len == 0
     }
 
+    /// Approximate heap bytes of the hash-map closure form. Each tuple
+    /// lives in both adjacency maps; hash-table overhead is estimated at
+    /// roughly 2x payload.
+    pub fn approx_bytes(&self) -> usize {
+        let entries = self.successors.len() + self.predecessors.len();
+        self.len * 2 * 2 * std::mem::size_of::<ValueId>()
+            + entries * 2 * std::mem::size_of::<(ValueId, HashSet<ValueId>)>()
+    }
+
     /// Iterates over all preference tuples of the closure.
     pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
         self.successors

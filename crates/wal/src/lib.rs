@@ -34,10 +34,17 @@
 //! ## Snapshots
 //!
 //! A snapshot file `snapshot-<lsn>.pmsnap` holds one encoded
-//! [`EngineState`] behind the magic `PMSNAP01`, its covered LSN and a
-//! CRC32. Snapshots are written to a temporary file, fsynced and renamed
-//! into place, so a crash mid-snapshot leaves the previous one intact;
-//! loading tries newest-first and falls back across corrupt files.
+//! [`EngineState`] behind a magic, its covered LSN and a CRC32. The
+//! current magic is `PMSNAP02`: the payload carries one dedup table of
+//! distinct preferences (each behind its stable
+//! [`pm_porder::Fingerprint`]) and references it by index from every
+//! membership and observed-history occurrence, so snapshot size scales
+//! with *distinct* preferences rather than population size. Legacy
+//! `PMSNAP01` files (every preference spelled out in place) are still
+//! read on recovery. Snapshots are written to a temporary file, fsynced
+//! and renamed into place, so a crash mid-snapshot leaves the previous
+//! one intact; loading tries newest-first and falls back across corrupt
+//! files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,4 +60,4 @@ pub use record::{
     encode_ingest_batch, encode_register, encode_unregister, encode_update, DecodeError,
     EngineState, WalRecord,
 };
-pub use snapshot::{load_latest_snapshot, write_snapshot, LoadedSnapshot};
+pub use snapshot::{load_latest_snapshot, write_snapshot, write_snapshot_v1, LoadedSnapshot};

@@ -7,11 +7,12 @@
 //! disagrees — a decode error after a passing CRC means a format bug, not
 //! bit rot.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use pm_core::{HistoryState, MonitorState};
 use pm_model::{Object, ObjectId, UserId, ValueId};
-use pm_porder::Preference;
+use pm_porder::{Fingerprint, Preference};
 
 /// One logged engine mutation. The serving path's only mutations are
 /// object ingest and user churn — `EXPIRE` is a read-only wire verb
@@ -64,6 +65,8 @@ pub enum DecodeError {
     TrailingBytes(usize),
     /// A non-UTF-8 string field.
     BadString,
+    /// A preference-table index past the table's end (v2 snapshots).
+    BadIndex(u32),
 }
 
 impl fmt::Display for DecodeError {
@@ -74,6 +77,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadPreference(err) => write!(f, "invalid preference: {err}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
             DecodeError::BadString => write!(f, "non-UTF-8 string"),
+            DecodeError::BadIndex(i) => write!(f, "preference index {i} out of table range"),
         }
     }
 }
@@ -410,10 +414,251 @@ fn dec_monitor(d: &mut Dec<'_>) -> Result<MonitorState, DecodeError> {
     })
 }
 
+/// The v2 snapshot's preference dedup table, built while encoding: every
+/// preference occurrence (shard memberships and observed-history sets) is
+/// replaced by a `u32` index into one table of distinct preferences keyed
+/// by [`Fingerprint`]. With a shared-preference population the table stays
+/// small while v1 re-encoded each user's preference in full.
+#[derive(Default)]
+struct PrefTable<'a> {
+    entries: Vec<(Fingerprint, &'a Preference)>,
+    index: HashMap<Fingerprint, u32>,
+}
+
+impl<'a> PrefTable<'a> {
+    fn index_of(&mut self, preference: &'a Preference) -> u32 {
+        let fingerprint = preference.fingerprint();
+        if let Some(&i) = self.index.get(&fingerprint) {
+            // Guard against fingerprint collisions with a full equality
+            // check; a colliding pair gets two table entries (decode
+            // resolves by index, never by fingerprint, so duplicates in
+            // the table are harmless).
+            if self.entries[i as usize].1 == preference {
+                return i;
+            }
+        }
+        let i = u32::try_from(self.entries.len()).expect("preference table fits u32");
+        self.entries.push((fingerprint, preference));
+        self.index.entry(fingerprint).or_insert(i);
+        i
+    }
+}
+
+fn enc_monitor_v2<'a>(e: &mut Enc, table: &mut PrefTable<'a>, m: &'a MonitorState) {
+    match &m.history {
+        Some(h) => {
+            e.u8(1);
+            e.usize(h.observed.len());
+            for p in &h.observed {
+                e.u32(table.index_of(p));
+            }
+            e.usize(h.objects.len());
+            for o in &h.objects {
+                e.object(o);
+            }
+            e.u64(h.pending);
+            e.u64(h.evicted);
+        }
+        None => e.u8(0),
+    }
+    match &m.window {
+        Some(objects) => {
+            e.u8(1);
+            e.usize(objects.len());
+            for o in objects {
+                e.object(o);
+            }
+        }
+        None => e.u8(0),
+    }
+    enc_stats(e, &m.stats);
+}
+
+fn dec_pref_index(d: &mut Dec<'_>, table: &[Preference]) -> Result<Preference, DecodeError> {
+    let i = d.u32()?;
+    table
+        .get(i as usize)
+        .cloned()
+        .ok_or(DecodeError::BadIndex(i))
+}
+
+fn dec_monitor_v2(d: &mut Dec<'_>, table: &[Preference]) -> Result<MonitorState, DecodeError> {
+    let history = match d.u8()? {
+        0 => None,
+        1 => {
+            let np = d.len_of(4)?;
+            let mut observed = Vec::with_capacity(np);
+            for _ in 0..np {
+                observed.push(dec_pref_index(d, table)?);
+            }
+            let no = d.len_of(12)?;
+            let mut objects = Vec::with_capacity(no);
+            for _ in 0..no {
+                objects.push(d.object()?);
+            }
+            Some(HistoryState {
+                observed,
+                objects,
+                pending: d.u64()?,
+                evicted: d.u64()?,
+            })
+        }
+        tag => return Err(DecodeError::BadTag(tag)),
+    };
+    let window = match d.u8()? {
+        0 => None,
+        1 => {
+            let n = d.len_of(12)?;
+            let mut objects = Vec::with_capacity(n);
+            for _ in 0..n {
+                objects.push(d.object()?);
+            }
+            Some(objects)
+        }
+        tag => return Err(DecodeError::BadTag(tag)),
+    };
+    Ok(MonitorState {
+        history,
+        window,
+        stats: dec_stats(d)?,
+    })
+}
+
 impl EngineState {
-    /// Encodes the snapshot payload (the snapshot file adds magic, LSN and
-    /// CRC around it).
+    /// Encodes the snapshot payload in the current (v2) format — behind the
+    /// `PMSNAP02` magic — with one dedup table of distinct preferences and
+    /// `u32` indices at every occurrence. The snapshot file adds magic, LSN
+    /// and CRC around it.
     pub fn encode(&self) -> Vec<u8> {
+        let mut table = PrefTable::default();
+        let mut body = Enc::default();
+        body.usize(self.members.len());
+        for shard in &self.members {
+            body.usize(shard.len());
+            for (user, preference) in shard {
+                body.u32(user.raw());
+                body.u32(table.index_of(preference));
+            }
+        }
+        body.usize(self.monitors.len());
+        for m in &self.monitors {
+            enc_monitor_v2(&mut body, &mut table, m);
+        }
+        body.usize(self.query_order.len());
+        for id in &self.query_order {
+            body.u64(id.raw());
+        }
+        body.usize(self.query_targets.len());
+        for (id, users) in &self.query_targets {
+            body.u64(id.raw());
+            body.usize(users.len());
+            for u in users {
+                body.u32(u.raw());
+            }
+        }
+
+        let mut e = Enc::default();
+        e.str(&self.backend);
+        e.u32(self.shards);
+        e.u32(self.arity);
+        e.u64(self.last_lsn);
+        e.u64(self.next_id);
+        e.u64(self.ingested);
+        e.u64(self.registrations);
+        e.u64(self.unregistrations);
+        e.u64(self.updates);
+        e.usize(table.entries.len());
+        for (fingerprint, preference) in &table.entries {
+            e.buf.extend_from_slice(&fingerprint.to_le_bytes());
+            e.preference(preference);
+        }
+        e.buf.extend_from_slice(&body.buf);
+        e.buf
+    }
+
+    /// Decodes a current-format (v2) snapshot payload (inverse of
+    /// [`EngineState::encode`]). Every table entry's stored fingerprint is
+    /// checked against the decoded preference, so a torn or hand-edited
+    /// table fails loudly instead of silently merging users.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Dec::new(payload);
+        let backend = d.str()?;
+        let shards = d.u32()?;
+        let arity = d.u32()?;
+        let last_lsn = d.u64()?;
+        let next_id = d.u64()?;
+        let ingested = d.u64()?;
+        let registrations = d.u64()?;
+        let unregistrations = d.u64()?;
+        let updates = d.u64()?;
+        let ntable = d.len_of(16)?;
+        let mut table = Vec::with_capacity(ntable);
+        for _ in 0..ntable {
+            let fingerprint = Fingerprint::from_le_bytes(d.take(16)?.try_into().unwrap());
+            let preference = d.preference()?;
+            if preference.fingerprint() != fingerprint {
+                return Err(DecodeError::BadPreference(
+                    "table fingerprint disagrees with its preference".into(),
+                ));
+            }
+            table.push(preference);
+        }
+        let nshards = d.len_of(8)?;
+        let mut members = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let n = d.len_of(8)?;
+            let mut shard = Vec::with_capacity(n);
+            for _ in 0..n {
+                let user = UserId::new(d.u32()?);
+                shard.push((user, dec_pref_index(&mut d, &table)?));
+            }
+            members.push(shard);
+        }
+        let nmon = d.len_of(2)?;
+        let mut monitors = Vec::with_capacity(nmon);
+        for _ in 0..nmon {
+            monitors.push(dec_monitor_v2(&mut d, &table)?);
+        }
+        let norder = d.len_of(8)?;
+        let mut query_order = Vec::with_capacity(norder);
+        for _ in 0..norder {
+            query_order.push(ObjectId::new(d.u64()?));
+        }
+        let ntargets = d.len_of(8)?;
+        let mut query_targets = Vec::with_capacity(ntargets);
+        for _ in 0..ntargets {
+            let id = ObjectId::new(d.u64()?);
+            let n = d.len_of(4)?;
+            let mut users = Vec::with_capacity(n);
+            for _ in 0..n {
+                users.push(UserId::new(d.u32()?));
+            }
+            query_targets.push((id, users));
+        }
+        let state = EngineState {
+            backend,
+            shards,
+            arity,
+            last_lsn,
+            next_id,
+            ingested,
+            registrations,
+            unregistrations,
+            updates,
+            members,
+            monitors,
+            query_order,
+            query_targets,
+        };
+        d.finish()?;
+        Ok(state)
+    }
+
+    /// Encodes the snapshot payload in the legacy (v1, `PMSNAP01`) format,
+    /// with every preference spelled out in place. Kept so tooling and
+    /// tests can produce pre-interning snapshots; recovery still reads
+    /// them via [`EngineState::decode_v1`].
+    pub fn encode_v1(&self) -> Vec<u8> {
         let mut e = Enc::default();
         e.str(&self.backend);
         e.u32(self.shards);
@@ -451,8 +696,9 @@ impl EngineState {
         e.buf
     }
 
-    /// Decodes a snapshot payload (inverse of [`EngineState::encode`]).
-    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+    /// Decodes a legacy (v1) snapshot payload (inverse of
+    /// [`EngineState::encode_v1`]).
+    pub fn decode_v1(payload: &[u8]) -> Result<Self, DecodeError> {
         let mut d = Dec::new(payload);
         let backend = d.str()?;
         let shards = d.u32()?;
@@ -588,9 +834,8 @@ mod tests {
         assert_eq!(WalRecord::decode(&bytes), Err(DecodeError::UnexpectedEnd));
     }
 
-    #[test]
-    fn engine_state_roundtrip() {
-        let state = EngineState {
+    fn rich_state() -> EngineState {
+        EngineState {
             backend: "ftv:0.4:compact".into(),
             shards: 2,
             arity: 2,
@@ -631,8 +876,10 @@ mod tests {
             ],
             query_order: vec![ObjectId::new(1), ObjectId::new(2)],
             query_targets: vec![(ObjectId::new(1), vec![UserId::new(0), UserId::new(2)])],
-        };
-        let decoded = EngineState::decode(&state.encode()).unwrap();
+        }
+    }
+
+    fn assert_state_eq(decoded: &EngineState, state: &EngineState) {
         assert_eq!(decoded.backend, state.backend);
         assert_eq!(decoded.shards, state.shards);
         assert_eq!(decoded.last_lsn, state.last_lsn);
@@ -644,5 +891,100 @@ mod tests {
         assert_eq!(decoded.monitors[0].history, state.monitors[0].history,);
         assert_eq!(decoded.monitors[0].stats.comparisons, 1234);
         assert_eq!(decoded.monitors[1].window, state.monitors[1].window);
+    }
+
+    #[test]
+    fn engine_state_roundtrip() {
+        let state = rich_state();
+        let decoded = EngineState::decode(&state.encode()).unwrap();
+        assert_state_eq(&decoded, &state);
+    }
+
+    #[test]
+    fn engine_state_v1_roundtrip() {
+        let state = rich_state();
+        let decoded = EngineState::decode_v1(&state.encode_v1()).unwrap();
+        assert_state_eq(&decoded, &state);
+    }
+
+    #[test]
+    fn v2_snapshot_scales_with_distinct_preferences() {
+        // 200 users sharing one preference: the v2 payload should carry the
+        // preference once (plus 4-byte indices), while v1 spells it out per
+        // user. The exact ratio is format detail; "several times smaller"
+        // is the contract.
+        let members: Vec<(UserId, Preference)> =
+            (0..200).map(|i| (UserId::new(i), pref())).collect();
+        let state = EngineState {
+            backend: "baseline".into(),
+            shards: 1,
+            arity: 2,
+            members: vec![members],
+            ..EngineState::default()
+        };
+        let v1 = state.encode_v1();
+        let v2 = state.encode();
+        assert!(
+            v2.len() * 4 < v1.len(),
+            "v2 ({} bytes) should dedup what v1 ({} bytes) repeats",
+            v2.len(),
+            v1.len()
+        );
+        let decoded = EngineState::decode(&v2).unwrap();
+        assert_eq!(decoded.members, state.members);
+    }
+
+    #[test]
+    fn v2_table_fingerprint_mismatch_is_rejected() {
+        let state = EngineState {
+            backend: "baseline".into(),
+            shards: 1,
+            arity: 2,
+            members: vec![vec![(UserId::new(0), pref())]],
+            ..EngineState::default()
+        };
+        let bytes = state.encode();
+        let fp = pref().fingerprint().to_le_bytes();
+        let pos = bytes
+            .windows(16)
+            .position(|w| w == fp)
+            .expect("table entry carries the fingerprint");
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x01;
+        assert!(matches!(
+            EngineState::decode(&corrupt),
+            Err(DecodeError::BadPreference(_))
+        ));
+    }
+
+    #[test]
+    fn v2_out_of_range_index_is_rejected() {
+        let state = EngineState {
+            backend: "baseline".into(),
+            shards: 1,
+            arity: 2,
+            members: vec![vec![(UserId::new(0), pref())]],
+            ..EngineState::default()
+        };
+        let mut bytes = state.encode();
+        // With no monitors and empty query caches the tail is fixed: three
+        // empty-section counts (8 bytes each), preceded by the sole
+        // member's 4-byte preference index.
+        let n = bytes.len();
+        bytes[n - 28..n - 24].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            EngineState::decode(&bytes),
+            Err(DecodeError::BadIndex(7))
+        ));
+    }
+
+    #[test]
+    fn v2_single_byte_corruption_never_panics() {
+        let bytes = rich_state().encode();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xff;
+            let _ = EngineState::decode(&flipped);
+        }
     }
 }
