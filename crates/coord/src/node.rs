@@ -1,0 +1,227 @@
+//! The coordinator's control connection to one node.
+//!
+//! Each node gets one blocking TCP connection carrying strict
+//! request/response traffic (the coordinator's event connections — the
+//! `SUBSCRIBE` side — live in the serve loop, where they are polled).
+//! Requests can be *pipelined*: [`NodeClient::send`] writes without
+//! waiting, [`NodeClient::recv`] reads one response line, and the
+//! replication barrier writes to every node before reading from any —
+//! per-node responses arrive in request order, so log order is apply
+//! order.
+//!
+//! Any I/O failure (connect, write, read, timeout) drops the connection
+//! and leaves the client in the *down* state; the cluster layer translates
+//! that into degraded serving for the node's key range until a rejoin
+//! succeeds.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What a node reports in its `HELLO node` handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Backend spec string (must agree across the cluster).
+    pub backend: String,
+    /// Per-node shard thread count (must agree across the cluster).
+    pub shards: usize,
+    /// Attributes per object (must agree across the cluster).
+    pub arity: usize,
+    /// The node's applied position: the id the next ingested object will
+    /// be assigned. The coordinator fences backlog replay against it.
+    pub next_id: u64,
+}
+
+/// A control connection to one node; `None` while the node is down.
+#[derive(Debug)]
+pub struct NodeClient {
+    addr: String,
+    conn: Option<Conn>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl NodeClient {
+    /// A client for `addr`, initially disconnected.
+    pub fn new(addr: &str) -> Self {
+        Self {
+            addr: addr.to_owned(),
+            conn: None,
+        }
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the control connection is up.
+    pub fn is_up(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Drops the control connection (the node is considered down until the
+    /// next [`NodeClient::connect`]).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Connects and performs the `HELLO node` handshake, returning the
+    /// node's identity and applied position. Replaces any existing
+    /// connection.
+    pub fn connect(&mut self, timeout: Duration) -> Result<NodeInfo, String> {
+        self.conn = None;
+        let stream = connect_stream(&self.addr, timeout)?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("node {}: {e}", self.addr))?,
+        );
+        self.conn = Some(Conn {
+            reader,
+            writer: stream,
+        });
+        let line = self.request("HELLO node").map_err(|e| e.to_string())?;
+        let info = parse_node_hello(&line)
+            .ok_or_else(|| format!("node {}: unexpected handshake `{line}`", self.addr))?;
+        Ok(info)
+    }
+
+    /// Writes one request line without waiting for the response.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        let conn = self.conn.as_mut().ok_or_else(down)?;
+        let result = conn
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.writer.write_all(b"\n"));
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Reads one response line (without the newline). EOF is an error: a
+    /// control connection only closes when the node dies.
+    pub fn recv(&mut self) -> std::io::Result<String> {
+        let conn = self.conn.as_mut().ok_or_else(down)?;
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(0) => {
+                self.conn = None;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "node closed the control connection",
+                ))
+            }
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(line)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One blocking round trip.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+fn down() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::NotConnected, "node is down")
+}
+
+/// Connects a plain TCP stream to `addr` with connect and read timeouts.
+/// Used for both control and event connections.
+pub fn connect_stream(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    use std::net::ToSocketAddrs;
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("node {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("node {addr}: address resolves to nothing"))?;
+    let stream =
+        TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| format!("node {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("node {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("node {addr}: {e}"))?;
+    Ok(stream)
+}
+
+/// Parses `OK HELLO pm-node proto=text version=.. backend=.. shards=..
+/// arity=.. next_id=..` into a [`NodeInfo`]. Returns `None` on anything
+/// else (including a plain `pm-server` hello: the target is not in node
+/// mode).
+pub fn parse_node_hello(line: &str) -> Option<NodeInfo> {
+    let mut tokens = line.split_whitespace();
+    if (tokens.next(), tokens.next(), tokens.next()) != (Some("OK"), Some("HELLO"), Some("pm-node"))
+    {
+        return None;
+    }
+    let mut backend = None;
+    let mut shards = None;
+    let mut arity = None;
+    let mut next_id = None;
+    for token in tokens {
+        if let Some((key, value)) = token.split_once('=') {
+            match key {
+                "backend" => backend = Some(value.to_owned()),
+                "shards" => shards = value.parse().ok(),
+                "arity" => arity = value.parse().ok(),
+                "next_id" => next_id = value.parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    Some(NodeInfo {
+        backend: backend?,
+        shards: shards?,
+        arity: arity?,
+        next_id: next_id?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_node_handshake() {
+        let info = parse_node_hello(
+            "OK HELLO pm-node proto=text version=0.1.0 backend=ftv:0.4:compact \
+             shards=2 arity=4 next_id=17",
+        )
+        .unwrap();
+        assert_eq!(
+            info,
+            NodeInfo {
+                backend: "ftv:0.4:compact".to_owned(),
+                shards: 2,
+                arity: 4,
+                next_id: 17,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_a_client_mode_hello() {
+        assert!(parse_node_hello(
+            "OK HELLO pm-server proto=text version=0.1.0 backend=baseline shards=2 arity=4"
+        )
+        .is_none());
+        assert!(parse_node_hello("ERR nope").is_none());
+    }
+}

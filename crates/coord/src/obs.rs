@@ -1,0 +1,173 @@
+//! Cluster-level observability: the coordinator's own `pm-obs` registry.
+//!
+//! The coordinator never merges node expositions — each node keeps serving
+//! its own `METRICS` with the engine-level families. The coordinator's
+//! exposition describes the *cluster*: per-node liveness, ownership and
+//! applied position under `pm_node_*` (labelled `node="<id>"`), plus
+//! cluster-wide totals under `pm_cluster_*` / `pm_coord_*`. The family
+//! skeleton is fixed at startup from the node count, so a scrape's shape
+//! only depends on the topology — the golden test normalizes the `node`
+//! label and gets the same skeleton for one node or three.
+
+use std::sync::Arc;
+
+use pm_obs::{Counter, Gauge, LogHistogram, Registry};
+
+/// Per-node and cluster-wide metric handles.
+pub struct CoordMetrics {
+    registry: Registry,
+    /// `pm_cluster_seq`: the next sequence number (== objects replicated).
+    pub cluster_seq: Arc<Gauge>,
+    /// `pm_cluster_live`: nodes currently serving.
+    pub cluster_live: Arc<Gauge>,
+    /// `pm_coord_backlog_batches`: replicated batches retained for rejoin.
+    pub backlog_batches: Arc<Gauge>,
+    /// `pm_coord_requests_total`: client requests handled.
+    pub requests: Arc<Counter>,
+    /// `pm_coord_request_errors_total`: client requests answered `ERR`.
+    pub errors: Arc<Counter>,
+    /// `pm_coord_subscriptions`: live client subscriptions.
+    pub subscriptions: Arc<Gauge>,
+    /// `pm_node_up{node=..}`: 1 while the node serves, 0 while degraded.
+    pub node_up: Vec<Arc<Gauge>>,
+    /// `pm_node_users{node=..}`: users owned by the node.
+    pub node_users: Vec<Arc<Gauge>>,
+    /// `pm_node_next_id{node=..}`: the node's applied position.
+    pub node_next_id: Vec<Arc<Gauge>>,
+    /// `pm_node_rpc_ns{node=..}`: control round-trip latency (nanoseconds).
+    pub node_rpc_ns: Vec<Arc<LogHistogram>>,
+    /// `pm_node_replayed_batches_total{node=..}`: backlog batches replayed
+    /// into the node across all rejoins.
+    pub node_replays: Vec<Arc<Counter>>,
+}
+
+impl CoordMetrics {
+    /// Registers the full cluster family set for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        let registry = Registry::new();
+        let build = registry.counter(
+            "pm_coord_build_info",
+            "Coordinator build and topology identity (value is always 1)",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("nodes", &nodes.to_string()),
+            ],
+        );
+        build.store(1);
+        let cluster_nodes = registry.gauge("pm_cluster_nodes", "Nodes in the static topology", &[]);
+        cluster_nodes.set(nodes as f64);
+        let cluster_seq = registry.gauge(
+            "pm_cluster_seq",
+            "Next replication sequence number (objects replicated since genesis)",
+            &[],
+        );
+        let cluster_live = registry.gauge(
+            "pm_cluster_live",
+            "Nodes currently serving (topology minus degraded)",
+            &[],
+        );
+        let backlog_batches = registry.gauge(
+            "pm_coord_backlog_batches",
+            "Replicated ingest batches retained for rejoin replay",
+            &[],
+        );
+        let requests = registry.counter(
+            "pm_coord_requests_total",
+            "Client requests handled by the coordinator",
+            &[],
+        );
+        let errors = registry.counter(
+            "pm_coord_request_errors_total",
+            "Client requests answered with ERR (including degraded ranges)",
+            &[],
+        );
+        let subscriptions = registry.gauge(
+            "pm_coord_subscriptions",
+            "Live client subscriptions across all nodes",
+            &[],
+        );
+        let mut node_up = Vec::with_capacity(nodes);
+        let mut node_users = Vec::with_capacity(nodes);
+        let mut node_next_id = Vec::with_capacity(nodes);
+        let mut node_rpc_ns = Vec::with_capacity(nodes);
+        let mut node_replays = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let label = node.to_string();
+            let labels: &[(&str, &str)] = &[("node", &label)];
+            node_up.push(registry.gauge(
+                "pm_node_up",
+                "1 while the node serves its key range, 0 while degraded",
+                labels,
+            ));
+            node_users.push(registry.gauge(
+                "pm_node_users",
+                "Users owned by the node (coordinator routing view)",
+                labels,
+            ));
+            node_next_id.push(registry.gauge(
+                "pm_node_next_id",
+                "The node's applied position in the replicated object stream",
+                labels,
+            ));
+            node_rpc_ns.push(registry.histogram(
+                "pm_node_rpc_ns",
+                "Control-connection round-trip latency in nanoseconds",
+                labels,
+            ));
+            node_replays.push(registry.counter(
+                "pm_node_replayed_batches_total",
+                "Backlog batches replayed into the node across rejoins",
+                labels,
+            ));
+        }
+        Self {
+            registry,
+            cluster_seq,
+            cluster_live,
+            backlog_batches,
+            requests,
+            errors,
+            subscriptions,
+            node_up,
+            node_users,
+            node_next_id,
+            node_rpc_ns,
+            node_replays,
+        }
+    }
+
+    /// Renders the Prometheus text-format exposition body.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl std::fmt::Debug for CoordMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordMetrics")
+            .field("nodes", &self.node_up.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_carries_per_node_families() {
+        let metrics = CoordMetrics::new(3);
+        metrics.node_up[0].set(1.0);
+        metrics.node_up[2].set(0.0);
+        metrics.cluster_seq.set(42.0);
+        let body = metrics.render();
+        assert!(body.contains("pm_node_up{node=\"0\"} 1"), "{body}");
+        assert!(body.contains("pm_node_up{node=\"2\"} 0"), "{body}");
+        assert!(body.contains("pm_cluster_seq 42"), "{body}");
+        assert!(body.contains("pm_cluster_nodes 3"), "{body}");
+        assert!(
+            body.contains("pm_node_replayed_batches_total{node=\"1\"} 0"),
+            "{body}"
+        );
+    }
+}

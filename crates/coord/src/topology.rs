@@ -1,0 +1,104 @@
+//! Static cluster membership: an ordered list of node addresses.
+//!
+//! The v1 coordinator deliberately avoids consensus: the operator writes a
+//! topology file with one `host:port` per non-empty line (`#` starts a
+//! comment), and the **line order is the node id**. Every component that
+//! names a node — degraded errors, `STATS` rollups, `pm_node_*` metric
+//! labels, backlog replay logs — uses that id, so the file is the single
+//! source of truth for the cluster shape. Changing the node *count*
+//! changes user ownership (the [`pm_model::Partitioner`] hashes users over
+//! the node count), so a resize is a migration, not an edit; swapping the
+//! address behind an existing id is safe.
+
+use std::path::Path;
+
+/// An ordered set of node addresses; the index is the node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    addrs: Vec<String>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit addresses (tests, in-process
+    /// harnesses). Fails on an empty list.
+    pub fn new(addrs: Vec<String>) -> Result<Self, String> {
+        if addrs.is_empty() {
+            return Err("a topology needs at least one node".to_owned());
+        }
+        Ok(Self { addrs })
+    }
+
+    /// Parses topology-file text: one address per non-empty line, `#`
+    /// comments (full-line or trailing) stripped.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut addrs = Vec::new();
+        for line in text.lines() {
+            let line = match line.split_once('#') {
+                Some((before, _)) => before,
+                None => line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !line.contains(':') {
+                return Err(format!("node address `{line}` is not host:port"));
+            }
+            addrs.push(line.to_owned());
+        }
+        Self::new(addrs)
+    }
+
+    /// Loads and parses a topology file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read topology {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The address of node `id`.
+    pub fn addr(&self, id: usize) -> &str {
+        &self.addrs[id]
+    }
+
+    /// Iterates `(node id, address)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.addrs
+            .iter()
+            .enumerate()
+            .map(|(id, a)| (id, a.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_addresses_in_id_order_with_comments() {
+        let topo = Topology::parse(
+            "# cluster of three\n\
+             127.0.0.1:7001\n\
+             \n\
+             127.0.0.1:7002  # second node\n\
+             127.0.0.1:7003\n",
+        )
+        .unwrap();
+        assert_eq!(topo.nodes(), 3);
+        assert_eq!(topo.addr(0), "127.0.0.1:7001");
+        assert_eq!(topo.addr(2), "127.0.0.1:7003");
+        let ids: Vec<usize> = topo.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_files() {
+        assert!(Topology::parse("# nothing but comments\n").is_err());
+        assert!(Topology::parse("not-an-address\n").is_err());
+    }
+}

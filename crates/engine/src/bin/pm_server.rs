@@ -6,6 +6,7 @@
 //!           [--users N] [--interactions N] [--seed N] [--history N]
 //!           [--no-metrics] [--slow-op-ms MS] [--outbox BYTES] [--log SPEC]
 //!           [--wal-dir DIR] [--wal-sync always|batch|off] [--snapshot-every N]
+//!           [--node]
 //! ```
 //!
 //! The user population (preferences) is simulated with `pm-datagen`; objects
@@ -43,6 +44,7 @@ struct Options {
     wal_dir: Option<PathBuf>,
     wal_sync: SyncPolicy,
     snapshot_every: u64,
+    node: bool,
 }
 
 impl Default for Options {
@@ -60,6 +62,7 @@ impl Default for Options {
             wal_dir: None,
             wal_sync: SyncPolicy::Batch,
             snapshot_every: 10_000,
+            node: false,
         }
     }
 }
@@ -117,6 +120,14 @@ OPTIONS:
     --snapshot-every N   snapshot after N WAL records accumulate past the
                          last snapshot; 0 = only via the SNAPSHOT verb
                          [default: 10000]
+    --node               run as a pm-coord cluster node: start with an
+                         empty user population (users arrive via REGISTER
+                         routed by the coordinator) and accept the
+                         node-internal verbs (HELLO node, SEQ, EXPORT).
+                         The dataset flags still fix the schema: every
+                         node of a cluster must share --profile
+                         (--users/--seed only shape the simulated dataset
+                         and are ignored for population)
     --help               print this help
 
 Logs go to stderr. Scrape metrics with e.g.:
@@ -133,6 +144,10 @@ fn parse_args() -> Result<Options, String> {
         }
         if flag == "--no-metrics" {
             opts.engine.metrics = false;
+            continue;
+        }
+        if flag == "--node" {
+            opts.node = true;
             continue;
         }
         let value = args
@@ -218,6 +233,14 @@ fn main() -> ExitCode {
         .with_interactions(opts.interactions);
     let dataset = Dataset::generate(&profile, opts.seed);
     let arity = dataset.dimensions();
+    // A cluster node starts empty: its users arrive via REGISTER, routed
+    // by the coordinator's partitioner. The dataset still fixes the
+    // schema (arity) so every node agrees on the object shape.
+    let genesis = if opts.node {
+        Vec::new()
+    } else {
+        dataset.preferences
+    };
 
     pm_obs::info!(
         "pm_server",
@@ -235,7 +258,7 @@ fn main() -> ExitCode {
                 snapshot_every: opts.snapshot_every,
             };
             match pm_engine::durability::recover_or_create(
-                dataset.preferences,
+                genesis,
                 &opts.engine,
                 &opts.backend,
                 arity,
@@ -262,7 +285,7 @@ fn main() -> ExitCode {
             }
         }
         None => {
-            let engine = ShardedEngine::new(dataset.preferences, &opts.engine, &opts.backend);
+            let engine = ShardedEngine::new(genesis, &opts.engine, &opts.backend);
             EngineService::new(engine, opts.backend.clone(), arity, opts.server.history)
         }
     };

@@ -39,6 +39,18 @@
 //! (filter-then-verify additionally re-clusters on re-registration). The
 //! approximate sliding-window variants may also diverge, as clustering
 //! there is incremental.
+//!
+//! # The object id is the replication sequence number
+//!
+//! Replay hinges on ingest records carrying server-assigned ids: ids are
+//! dense and allocation-ordered, so a recovered engine's `next_id` *is*
+//! its position in the arrival stream. `pm-coord` builds multi-node
+//! replication on exactly this anchor — a replicated batch's sequence
+//! number is its first object id, nodes fence `SEQ`-stamped batches
+//! against their own `next_id` ([`EngineService::ingest_fenced`]), and a
+//! rejoining node's WAL-recovered position tells the coordinator
+//! precisely which backlog suffix to replay. One id space serves as WAL
+//! LSN, QUERY handle and cluster replication sequence at once.
 
 use std::io;
 use std::path::PathBuf;

@@ -71,13 +71,15 @@ impl Default for EngineConfig {
 
 /// The shard that owns `user` when the population is split `shards` ways.
 ///
-/// A multiplicative (Fibonacci) hash spreads structured id spaces — e.g.
-/// tenants allocated in contiguous ranges — evenly across shards while
-/// staying fully deterministic: the same user lands on the same shard for
-/// every engine with the same shard count.
+/// Delegates to [`pm_model::Partitioner`] — the same mapping a cluster
+/// coordinator uses to assign users to nodes, so shard-level and
+/// node-level ownership cannot drift. The hash spreads structured id
+/// spaces — e.g. tenants allocated in contiguous ranges — evenly across
+/// shards while staying fully deterministic: the same user lands on the
+/// same shard for every engine with the same shard count.
 pub fn shard_of(user: UserId, shards: usize) -> usize {
     debug_assert!(shards > 0);
-    (u64::from(user.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+    pm_model::Partitioner::new(shards).owner_of(user)
 }
 
 /// Locks a mutex, recovering from poisoning. A panicking thread (e.g. a
@@ -745,6 +747,16 @@ impl ShardedEngine {
         stats.distinct_preferences = distinct;
         stats.preference_bytes = bytes;
         stats
+    }
+
+    /// The preference a registered user currently holds, shared from the
+    /// engine-level interner; `None` for unknown users. Backs the internal
+    /// `EXPORT` verb a cluster coordinator uses to migrate users between
+    /// nodes.
+    pub fn preference_of(&self, user: UserId) -> Option<std::sync::Arc<Preference>> {
+        let population = lock_recovering(&self.population);
+        let slot = *population.ids.get(&user)?;
+        population.interner.get(slot).cloned()
     }
 
     /// `(distinct preferences, estimated preference bytes)` across the

@@ -75,7 +75,9 @@ pub use metrics::{EngineSnapshot, ShardSnapshot};
 pub use obs::{EngineMetrics, Verb};
 pub use pm_core::HistoryMode;
 pub use protocol::{parse_request, Request};
-pub use reactor::{serve_with, ReactorConfig};
+pub use reactor::{
+    serve_with, serve_with_signal, shutdown_pair, ReactorConfig, Shutdown, ShutdownSignal,
+};
 pub use response::{render_frame, render_text, Response, WireMode};
 pub use server::{EngineService, ServerConfig};
 pub use shard::BoxedMonitor;

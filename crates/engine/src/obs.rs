@@ -93,7 +93,10 @@ impl Verb {
         }
     }
 
-    /// The verb of a parsed request; `None` for `QUIT` (see [`VERBS`]).
+    /// The verb of a parsed request; `None` for `QUIT` (see [`VERBS`]) and
+    /// for the internal cluster verbs (`EXPORT` is coordinator-only
+    /// plumbing, and a `SEQ`-wrapped request records as its inner verb),
+    /// which are not part of the per-verb metric contract.
     pub fn of(request: &Request) -> Option<Verb> {
         match request {
             Request::Ingest(_) => Some(Verb::Ingest),
@@ -111,6 +114,8 @@ impl Verb {
             Request::Metrics => Some(Verb::Metrics),
             Request::Health => Some(Verb::Health),
             Request::Quit => None,
+            Request::Export(_) => None,
+            Request::Sequenced { inner, .. } => Verb::of(inner),
         }
     }
 

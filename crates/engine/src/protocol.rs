@@ -35,6 +35,19 @@
 //! QUIT                        close the connection
 //! ```
 //!
+//! Two *internal* verbs support cluster mode (spoken by a `pm-coord`
+//! coordinator to its nodes, never by ordinary clients):
+//!
+//! ```text
+//! EXPORT <user>               a registered user's preference rows in
+//!                             REGISTER syntax, for migrating the user to
+//!                             another node
+//! SEQ <n> <request>           a replicated mutation fenced by the
+//!                             coordinator sequence number `n`; the node
+//!                             refuses the wrapped request unless its own
+//!                             applied position equals `n`
+//! ```
+//!
 //! Every response is a single `OK`/`ERR` line except `METRICS`, whose `OK
 //! METRICS <bytes>` header line is followed by `<bytes>` bytes of
 //! Prometheus text-format 0.0.4 exposition and one terminating blank line.
@@ -94,6 +107,21 @@ pub enum Request {
     Health,
     /// Close the connection.
     Quit,
+    /// Internal cluster verb: report a registered user's preference rows
+    /// in REGISTER syntax, so a coordinator can migrate the user to
+    /// another node.
+    Export(UserId),
+    /// Internal cluster verb: a replicated mutation fenced by the
+    /// coordinator sequence number — the node applies `inner` only when
+    /// its own applied position equals `seq` (log order == apply order,
+    /// the same invariant the WAL relies on).
+    Sequenced {
+        /// The coordinator's sequence number: the id the first object of
+        /// the wrapped batch must be assigned.
+        seq: u64,
+        /// The wrapped request (currently always [`Request::Ingest`]).
+        inner: Box<Request>,
+    },
 }
 
 /// Parses a user id, accepting the bare number or the `c` display prefix.
@@ -206,6 +234,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "HELLO" => Ok(Request::Hello(
             rest.split_whitespace().map(str::to_owned).collect(),
         )),
+        "EXPORT" => parse_user(rest).map(Request::Export),
+        "SEQ" => {
+            let (seq_text, inner_text) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "SEQ needs a sequence number and a request".to_owned())?;
+            let seq = seq_text
+                .parse::<u64>()
+                .map_err(|_| format!("bad sequence number `{seq_text}`"))?;
+            let inner = parse_request(inner_text)?;
+            if matches!(inner, Request::Sequenced { .. }) {
+                return Err("SEQ cannot nest".to_owned());
+            }
+            Ok(Request::Sequenced {
+                seq,
+                inner: Box::new(inner),
+            })
+        }
         "SNAPSHOT" | "STATS" | "METRICS" | "HEALTH" | "QUIT" if !rest.is_empty() => {
             Err(format!("{} takes no arguments", verb.to_ascii_uppercase()))
         }
@@ -218,7 +263,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         other => Err(format!(
             "unknown verb `{other}` (expected INGEST, EXPIRE, QUERY, FRONTIER, REGISTER, \
              UPDATE, UNREGISTER, SUBSCRIBE, UNSUBSCRIBE, HELLO, SNAPSHOT, STATS, METRICS, \
-             HEALTH or QUIT)"
+             HEALTH, QUIT, EXPORT or SEQ)"
         )),
     }
 }
@@ -400,6 +445,47 @@ mod tests {
         assert_eq!(
             parse_request("HELLO text v2"),
             Ok(Request::Hello(vec!["text".to_owned(), "v2".to_owned()]))
+        );
+    }
+
+    #[test]
+    fn parses_internal_cluster_verbs() {
+        assert_eq!(
+            parse_request("EXPORT c5"),
+            Ok(Request::Export(UserId::new(5)))
+        );
+        assert_eq!(
+            parse_request("export 5"),
+            Ok(Request::Export(UserId::new(5)))
+        );
+        assert!(parse_request("EXPORT").is_err());
+        assert!(parse_request("EXPORT x").is_err());
+
+        assert_eq!(
+            parse_request("SEQ 42 INGEST 1,2"),
+            Ok(Request::Sequenced {
+                seq: 42,
+                inner: Box::new(Request::Ingest(vec![vec![
+                    ValueId::new(1),
+                    ValueId::new(2)
+                ]])),
+            })
+        );
+        // The wrapped line goes through the full parser, prefix forms and all.
+        assert_eq!(
+            parse_request("seq 0 frontier c3"),
+            Ok(Request::Sequenced {
+                seq: 0,
+                inner: Box::new(Request::Frontier(UserId::new(3))),
+            })
+        );
+        assert!(parse_request("SEQ").is_err());
+        assert!(parse_request("SEQ 5").is_err());
+        assert!(parse_request("SEQ x INGEST 1").is_err());
+        assert!(parse_request("SEQ 5 BOGUS").is_err());
+        assert!(
+            parse_request("SEQ 5 SEQ 6 INGEST 1").is_err(),
+            "nested SEQ must be rejected"
         );
     }
 

@@ -43,6 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::Arc;
 
 use pm_core::FrontierDelta;
@@ -77,8 +78,53 @@ impl Default for ReactorConfig {
 
 /// The listener's token; connections get tokens from 1.
 const LISTENER: u64 = 0;
+/// The shutdown signal's token (see [`shutdown_pair`]); never collides
+/// with connection tokens, which count up from 1.
+const SHUTDOWN: u64 = u64::MAX;
 /// Consecutive accept failures that end the loop.
 const MAX_ACCEPT_FAILURES: u32 = 16;
+
+/// The caller-held half of a [`shutdown_pair`]: signals the reactor loop
+/// to stop from any thread.
+#[derive(Debug)]
+pub struct Shutdown {
+    tx: UnixStream,
+}
+
+impl Shutdown {
+    /// Asks the paired reactor loop to stop. Idempotent; an error (the
+    /// loop is already gone) is ignored.
+    pub fn shutdown(&self) {
+        let _ = (&self.tx).write(&[1]);
+        let _ = self.tx.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// The reactor-held half of a [`shutdown_pair`], passed to
+/// [`serve_with_signal`].
+#[derive(Debug)]
+pub struct ShutdownSignal {
+    rx: UnixStream,
+}
+
+impl std::os::fd::AsRawFd for ShutdownSignal {
+    /// Exposes the signal fd so other readiness loops (the `pm-coord`
+    /// reactor) can register it alongside their own sockets.
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// A shutdown signal pair: hand the [`ShutdownSignal`] to
+/// [`serve_with_signal`] and keep the [`Shutdown`] handle; calling
+/// [`Shutdown::shutdown`] makes the serve loop return cleanly, closing
+/// every connection and freeing the listener port — the in-process
+/// equivalent of killing a node, used by cluster tests and the bench
+/// harness to exercise degraded serving and rejoin.
+pub fn shutdown_pair() -> std::io::Result<(Shutdown, ShutdownSignal)> {
+    let (tx, rx) = UnixStream::pair()?;
+    Ok((Shutdown { tx }, ShutdownSignal { rx }))
+}
 
 /// Per-connection state: negotiated mode, buffered input, unsent output,
 /// and the users this connection subscribes to.
@@ -145,9 +191,33 @@ pub fn serve_with(
     service: Arc<EngineService>,
     config: ReactorConfig,
 ) -> std::io::Result<()> {
+    serve_reactor(listener, service, config, None)
+}
+
+/// [`serve_with`] plus a shutdown signal: the loop additionally returns
+/// `Ok(())` when the paired [`Shutdown`] handle fires, dropping every
+/// connection and the listener.
+pub fn serve_with_signal(
+    listener: TcpListener,
+    service: Arc<EngineService>,
+    config: ReactorConfig,
+    signal: ShutdownSignal,
+) -> std::io::Result<()> {
+    serve_reactor(listener, service, config, Some(signal))
+}
+
+fn serve_reactor(
+    listener: TcpListener,
+    service: Arc<EngineService>,
+    config: ReactorConfig,
+    shutdown: Option<ShutdownSignal>,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let mut poller = Poller::new()?;
     poller.register(listener.as_raw_fd(), LISTENER, Interest::Read)?;
+    if let Some(signal) = &shutdown {
+        poller.register(signal.rx.as_raw_fd(), SHUTDOWN, Interest::Read)?;
+    }
     let mut reactor = Reactor {
         listener,
         service,
@@ -160,7 +230,12 @@ pub fn serve_with(
         subscriber_count: 0,
         outbox_total: 0,
     };
-    reactor.run()
+    let result = reactor.run();
+    // `shutdown` must outlive the loop: its fd is registered with the
+    // poller, and dropping it earlier would recycle the fd number while
+    // the poller still watches it.
+    drop(shutdown);
+    result
 }
 
 impl Reactor {
@@ -169,6 +244,9 @@ impl Reactor {
         loop {
             self.poller.wait(&mut events, None)?;
             for &event in &events {
+                if event.token == SHUTDOWN {
+                    return Ok(());
+                }
                 if event.token == LISTENER {
                     self.accept_ready()?;
                 } else {
@@ -382,7 +460,7 @@ impl Reactor {
         // QUIT's goodbye is enqueued before the teardown flag so it is the
         // connection's last delivered message.
         let switch_to = match &response {
-            Response::Hello { proto, .. } => Some(*proto),
+            Response::Hello { proto, .. } | Response::NodeHello { proto, .. } => Some(*proto),
             _ => None,
         };
         self.enqueue_response(token, &response);

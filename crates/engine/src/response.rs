@@ -32,6 +32,8 @@
 //! | 14 | `Bye` |
 //! | 15 | `Event` |
 //! | 16 | `Snapshot` |
+//! | 17 | `Exported` |
+//! | 18 | `NodeHello` |
 //!
 //! Wire limits are enforced by saturation, never by wrapping: embedded
 //! strings are truncated to the longest UTF-8 prefix that fits their
@@ -155,6 +157,35 @@ pub enum Response {
     },
     /// `UNSUBSCRIBE` succeeded.
     Unsubscribed(UserId),
+    /// `EXPORT` succeeded: a registered user's preference rows, rendered
+    /// in REGISTER syntax so a coordinator can replay them verbatim on
+    /// another node.
+    Exported {
+        /// The exported user.
+        user: UserId,
+        /// The preference rows (`;`-separated attributes, `x>y` comma
+        /// lists, `-` for an empty attribute), deterministic order.
+        rows: String,
+    },
+    /// `HELLO node` succeeded: the node-mode handshake, extending the
+    /// client handshake with the node's applied position so a coordinator
+    /// can fence backlog replay. The connection renders this response in
+    /// its *old* mode, then switches to `proto`.
+    NodeHello {
+        /// The negotiated wire mode.
+        proto: WireMode,
+        /// Server version (crate version).
+        version: String,
+        /// Backend spec string.
+        backend: String,
+        /// Shard count.
+        shards: usize,
+        /// Attributes per object.
+        arity: usize,
+        /// The node's applied position: the id the next ingested object
+        /// will be assigned (equals the count of objects ever applied).
+        next_id: u64,
+    },
     /// Asynchronous push: one user's frontier deltas from one arrival (or
     /// membership change), in ascending object order.
     Event {
@@ -240,6 +271,19 @@ pub fn render_text(response: &Response) -> String {
             format!("OK SUBSCRIBED {} {}", user.raw(), format_objects(snapshot))
         }
         Response::Unsubscribed(user) => format!("OK UNSUBSCRIBED {}", user.raw()),
+        Response::Exported { user, rows } => format!("OK EXPORTED {} {rows}", user.raw()),
+        Response::NodeHello {
+            proto,
+            version,
+            backend,
+            shards,
+            arity,
+            next_id,
+        } => format!(
+            "OK HELLO pm-node proto={} version={version} backend={backend} \
+             shards={shards} arity={arity} next_id={next_id}",
+            proto.token()
+        ),
         Response::Event { user, deltas } => {
             let body = deltas
                 .iter()
@@ -395,6 +439,30 @@ pub fn render_frame(response: &Response) -> Vec<u8> {
             body.extend_from_slice(&user.raw().to_be_bytes());
             13
         }
+        Response::Exported { user, rows } => {
+            body.extend_from_slice(&user.raw().to_be_bytes());
+            body.extend_from_slice(rows.as_bytes());
+            17
+        }
+        Response::NodeHello {
+            proto,
+            version,
+            backend,
+            shards,
+            arity,
+            next_id,
+        } => {
+            body.push(match proto {
+                WireMode::Text => 0,
+                WireMode::Frame => 1,
+            });
+            put_str(&mut body, version);
+            put_str(&mut body, backend);
+            body.extend_from_slice(&saturating_u32(*shards).to_be_bytes());
+            body.extend_from_slice(&saturating_u32(*arity).to_be_bytes());
+            body.extend_from_slice(&next_id.to_be_bytes());
+            18
+        }
         Response::Bye => 14,
         Response::Event { user, deltas } => {
             body.extend_from_slice(&user.raw().to_be_bytes());
@@ -508,6 +576,41 @@ mod tests {
         let frame = render_frame(&Response::Snapshot { lsn: 42 });
         assert_eq!(frame[4], 16);
         assert_eq!(&frame[5..], &42u64.to_be_bytes());
+    }
+
+    #[test]
+    fn cluster_responses_render_in_both_wire_modes() {
+        assert_eq!(
+            render_text(&Response::Exported {
+                user: UserId::new(7),
+                rows: "0>1,1>2;-;3>0".to_owned(),
+            }),
+            "OK EXPORTED 7 0>1,1>2;-;3>0"
+        );
+        let frame = render_frame(&Response::Exported {
+            user: UserId::new(7),
+            rows: "-;-".to_owned(),
+        });
+        assert_eq!(frame[4], 17);
+        assert_eq!(&frame[5..9], &7u32.to_be_bytes());
+        assert_eq!(&frame[9..], b"-;-");
+
+        let node_hello = Response::NodeHello {
+            proto: WireMode::Text,
+            version: "0.1.0".to_owned(),
+            backend: "baseline".to_owned(),
+            shards: 2,
+            arity: 3,
+            next_id: 40,
+        };
+        assert_eq!(
+            render_text(&node_hello),
+            "OK HELLO pm-node proto=text version=0.1.0 backend=baseline \
+             shards=2 arity=3 next_id=40"
+        );
+        let frame = render_frame(&node_hello);
+        assert_eq!(frame[4], 18);
+        assert_eq!(&frame[frame.len() - 8..], &40u64.to_be_bytes());
     }
 
     #[test]

@@ -133,6 +133,21 @@ impl EngineService {
     /// batch is processed by the shards while another connection already
     /// assigns and enqueues the next one.
     pub fn ingest(&self, rows: Vec<Vec<ValueId>>) -> Result<Vec<Arrival>, String> {
+        self.ingest_fenced(rows, None)
+    }
+
+    /// [`Self::ingest`] with an optional sequence fence: when `fence` is
+    /// `Some(seq)`, the batch is refused unless the service's next object
+    /// id equals `seq`. The check happens under the ingest lock — the same
+    /// critical section that assigns ids — so a replicated batch either
+    /// lands at exactly the announced position or not at all. Backs the
+    /// internal `SEQ` verb a cluster coordinator uses to keep every node's
+    /// object stream identical.
+    pub fn ingest_fenced(
+        &self,
+        rows: Vec<Vec<ValueId>>,
+        fence: Option<u64>,
+    ) -> Result<Vec<Arrival>, String> {
         for row in &rows {
             if row.len() != self.arity {
                 return Err(format!(
@@ -144,6 +159,14 @@ impl EngineService {
         }
         let ticket = {
             let mut state = lock_ingest(&self.ingest);
+            if let Some(seq) = fence {
+                if state.next_id != seq {
+                    return Err(format!(
+                        "seq mismatch: node is at {}, batch is fenced to {seq}",
+                        state.next_id
+                    ));
+                }
+            }
             let objects: Vec<Object> = rows
                 .into_iter()
                 .map(|values| {
@@ -198,6 +221,14 @@ impl EngineService {
     pub fn lookup(&self, object: ObjectId) -> Option<Vec<UserId>> {
         let state = lock_ingest(&self.ingest);
         state.targets.get(&object).cloned()
+    }
+
+    /// The service's applied position: the id the next ingested object
+    /// will be assigned. Since ids are assigned consecutively from 0, this
+    /// equals the number of objects ever applied — the value the `HELLO
+    /// node` handshake reports so a coordinator can fence backlog replay.
+    pub fn ingest_next_id(&self) -> u64 {
+        lock_ingest(&self.ingest).next_id
     }
 
     /// Seeds the ingest bookkeeping from a restored snapshot: the next
@@ -492,25 +523,53 @@ impl EngineService {
                 uptime_ms: self.engine.snapshot().uptime.as_millis(),
             },
             Request::Quit => Response::Bye,
+            Request::Export(user) => match self.engine.preference_of(user) {
+                Some(preference) => Response::Exported {
+                    user,
+                    rows: preference_rows(&preference),
+                },
+                None => Response::Err(format!("user {} is not registered", user.raw())),
+            },
+            Request::Sequenced { seq, inner } => match *inner {
+                Request::Ingest(rows) => match self.ingest_fenced(rows, Some(seq)) {
+                    Ok(arrivals) => Response::Ingested(arrivals),
+                    Err(e) => Response::Err(e),
+                },
+                other => Response::Err(format!("SEQ wraps only INGEST, got {other:?}")),
+            },
         }
     }
 
     /// Negotiates `HELLO` capabilities: `text` and `frame` pick the wire
-    /// mode (the last one wins; a bare `HELLO` means `text`), anything else
-    /// is an error that leaves the connection and its current mode
+    /// mode (the last one wins; a bare `HELLO` means `text`), `node` asks
+    /// for the node-mode handshake (the same identity plus the applied
+    /// position a coordinator needs to fence backlog replay), anything
+    /// else is an error that leaves the connection and its current mode
     /// untouched.
     fn hello(&self, capabilities: &[String]) -> Response {
         let mut proto = WireMode::Text;
+        let mut node = false;
         for capability in capabilities {
             match capability.to_ascii_lowercase().as_str() {
                 "text" => proto = WireMode::Text,
                 "frame" => proto = WireMode::Frame,
+                "node" => node = true,
                 other => {
                     return Response::Err(format!(
-                        "unknown capability `{other}` (expected text or frame)"
+                        "unknown capability `{other}` (expected text, frame or node)"
                     ))
                 }
             }
+        }
+        if node {
+            return Response::NodeHello {
+                proto,
+                version: env!("CARGO_PKG_VERSION").to_owned(),
+                backend: self.backend.to_string(),
+                shards: self.engine.num_shards(),
+                arity: self.arity,
+                next_id: self.ingest_next_id(),
+            };
         }
         Response::Hello {
             proto,
@@ -556,6 +615,33 @@ impl EngineService {
     pub(crate) fn metrics_bundle(&self) -> Option<&Arc<EngineMetrics>> {
         self.metrics.as_ref()
     }
+}
+
+/// Renders a preference as REGISTER-syntax rows: one `;`-separated row
+/// per attribute, each a comma-separated `x>y` list sorted by `(x, y)`
+/// (`-` for an attribute without preferences). The output parses back to
+/// an equal preference — relations store their transitive closure, and
+/// REGISTER re-closes whatever generating set it receives — so a
+/// coordinator can migrate a user by replaying the exported rows
+/// verbatim on another node.
+fn preference_rows(preference: &Preference) -> String {
+    let rows: Vec<String> = preference
+        .relations()
+        .map(|(_, relation)| {
+            let mut pairs: Vec<(u32, u32)> =
+                relation.pairs().map(|(x, y)| (x.raw(), y.raw())).collect();
+            if pairs.is_empty() {
+                return "-".to_owned();
+            }
+            pairs.sort_unstable();
+            pairs
+                .iter()
+                .map(|(x, y)| format!("{x}>{y}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rows.join(";")
 }
 
 /// Serves the listener with a single-threaded readiness reactor (see
@@ -746,6 +832,69 @@ mod tests {
             .respond_line("UPDATE 0 0>1;-")
             .starts_with("OK UPDATED 0"));
         assert!(svc.respond_line("FRONTIER 0").starts_with("OK FRONTIER 0"));
+    }
+
+    #[test]
+    fn export_round_trips_through_register() {
+        let svc = service(2, "baseline");
+        let r = svc.respond_line("REGISTER 9 0>1,1>2;2>0");
+        assert!(r.starts_with("OK REGISTERED 9"), "{r}");
+        let e = svc.respond_line("EXPORT 9");
+        // The relation stores the closure: 0>1,1>2 implies 0>2.
+        assert_eq!(e, "OK EXPORTED 9 0>1,0>2,1>2;2>0");
+        // Replaying the exported rows on a fresh service reproduces the
+        // user exactly (same export).
+        let other = service(2, "baseline");
+        let rows = e.strip_prefix("OK EXPORTED 9 ").unwrap();
+        assert!(other
+            .respond_line(&format!("REGISTER 9 {rows}"))
+            .starts_with("OK REGISTERED 9"));
+        assert_eq!(other.respond_line("EXPORT 9"), e);
+        // Empty rows render as `-` and unknown users answer ERR.
+        assert!(svc.respond_line("REGISTER 11 -;-").starts_with("OK"));
+        assert_eq!(svc.respond_line("EXPORT 11"), "OK EXPORTED 11 -;-");
+        assert!(svc
+            .respond_line("EXPORT 99")
+            .starts_with("ERR user 99 is not registered"));
+    }
+
+    #[test]
+    fn sequenced_ingest_is_fenced_to_the_applied_position() {
+        let svc = service(1, "baseline");
+        // The node starts at position 0; a matching fence applies.
+        let r = svc.respond_line("SEQ 0 INGEST 0,1;1,2");
+        assert!(r.starts_with("OK INGESTED 2 0:"), "{r}");
+        // Replaying the same batch (stale fence) is refused, as is a fence
+        // from the future; the applied position is untouched by either.
+        assert!(svc
+            .respond_line("SEQ 0 INGEST 0,1;1,2")
+            .starts_with("ERR seq mismatch: node is at 2"));
+        assert!(svc
+            .respond_line("SEQ 5 INGEST 0,1")
+            .starts_with("ERR seq mismatch: node is at 2"));
+        // The next in-order batch lands at the announced position.
+        assert!(svc
+            .respond_line("SEQ 2 INGEST 2,0")
+            .starts_with("OK INGESTED 1 2:"));
+        // SEQ wraps only INGEST.
+        assert!(svc
+            .respond_line("SEQ 3 STATS")
+            .starts_with("ERR SEQ wraps only INGEST"));
+    }
+
+    #[test]
+    fn hello_node_reports_the_applied_position() {
+        let svc = service(2, "baseline");
+        let h = svc.respond_line("HELLO node");
+        assert!(h.starts_with("OK HELLO pm-node proto=text"), "{h}");
+        assert!(h.ends_with("next_id=0"), "{h}");
+        svc.respond_line("INGEST 0,1;1,2");
+        let h = svc.respond_line("HELLO node");
+        assert!(h.ends_with("next_id=2"), "{h}");
+        // The plain client handshake is unchanged.
+        assert!(svc
+            .respond_line("HELLO")
+            .starts_with("OK HELLO pm-server proto=text"));
     }
 
     #[test]

@@ -16,11 +16,13 @@
 pub mod catalog;
 pub mod ids;
 pub mod object;
+pub mod partition;
 pub mod schema;
 pub mod stream;
 
 pub use catalog::ObjectCatalog;
 pub use ids::{AttrId, ObjectId, UserId, ValueId};
 pub use object::Object;
+pub use partition::Partitioner;
 pub use schema::{Attribute, Domain, Schema};
 pub use stream::{ObjectStream, SlidingWindow, StreamEvent};

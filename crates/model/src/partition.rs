@@ -1,0 +1,99 @@
+//! Hash partitioning of the user population.
+//!
+//! Both levels of the serving hierarchy split users the same way: a
+//! sharded engine assigns each user to one of its shard workers, and a
+//! cluster coordinator assigns each user to one of its nodes. The mapping
+//! used to live inside the engine crate; it is
+//! extracted here so shard-level and node-level ownership share one
+//! implementation and cannot drift — a user's owner is a pure function of
+//! `(user, bucket count)` at every level.
+
+use crate::UserId;
+
+/// A deterministic user → bucket assignment over a fixed bucket count.
+///
+/// A multiplicative (Fibonacci) hash spreads structured id spaces — e.g.
+/// tenants allocated in contiguous ranges — evenly across buckets while
+/// staying fully deterministic: the same user lands on the same bucket for
+/// every partitioner with the same bucket count, across processes and
+/// restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    buckets: usize,
+}
+
+impl Partitioner {
+    /// A partitioner over `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "a partitioner needs at least one bucket");
+        Self { buckets }
+    }
+
+    /// The number of buckets users are split across.
+    #[inline]
+    pub fn buckets(self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket that owns `user`.
+    #[inline]
+    pub fn owner_of(self, user: UserId) -> usize {
+        (u64::from(user.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_deterministic_and_total() {
+        for buckets in 1..=9 {
+            let p = Partitioner::new(buckets);
+            assert_eq!(p.buckets(), buckets);
+            for user in 0..5000u32 {
+                let owner = p.owner_of(UserId::new(user));
+                assert!(owner < buckets);
+                assert_eq!(owner, p.owner_of(UserId::new(user)), "must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_users_spread_across_buckets() {
+        let buckets = 8;
+        let p = Partitioner::new(buckets);
+        let mut counts = vec![0usize; buckets];
+        for user in 0..10_000u32 {
+            counts[p.owner_of(UserId::new(user))] += 1;
+        }
+        let expected = 10_000 / buckets;
+        for (bucket, &count) in counts.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "bucket {bucket} got {count} of 10000 (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn copies_agree_across_instances() {
+        // Two independently constructed partitioners (think: a shard map in
+        // one process and a node map in another) must agree exactly.
+        let a = Partitioner::new(5);
+        let b = Partitioner::new(5);
+        for user in (0..100_000u32).step_by(977) {
+            assert_eq!(a.owner_of(UserId::new(user)), b.owner_of(UserId::new(user)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        Partitioner::new(0);
+    }
+}

@@ -275,6 +275,14 @@ impl PreferenceInterner {
             .sum()
     }
 
+    /// The preference held by live slot `id`, or `None` for a dead slot.
+    pub fn get(&self, id: u32) -> Option<&Arc<Preference>> {
+        self.entries
+            .get(id as usize)
+            .and_then(|slot| slot.as_ref())
+            .map(|e| &e.preference)
+    }
+
     /// Iterates over the distinct live entries as
     /// `(slot id, fingerprint, refcount, preference)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Fingerprint, usize, &Arc<Preference>)> + '_ {

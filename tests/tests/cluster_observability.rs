@@ -1,0 +1,176 @@
+//! Observability contract of the coordinator: the cluster `METRICS`
+//! exposition (the `pm_cluster_*` / `pm_coord_*` / `pm_node_*` families)
+//! is wire contract, pinned by a golden file, and its skeleton is stable
+//! across node counts — dashboards built against a 3-node cluster keep
+//! working against 1 or 30.
+
+use pm_coord::{spawn_node, Cluster, ClusterConfig, NodeHandle, NodeSpec, Topology};
+use pm_engine::BackendSpec;
+
+/// Stands up `n` bare nodes and a connected [`Cluster`] over them.
+fn cluster_of(n: usize) -> (Vec<NodeHandle>, Cluster) {
+    let spec = NodeSpec::new(BackendSpec::parse("baseline").unwrap(), 2);
+    let nodes: Vec<NodeHandle> = (0..n).map(|_| spawn_node(&spec).unwrap()).collect();
+    let topology = Topology::new(nodes.iter().map(|h| h.addr().to_owned()).collect()).unwrap();
+    let cluster = Cluster::connect(&topology, ClusterConfig::default()).unwrap();
+    (nodes, cluster)
+}
+
+/// Drives enough traffic that every family has a real observation:
+/// registrations (node_users), replicated ingest (seq, backlog, rpc
+/// latency), a routed read, and one error.
+fn exercise(cluster: &mut Cluster) {
+    let line = |cluster: &mut Cluster, line: &str| -> String {
+        match cluster.handle(line) {
+            pm_coord::Routed::Line(text) => text,
+            other => panic!("unexpected routing for `{line}`: {other:?}"),
+        }
+    };
+    for user in 0..4u32 {
+        let r = line(cluster, &format!("REGISTER {user} 0>1,1>2;-;2>0;-"));
+        assert!(r.starts_with("OK REGISTERED"), "{r}");
+    }
+    for i in 0..4 {
+        let r = line(
+            cluster,
+            &format!("INGEST {},{},{},{}", i % 3, i % 2, i % 4, i % 5),
+        );
+        assert!(r.starts_with("OK INGESTED"), "{r}");
+    }
+    assert!(line(cluster, "FRONTIER 0").starts_with("OK"));
+    assert!(line(cluster, "QUERY 0").starts_with("OK"));
+    assert!(line(cluster, "STATS").starts_with("OK"));
+    assert!(line(cluster, "HEALTH").starts_with("OK"));
+    assert!(line(cluster, "GARBAGE").starts_with("ERR"));
+}
+
+/// Scrapes through the wire verb and validates the advertised length.
+fn scrape(cluster: &mut Cluster) -> String {
+    let response = match cluster.handle("METRICS") {
+        pm_coord::Routed::Line(text) => text,
+        other => panic!("unexpected routing for METRICS: {other:?}"),
+    };
+    let (header, body) = response.split_once('\n').expect("header + body");
+    let bytes: usize = header
+        .strip_prefix("OK METRICS ")
+        .unwrap_or_else(|| panic!("bad METRICS header: {header}"))
+        .parse()
+        .expect("byte length");
+    assert_eq!(body.len(), bytes, "header length must match the body");
+    body.to_owned()
+}
+
+/// The structural skeleton (see `observability.rs`): comment lines kept,
+/// values dropped, shape-dependent label values (`node`, `le`, plus the
+/// build-info identity labels `version`/`nodes`) normalized to `*`, and
+/// repeats dropped globally (a per-node histogram renders its whole
+/// bucket/sum/count block once per node, so adjacent collapsing alone
+/// would leave the skeleton node-count dependent) — identical for any
+/// node count.
+fn skeleton(exposition: &str) -> Vec<String> {
+    let normalize = |name_and_labels: &str| -> String {
+        let Some((name, labels)) = name_and_labels.split_once('{') else {
+            return name_and_labels.to_owned();
+        };
+        let labels = labels.trim_end_matches('}');
+        let normalized: Vec<String> = labels
+            .split(',')
+            .map(|pair| {
+                let (key, _value) = pair.split_once('=').expect("k=\"v\" label");
+                match key {
+                    "node" | "le" | "version" | "nodes" => format!("{key}=\"*\""),
+                    _ => pair.to_owned(),
+                }
+            })
+            .collect();
+        format!("{name}{{{}}}", normalized.join(","))
+    };
+    let mut lines: Vec<String> = Vec::new();
+    for line in exposition.lines() {
+        let entry = if line.starts_with('#') {
+            line.to_owned()
+        } else {
+            let name_and_labels = line.rsplit_once(' ').map_or(line, |(head, _value)| head);
+            normalize(name_and_labels)
+        };
+        if !lines.contains(&entry) {
+            lines.push(entry);
+        }
+    }
+    lines
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/cluster_metrics_exposition.golden"
+);
+
+#[test]
+fn cluster_metrics_exposition_skeleton_matches_golden_file() {
+    let (nodes, mut cluster) = cluster_of(3);
+    exercise(&mut cluster);
+    let skeleton = skeleton(&scrape(&mut cluster)).join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &skeleton).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        skeleton, golden,
+        "cluster metric names / HELP / TYPE / label sets changed; if \
+         intentional, regenerate with UPDATE_GOLDEN=1 and document the rename"
+    );
+    drop(cluster);
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn cluster_metrics_skeleton_is_stable_across_node_counts() {
+    let reference = {
+        let (nodes, mut cluster) = cluster_of(1);
+        exercise(&mut cluster);
+        let skeleton = skeleton(&scrape(&mut cluster));
+        drop(cluster);
+        for node in nodes {
+            node.kill();
+        }
+        skeleton
+    };
+    let (nodes, mut cluster) = cluster_of(3);
+    exercise(&mut cluster);
+    assert_eq!(
+        skeleton(&scrape(&mut cluster)),
+        reference,
+        "skeleton differs between 1-node and 3-node clusters"
+    );
+    drop(cluster);
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn cluster_exposition_carries_real_per_node_observations() {
+    let (nodes, mut cluster) = cluster_of(3);
+    exercise(&mut cluster);
+    let body = scrape(&mut cluster);
+    for node in 0..3 {
+        assert!(
+            body.contains(&format!("pm_node_up{{node=\"{node}\"}} 1")),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!("pm_node_rpc_ns_count{{node=\"{node}\"}}")),
+            "{body}"
+        );
+    }
+    assert!(body.contains("pm_cluster_nodes 3"), "{body}");
+    assert!(body.contains("pm_cluster_seq 4"), "{body}");
+    assert!(body.contains("pm_coord_request_errors_total 1"), "{body}");
+    drop(cluster);
+    for node in nodes {
+        node.kill();
+    }
+}

@@ -269,7 +269,7 @@ fn hello_and_subscription_prechecks_pin_their_wire_lines() {
     // switching the mode.
     assert_eq!(
         c.ask("HELLO gzip"),
-        "ERR unknown capability `gzip` (expected text or frame)"
+        "ERR unknown capability `gzip` (expected text, frame or node)"
     );
     assert!(c.ask("HEALTH").starts_with("OK HEALTH"), "still text mode");
     // Subscription prechecks are per-connection reactor state.
